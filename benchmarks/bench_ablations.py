@@ -1,0 +1,132 @@
+"""Ablation benches: design-choice studies beyond the paper's figures."""
+
+from repro.experiments import ablations
+
+from conftest import quick_mode, save_result
+
+
+def test_coalescing_effectiveness(benchmark, results_dir):
+    kwargs = {"algorithms": ["sssp", "pagerank"]} if quick_mode() else {}
+    stats = benchmark.pedantic(
+        ablations.coalescing_effectiveness, kwargs=kwargs, rounds=1, iterations=1
+    )
+    save_result(results_dir, "ablation_coalescing", ablations.render_coalescing(stats))
+    # Coalescing must be doing real work — it is the atomics-free merge
+    # mechanism the whole queue design exists for.
+    assert any(s.rate > 0.2 for s in stats)
+    benchmark.extra_info["max_rate"] = round(max(s.rate for s in stats), 3)
+
+
+def test_queue_row_width_sweep(benchmark, results_dir):
+    points = benchmark.pedantic(ablations.queue_row_sweep, rounds=1, iterations=1)
+    save_result(
+        results_dir,
+        "ablation_queue_rows",
+        ablations.render_sweep(points, "Ablation: queue row width sweep"),
+    )
+    assert len(points) == 5
+
+
+def test_dram_channel_sweep(benchmark, results_dir):
+    points = benchmark.pedantic(ablations.dram_channel_sweep, rounds=1, iterations=1)
+    save_result(
+        results_dir,
+        "ablation_dram_channels",
+        ablations.render_sweep(points, "Ablation: DRAM channel sweep"),
+    )
+    times = [p.time_us for p in points]
+    assert times[0] >= times[-1], "more channels must not be slower"
+
+
+def test_scheduler_drain_sweep(benchmark, results_dir):
+    points = benchmark.pedantic(
+        ablations.scheduler_drain_sweep, rounds=1, iterations=1
+    )
+    save_result(
+        results_dir,
+        "ablation_scheduler_drain",
+        ablations.render_sweep(points, "Ablation: scheduler drain-width sweep"),
+    )
+    assert len(points) == 4
+
+
+def test_software_overhead_sensitivity(benchmark, results_dir):
+    points = benchmark.pedantic(
+        ablations.software_overhead_sensitivity, rounds=1, iterations=1
+    )
+    save_result(
+        results_dir, "ablation_sw_overhead", ablations.render_overheads(points)
+    )
+    # At the small batch, JetStream's advantage must grow with the floor.
+    small = [p for p in points if p.batch_size == min(q.batch_size for q in points)]
+    advantages = [p.advantage for p in sorted(small, key=lambda p: p.overhead_us)]
+    assert advantages == sorted(advantages)
+
+
+def test_energy_efficiency(benchmark, results_dir):
+    from repro.experiments import energy
+
+    kwargs = (
+        {"graphs": ["WK", "LJ"], "algorithms": ["sssp", "pagerank"]}
+        if quick_mode()
+        else {}
+    )
+    points = benchmark.pedantic(energy.run, kwargs=kwargs, rounds=1, iterations=1)
+    save_result(results_dir, "energy_efficiency", energy.render(points))
+    gain = energy.mean_gain(points)
+    assert gain > 2.0, "incremental queries must save substantial energy"
+    benchmark.extra_info["mean_gain"] = round(gain, 1)
+
+
+def test_end_to_end_staleness(benchmark, results_dir):
+    """Extension: the Fig. 13 conclusion measured end to end — result
+    staleness under a live Poisson update stream, JetStream vs cold start
+    (see repro.core.pipeline)."""
+    from repro.core.pipeline import ArrivalTrace, StreamingPipeline, engine_latency_function
+    from repro import DynamicGraph, JetStreamEngine, make_algorithm
+    from repro.baselines import GraphPulseColdStart
+    from repro.graph import generators
+    from repro.experiments.report import render_table
+
+    edges = generators.ensure_reachable_core(
+        generators.rmat(2048, 12288, seed=41), 2048, seed=42
+    )
+
+    def measure():
+        jet_latency = engine_latency_function(
+            lambda: JetStreamEngine(
+                DynamicGraph.from_edges(edges, 2048), make_algorithm("sssp", source=0)
+            ),
+            probe_sizes=(4, 32, 256),
+        )
+        cold_latency = engine_latency_function(
+            lambda: GraphPulseColdStart(
+                DynamicGraph.from_edges(edges, 2048), make_algorithm("sssp", source=0)
+            ),
+            probe_sizes=(4, 32, 256),
+        )
+        rate = 2.0 / max(1e-9, cold_latency(4))
+        trace = ArrivalTrace.poisson(rate_per_s=rate, duration_s=400 / rate, seed=43)
+        rows = []
+        for name, latency in (("jetstream", jet_latency), ("cold-start", cold_latency)):
+            report = StreamingPipeline(latency).simulate(trace)
+            rows.append(
+                [
+                    name,
+                    report.mean_batch_size,
+                    report.mean_staleness_s * 1e6,
+                    report.p99_staleness_s * 1e6,
+                    report.busy_fraction,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rendering = render_table(
+        ["Engine", "Mean batch", "Mean staleness (us)", "p99 staleness (us)", "Busy"],
+        rows,
+        title="Extension: end-to-end result staleness under a live update stream",
+    )
+    save_result(results_dir, "ablation_staleness", rendering)
+    jet, cold = rows
+    assert jet[2] < cold[2], "JetStream must serve fresher results"

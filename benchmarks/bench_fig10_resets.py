@@ -1,0 +1,29 @@
+"""Fig. 10 bench: vertices reset by a deletion-only batch, JS vs KickStarter.
+
+Paper shape: JetStream's exact-source DAP trims a set no larger than (and
+usually smaller than) KickStarter's value/level-based trimming.
+"""
+
+from repro.experiments import fig10
+
+from conftest import bench_graphs, bench_selective_algorithms, save_result
+
+
+def test_fig10_vertex_resets(benchmark, results_dir):
+    counts = benchmark.pedantic(
+        fig10.run,
+        kwargs={
+            "graphs": bench_graphs(),
+            "algorithms": bench_selective_algorithms(),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rendering = fig10.render(counts)
+    save_result(results_dir, "fig10_resets", rendering)
+
+    total_jet = sum(c.jetstream_resets for c in counts)
+    total_kick = sum(c.kickstarter_resets for c in counts)
+    assert total_jet <= total_kick, "DAP must not trim more than KickStarter"
+    benchmark.extra_info["jetstream_total_resets"] = total_jet
+    benchmark.extra_info["kickstarter_total_resets"] = total_kick

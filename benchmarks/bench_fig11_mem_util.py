@@ -1,0 +1,28 @@
+"""Fig. 11 bench: off-chip memory transfer utilization, JS vs GraphPulse.
+
+Paper shape: JetStream's sparse incremental events cannot harvest spatial
+locality the way GraphPulse's dense rounds do, so its used/transferred
+ratio is substantially lower (the paper measures less than a third).
+"""
+
+from repro.experiments import fig11
+
+from conftest import bench_algorithms, bench_graphs, save_result
+
+
+def test_fig11_memory_utilization(benchmark, results_dir):
+    pairs = benchmark.pedantic(
+        fig11.run,
+        kwargs={"graphs": bench_graphs(), "algorithms": bench_algorithms()},
+        rounds=1,
+        iterations=1,
+    )
+    rendering = fig11.render(pairs)
+    save_result(results_dir, "fig11_mem_util", rendering)
+
+    assert all(0.0 < p.jetstream <= 1.0 for p in pairs)
+    assert all(0.0 < p.graphpulse <= 1.0 for p in pairs)
+    lower = sum(1 for p in pairs if p.jetstream < p.graphpulse)
+    assert lower >= 0.7 * len(pairs), "JS utilization should usually be lower"
+    mean_ratio = sum(p.jetstream / p.graphpulse for p in pairs) / len(pairs)
+    benchmark.extra_info["mean_js_over_gp_util"] = round(mean_ratio, 3)

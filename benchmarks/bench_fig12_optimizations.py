@@ -1,0 +1,31 @@
+"""Fig. 12 bench: Base / +VAP / +DAP speedups over cold-start GraphPulse.
+
+Paper shape: the Base tagging scheme does work comparable to full
+recomputation; VAP rescues SSSP/SSWP (distinct values) but not BFS/CC
+(value plateaus); DAP wins across the board.
+"""
+
+from repro.experiments import fig12
+
+from conftest import quick_mode, save_result
+
+
+def test_fig12_optimizations(benchmark, results_dir):
+    kwargs = (
+        {"graphs": ["LJ"], "algorithms": ["sssp", "bfs"]} if quick_mode() else {}
+    )
+    points = benchmark.pedantic(fig12.run, kwargs=kwargs, rounds=1, iterations=1)
+    rendering = fig12.render(points)
+    save_result(results_dir, "fig12_optimizations", rendering)
+
+    for point in points:
+        base = point.speedups["base"]
+        dap = point.speedups["dap"]
+        assert dap >= base, f"DAP should dominate Base ({point.algorithm}/{point.graph})"
+        if point.algorithm in ("bfs", "cc"):
+            # Value plateaus: VAP cannot prune, DAP can (§5.2).
+            assert dap >= point.speedups["vap"]
+    mean_dap = sum(p.speedups["dap"] for p in points) / len(points)
+    mean_base = sum(p.speedups["base"] for p in points) / len(points)
+    benchmark.extra_info["mean_base_speedup"] = round(mean_base, 2)
+    benchmark.extra_info["mean_dap_speedup"] = round(mean_dap, 2)

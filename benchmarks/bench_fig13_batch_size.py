@@ -1,0 +1,43 @@
+"""Fig. 13 bench: batch-size sensitivity on LiveJournal.
+
+Paper shape: JetStream's speedup (relative to itself at the baseline
+batch) grows steeply as batches shrink; the software frameworks flatten
+out against their fixed per-batch costs, so JetStream's *relative*
+advantage explodes at small batches — the near-real-time argument.
+"""
+
+from repro.experiments import fig13
+
+from conftest import quick_mode, save_result
+
+
+def test_fig13_batch_size_sensitivity(benchmark, results_dir):
+    kwargs = {"algorithms": ["sssp"]} if quick_mode() else {}
+    curves = benchmark.pedantic(fig13.run, kwargs=kwargs, rounds=1, iterations=1)
+    rendering = fig13.render(curves)
+    save_result(results_dir, "fig13_batch_size", rendering)
+
+    for curve in curves:
+        sizes = sorted(curve.points, reverse=True)
+        if curve.system == "jetstream":
+            # Smaller batches must be faster per batch.
+            assert curve.points[sizes[-1]] > curve.points[sizes[0]]
+    # JetStream's advantage over the software system grows as batches shrink.
+    jet = {c.algorithm: c for c in curves if c.system == "jetstream"}
+    for curve in curves:
+        if curve.system == "jetstream":
+            continue
+        sizes = sorted(curve.points, reverse=True)
+        gap_large = jet[curve.algorithm].points[sizes[0]] / max(
+            1e-12, curve.points[sizes[0]]
+        )
+        gap_small = jet[curve.algorithm].points[sizes[-1]] / max(
+            1e-12, curve.points[sizes[-1]]
+        )
+        assert gap_small > gap_large, (
+            f"JetStream's advantage over {curve.system} should grow "
+            f"as batches shrink ({curve.algorithm})"
+        )
+        benchmark.extra_info[f"{curve.algorithm}_gap_small_batch"] = round(
+            gap_small, 1
+        )

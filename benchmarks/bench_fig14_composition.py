@@ -1,0 +1,40 @@
+"""Fig. 14 bench: batch-composition sensitivity on LiveJournal.
+
+Paper shape: for selective algorithms, deletion-only batches cost several
+times more than insertion-only ones (recovery phase + reevaluation of the
+impacted set); KickStarter shows "no concrete dependence" on composition;
+accumulative algorithms are insensitive (both update kinds are events).
+"""
+
+from repro.experiments import fig14
+
+from conftest import quick_mode, save_result
+
+
+def test_fig14_composition_sensitivity(benchmark, results_dir):
+    kwargs = {
+        "algorithms": ["sssp"] if quick_mode() else None,
+        "include_accumulative_check": not quick_mode(),
+    }
+    curves = benchmark.pedantic(fig14.run, kwargs=kwargs, rounds=1, iterations=1)
+    rendering = fig14.render(curves)
+    save_result(results_dir, "fig14_composition", rendering)
+
+    for curve in curves:
+        if curve.system != "jetstream":
+            continue
+        insertion_only = curve.points[1.0]
+        deletion_only = curve.points[0.0]
+        if curve.algorithm in ("sssp", "cc"):
+            assert deletion_only > insertion_only, (
+                "deletions must be the expensive direction for selective "
+                f"algorithms ({curve.algorithm})"
+            )
+            benchmark.extra_info[f"{curve.algorithm}_del_over_ins"] = round(
+                deletion_only / insertion_only, 2
+            )
+        else:
+            # Accumulative: composition-insensitive (within ~3x).
+            ratio = deletion_only / max(1e-12, insertion_only)
+            assert 1 / 3 < ratio < 3.0
+            benchmark.extra_info[f"{curve.algorithm}_del_over_ins"] = round(ratio, 2)

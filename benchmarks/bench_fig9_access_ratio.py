@@ -1,0 +1,28 @@
+"""Fig. 9 bench: vertex/edge accesses of JetStream normalized to GraphPulse.
+
+Paper shape: JetStream needs at most ~54% (down to 3%) of GraphPulse's
+vertex accesses and under ~30% of its edge work.
+"""
+
+from repro.experiments import fig9
+
+from conftest import bench_algorithms, bench_graphs, save_result
+
+
+def test_fig9_access_ratios(benchmark, results_dir):
+    ratios = benchmark.pedantic(
+        fig9.run,
+        kwargs={"graphs": bench_graphs(), "algorithms": bench_algorithms()},
+        rounds=1,
+        iterations=1,
+    )
+    rendering = fig9.render(ratios)
+    save_result(results_dir, "fig9_access_ratio", rendering)
+
+    assert all(r.vertex_ratio < 1.0 for r in ratios), "JS must touch fewer vertices"
+    mean_vertex = sum(r.vertex_ratio for r in ratios) / len(ratios)
+    assert mean_vertex < 0.6, "paper caps vertex access ratio at 0.54"
+    benchmark.extra_info["mean_vertex_ratio"] = round(mean_vertex, 4)
+    benchmark.extra_info["max_vertex_ratio"] = round(
+        max(r.vertex_ratio for r in ratios), 4
+    )

@@ -1,0 +1,90 @@
+"""Microbenchmarks of the core machinery (real repeated timings).
+
+Unlike the table/figure benches (single deterministic model evaluations),
+these measure the Python implementation's own throughput: queue insertion
+and coalescing, static convergence, and incremental batch application.
+"""
+
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.core.config import AcceleratorConfig
+from repro.core.engine import GraphPulseEngine
+from repro.core.events import Event
+from repro.core.metrics import RoundWork
+from repro.core.policies import DeletePolicy
+from repro.core.queue import CoalescingQueue
+from repro.core.streaming import JetStreamEngine
+from repro.graph import generators
+from repro.graph.dynamic import DynamicGraph
+from repro.streams import StreamGenerator
+
+
+@pytest.fixture(scope="module")
+def medium_graph_edges():
+    edges = generators.rmat(2048, 12288, seed=17)
+    return generators.ensure_reachable_core(edges, 2048, seed=18)
+
+
+def test_queue_insert_throughput(benchmark):
+    algorithm = make_algorithm("sssp", source=0)
+    queue = CoalescingQueue(algorithm, AcceleratorConfig(), DeletePolicy.DAP, 4096)
+    events = [Event(v % 4096, float(v % 97), 0, v % 64) for v in range(10_000)]
+
+    def insert_all():
+        work = RoundWork()
+        for event in events:
+            queue.insert(event, work)
+        queue.drain_round(work)
+
+    benchmark(insert_all)
+
+
+def test_queue_coalesce_heavy(benchmark):
+    """All events target 16 vertices — worst-case coalescing pressure."""
+    algorithm = make_algorithm("sssp", source=0)
+    queue = CoalescingQueue(algorithm, AcceleratorConfig(), DeletePolicy.DAP, 64)
+    events = [Event(v % 16, float(v % 97), 0, v % 8) for v in range(10_000)]
+
+    def insert_all():
+        work = RoundWork()
+        for event in events:
+            queue.insert(event, work)
+        queue.drain_round(work)
+
+    benchmark(insert_all)
+
+
+def test_static_sssp_convergence(benchmark, medium_graph_edges):
+    graph = DynamicGraph.from_edges(medium_graph_edges, 2048)
+    csr = graph.snapshot()
+
+    def converge():
+        return GraphPulseEngine(make_algorithm("sssp", source=0)).compute(csr)
+
+    result = benchmark(converge)
+    assert result.metrics.events_processed > 0
+
+
+def test_incremental_batch_sssp(benchmark, medium_graph_edges):
+    def run_batch():
+        graph = DynamicGraph.from_edges(medium_graph_edges, 2048)
+        engine = JetStreamEngine(graph, make_algorithm("sssp", source=0))
+        engine.initial_compute()
+        stream = StreamGenerator(graph, seed=19)
+        return engine.apply_batch(stream.next_batch(64))
+
+    result = benchmark.pedantic(run_batch, rounds=3, iterations=1)
+    assert result.graph_version > 0
+
+
+def test_incremental_batch_pagerank(benchmark, medium_graph_edges):
+    def run_batch():
+        graph = DynamicGraph.from_edges(medium_graph_edges, 2048)
+        engine = JetStreamEngine(graph, make_algorithm("pagerank", tolerance=1e-4))
+        engine.initial_compute()
+        stream = StreamGenerator(graph, seed=20)
+        return engine.apply_batch(stream.next_batch(64))
+
+    result = benchmark.pedantic(run_batch, rounds=3, iterations=1)
+    assert result.metrics.events_processed > 0

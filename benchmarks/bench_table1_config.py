@@ -1,0 +1,13 @@
+"""Table 1 bench: render the experimental configurations."""
+
+from repro.experiments import table1
+
+from conftest import save_result
+
+
+def test_table1_configurations(benchmark, results_dir):
+    rows = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    rendering = table1.render(rows)
+    save_result(results_dir, "table1_config", rendering)
+    assert len(rows) == 3
+    benchmark.extra_info["rows"] = len(rows)

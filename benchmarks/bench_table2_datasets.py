@@ -1,0 +1,14 @@
+"""Table 2 bench: build every dataset stand-in and report its scale."""
+
+from repro.experiments import table2
+
+from conftest import save_result
+
+
+def test_table2_datasets(benchmark, results_dir):
+    rows = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    rendering = table2.render(rows)
+    save_result(results_dir, "table2_datasets", rendering)
+    assert len(rows) == 5
+    for row in rows:
+        benchmark.extra_info[row["graph"]] = row["standin_edges"]

@@ -1,0 +1,21 @@
+"""Table 4 bench: accelerator power/area budgets and JetStream deltas."""
+
+import pytest
+
+from repro.experiments import table4
+
+from conftest import save_result
+
+
+def test_table4_power_area(benchmark, results_dir):
+    rows = benchmark.pedantic(table4.run, rounds=1, iterations=1)
+    rendering = table4.render(rows)
+    save_result(results_dir, "table4_power_area", rendering)
+
+    lookup = {r["component"]: r for r in rows}
+    assert lookup["Total"]["total_mw"] == pytest.approx(8926, rel=0.02)
+    assert lookup["Total"]["area_mm2"] == pytest.approx(199, rel=0.02)
+    assert abs(lookup["Total"]["total_delta"]) < 0.02
+    assert 0.0 < lookup["Total"]["area_delta"] < 0.05
+    benchmark.extra_info["total_mw"] = round(lookup["Total"]["total_mw"])
+    benchmark.extra_info["total_area_mm2"] = round(lookup["Total"]["area_mm2"], 1)

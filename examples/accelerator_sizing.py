@@ -1,0 +1,69 @@
+"""Design-space exploration: sizing the accelerator.
+
+Uses the architectural timing and power models to ask the questions a
+hardware architect would: how do processor count, queue size (and hence
+graph slicing), and DRAM bandwidth move per-batch latency, and what do the
+JetStream extensions cost in power and area (Table 4)?
+
+Run: ``python examples/accelerator_sizing.py``
+"""
+
+from repro import AcceleratorConfig, DynamicGraph, JetStreamEngine, make_algorithm
+from repro.graph import generators
+from repro.sim.power import PowerAreaModel
+from repro.sim.timing import AcceleratorTimingModel
+from repro.streams import StreamGenerator
+
+
+def one_batch_metrics(config: AcceleratorConfig):
+    """Run one fixed SSSP batch and return its run metrics."""
+    edges = generators.rmat(4096, 24576, seed=9)
+    edges = generators.ensure_reachable_core(edges, 4096, seed=10)
+    graph = DynamicGraph.from_edges(edges, 4096)
+    engine = JetStreamEngine(graph, make_algorithm("sssp", source=0), config=config)
+    engine.initial_compute()
+    stream = StreamGenerator(graph, seed=11)
+    result = engine.apply_batch(stream.next_batch(200))
+    return result.metrics
+
+
+def main() -> None:
+    base = AcceleratorConfig()
+    metrics = one_batch_metrics(base)
+
+    print("Processor scaling (same workload, Table 1 otherwise):")
+    for processors in (2, 4, 8, 16, 32):
+        config = base.with_overrides(num_processors=processors)
+        report = AcceleratorTimingModel(config).run_time(metrics, stream_records=200)
+        bound = max(report.phases, key=lambda p: p.total_cycles).bound
+        print(f"  {processors:>2} engines: {report.time_us:8.1f} us  ({bound}-bound)")
+
+    print("\nDRAM bandwidth scaling:")
+    for channels in (1, 2, 4, 8):
+        config = base.with_overrides(dram_channels=channels)
+        report = AcceleratorTimingModel(config).run_time(metrics, stream_records=200)
+        print(f"  {channels} channels: {report.time_us:8.1f} us")
+
+    print("\nQueue capacity -> graph slicing (64KB queue forces slices):")
+    for queue_kb in (64, 256, 1024):
+        config = base.with_overrides(queue_bytes=queue_kb * 1024)
+        sliced_metrics = one_batch_metrics(config)
+        report = AcceleratorTimingModel(config).run_time(sliced_metrics, stream_records=200)
+        spill = sliced_metrics.total.spill_bytes
+        print(f"  {queue_kb:>5} KB queue: {report.time_us:8.1f} us, "
+              f"cross-slice spill {spill} bytes")
+
+    print("\nPower/area of the JetStream extensions (Table 4 model):")
+    model = PowerAreaModel(base)
+    jet_mw = model.total_power_mw(jetstream=True)
+    gp_mw = model.total_power_mw(jetstream=False)
+    jet_mm = model.total_area_mm2(jetstream=True)
+    gp_mm = model.total_area_mm2(jetstream=False)
+    print(f"  power: {jet_mw:.0f} mW vs {gp_mw:.0f} mW GraphPulse "
+          f"({(jet_mw / gp_mw - 1) * 100:+.1f}%)")
+    print(f"  area : {jet_mm:.0f} mm2 vs {gp_mm:.0f} mm2 GraphPulse "
+          f"({(jet_mm / gp_mm - 1) * 100:+.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Streaming linear-system solving on the accelerator (host API).
+
+The paper lists "many Linear Equation Solvers" among the DAIC-compatible
+applications. This example models a signal-attenuation network: node 0
+injects a unit signal, every link passes a fraction of its input onward,
+and the steady state solves ``x = b + M x``. Links degrade and get
+re-provisioned over time (weight changes = delete + insert), and the
+accelerator keeps the steady state fresh incrementally.
+
+Also demonstrates the host-side co-processor protocol of §4.1
+(:mod:`repro.host`): load -> configure -> run -> push_updates -> run ->
+read_results, with DMA transfer accounting.
+
+Run: ``python examples/circuit_linear_solver.py``
+"""
+
+import numpy as np
+
+from repro.algorithms.linear import reference_solve
+from repro.graph import generators
+from repro.host import Accelerator
+
+
+def build_attenuation_network(n=400, m=1400, seed=23):
+    """Random network with per-node pass-through budgets below 1."""
+    rng = np.random.default_rng(seed)
+    raw = generators.erdos_renyi(n, m, seed=seed, weighted=False)
+    out_count = {}
+    for u, _, _ in raw:
+        out_count[u] = out_count.get(u, 0) + 1
+    return [
+        (u, v, 0.85 / out_count[u] * (0.3 + 0.7 * rng.random()))
+        for u, v, _ in raw
+    ]
+
+
+def main() -> None:
+    edges = build_attenuation_network()
+    accel = Accelerator()
+    session = accel.load_graph(edges)
+    session.configure("linear", constants={0: 1.0}, tolerance=1e-10)
+    session.run()
+    signal = session.read_results()
+    print(f"Network: {session.graph.num_vertices} nodes, "
+          f"{session.graph.num_edges} links")
+    print(f"Injected 1.0 at node 0; strongest downstream signals: "
+          f"{np.sort(signal)[-4:-1][::-1].round(4)}")
+
+    rng = np.random.default_rng(29)
+    for step in range(1, 4):
+        # Degrade three random links to 60% of their capacity.
+        live = sorted(session.graph.edges())
+        picks = rng.choice(len(live), size=3, replace=False)
+        deletions = [(live[int(i)][0], live[int(i)][1]) for i in picks]
+        insertions = [
+            (live[int(i)][0], live[int(i)][1], live[int(i)][2] * 0.6)
+            for i in picks
+        ]
+        session.push_updates(insertions=insertions, deletions=deletions)
+        result = session.run()
+        signal = session.read_results()
+        expected = reference_solve(
+            session.graph.snapshot(), {0: 1.0}
+        )
+        assert np.allclose(signal, expected, atol=1e-6)
+        print(
+            f"step {step}: degraded 3 links, "
+            f"{result.metrics.events_processed:5d} events to re-converge, "
+            f"total signal {signal.sum():.4f}"
+        )
+
+    stats = session.transfer_stats()
+    print(
+        f"\nHost<->accelerator DMA: {stats.graph_uploads} B graph uploads, "
+        f"{stats.update_records} B update records, "
+        f"{stats.results_read} B results read back."
+    )
+    print("Every incremental steady state matched the dense numpy solve.")
+
+
+if __name__ == "__main__":
+    main()

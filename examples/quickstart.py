@@ -1,0 +1,79 @@
+"""Quickstart: evaluate a streaming SSSP query end to end.
+
+Builds a small weighted digraph, runs the initial (static) evaluation,
+applies a batch containing both an edge insertion and an edge deletion,
+and shows the incremental re-evaluation arriving at the same answer a
+from-scratch recomputation would — while touching far fewer vertices.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import (
+    DeletePolicy,
+    DynamicGraph,
+    GraphPulseEngine,
+    JetStreamEngine,
+    make_algorithm,
+)
+from repro.sim.timing import AcceleratorTimingModel
+from repro.streams import Edge, UpdateBatch
+
+
+def main() -> None:
+    # The worked example of the paper's Fig. 4: seven vertices A..G.
+    names = "ABCDEFG"
+    edges = [
+        ("A", "B", 8),
+        ("A", "C", 9),
+        ("B", "D", 4),
+        ("B", "E", 8),
+        ("C", "E", 5),
+        ("C", "F", 8),
+        ("D", "E", 7),
+        ("D", "G", 7),
+        ("E", "F", 5),
+        ("G", "E", 3),
+    ]
+    vid = {name: i for i, name in enumerate(names)}
+    graph = DynamicGraph.from_edges(
+        [(vid[u], vid[v], float(w)) for u, v, w in edges], len(names)
+    )
+
+    algorithm = make_algorithm("sssp", source=vid["A"])
+    engine = JetStreamEngine(graph, algorithm, policy=DeletePolicy.DAP)
+
+    initial = engine.initial_compute()
+    print("Initial shortest-path distances from A:")
+    for name in names:
+        print(f"  {name}: {initial.states[vid[name]]:g}")
+
+    # The paper's streaming example: add A->D (weight 3), delete A->C.
+    batch = UpdateBatch(
+        insertions=[Edge(vid["A"], vid["D"], 3.0)],
+        deletions=[Edge(vid["A"], vid["C"], 9.0)],
+    )
+    result = engine.apply_batch(batch)
+    print("\nAfter add(A->D, 3) and delete(A->C):")
+    for name in names:
+        print(f"  {name}: {result.states[vid[name]]:g}")
+    print(f"\nVertices reset during recovery: "
+          f"{sorted(names[i] for i in result.impacted)}")
+
+    # Cross-check against a cold-start recomputation on the mutated graph.
+    cold = GraphPulseEngine(algorithm).compute(graph.snapshot())
+    assert algorithm.states_close(result.states, cold.states)
+    print("Incremental result matches cold-start recomputation.")
+
+    # What did incrementality buy on the accelerator?
+    timing = AcceleratorTimingModel()
+    jet_ms = timing.run_time(result.metrics, stream_records=batch.size).time_ms
+    cold_ms = timing.run_time(cold.metrics).time_ms
+    print(f"JetStream incremental: {jet_ms * 1e3:.2f} us of accelerator time")
+    print(f"GraphPulse cold start: {cold_ms * 1e3:.2f} us of accelerator time")
+    print("(On a 7-vertex toy, fixed phase overheads dominate and cold start "
+          "can win; run examples/streaming_pagerank_dashboard.py or the "
+          "benchmarks to see the incremental advantage at realistic scale.)")
+
+
+if __name__ == "__main__":
+    main()

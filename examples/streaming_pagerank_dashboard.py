@@ -1,0 +1,58 @@
+"""Near-real-time trend dashboard: tiny batches on a link graph.
+
+The paper's closing argument is that JetStream's advantage *grows* as
+batches shrink, "making it conceivable to work on small batch sizes and
+allow near real-time updates" (Fig. 13). This example quantifies that: a
+web/link graph receives updates in batches of decreasing size and we track
+accelerator time per batch and per individual update for incremental
+PageRank, versus the cold-start alternative.
+
+Run: ``python examples/streaming_pagerank_dashboard.py``
+"""
+
+from repro import DynamicGraph, JetStreamEngine, make_algorithm
+from repro.baselines import GraphPulseColdStart
+from repro.graph import generators
+from repro.sim.timing import AcceleratorTimingModel
+from repro.streams import StreamGenerator
+
+
+def main() -> None:
+    edges = generators.long_path_web(4096, 24576, seed=5)
+    graph = DynamicGraph.from_edges(edges, 4096)
+    cold_graph = DynamicGraph.from_edges(edges, 4096)
+    print(f"Link graph: {graph.num_vertices} pages, {graph.num_edges} links")
+
+    algorithm = make_algorithm("pagerank", tolerance=1e-4)
+    engine = JetStreamEngine(graph, algorithm)
+    engine.initial_compute()
+    cold = GraphPulseColdStart(cold_graph, make_algorithm("pagerank", tolerance=1e-4))
+    cold.initial_compute()
+
+    timing = AcceleratorTimingModel()
+    stream = StreamGenerator(graph, seed=21, insertion_ratio=0.7)
+    cold_stream = StreamGenerator(cold_graph, seed=21, insertion_ratio=0.7)
+
+    print(f"{'batch':>6} {'jet us/batch':>13} {'jet us/update':>14} "
+          f"{'cold us/batch':>14} {'advantage':>10}")
+    for size in (512, 128, 32, 8):
+        batch = stream.next_batch(size)
+        result = engine.apply_batch(batch)
+        jet_us = timing.run_time(result.metrics, stream_records=size).time_us
+
+        cold_batch = cold_stream.next_batch(size)
+        cold_result = cold.apply_batch(cold_batch)
+        cold_us = timing.run_time(cold_result.metrics, stream_records=size).time_us
+
+        print(
+            f"{size:>6} {jet_us:>13.1f} {jet_us / size:>14.2f} "
+            f"{cold_us:>14.1f} {cold_us / jet_us:>9.1f}x"
+        )
+
+    print("\nPer-update cost stays almost flat for JetStream while the "
+          "cold-start cost is paid in full for every batch — the smaller "
+          "the batch, the bigger the win.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""JetStream reproduction: event-driven streaming graph analytics.
+
+Reproduces *JetStream: Graph Analytics on Streaming Data with Event-Driven
+Hardware Accelerator* (MICRO 2021): the GraphPulse event-driven substrate,
+JetStream's streaming insertion/deletion support with the VAP and DAP
+optimizations, an architectural timing/energy model, the software baselines
+(KickStarter, GraphBolt), and the full experiment harness.
+
+Quickstart::
+
+    from repro import DynamicGraph, JetStreamEngine, make_algorithm
+    from repro.streams import StreamGenerator
+
+    graph = DynamicGraph.from_edges([(0, 1, 2.0), (1, 2, 3.0)], 3)
+    engine = JetStreamEngine(graph, make_algorithm("sssp", source=0))
+    engine.initial_compute()
+    stream = StreamGenerator(graph, seed=1)
+    result = engine.apply_batch(stream.next_batch(1))
+    print(result.states)
+"""
+
+from repro.algorithms import (
+    Algorithm,
+    AlgorithmKind,
+    BFS,
+    ConnectedComponents,
+    PageRank,
+    Adsorption,
+    SSSP,
+    SSWP,
+    LinearSystemSolver,
+    make_algorithm,
+)
+from repro.core import (
+    AcceleratorConfig,
+    SoftwareConfig,
+    DeletePolicy,
+    GraphPulseEngine,
+    JetStreamEngine,
+    StreamingResult,
+)
+from repro.graph import CSRGraph, DynamicGraph
+from repro.streams import Edge, StreamGenerator, UpdateBatch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Algorithm",
+    "AlgorithmKind",
+    "BFS",
+    "ConnectedComponents",
+    "PageRank",
+    "Adsorption",
+    "SSSP",
+    "SSWP",
+    "LinearSystemSolver",
+    "make_algorithm",
+    "AcceleratorConfig",
+    "SoftwareConfig",
+    "DeletePolicy",
+    "GraphPulseEngine",
+    "JetStreamEngine",
+    "StreamingResult",
+    "CSRGraph",
+    "DynamicGraph",
+    "Edge",
+    "StreamGenerator",
+    "UpdateBatch",
+    "__version__",
+]

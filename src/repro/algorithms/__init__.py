@@ -1,0 +1,65 @@
+"""Delta-accumulative (DAIC) graph algorithms for the event-driven model.
+
+The paper evaluates six applications (§6.1):
+
+* selective / monotonic (KickStarter class): Single-Source Shortest Path
+  (SSSP), Single-Source Widest Path (SSWP), Breadth-First Search (BFS),
+  Connected Components (CC);
+* accumulative (GraphBolt class): incremental PageRank and Adsorption.
+
+Each is expressed through the :class:`~repro.algorithms.base.Algorithm`
+interface — ``Identity``, ``Reduce``, ``Propagate`` (§3.1, Algorithm 1) —
+which the GraphPulse/JetStream engines consume unchanged.
+"""
+
+from repro.algorithms.base import (
+    Algorithm,
+    AlgorithmKind,
+    SourceContext,
+)
+from repro.algorithms.sssp import SSSP
+from repro.algorithms.sswp import SSWP
+from repro.algorithms.bfs import BFS
+from repro.algorithms.cc import ConnectedComponents
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.adsorption import Adsorption
+from repro.algorithms.linear import LinearSystemSolver
+
+
+def make_algorithm(name: str, source: int = 0, **kwargs) -> Algorithm:
+    """Construct an algorithm by its paper short name.
+
+    ``name`` is one of ``sssp``, ``sswp``, ``bfs``, ``cc``, ``pagerank``
+    (alias ``pr``), ``adsorption``. ``source`` seeds the rooted queries.
+    """
+    key = name.strip().lower()
+    if key == "sssp":
+        return SSSP(source, **kwargs)
+    if key == "sswp":
+        return SSWP(source, **kwargs)
+    if key == "bfs":
+        return BFS(source, **kwargs)
+    if key == "cc":
+        return ConnectedComponents(**kwargs)
+    if key in ("pagerank", "pr"):
+        return PageRank(**kwargs)
+    if key == "linear":
+        return LinearSystemSolver(**kwargs)
+    if key == "adsorption":
+        return Adsorption(**kwargs)
+    raise ValueError(f"unknown algorithm {name!r}")
+
+
+__all__ = [
+    "Algorithm",
+    "AlgorithmKind",
+    "SourceContext",
+    "SSSP",
+    "SSWP",
+    "BFS",
+    "ConnectedComponents",
+    "PageRank",
+    "Adsorption",
+    "LinearSystemSolver",
+    "make_algorithm",
+]

@@ -1,0 +1,180 @@
+"""The DAIC ``Algorithm`` interface consumed by the engines.
+
+GraphPulse's execution model (§3.1, Algorithm 1) requires the application to
+supply:
+
+* ``identity`` — the non-dominant value of ``Reduce`` and the initial vertex
+  state;
+* ``reduce(a, b)`` — order-insensitive combination of a vertex state with an
+  incoming delta (the *Reordering Property*);
+* ``propagate(value, weight, ctx)`` — the delta contributed over an outgoing
+  edge;
+* the initial event set.
+
+JetStream additionally needs, for *selective* algorithms, a strict
+progression order (``more_progressed``) used by the VAP optimization and by
+the recoverable-approximation invariant (§3.2); and for *accumulative*
+algorithms, whether propagation depends on the source's out-degree/weight
+(which forces the Fig. 5 sink construction on mutation).
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+
+class AlgorithmKind(enum.Enum):
+    """The two algorithm families JetStream serves (§2.2, §3.5)."""
+
+    #: Vertex computation is a selection (min/max) over single-edge
+    #: contributions; monotonic; served by tag-propagation deletion.
+    SELECTIVE = "selective"
+    #: Vertex state accumulates contributions (sum); served by
+    #: negative-event deletion.
+    ACCUMULATIVE = "accumulative"
+
+
+@dataclass(frozen=True)
+class SourceContext:
+    """Out-edge context of a propagating vertex.
+
+    Degree-dependent algorithms (PageRank divides by out-degree, Adsorption
+    normalizes by total out-weight) need this to compute a propagated delta.
+    The engine always fills it from the graph version the propagation is
+    defined against (old graph for negations, new graph for re-insertions).
+    """
+
+    out_degree: int
+    out_weight_sum: float
+
+    @staticmethod
+    def of(graph, u: int) -> "SourceContext":
+        """Context of vertex ``u`` in ``graph`` (CSR or dynamic)."""
+        total = 0.0
+        degree = 0
+        for _, w in graph.out_edges(u):
+            total += w
+            degree += 1
+        return SourceContext(out_degree=degree, out_weight_sum=total)
+
+
+#: Context used where degree does not matter (selective algorithms).
+NULL_CONTEXT = SourceContext(out_degree=0, out_weight_sum=0.0)
+
+
+class Algorithm(ABC):
+    """Base class for DAIC applications.
+
+    Subclasses set :attr:`name`, :attr:`kind`, :attr:`identity` and
+    implement the abstract hooks. Selective algorithms must also implement
+    :meth:`more_progressed`.
+    """
+
+    #: Paper short name (``sssp``, ``pagerank``, ...).
+    name: str = "abstract"
+    #: Selective or accumulative (determines the streaming delete flow).
+    kind: AlgorithmKind = AlgorithmKind.SELECTIVE
+    #: The Reduce identity; also the initial vertex value.
+    identity: float = 0.0
+    #: Whether the engine must run on a symmetrized edge set (CC).
+    needs_symmetric: bool = False
+    #: Whether ``propagate`` depends on :class:`SourceContext` — if so, edge
+    #: mutation changes all out-edge contributions of the source and the
+    #: accumulative delete flow applies the Fig. 5 sink construction.
+    degree_dependent: bool = False
+    #: Deltas with magnitude below this are not propagated (accumulative
+    #: termination). Selective algorithms ignore it.
+    propagation_threshold: float = 0.0
+
+    # ------------------------------------------------------------------
+    # DAIC hooks
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def reduce(self, a: float, b: float) -> float:
+        """Combine vertex state ``a`` with incoming delta ``b``."""
+
+    @abstractmethod
+    def propagate(self, value: float, weight: float, ctx: SourceContext) -> float:
+        """Delta contributed over an out-edge.
+
+        ``value`` is the source's state (selective) or the delta being
+        forwarded (accumulative); ``weight`` the edge attribute; ``ctx`` the
+        source's out-edge context.
+        """
+
+    @abstractmethod
+    def initial_events(self, graph) -> List[Tuple[int, float]]:
+        """The InitialEvents() set: ``(vertex, payload)`` pairs."""
+
+    # ------------------------------------------------------------------
+    # Streaming hooks
+    # ------------------------------------------------------------------
+    def self_event(self, v: int) -> Optional[float]:
+        """Initial-event payload that must be re-injected if ``v`` resets.
+
+        Resetting an impacted vertex erases contributions that arrived via
+        *initial* events (the SSSP root's 0, a CC vertex's own label), which
+        no neighbor can restore. The streaming engine re-injects this during
+        re-approximation. ``None`` when ``v`` receives no initial event.
+        """
+        return None
+
+    def seed_event_for_new_vertex(self, v: int) -> Optional[float]:
+        """Initial payload owed to a vertex created mid-stream (e.g. the
+        PageRank teleport mass). ``None`` when nothing is owed."""
+        return None
+
+    def more_progressed(self, a: float, b: float) -> bool:
+        """True when ``a`` is *strictly* closer to convergence than ``b``.
+
+        Selective algorithms progress monotonically from ``identity`` toward
+        the converged value (§3.2); this is the order VAP prunes with.
+        """
+        raise NotImplementedError(f"{self.name} does not define a progression order")
+
+    def should_propagate(self, delta: float) -> bool:
+        """Whether a computed out-edge delta is worth sending."""
+        if self.kind is AlgorithmKind.ACCUMULATIVE:
+            return abs(delta) > self.propagation_threshold
+        return True
+
+    #: Accumulative fast path: when True the propagated delta is
+    #: ``delta * propagation_factor(ctx) * weight``; when False the weight
+    #: is ignored (``delta * propagation_factor(ctx)``). Lets the engine
+    #: hoist the factor out of the per-edge loop.
+    weight_scaled_propagation: bool = False
+
+    def propagation_factor(self, ctx: SourceContext) -> float:
+        """Per-source multiplier of the accumulative fast path.
+
+        Must satisfy ``propagate(delta, w, ctx) ==
+        delta * propagation_factor(ctx) * (w if weight_scaled_propagation
+        else 1)`` for accumulative algorithms.
+        """
+        raise NotImplementedError(f"{self.name} has no linear propagation factor")
+
+    # ------------------------------------------------------------------
+    # Result helpers
+    # ------------------------------------------------------------------
+    def values_close(self, a: float, b: float) -> bool:
+        """Result comparison with the tolerance appropriate to the kind."""
+        if self.kind is AlgorithmKind.ACCUMULATIVE:
+            # Propagation-threshold truncation accumulates over long paths;
+            # empirical worst-case error is a few hundred thresholds.
+            scale = max(1.0, abs(a), abs(b))
+            return abs(a - b) <= max(1e-6, 500.0 * self.propagation_threshold) * scale
+        if a == b:
+            return True
+        import math
+
+        return math.isinf(a) and math.isinf(b) and (a > 0) == (b > 0)
+
+    def states_close(self, xs: Iterable[float], ys: Iterable[float]) -> bool:
+        """Element-wise :meth:`values_close` over two state vectors."""
+        return all(self.values_close(a, b) for a, b in zip(xs, ys))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,65 @@
+"""Incremental (delta) PageRank — the Maiter/DAIC formulation (§3.1).
+
+The accumulative form satisfies the Reordering and Simplification
+properties: vertex state is the *sum* of deltas received, every received
+delta is forwarded scaled by ``alpha / out_degree``, and the converged state
+solves the (unnormalized) PageRank fixed point
+
+    r(v) = (1 - alpha) + alpha * sum_{u -> v} r(u) / out_degree(u).
+
+Dangling vertices simply absorb their mass (no redistribution), matching
+the delta formulation. Edge mutation changes ``out_degree`` and hence every
+out-edge contribution of the source — the ``degree_dependent`` flag makes
+the streaming engine apply the Fig. 5 sink construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.algorithms.base import Algorithm, AlgorithmKind, SourceContext
+
+
+class PageRank(Algorithm):
+    """Delta-accumulative PageRank.
+
+    Parameters
+    ----------
+    alpha:
+        Damping factor (paper convention: teleport mass ``1 - alpha``).
+    tolerance:
+        Deltas below this magnitude are not propagated (termination).
+    """
+
+    name = "pagerank"
+    kind = AlgorithmKind.ACCUMULATIVE
+    identity = 0.0
+    degree_dependent = True
+
+    def __init__(self, alpha: float = 0.85, tolerance: float = 1e-6):
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must lie strictly between 0 and 1")
+        if tolerance <= 0.0:
+            raise ValueError("tolerance must be positive")
+        self.alpha = float(alpha)
+        self.propagation_threshold = float(tolerance)
+
+    def reduce(self, a: float, b: float) -> float:
+        return a + b
+
+    def propagate(self, value: float, weight: float, ctx: SourceContext) -> float:
+        if ctx.out_degree == 0:
+            return 0.0
+        return self.alpha * value / ctx.out_degree
+
+    def propagation_factor(self, ctx: SourceContext) -> float:
+        if ctx.out_degree == 0:
+            return 0.0
+        return self.alpha / ctx.out_degree
+
+    def initial_events(self, graph) -> List[Tuple[int, float]]:
+        teleport = 1.0 - self.alpha
+        return [(v, teleport) for v in range(graph.num_vertices)]
+
+    def seed_event_for_new_vertex(self, v: int) -> Optional[float]:
+        return 1.0 - self.alpha

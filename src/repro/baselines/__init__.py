@@ -1,0 +1,31 @@
+"""Comparison systems of the paper's evaluation (§6.1).
+
+* :mod:`repro.baselines.graphpulse` — cold-start recomputation on the
+  GraphPulse accelerator ("GP" rows of Table 3);
+* :mod:`repro.baselines.kickstarter` — KickStarter's trimmed-approximation
+  streaming for selective/monotonic algorithms ("KS" rows);
+* :mod:`repro.baselines.graphbolt` — GraphBolt's dependency-driven
+  synchronous incremental refinement for accumulative algorithms
+  ("GB" rows);
+* :mod:`repro.baselines.bsp` — the shared synchronous vertex-centric
+  substrate with software work counting.
+
+All three expose the same ``initial_compute()`` / ``apply_batch(batch)``
+API as :class:`~repro.core.streaming.JetStreamEngine` so the experiment
+harness can drive identical streams through every system.
+"""
+
+from repro.baselines.bsp import BSPEngine
+from repro.baselines.kickstarter import KickStarter, KickStarterResult
+from repro.baselines.graphbolt import GraphBolt, GraphBoltResult
+from repro.baselines.graphpulse import GraphPulseColdStart, ColdStartResult
+
+__all__ = [
+    "BSPEngine",
+    "KickStarter",
+    "KickStarterResult",
+    "GraphBolt",
+    "GraphBoltResult",
+    "GraphPulseColdStart",
+    "ColdStartResult",
+]

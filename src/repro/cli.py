@@ -1,0 +1,224 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``query``
+    Static evaluation of an algorithm on an edge-list file (or a named
+    dataset stand-in), printing the top results and accelerator timing.
+``stream``
+    Streaming evaluation: apply update batches (from a stream file or
+    generated on the fly) and report per-batch incremental cost versus the
+    cold-start alternative.
+``datasets``
+    Build and describe the Table 2 dataset stand-ins.
+``experiments``
+    Run the paper's tables/figures (delegates to
+    :mod:`repro.experiments.runner`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms import make_algorithm
+from repro.algorithms.base import AlgorithmKind
+from repro.core.policies import DeletePolicy
+from repro.core.streaming import JetStreamEngine
+from repro.graph import datasets, io
+from repro.graph.dynamic import DynamicGraph
+from repro.sim.timing import AcceleratorTimingModel
+from repro.streams import StreamGenerator
+
+ALGORITHM_CHOICES = ["sssp", "sswp", "bfs", "cc", "pagerank", "adsorption"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="JetStream streaming graph analytics (MICRO 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="static query evaluation")
+    _add_graph_args(query)
+    query.add_argument("--top", type=int, default=10, help="results to print")
+
+    stream = sub.add_parser("stream", help="streaming evaluation")
+    _add_graph_args(stream)
+    stream.add_argument("--batches", type=int, default=5)
+    stream.add_argument("--batch-size", type=int, default=100)
+    stream.add_argument("--insertion-ratio", type=float, default=0.7)
+    stream.add_argument(
+        "--policy",
+        choices=[p.value for p in DeletePolicy],
+        default=DeletePolicy.DAP.value,
+    )
+    stream.add_argument("--updates", help="update-stream file (see repro.graph.io)")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument(
+        "--compare-cold",
+        action="store_true",
+        help="also run cold-start GraphPulse on the same stream",
+    )
+
+    data = sub.add_parser("datasets", help="describe the dataset stand-ins")
+    data.add_argument("--seed", type=int, default=0)
+
+    exp = sub.add_parser("experiments", help="run the paper's tables/figures")
+    exp.add_argument("--quick", action="store_true")
+    exp.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _add_graph_args(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--edges", help="edge-list file (src dst [weight])")
+    source.add_argument(
+        "--dataset", choices=datasets.ORDER, help="named Table 2 stand-in"
+    )
+    parser.add_argument(
+        "--algorithm", choices=ALGORITHM_CHOICES, default="sssp"
+    )
+    parser.add_argument("--source", type=int, default=0, help="query root")
+
+
+def _load_graph(args) -> DynamicGraph:
+    algorithm = make_algorithm(args.algorithm, source=args.source)
+    if args.dataset:
+        return datasets.load(args.dataset, symmetric=algorithm.needs_symmetric)
+    edges = io.read_edge_list(args.edges)
+    if algorithm.needs_symmetric:
+        graph = DynamicGraph(0, symmetric=True)
+        seen = set()
+        for u, v, w in edges:
+            if (u, v) not in seen and (v, u) not in seen:
+                seen.add((u, v))
+                graph.add_edge(u, v, w, _count_version=False)
+        return graph
+    return DynamicGraph.from_edges(edges)
+
+
+def cmd_query(args) -> int:
+    graph = _load_graph(args)
+    algorithm = make_algorithm(args.algorithm, source=args.source)
+    engine = JetStreamEngine(graph, algorithm)
+    started = time.time()
+    result = engine.initial_compute()
+    elapsed = time.time() - started
+    timing = AcceleratorTimingModel().run_time(result.metrics)
+    print(
+        f"{args.algorithm} on {graph.num_vertices} vertices / "
+        f"{graph.num_edges} edges"
+    )
+    print(
+        f"events processed: {result.metrics.events_processed:,}  "
+        f"model time: {timing.time_us:.1f} us  (host wall: {elapsed:.2f} s)"
+    )
+    states = result.states
+    if algorithm.kind is AlgorithmKind.ACCUMULATIVE:
+        order = np.argsort(-states)[: args.top]
+        print(f"top {args.top} vertices by value:")
+        for v in order:
+            print(f"  {int(v):>8}  {states[v]:.6g}")
+    else:
+        finite = np.flatnonzero(np.isfinite(states) & (states != algorithm.identity))
+        order = finite[np.argsort(states[finite])][: args.top]
+        print(f"{args.top} most progressed vertices:")
+        for v in order:
+            print(f"  {int(v):>8}  {states[v]:.6g}")
+    return 0
+
+
+def cmd_stream(args) -> int:
+    graph = _load_graph(args)
+    algorithm = make_algorithm(args.algorithm, source=args.source)
+    policy = DeletePolicy(args.policy)
+    engine = JetStreamEngine(graph, algorithm, policy=policy)
+    timing = AcceleratorTimingModel()
+
+    cold = None
+    if args.compare_cold:
+        from repro.baselines import GraphPulseColdStart
+
+        cold_args = argparse.Namespace(**vars(args))
+        cold_graph = _load_graph(cold_args)
+        cold = GraphPulseColdStart(cold_graph, make_algorithm(args.algorithm, source=args.source))
+
+    initial = engine.initial_compute()
+    if cold:
+        cold.initial_compute()
+    print(
+        f"initial evaluation: {initial.metrics.events_processed:,} events, "
+        f"{timing.run_time(initial.metrics).time_us:.1f} us"
+    )
+
+    if args.updates:
+        batches = io.read_update_stream(args.updates)[: args.batches]
+    else:
+        generator = StreamGenerator(
+            graph, seed=args.seed, insertion_ratio=args.insertion_ratio
+        )
+        batches = None  # generated lazily below
+
+    header = f"{'batch':>5} {'size':>6} {'resets':>7} {'jet us':>10}"
+    if cold:
+        header += f" {'cold us':>10} {'advantage':>10}"
+    print(header)
+    for index in range(args.batches):
+        if batches is not None:
+            if index >= len(batches):
+                break
+            batch = batches[index]
+        else:
+            batch = generator.next_batch(args.batch_size)
+        result = engine.apply_batch(batch)
+        jet_us = timing.run_time(result.metrics, stream_records=batch.size).time_us
+        line = (
+            f"{index:>5} {batch.size:>6} {result.vertices_reset:>7} {jet_us:>10.1f}"
+        )
+        if cold:
+            cold_result = cold.apply_batch(batch)
+            cold_us = timing.run_time(
+                cold_result.metrics, stream_records=batch.size
+            ).time_us
+            line += f" {cold_us:>10.1f} {cold_us / max(1e-9, jet_us):>9.1f}x"
+        print(line)
+    return 0
+
+
+def cmd_datasets(args) -> int:
+    from repro.experiments import table2
+
+    print(table2.render(table2.run(args.seed)))
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments import runner
+
+    argv: List[str] = ["--seed", str(args.seed)]
+    if args.quick:
+        argv.append("--quick")
+    return runner.main(argv)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "query": cmd_query,
+        "stream": cmd_stream,
+        "datasets": cmd_datasets,
+        "experiments": cmd_experiments,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

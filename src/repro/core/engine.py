@@ -1,0 +1,418 @@
+"""The event-driven compute engine (GraphPulse datapath, §3.1 / §4.6.1).
+
+:class:`EngineCore` owns the vertex state array (plus the DAP dependency
+array), the bound graph snapshot, and the two event-processing loops:
+
+* :meth:`EngineCore.run_regular` — the ordinary computation phase of
+  Algorithm 1, extended with JetStream's request-flag semantics (§3.4);
+* :meth:`EngineCore.run_delete` — the recovery phase of Algorithm 4, with
+  the Base/VAP/DAP impact tests (§5).
+
+:class:`GraphPulseEngine` wraps the core for *static* evaluation — exactly
+what the original GraphPulse accelerator does, and what the cold-start
+baseline of Table 3 reruns after every batch. The streaming extension lives
+in :mod:`repro.core.streaming`.
+
+Every loop records per-round work vectors (:class:`~repro.core.metrics`)
+that the architectural timing model later converts to cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.algorithms.base import NULL_CONTEXT, AlgorithmKind, SourceContext
+from repro.core.config import AcceleratorConfig
+from repro.core.events import NO_SOURCE, Event
+from repro.core.metrics import PhaseStats, RoundWork, RunMetrics
+from repro.core.policies import DeletePolicy
+from repro.core.queue import CoalescingQueue
+from repro.graph.csr import CSRGraph
+
+#: Hard cap on scheduler rounds — generous (real runs take tens to a few
+#: thousand rounds); exceeding it indicates non-termination.
+MAX_ROUNDS = 1_000_000
+
+_LINE = 64  # cache-line bytes (fixed by the DRAM interface)
+
+
+class EngineCore:
+    """Shared datapath state and event loops for all engine variants."""
+
+    def __init__(
+        self,
+        algorithm,
+        config: Optional[AcceleratorConfig] = None,
+        policy: DeletePolicy = DeletePolicy.DAP,
+        queue_event_bytes: Optional[int] = None,
+    ):
+        self.algorithm = algorithm
+        self.config = config or AcceleratorConfig()
+        self.policy = policy
+        self.event_bytes = (
+            queue_event_bytes
+            if queue_event_bytes is not None
+            else policy.event_bytes(self.config)
+        )
+        self.states: np.ndarray = np.empty(0, dtype=np.float64)
+        self.dependency: np.ndarray = np.empty(0, dtype=np.int64)
+        self.csr: Optional[CSRGraph] = None
+        self._out_degree: Optional[np.ndarray] = None
+        self._out_weight_sum: Optional[np.ndarray] = None
+        self._slice_of: Optional[np.ndarray] = None
+        self._prop_factor: Optional[np.ndarray] = None
+        self.num_slices = 1
+
+    # ------------------------------------------------------------------
+    # State management
+    # ------------------------------------------------------------------
+    def allocate(self, num_vertices: int) -> None:
+        """(Re)initialize vertex state to Identity for ``num_vertices``."""
+        self.states = np.full(num_vertices, self.algorithm.identity, dtype=np.float64)
+        self.dependency = np.full(num_vertices, NO_SOURCE, dtype=np.int64)
+        self._assign_slices(num_vertices)
+
+    def grow(self, num_vertices: int) -> None:
+        """Extend the state arrays for vertices created mid-stream."""
+        current = self.states.shape[0]
+        if num_vertices <= current:
+            return
+        extra = num_vertices - current
+        self.states = np.concatenate(
+            [self.states, np.full(extra, self.algorithm.identity, dtype=np.float64)]
+        )
+        self.dependency = np.concatenate(
+            [self.dependency, np.full(extra, NO_SOURCE, dtype=np.int64)]
+        )
+        self._assign_slices(num_vertices)
+
+    def _assign_slices(self, num_vertices: int) -> None:
+        capacity = self.config.queue_capacity_vertices(self.event_bytes)
+        self.num_slices = max(1, -(-num_vertices // capacity)) if num_vertices else 1
+        if self.num_slices == 1:
+            self._slice_of = None
+        else:
+            # Contiguous-range slicing; experiments may swap in an edge-cut
+            # assignment from repro.graph.partition via set_slice_assignment.
+            self._slice_of = np.arange(num_vertices, dtype=np.int64) // capacity
+
+    def set_slice_assignment(self, slice_of: np.ndarray) -> None:
+        """Install an externally computed slice assignment (e.g. edge-cut)."""
+        slice_of = np.asarray(slice_of, dtype=np.int64)
+        if slice_of.shape[0] != self.states.shape[0]:
+            raise ValueError("assignment must cover every vertex")
+        self._slice_of = slice_of
+        self.num_slices = int(slice_of.max()) + 1 if slice_of.size else 1
+
+    def bind_graph(self, csr: CSRGraph) -> None:
+        """Point the datapath at a graph snapshot (host CSR swap, §4.7)."""
+        self.csr = csr
+        if self.algorithm.kind is AlgorithmKind.ACCUMULATIVE:
+            offsets = csr.out_offsets
+            self._out_degree = np.diff(offsets)
+            # Sum of out-edge weights per vertex (Adsorption normalizer).
+            sums = np.zeros(csr.num_vertices, dtype=np.float64)
+            if csr.num_edges:
+                cumulative = np.concatenate(([0.0], np.cumsum(csr.out_weights)))
+                sums = cumulative[offsets[1:]] - cumulative[offsets[:-1]]
+            self._out_weight_sum = sums
+            # Hoisted per-source propagation factor (linear fast path).
+            self._prop_factor = np.array(
+                [
+                    self.algorithm.propagation_factor(
+                        SourceContext(int(self._out_degree[v]), float(sums[v]))
+                    )
+                    for v in range(csr.num_vertices)
+                ],
+                dtype=np.float64,
+            )
+        else:
+            self._out_degree = None
+            self._out_weight_sum = None
+            self._prop_factor = None
+
+    def source_context(self, v: int) -> SourceContext:
+        """Out-edge context of ``v`` in the bound graph."""
+        if self._out_degree is None:
+            return NULL_CONTEXT
+        return SourceContext(
+            out_degree=int(self._out_degree[v]),
+            out_weight_sum=float(self._out_weight_sum[v]),
+        )
+
+    def new_queue(self) -> CoalescingQueue:
+        """A coalescing queue sized/partitioned for the current state."""
+        return CoalescingQueue(
+            self.algorithm,
+            self.config,
+            self.policy,
+            num_vertices=self.states.shape[0],
+            slice_of=self._slice_of,
+        )
+
+    # ------------------------------------------------------------------
+    # Event loops
+    # ------------------------------------------------------------------
+    def run_regular(self, queue: CoalescingQueue, phase: PhaseStats) -> None:
+        """Computation phase: process events until the queue drains (§4.6.1).
+
+        Implements Algorithm 1 plus request-flag semantics: a vertex
+        receiving a request event propagates its state along all out-edges
+        even when the state did not change (§3.4).
+        """
+        algorithm = self.algorithm
+        csr = self.csr
+        states = self.states
+        dependency = self.dependency
+        track_dep = self.policy.tracks_dependency
+        accumulative = algorithm.kind is AlgorithmKind.ACCUMULATIVE
+        reduce_ = algorithm.reduce
+        propagate = algorithm.propagate
+        threshold = algorithm.propagation_threshold
+        weight_scaled = algorithm.weight_scaled_propagation
+        prop_factor = self._prop_factor
+        offsets = csr.out_offsets
+        targets = csr.out_targets
+        weights = csr.out_weights
+        page_bytes = self.config.dram_page_bytes
+
+        max_rows = self.config.scheduler_rows_per_round
+        rounds = 0
+        while queue.pending():
+            if not queue.active_pending():
+                queue.activate_next_slice()
+            rounds += 1
+            if rounds > MAX_ROUNDS:
+                raise RuntimeError("engine exceeded MAX_ROUNDS; non-termination?")
+            work = phase.new_round()
+            for batch in queue.drain_round(work, max_rows):
+                self._account_vertex_batch(batch, work, page_bytes)
+                edge_lines = set()
+                edge_pages = set()
+                for event in batch:
+                    v = event.target
+                    work.events_processed += 1
+                    work.vertex_reads += 1
+                    state = states[v]
+                    new_state = reduce_(state, event.payload)
+                    changed = new_state != state
+                    if changed:
+                        states[v] = new_state
+                        work.vertex_writes += 1
+                        if track_dep:
+                            dependency[v] = event.source
+                    if not (changed or event.flags & 2):
+                        continue
+                    start = offsets[v]
+                    stop = offsets[v + 1]
+                    if stop == start:
+                        continue
+                    work.edges_read += int(stop - start)
+                    edge_lines.update(
+                        range(int(start * 8) // _LINE, int(stop * 8 - 1) // _LINE + 1)
+                    )
+                    edge_pages.update(
+                        range(
+                            int(start * 8) // page_bytes,
+                            int(stop * 8 - 1) // page_bytes + 1,
+                        )
+                    )
+                    if accumulative:
+                        # Linear fast path: forwarded delta is the incoming
+                        # delta scaled by the hoisted per-source factor.
+                        base_value = (new_state - state) * prop_factor[v]
+                        if weight_scaled:
+                            for i in range(start, stop):
+                                value = base_value * weights[i]
+                                if value > threshold or value < -threshold:
+                                    work.events_generated += 1
+                                    queue.insert(Event(int(targets[i]), value, 0, v), work)
+                        elif base_value > threshold or base_value < -threshold:
+                            for i in range(start, stop):
+                                work.events_generated += 1
+                                queue.insert(
+                                    Event(int(targets[i]), base_value, 0, v), work
+                                )
+                    else:
+                        basis = states[v]
+                        for i in range(start, stop):
+                            value = propagate(basis, weights[i], NULL_CONTEXT)
+                            work.events_generated += 1
+                            queue.insert(Event(int(targets[i]), value, 0, v), work)
+                work.edge_lines += len(edge_lines)
+                work.dram_pages += len(edge_pages)
+
+    def run_delete(self, queue: CoalescingQueue, phase: PhaseStats) -> List[int]:
+        """Recovery phase: propagate delete tags, reset impacted vertices.
+
+        Implements ``ResetImpacted`` of Algorithm 4 with the policy impact
+        tests of §5. The queue must contain the initial delete events
+        (``ProcessDeletesSelective``); the bound graph must be the
+        *previous* version (§3.5). Returns the impacted-vertex list (the
+        Impact Buffer contents, §4.5).
+        """
+        algorithm = self.algorithm
+        csr = self.csr
+        states = self.states
+        dependency = self.dependency
+        policy = self.policy
+        identity = algorithm.identity
+        propagate = algorithm.propagate
+        more_progressed = algorithm.more_progressed
+        offsets = csr.out_offsets
+        targets = csr.out_targets
+        weights = csr.out_weights
+        page_bytes = self.config.dram_page_bytes
+        base_policy = policy is DeletePolicy.BASE
+        vap = policy is DeletePolicy.VAP
+        dap = policy is DeletePolicy.DAP
+
+        max_rows = self.config.scheduler_rows_per_round
+        impacted: List[int] = []
+        rounds = 0
+        while queue.pending():
+            if not queue.active_pending():
+                queue.activate_next_slice()
+            rounds += 1
+            if rounds > MAX_ROUNDS:
+                raise RuntimeError("delete phase exceeded MAX_ROUNDS")
+            work = phase.new_round()
+            for batch in queue.drain_round(work, max_rows):
+                self._account_vertex_batch(batch, work, page_bytes)
+                edge_lines = set()
+                edge_pages = set()
+                for event in batch:
+                    v = event.target
+                    work.events_processed += 1
+                    work.vertex_reads += 1
+                    state = states[v]
+                    if state == identity:
+                        phase.deletes_discarded += 1
+                        continue
+                    if dap and dependency[v] != event.source:
+                        phase.deletes_discarded += 1
+                        continue
+                    if vap and more_progressed(state, event.payload):
+                        phase.deletes_discarded += 1
+                        continue
+                    # Reset (tag) the vertex — Algorithm 4, line 11.
+                    states[v] = identity
+                    work.vertex_writes += 1
+                    if dap:
+                        dependency[v] = NO_SOURCE
+                    impacted.append(v)
+                    phase.vertices_reset += 1
+                    start = offsets[v]
+                    stop = offsets[v + 1]
+                    if stop == start:
+                        continue
+                    work.edges_read += int(stop - start)
+                    edge_lines.update(
+                        range(int(start * 8) // _LINE, int(stop * 8 - 1) // _LINE + 1)
+                    )
+                    edge_pages.update(
+                        range(
+                            int(start * 8) // page_bytes,
+                            int(stop * 8 - 1) // page_bytes + 1,
+                        )
+                    )
+                    for i in range(start, stop):
+                        # BASE carries no value (Algorithm 4 queues <v, 0>);
+                        # VAP/DAP carry the contribution computed from the
+                        # pre-reset state (§5.1, §5.2).
+                        payload = (
+                            0.0
+                            if base_policy
+                            else propagate(state, weights[i], NULL_CONTEXT)
+                        )
+                        work.events_generated += 1
+                        queue.insert(
+                            Event(int(targets[i]), payload, 1, v),
+                            work,
+                        )
+                work.edge_lines += len(edge_lines)
+                work.dram_pages += len(edge_pages)
+        return impacted
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _account_vertex_batch(
+        batch: List[Event], work: RoundWork, page_bytes: int
+    ) -> None:
+        """Prefetcher accounting: unique state lines/pages per batch (§4.4)."""
+        lines = set()
+        pages = set()
+        for event in batch:
+            addr = event.target * 8
+            lines.add(addr // _LINE)
+            pages.add(addr // page_bytes)
+        work.vertex_lines += len(lines)
+        work.dram_pages += len(pages)
+
+
+@dataclass
+class ComputeResult:
+    """Outcome of a static evaluation."""
+
+    states: np.ndarray
+    metrics: RunMetrics
+
+    @property
+    def num_rounds(self) -> int:
+        """Scheduler rounds executed."""
+        return sum(p.num_rounds for p in self.metrics.phases)
+
+
+class GraphPulseEngine:
+    """Static event-driven evaluation — the original GraphPulse (§3.1).
+
+    Also serves as the cold-start baseline: rerunning :meth:`compute` on
+    each mutated snapshot is exactly the "GP" comparison rows of Table 3.
+
+    Parameters
+    ----------
+    algorithm:
+        A :class:`~repro.algorithms.base.Algorithm`.
+    config:
+        Accelerator configuration (defaults to Table 1).
+    graphpulse_event_size:
+        Use the narrower GraphPulse event encoding for queue capacity
+        accounting (the static accelerator carries no flags/source).
+    """
+
+    def __init__(
+        self,
+        algorithm,
+        config: Optional[AcceleratorConfig] = None,
+        graphpulse_event_size: bool = True,
+    ):
+        config = config or AcceleratorConfig()
+        event_bytes = config.event_bytes_graphpulse if graphpulse_event_size else None
+        self.core = EngineCore(
+            algorithm,
+            config,
+            policy=DeletePolicy.BASE,
+            queue_event_bytes=event_bytes,
+        )
+
+    @property
+    def algorithm(self):
+        """The bound algorithm."""
+        return self.core.algorithm
+
+    def compute(self, csr: CSRGraph) -> ComputeResult:
+        """Evaluate the query on ``csr`` from scratch (cold start)."""
+        core = self.core
+        core.allocate(csr.num_vertices)
+        core.bind_graph(csr)
+        metrics = RunMetrics()
+        phase = metrics.phase("initial")
+        queue = core.new_queue()
+        seed_work = phase.new_round()
+        for vertex, payload in core.algorithm.initial_events(csr):
+            queue.insert(Event(vertex, payload, 0, NO_SOURCE), seed_work)
+        core.run_regular(queue, phase)
+        return ComputeResult(states=core.states.copy(), metrics=metrics)

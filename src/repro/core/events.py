@@ -1,0 +1,85 @@
+"""Event records (§4.2).
+
+GraphPulse events are ``<target vertex id, payload>`` tuples. JetStream
+widens them with flag bits — a *delete* flag driving the recovery phase
+(Algorithm 4) and a *request* flag asking a vertex to re-propagate its state
+even if unchanged (§3.4) — and, under the DAP optimization (§5.2), a
+*source id* field recording which vertex generated the event.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class EventFlags(enum.IntFlag):
+    """Flag bits carried in the event payload word."""
+
+    NONE = 0
+    #: Recovery-phase tag event: reset the receiver (Algorithm 4, line 11).
+    DELETE = 1
+    #: Re-approximation request: receiver must propagate its state to all
+    #: out-neighbors even when its own state does not change (§3.4).
+    REQUEST = 2
+
+
+#: Source id used for initial/self events, which no vertex generated.
+NO_SOURCE = -1
+
+
+@dataclass
+class Event:
+    """A lightweight message triggering vertex computation at ``target``."""
+
+    __slots__ = ("target", "payload", "flags", "source")
+
+    target: int
+    payload: float
+    flags: EventFlags
+    source: int
+
+    def __init__(
+        self,
+        target: int,
+        payload: float,
+        flags: int = 0,
+        source: int = NO_SOURCE,
+    ):
+        self.target = target
+        self.payload = payload
+        # Stored as a plain int: IntFlag arithmetic allocates enum objects
+        # and dominates the hot loop (measured ~40% of runtime). IntFlag
+        # values are ints, so callers may still pass EventFlags members.
+        self.flags = flags
+        self.source = source
+
+    @property
+    def is_delete(self) -> bool:
+        """True for recovery-phase delete/tag events."""
+        return bool(self.flags & 1)
+
+    @property
+    def is_request(self) -> bool:
+        """True when the request flag is set."""
+        return bool(self.flags & 2)
+
+    def size_bytes(self, config, dap: bool) -> int:
+        """On-chip footprint of this event under the given configuration.
+
+        JetStream events carry flags (wider than GraphPulse); the DAP
+        variant additionally carries the source id (§5.2 overheads).
+        """
+        if dap:
+            return config.event_bytes_dap
+        return config.event_bytes_jetstream
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tags = []
+        if self.is_delete:
+            tags.append("DEL")
+        if self.is_request:
+            tags.append("REQ")
+        suffix = f" [{','.join(tags)}]" if tags else ""
+        src = f" src={self.source}" if self.source != NO_SOURCE else ""
+        return f"Event(->{self.target}, {self.payload:g}{suffix}{src})"

@@ -1,0 +1,216 @@
+"""End-to-end streaming pipeline: arrival, batching, evaluation (§2.1).
+
+The paper's deployment model (Fig. 1): updates arrive continuously; while
+a query evaluation is in flight they accumulate in the next batch, which
+is applied only after the current results are reported. Table 3 measures
+only processing time and the paper notes "the end-to-end performance may
+have other overheads to receive and batch the updates" — this module
+models those overheads to quantify the near-real-time claim of Fig. 13:
+
+* each update's **staleness** = (batch close time - arrival time) +
+  evaluation time of its batch: how old an update is by the time the
+  query result reflects it;
+* slow engines force longer batching windows (updates pile up while the
+  previous evaluation runs), so staleness compounds — the mechanism that
+  makes cold-start recomputation hopeless for real-time service and
+  JetStream viable.
+
+The pipeline is a deterministic discrete-event simulation over a given
+update trace and a per-batch evaluation-time function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ArrivalTrace:
+    """Timestamps (seconds) of individual update arrivals."""
+
+    times: np.ndarray
+
+    @classmethod
+    def poisson(
+        cls, rate_per_s: float, duration_s: float, seed: int = 0
+    ) -> "ArrivalTrace":
+        """Poisson arrivals at ``rate_per_s`` for ``duration_s`` seconds."""
+        if rate_per_s <= 0 or duration_s <= 0:
+            raise ValueError("rate and duration must be positive")
+        rng = np.random.default_rng(seed)
+        gaps = rng.exponential(1.0 / rate_per_s, size=int(rate_per_s * duration_s * 2) + 16)
+        times = np.cumsum(gaps)
+        return cls(times=times[times < duration_s])
+
+    @classmethod
+    def uniform(cls, rate_per_s: float, duration_s: float) -> "ArrivalTrace":
+        """Evenly spaced arrivals (a deterministic reference trace)."""
+        count = int(rate_per_s * duration_s)
+        return cls(times=np.arange(1, count + 1) / rate_per_s)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+@dataclass
+class BatchRecord:
+    """One evaluated batch in the pipeline simulation."""
+
+    index: int
+    size: int
+    open_time_s: float
+    close_time_s: float
+    evaluation_s: float
+    report_time_s: float
+    #: Mean staleness of this batch's updates at report time.
+    mean_staleness_s: float
+    max_staleness_s: float
+
+
+@dataclass
+class PipelineReport:
+    """Outcome of a pipeline simulation."""
+
+    batches: List[BatchRecord] = field(default_factory=list)
+    updates_processed: int = 0
+
+    @property
+    def mean_staleness_s(self) -> float:
+        """Update-weighted mean staleness across the run."""
+        if not self.batches:
+            return 0.0
+        weighted = sum(b.mean_staleness_s * b.size for b in self.batches)
+        return weighted / max(1, self.updates_processed)
+
+    @property
+    def p99_staleness_s(self) -> float:
+        """99th percentile of per-batch max staleness (tail freshness)."""
+        if not self.batches:
+            return 0.0
+        return float(np.percentile([b.max_staleness_s for b in self.batches], 99))
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batches:
+            return 0.0
+        return self.updates_processed / len(self.batches)
+
+    @property
+    def busy_fraction(self) -> float:
+        """Fraction of wall-clock the engine spent evaluating."""
+        if not self.batches:
+            return 0.0
+        horizon = self.batches[-1].report_time_s
+        busy = sum(b.evaluation_s for b in self.batches)
+        return busy / horizon if horizon else 0.0
+
+
+class StreamingPipeline:
+    """Simulates arrival → batching → evaluation for one engine.
+
+    Parameters
+    ----------
+    evaluation_time_s:
+        ``f(batch_size) -> seconds``: per-batch evaluation latency of the
+        engine under study. For JetStream this comes from the timing model
+        (nearly flat in batch size); for cold-start it is a constant at
+        full-recompute cost.
+    min_batch:
+        The engine will not launch an evaluation for fewer updates (the
+        amortization floor software systems need).
+    max_batch:
+        Close the batch at this size even if the engine is still busy
+        (back-pressure bound). ``None`` = unbounded.
+    """
+
+    def __init__(
+        self,
+        evaluation_time_s: Callable[[int], float],
+        min_batch: int = 1,
+        max_batch: Optional[int] = None,
+    ):
+        if min_batch < 1:
+            raise ValueError("min_batch must be at least 1")
+        if max_batch is not None and max_batch < min_batch:
+            raise ValueError("max_batch must be >= min_batch")
+        self.evaluation_time_s = evaluation_time_s
+        self.min_batch = min_batch
+        self.max_batch = max_batch
+
+    def simulate(self, trace: ArrivalTrace) -> PipelineReport:
+        """Run the pipeline over the arrival trace."""
+        report = PipelineReport()
+        times: Sequence[float] = list(trace.times)
+        cursor = 0
+        now = 0.0
+        batch_index = 0
+        while cursor < len(times):
+            # Wait until at least min_batch updates have arrived.
+            gate = times[min(cursor + self.min_batch - 1, len(times) - 1)]
+            open_time = times[cursor]
+            close_time = max(now, gate)
+            # Everything that arrived while waiting/evaluating joins.
+            end = cursor
+            while end < len(times) and times[end] <= close_time:
+                end += 1
+                if self.max_batch is not None and end - cursor >= self.max_batch:
+                    break
+            size = end - cursor
+            if size == 0:  # engine idle before the next arrival
+                now = times[cursor]
+                continue
+            evaluation = self.evaluation_time_s(size)
+            report_time = close_time + evaluation
+            staleness = [report_time - times[i] for i in range(cursor, end)]
+            report.batches.append(
+                BatchRecord(
+                    index=batch_index,
+                    size=size,
+                    open_time_s=open_time,
+                    close_time_s=close_time,
+                    evaluation_s=evaluation,
+                    report_time_s=report_time,
+                    mean_staleness_s=float(np.mean(staleness)),
+                    max_staleness_s=float(np.max(staleness)),
+                )
+            )
+            report.updates_processed += size
+            cursor = end
+            now = report_time
+            batch_index += 1
+        return report
+
+
+def engine_latency_function(
+    engine_factory: Callable[[], object],
+    probe_sizes: Sequence[int] = (4, 16, 64, 256),
+    seed: int = 0,
+) -> Callable[[int], float]:
+    """Fit a per-batch latency function by probing a real engine.
+
+    Runs the engine on probe batch sizes, converts the architectural
+    timing to seconds, and returns a piecewise-linear interpolant — the
+    bridge between the functional engines and the pipeline simulation.
+    """
+    from repro.sim.timing import AcceleratorTimingModel
+    from repro.streams import StreamGenerator
+
+    timing = AcceleratorTimingModel()
+    sizes: List[int] = []
+    latencies: List[float] = []
+    for size in sorted(probe_sizes):
+        engine = engine_factory()
+        engine.initial_compute()
+        stream = StreamGenerator(engine.graph, seed=seed, insertion_ratio=0.7)
+        result = engine.apply_batch(stream.next_batch(size))
+        seconds = timing.run_time(result.metrics, stream_records=size).time_ms / 1e3
+        sizes.append(size)
+        latencies.append(seconds)
+
+    def latency(batch_size: int) -> float:
+        return float(np.interp(batch_size, sizes, latencies))
+
+    return latency

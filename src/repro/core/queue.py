@@ -1,0 +1,264 @@
+"""The coalescing event queue (§4.2).
+
+The queue is the on-chip storage for active events. It behaves like a
+direct-mapped structure: one cell per vertex, organized in bins × rows so
+that vertices sharing a DRAM page share a queue row and drain together
+(spatial locality). Inserting an event for a vertex that already has one
+*coalesces* the two through the application's Reduce — the key mechanism
+that lets JetStream process a whole batch of updates without atomics.
+
+JetStream extensions modelled here:
+
+* delete-event coalescing during the recovery phase (§4.2), with the
+  policy-specific rules of §5 (VAP keeps the most progressed payload; DAP
+  disables coalescing and sends extra events through an *overflow buffer*
+  that spills to off-chip memory);
+* slice-partitioned operation for graphs whose vertex count exceeds the
+  queue capacity (§4.7): events for inactive slices spill off-chip and are
+  read back when their slice activates.
+
+Functionally the queue drains in deterministic *rounds*: a round emits all
+currently queued events of the active slice, sorted by destination vertex
+and grouped into row batches; events generated while processing a round
+land in the queue for the next round. (Real hardware overlaps draining and
+insertion; the round model preserves semantics — the Reordering Property
+makes order irrelevant — and gives the timing model clean units.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.events import Event
+from repro.core.metrics import RoundWork
+from repro.core.policies import DeletePolicy
+
+
+class QueueError(RuntimeError):
+    """Raised on invalid queue operation (e.g. mixing event classes)."""
+
+
+class CoalescingQueue:
+    """Event queue with in-place coalescing, slicing, and work accounting.
+
+    Parameters
+    ----------
+    algorithm:
+        Supplies ``reduce`` and the progression order for coalescing.
+    config:
+        :class:`~repro.core.config.AcceleratorConfig` (row width, event
+        sizes, bin count).
+    policy:
+        Deletion policy; controls delete coalescing and event width.
+    num_vertices:
+        Total vertex count (for slice assignment checks).
+    slice_of:
+        Optional array mapping vertex -> slice id. ``None`` = single slice.
+    """
+
+    def __init__(
+        self,
+        algorithm,
+        config,
+        policy: DeletePolicy = DeletePolicy.DAP,
+        num_vertices: int = 0,
+        slice_of: Optional[np.ndarray] = None,
+    ):
+        self.algorithm = algorithm
+        self.config = config
+        self.policy = policy
+        self.num_vertices = num_vertices
+        if slice_of is not None:
+            slice_of = np.asarray(slice_of, dtype=np.int64)
+            if slice_of.shape[0] < num_vertices:
+                raise ValueError("slice_of must cover every vertex")
+            self.num_slices = int(slice_of.max()) + 1 if slice_of.size else 1
+        else:
+            self.num_slices = 1
+        self._slice_of = slice_of
+        self._cells: List[Dict[int, Event]] = [dict() for _ in range(self.num_slices)]
+        self._overflow: List[Dict[int, List[Event]]] = [
+            dict() for _ in range(self.num_slices)
+        ]
+        self.active_slice = 0
+        self._occupancy = 0
+        self._delete_coalescing_off = False
+        self.event_bytes = policy.event_bytes(config)
+        # Lifetime statistics
+        self.total_inserts = 0
+        self.total_coalesces = 0
+        self.peak_occupancy = 0
+        self.slice_switches = 0
+
+    # ------------------------------------------------------------------
+    # Mode control
+    # ------------------------------------------------------------------
+    def set_delete_coalescing(self, enabled: bool) -> None:
+        """Enable/disable delete coalescing (DAP recovery disables it)."""
+        self._delete_coalescing_off = not enabled
+
+    def slice_id(self, vertex: int) -> int:
+        """Slice holding ``vertex``."""
+        if self._slice_of is None:
+            return 0
+        return int(self._slice_of[vertex])
+
+    # ------------------------------------------------------------------
+    # Insertion / coalescing
+    # ------------------------------------------------------------------
+    def insert(self, event: Event, work: RoundWork) -> None:
+        """Insert ``event``, coalescing with any queued event for the target.
+
+        ``work`` receives the insert/coalesce/spill accounting.
+        """
+        self.total_inserts += 1
+        work.queue_inserts += 1
+        sid = self.slice_id(event.target) if self._slice_of is not None else 0
+        if sid != self.active_slice:
+            # Cross-slice event: written to off-chip memory now, read back
+            # when the slice activates (§4.7) — two transfers.
+            work.spill_bytes += 2 * self.event_bytes
+        cells = self._cells[sid]
+        existing = cells.get(event.target)
+        if existing is None:
+            cells[event.target] = event
+            self._occupancy += 1
+            if self._occupancy > self.peak_occupancy:
+                self.peak_occupancy = self._occupancy
+            return
+        if (existing.flags & 1) != (event.flags & 1):
+            raise QueueError(
+                "delete and non-delete events may not coexist for a vertex; "
+                "the scheduler separates the phases (§4.3)"
+            )
+        if (event.flags & 1) and self._delete_coalescing_off:
+            # DAP recovery: queue extra events through the overflow buffer,
+            # which spills to off-chip memory in blocks (§5.2).
+            self._overflow[sid].setdefault(event.target, []).append(event)
+            self._occupancy += 1
+            work.spill_bytes += 2 * self.event_bytes
+            return
+        self._coalesce(existing, event)
+        self.total_coalesces += 1
+        work.coalesce_ops += 1
+
+    def _coalesce(self, existing: Event, incoming: Event) -> None:
+        """Coalesce ``incoming`` into ``existing`` in place (§4.2)."""
+        algorithm = self.algorithm
+        flags = existing.flags | incoming.flags
+        if existing.flags & 1:
+            if self.policy is DeletePolicy.VAP:
+                # Keep the most progressed contribution — the only one that
+                # can still force a reset (§5.1).
+                reduced = algorithm.reduce(existing.payload, incoming.payload)
+                if reduced != existing.payload:
+                    existing.source = incoming.source
+                existing.payload = reduced
+            # BASE: tagging once suffices; payloads carry no information.
+            existing.flags = flags
+            return
+        reduced = algorithm.reduce(existing.payload, incoming.payload)
+        # Retain the source of the dominant contribution (§5.2); for
+        # accumulative algorithms reduce is a sum and source is unused.
+        if reduced != existing.payload:
+            existing.source = incoming.source
+        existing.payload = reduced
+        existing.flags = flags
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    def pending(self) -> bool:
+        """True when any slice holds events."""
+        return any(
+            cells or overflow
+            for cells, overflow in zip(self._cells, self._overflow)
+        )
+
+    def active_pending(self) -> bool:
+        """True when the active slice holds events."""
+        return bool(
+            self._cells[self.active_slice] or self._overflow[self.active_slice]
+        )
+
+    def activate_next_slice(self, work: Optional[RoundWork] = None) -> bool:
+        """Swap to the next slice with pending events (§4.7).
+
+        Counts the read-back of that slice's spilled events. Returns False
+        when every slice is empty.
+        """
+        for step in range(1, self.num_slices + 1):
+            candidate = (self.active_slice + step) % self.num_slices
+            if self._cells[candidate] or self._overflow[candidate]:
+                if candidate != self.active_slice:
+                    self.slice_switches += 1
+                self.active_slice = candidate
+                return True
+        return False
+
+    def drain_round(
+        self, work: RoundWork, max_rows: Optional[int] = None
+    ) -> List[List[Event]]:
+        """Emit queued events of the active slice as row batches.
+
+        Events are sorted by destination vertex id and grouped by queue row
+        (``config.queue_row_vertices`` consecutive vertices per row), which
+        is exactly the spatial-locality grouping the scheduler exploits
+        when assigning batches to processors (§4.3).
+
+        ``max_rows`` limits how many rows one round emits — the
+        finer-grained hardware drain (one row per bin per step). Events
+        left behind stay queued and keep coalescing with new arrivals,
+        which is the mechanism that makes partial drains *cheaper* in total
+        events even though they take more rounds.
+        """
+        cells = self._cells[self.active_slice]
+        overflow = self._overflow[self.active_slice]
+        if not cells and not overflow:
+            return []
+        row_width = self.config.queue_row_vertices
+        targets = sorted(set(cells) | set(overflow))
+        if max_rows is not None:
+            allowed_rows = []
+            for target in targets:
+                row = target // row_width
+                if not allowed_rows or allowed_rows[-1] != row:
+                    if len(allowed_rows) == max_rows:
+                        break
+                    allowed_rows.append(row)
+            limit = set(allowed_rows)
+            targets = [t for t in targets if t // row_width in limit]
+
+        events: List[Event] = []
+        for target in targets:
+            cell = cells.pop(target, None)
+            if cell is not None:
+                events.append(cell)
+            extra = overflow.pop(target, None)
+            if extra:
+                events.extend(extra)
+        self._occupancy -= len(events)
+
+        batches: List[List[Event]] = []
+        current_row = None
+        for event in events:
+            row = event.target // row_width
+            if row != current_row:
+                batches.append([])
+                current_row = row
+            batches[-1].append(event)
+        return batches
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        """Number of queued events across all slices."""
+        return sum(len(c) for c in self._cells) + sum(
+            len(v) for o in self._overflow for v in o.values()
+        )
+
+    def seed(self, events: Iterable[Event], work: RoundWork) -> None:
+        """Bulk-insert initial events (the Initializer module, §4.6)."""
+        for event in events:
+            self.insert(event, work)

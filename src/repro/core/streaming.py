@@ -1,0 +1,427 @@
+"""JetStream: incremental evaluation over streaming graphs (§3.3–§3.5).
+
+:class:`JetStreamEngine` drives a query over a
+:class:`~repro.graph.dynamic.DynamicGraph` as update batches arrive. It
+reuses :class:`~repro.core.engine.EngineCore` for all event processing and
+adds the streaming orchestration:
+
+* **Selective algorithms** (Algorithm 5): queue delete events from the
+  deleted edges (``ProcessDeletesSelective``), run the recovery phase on
+  the *old* graph (``ResetImpacted``), queue request events along the
+  impacted vertices' in-edges plus their self events
+  (``Reapproximate``), queue insertion events (``ProcessInserts``),
+  switch to the new graph, and re-run the computation phase.
+* **Accumulative algorithms** (Algorithm 6, Fig. 5): expand the mutation
+  to all out-edges of every modified source (degree-dependent
+  propagation), send the expansion as negative events, converge on the
+  *intermediate* sink graph, then re-add the surviving/new edges as
+  insertion events on the new graph and converge again.
+
+The per-phase work metrics feed the architectural timing model
+(:mod:`repro.sim.timing`); no timing is computed here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.algorithms.base import AlgorithmKind, SourceContext
+from repro.core.config import AcceleratorConfig
+from repro.core.engine import EngineCore
+from repro.core.events import NO_SOURCE, Event
+from repro.core.metrics import RunMetrics
+from repro.core.policies import DeletePolicy
+from repro.graph.dynamic import DynamicGraph
+from repro.streams import UpdateBatch
+
+Edge = Tuple[int, int, float]
+
+
+@dataclass
+class StreamingResult:
+    """Outcome of one engine run (initial evaluation or one batch)."""
+
+    states: np.ndarray
+    metrics: RunMetrics
+    graph_version: int
+    #: Vertices reset during the recovery phase (selective only).
+    impacted: List[int] = field(default_factory=list)
+
+    @property
+    def vertices_reset(self) -> int:
+        """Number of vertices reset while recovering the approximation."""
+        return len(self.impacted)
+
+
+class JetStreamEngine:
+    """Streaming query evaluation with incremental re-computation.
+
+    Parameters
+    ----------
+    graph:
+        The evolving graph. For algorithms with
+        ``needs_symmetric=True`` (CC) the graph must be symmetric.
+    algorithm:
+        A DAIC :class:`~repro.algorithms.base.Algorithm`.
+    config:
+        Accelerator configuration (Table 1 defaults).
+    policy:
+        Deletion-propagation policy (§5). DAP is the paper's best
+        performer and the default.
+    """
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        algorithm,
+        config: Optional[AcceleratorConfig] = None,
+        policy: DeletePolicy = DeletePolicy.DAP,
+        two_phase_accumulative: bool = False,
+    ):
+        if algorithm.needs_symmetric and not graph.symmetric:
+            raise ValueError(
+                f"{algorithm.name} requires a symmetric graph "
+                "(DynamicGraph(symmetric=True))"
+            )
+        if algorithm.kind is AlgorithmKind.ACCUMULATIVE and policy is not DeletePolicy.BASE:
+            # VAP/DAP only affect the selective recovery phase; accumulative
+            # deletion uses negative events (§3.3). Normalize to BASE so the
+            # event size accounting matches the narrower encoding.
+            policy = DeletePolicy.BASE
+        self.graph = graph
+        self.algorithm = algorithm
+        self.policy = policy
+        #: Accumulative deletion flow selector. ``True`` runs the paper's
+        #: literal two-phase Algorithm 6 (negate on the intermediate sink
+        #: graph, converge, re-add, converge). ``False`` (default) coalesces
+        #: each negative/positive seed pair into one *net* correction event
+        #: and converges once on the new graph — the same fixed point (the
+        #: correction is a linear-operator series either way), but without
+        #: launching two near-canceling full-magnitude waves, which at
+        #: stand-in graph scale would swamp the incremental advantage the
+        #: paper measures at 45M–1.46B-edge scale. See DESIGN.md §4.
+        self.two_phase_accumulative = two_phase_accumulative
+        self.core = EngineCore(algorithm, config or AcceleratorConfig(), policy)
+        self._initialized = False
+        self.history: List[StreamingResult] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> np.ndarray:
+        """Current (converged) vertex states — read-only view."""
+        return self.core.states
+
+    def query_result(self) -> np.ndarray:
+        """Copy of the current converged query result."""
+        return self.core.states.copy()
+
+    # ------------------------------------------------------------------
+    # Initial (static) evaluation — §4.6.1
+    # ------------------------------------------------------------------
+    def initial_compute(self) -> StreamingResult:
+        """Evaluate the query on the current graph from initial state."""
+        core = self.core
+        csr = self.graph.snapshot()
+        core.allocate(csr.num_vertices)
+        core.bind_graph(csr)
+        metrics = RunMetrics()
+        phase = metrics.phase("initial")
+        queue = core.new_queue()
+        work = phase.new_round()
+        for vertex, payload in self.algorithm.initial_events(csr):
+            queue.insert(Event(vertex, payload, 0, NO_SOURCE), work)
+        core.run_regular(queue, phase)
+        self._initialized = True
+        result = StreamingResult(
+            states=core.states.copy(),
+            metrics=metrics,
+            graph_version=self.graph.version,
+        )
+        self.history.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Incremental evaluation — §4.6.2
+    # ------------------------------------------------------------------
+    def apply_batch(self, batch: UpdateBatch) -> StreamingResult:
+        """Apply one update batch and incrementally re-converge the query.
+
+        The batch's deletions must exist in the current graph and its
+        insertions must be fresh edges (:class:`repro.streams.UpdateBatch`
+        semantics). The graph is mutated as a side effect (version + 1).
+        """
+        if not self._initialized:
+            raise RuntimeError("call initial_compute() before apply_batch()")
+        batch.validate()
+        self._check_batch(batch)
+        if self.algorithm.kind is AlgorithmKind.SELECTIVE:
+            result = self._apply_selective(batch)
+        else:
+            result = self._apply_accumulative(batch)
+        self.history.append(result)
+        return result
+
+    # -- selective flow (Algorithm 5) ----------------------------------
+    def _apply_selective(self, batch: UpdateBatch) -> StreamingResult:
+        core = self.core
+        algorithm = self.algorithm
+        metrics = RunMetrics()
+        old_csr = self.graph.snapshot()
+        core.bind_graph(old_csr)
+
+        deletions = self._directed_deletions(batch)
+        insertions = self._directed_insertions(batch)
+
+        # Phase 1: ProcessDeletesSelective + ResetImpacted on the old graph.
+        delete_phase = metrics.phase("delete-propagation")
+        queue = core.new_queue()
+        queue.set_delete_coalescing(self.policy.coalesces_deletes)
+        seed_work = delete_phase.new_round()
+        for u, v, w in deletions:
+            # The stream reader computes the payload from the previous
+            # converged source state (§3.3); BASE events carry no value.
+            if self.policy is DeletePolicy.BASE:
+                payload = 0.0
+            else:
+                payload = algorithm.propagate(float(core.states[u]), w, SourceContext.of(old_csr, u))
+            seed_work.vertex_reads += 1
+            seed_work.events_generated += 1
+            queue.insert(Event(v, payload, 1, u), seed_work)
+        impacted = core.run_delete(queue, delete_phase)
+        queue.set_delete_coalescing(True)
+
+        # Mutate the graph; switch to the new structure.
+        self._mutate_graph(batch)
+        new_csr = self.graph.snapshot()
+        core.grow(new_csr.num_vertices)
+        core.bind_graph(new_csr)
+
+        # Phase 2: Reapproximate + ProcessInserts + recompute.
+        compute_phase = metrics.phase("reevaluation")
+        work = compute_phase.new_round()
+        for i in impacted:
+            self_payload = algorithm.self_event(i)
+            if self_payload is not None:
+                queue.insert(Event(i, self_payload, 0, NO_SOURCE), work)
+                work.events_generated += 1
+            for u, _w in new_csr.in_edges(i):
+                queue.insert(
+                    Event(u, algorithm.identity, 2, NO_SOURCE), work
+                )
+                work.events_generated += 1
+                compute_phase.request_events += 1
+        for u, v, w in insertions:
+            payload = algorithm.propagate(float(core.states[u]), w, SourceContext.of(new_csr, u))
+            work.vertex_reads += 1
+            work.events_generated += 1
+            queue.insert(Event(v, payload, 0, u), work)
+        self._seed_new_vertices(queue, work, old_csr.num_vertices, new_csr.num_vertices)
+        core.run_regular(queue, compute_phase)
+
+        return StreamingResult(
+            states=core.states.copy(),
+            metrics=metrics,
+            graph_version=self.graph.version,
+            impacted=impacted,
+        )
+
+    # -- accumulative flow (Algorithm 6 / Fig. 5) ----------------------
+    def _apply_accumulative(self, batch: UpdateBatch) -> StreamingResult:
+        if self.two_phase_accumulative:
+            return self._apply_accumulative_two_phase(batch)
+        return self._apply_accumulative_net(batch)
+
+    def _apply_accumulative_net(self, batch: UpdateBatch) -> StreamingResult:
+        """Single-phase net-correction flow (default; see __init__ note).
+
+        Every stale contribution of a mutated source is negated and its
+        replacement added *as one coalesced seed per target vertex*; the
+        net corrections then converge in a single computation phase on the
+        new graph. Equivalent fixed point to Algorithm 6.
+        """
+        core = self.core
+        algorithm = self.algorithm
+        metrics = RunMetrics()
+
+        deletions = self._directed_deletions(batch)
+        insertions = self._directed_insertions(batch)
+        deleted_keys = {(u, v) for u, v, _ in deletions}
+        old_csr = self.graph.snapshot()
+        old_n = old_csr.num_vertices
+
+        phase = metrics.phase("reevaluation")
+        work = phase.new_round()
+        corrections: Dict[int, float] = {}
+        if algorithm.degree_dependent:
+            modified: Set[int] = {u for u, _, _ in deletions}
+            modified.update(u for u, _, _ in insertions if u < old_n)
+            stale: List[Edge] = []
+            for u in sorted(modified):
+                for v, w in self.graph.out_edges(u):
+                    stale.append((u, v, w))
+            replacements = [e for e in stale if (e[0], e[1]) not in deleted_keys]
+            replacements.extend(insertions)
+        else:
+            stale = deletions
+            replacements = list(insertions)
+
+        for u, v, w in stale:
+            delta = -algorithm.propagate(
+                float(core.states[u]), w, SourceContext.of(old_csr, u)
+            )
+            work.vertex_reads += 1
+            corrections[v] = corrections.get(v, 0.0) + delta
+
+        # Mutate; replacements are priced against the new structure.
+        self._mutate_graph(batch)
+        new_csr = self.graph.snapshot()
+        core.grow(new_csr.num_vertices)
+        core.bind_graph(new_csr)
+        for u, v, w in replacements:
+            delta = algorithm.propagate(
+                float(core.states[u]), w, SourceContext.of(new_csr, u)
+            )
+            work.vertex_reads += 1
+            corrections[v] = corrections.get(v, 0.0) + delta
+
+        queue = core.new_queue()
+        for v in sorted(corrections):
+            delta = corrections[v]
+            if algorithm.should_propagate(delta):
+                work.events_generated += 1
+                queue.insert(Event(v, delta, 0, NO_SOURCE), work)
+        self._seed_new_vertices(queue, work, old_n, new_csr.num_vertices)
+        core.run_regular(queue, phase)
+
+        return StreamingResult(
+            states=core.states.copy(),
+            metrics=metrics,
+            graph_version=self.graph.version,
+        )
+
+    def _apply_accumulative_two_phase(self, batch: UpdateBatch) -> StreamingResult:
+        core = self.core
+        algorithm = self.algorithm
+        metrics = RunMetrics()
+
+        deletions = self._directed_deletions(batch)
+        insertions = self._directed_insertions(batch)
+        deleted_keys = {(u, v) for u, v, _ in deletions}
+
+        if algorithm.degree_dependent:
+            # Every mutated source's out-degree changes, so ALL its previous
+            # out-edge contributions are stale (Fig. 5): sink the source.
+            modified_sources: Set[int] = {u for u, _, _ in deletions}
+            modified_sources.update(u for u, _, _ in insertions if u < self.graph.num_vertices)
+            expanded_deletes: List[Edge] = []
+            for u in sorted(modified_sources):
+                for v, w in self.graph.out_edges(u):
+                    expanded_deletes.append((u, v, w))
+            re_adds = [e for e in expanded_deletes if (e[0], e[1]) not in deleted_keys]
+            re_adds.extend(insertions)
+            intermediate_csr = self.graph.snapshot_with_sinks(modified_sources)
+        else:
+            expanded_deletes = deletions
+            re_adds = list(insertions)
+            survivors = [e for e in self.graph.edges() if (e[0], e[1]) not in deleted_keys]
+            from repro.graph.csr import CSRGraph
+
+            intermediate_csr = CSRGraph(self.graph.num_vertices, survivors)
+
+        old_csr = self.graph.snapshot()
+
+        # Phase 1: negative events drain stale contributions (Algorithm 3)
+        # while the intermediate graph blocks cyclic re-propagation.
+        delete_phase = metrics.phase("delete-negation")
+        seed_work = delete_phase.new_round()
+        negative_events = []
+        for u, v, w in expanded_deletes:
+            delta = -algorithm.propagate(
+                float(core.states[u]), w, SourceContext.of(old_csr, u)
+            )
+            seed_work.vertex_reads += 1
+            if algorithm.should_propagate(delta):
+                negative_events.append(Event(v, delta, 0, u))
+        core.bind_graph(intermediate_csr)
+        queue = core.new_queue()
+        for event in negative_events:
+            seed_work.events_generated += 1
+            queue.insert(event, seed_work)
+        core.run_regular(queue, delete_phase)
+
+        # Mutate; switch to the new structure.
+        old_n = self.graph.num_vertices
+        self._mutate_graph(batch)
+        new_csr = self.graph.snapshot()
+        core.grow(new_csr.num_vertices)
+        core.bind_graph(new_csr)
+
+        # Phase 2: re-add surviving + new edges at the new degrees.
+        compute_phase = metrics.phase("reevaluation")
+        work = compute_phase.new_round()
+        for u, v, w in re_adds:
+            delta = algorithm.propagate(
+                float(core.states[u]), w, SourceContext.of(new_csr, u)
+            )
+            work.vertex_reads += 1
+            if algorithm.should_propagate(delta):
+                work.events_generated += 1
+                queue.insert(Event(v, delta, 0, u), work)
+        self._seed_new_vertices(queue, work, old_n, new_csr.num_vertices)
+        core.run_regular(queue, compute_phase)
+
+        return StreamingResult(
+            states=core.states.copy(),
+            metrics=metrics,
+            graph_version=self.graph.version,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _check_batch(self, batch: UpdateBatch) -> None:
+        deleted = {e.key() for e in batch.deletions}
+        for edge in batch.deletions:
+            if not self.graph.has_edge(edge.u, edge.v):
+                raise ValueError(f"batch deletes missing edge {edge.u}->{edge.v}")
+        for edge in batch.insertions:
+            # Re-inserting an edge deleted in the same batch is the paper's
+            # weight-change idiom (§2.1) and is allowed.
+            if self.graph.has_edge(edge.u, edge.v) and edge.key() not in deleted:
+                raise ValueError(f"batch inserts duplicate edge {edge.u}->{edge.v}")
+
+    def _directed_deletions(self, batch: UpdateBatch) -> List[Edge]:
+        out: List[Edge] = []
+        for edge in batch.deletions:
+            w = self.graph.edge_weight(edge.u, edge.v)
+            out.append((edge.u, edge.v, w))
+            if self.graph.symmetric and edge.u != edge.v:
+                out.append((edge.v, edge.u, w))
+        return out
+
+    def _directed_insertions(self, batch: UpdateBatch) -> List[Edge]:
+        out: List[Edge] = []
+        for edge in batch.insertions:
+            out.append((edge.u, edge.v, edge.w))
+            if self.graph.symmetric and edge.u != edge.v:
+                out.append((edge.v, edge.u, edge.w))
+        return out
+
+    def _mutate_graph(self, batch: UpdateBatch) -> None:
+        self.graph.apply_batch(
+            [(e.u, e.v, e.w) for e in batch.insertions],
+            [(e.u, e.v) for e in batch.deletions],
+        )
+
+    def _seed_new_vertices(self, queue, work, old_n: int, new_n: int) -> None:
+        """Deliver owed initial events to vertices created by this batch."""
+        for v in range(old_n, new_n):
+            payload = self.algorithm.seed_event_for_new_vertex(v)
+            if payload is not None:
+                work.events_generated += 1
+                queue.insert(Event(v, payload, 0, NO_SOURCE), work)

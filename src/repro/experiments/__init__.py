@@ -1,0 +1,21 @@
+"""Experiment harness: one module per table/figure of the paper's §6.
+
+* :mod:`repro.experiments.harness` — shared cell runner driving identical
+  update streams through JetStream, cold-start GraphPulse, KickStarter,
+  and GraphBolt, with cross-system correctness checks and result caching;
+* ``table1``/``table2`` — configuration and dataset tables;
+* ``table3`` — execution time per query + speedups;
+* ``table4`` — power and area budgets;
+* ``fig9`` — vertex/edge accesses normalized to GraphPulse;
+* ``fig10`` — vertices reset by a deletion batch vs KickStarter;
+* ``fig11`` — off-chip memory transfer utilization;
+* ``fig12`` — Base/+VAP/+DAP optimization speedups;
+* ``fig13`` — batch-size sensitivity;
+* ``fig14`` — batch-composition sensitivity;
+* :mod:`repro.experiments.report` — text rendering + EXPERIMENTS.md
+  regeneration.
+"""
+
+from repro.experiments.harness import CellResult, SystemOutcome, run_cell
+
+__all__ = ["CellResult", "SystemOutcome", "run_cell"]

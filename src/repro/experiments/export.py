@@ -1,0 +1,83 @@
+"""CSV export of experiment series (for external plotting tools).
+
+Each table/figure result is a list of dataclass records; this module
+flattens them into CSV files so the figures can be re-plotted outside
+Python (gnuplot, spreadsheets, the paper's own scripts).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+Record = Union[Dict[str, object], object]
+
+
+def record_to_dict(record: Record) -> Dict[str, object]:
+    """Flatten one record (dataclass or mapping) into a scalar dict."""
+    if dataclasses.is_dataclass(record) and not isinstance(record, type):
+        raw = dataclasses.asdict(record)
+    elif isinstance(record, dict):
+        raw = dict(record)
+    else:
+        raise TypeError(f"cannot export {type(record).__name__}")
+    flat: Dict[str, object] = {}
+    for key, value in raw.items():
+        if isinstance(value, dict):
+            for sub_key, sub_value in value.items():
+                flat[f"{key}_{sub_key}"] = sub_value
+        elif isinstance(value, (list, tuple, set)):
+            flat[key] = len(value)
+        else:
+            flat[key] = value
+    return flat
+
+
+def write_csv(records: Sequence[Record], path: Union[str, Path]) -> int:
+    """Write records to ``path``; returns the row count."""
+    path = Path(path)
+    rows = [record_to_dict(r) for r in records]
+    if not rows:
+        path.write_text("", encoding="ascii")
+        return 0
+    header: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in header:
+                header.append(key)
+    lines = [",".join(header)]
+    for row in rows:
+        lines.append(",".join(_cell(row.get(key)) for key in header))
+    path.write_text("\n".join(lines) + "\n", encoding="ascii")
+    return len(rows)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return ""
+    text = str(value)
+    if "," in text or '"' in text:
+        text = '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def export_all(results: Dict, directory: Union[str, Path]) -> List[str]:
+    """Export every experiment's records as ``<name>.csv``.
+
+    ``results`` is the runner's ``{name: (records, rendering)}`` mapping;
+    entries whose records aren't lists of exportable records are skipped.
+    Returns the written file names.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, (records, _) in results.items():
+        if not isinstance(records, list) or not records:
+            continue
+        try:
+            write_csv(records, directory / f"{name}.csv")
+        except TypeError:
+            continue
+        written.append(f"{name}.csv")
+    return sorted(written)

@@ -1,0 +1,67 @@
+"""Fig. 12: effect of the VAP and DAP optimizations.
+
+Speedup over cold-start GraphPulse for the baseline tagging scheme, +VAP,
+and +DAP, on SSWP/SSSP/BFS/CC over LiveJournal and UK-2002. Expected
+shape (§6.2): Base barely helps (it tags far too much); VAP works well for
+SSSP/SSWP (distinct values) but not BFS/CC (value plateaus); DAP wins
+everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.policies import DeletePolicy
+from repro.experiments.harness import run_cell
+from repro.experiments.report import render_speedup, render_table
+
+ALGORITHMS = ["sswp", "sssp", "bfs", "cc"]
+GRAPHS = ["LJ", "UK"]
+POLICIES = [DeletePolicy.BASE, DeletePolicy.VAP, DeletePolicy.DAP]
+
+
+@dataclass
+class OptimizationPoint:
+    """One bar group of the figure."""
+
+    algorithm: str
+    graph: str
+    speedups: Dict[str, float]  # policy value -> speedup over GraphPulse
+
+
+def run(
+    graphs: Optional[Sequence[str]] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> List[OptimizationPoint]:
+    """Run every policy on the Table 3 batch recipe."""
+    out: List[OptimizationPoint] = []
+    for algo in algorithms or ALGORITHMS:
+        for graph in graphs or GRAPHS:
+            speedups: Dict[str, float] = {}
+            for policy in POLICIES:
+                cell = run_cell(graph, algo, policy=policy, seed=seed)
+                speedups[policy.value] = cell.speedup("jetstream", "graphpulse")
+            out.append(
+                OptimizationPoint(algorithm=algo, graph=graph, speedups=speedups)
+            )
+    return out
+
+
+def render(points: List[OptimizationPoint]) -> str:
+    """Text rendering of the grouped bars."""
+    return render_table(
+        ["Graph", "Algorithm", "Base", "+VAP", "+DAP"],
+        [
+            [
+                p.graph,
+                p.algorithm.upper(),
+                render_speedup(p.speedups["base"]),
+                render_speedup(p.speedups["vap"]),
+                render_speedup(p.speedups["dap"]),
+            ]
+            for p in points
+        ],
+        title="Fig. 12: speedup over GraphPulse for Base / +VAP / +DAP",
+    )

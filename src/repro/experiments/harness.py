@@ -1,0 +1,257 @@
+"""Shared experiment cell runner.
+
+A *cell* is one (dataset, algorithm, policy, batch recipe) point. The
+harness builds identical graph copies for every system under test, drives
+the same pre-generated update batches through each, cross-checks that all
+systems converge to the same query result, and collects:
+
+* JetStream / GraphPulse: per-batch accelerator cycle estimates
+  (:mod:`repro.sim.timing`) plus the functional work counters;
+* KickStarter / GraphBolt: per-batch software time estimates
+  (:mod:`repro.sim.cost_models`) plus their work counters.
+
+Cells are memoized in-process so the table/figure modules can share runs
+(Table 3, Fig. 9 and Fig. 11 all project the same cells).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms import make_algorithm
+from repro.algorithms.base import AlgorithmKind
+from repro.baselines import GraphBolt, GraphPulseColdStart, KickStarter
+from repro.core.config import AcceleratorConfig, SoftwareConfig
+from repro.core.policies import DeletePolicy
+from repro.core.streaming import JetStreamEngine
+from repro.graph import datasets
+from repro.graph.dynamic import DynamicGraph
+from repro.sim.cost_models import SoftwareCostModel
+from repro.sim.timing import AcceleratorTimingModel
+from repro.streams import StreamGenerator, UpdateBatch
+
+#: Tolerance used for accumulative algorithms in experiments: coarse enough
+#: that correction waves stay local (mirroring the paper's batch-to-graph
+#: scale ratio), fine enough for meaningful results.
+EXPERIMENT_ACCUMULATIVE_TOL = 1e-4
+
+_SELECTIVE = {"sssp", "sswp", "bfs", "cc"}
+
+
+@dataclass
+class SystemOutcome:
+    """Per-system measurements for one cell."""
+
+    name: str
+    initial_time_ms: float
+    batch_times_ms: List[float] = field(default_factory=list)
+    vertex_accesses: int = 0
+    edge_accesses: int = 0
+    vertices_reset: int = 0
+    events_processed: int = 0
+    memory_utilization: float = 0.0
+
+    @property
+    def mean_batch_time_ms(self) -> float:
+        """Mean per-batch (per-query) time."""
+        if not self.batch_times_ms:
+            return 0.0
+        return float(np.mean(self.batch_times_ms))
+
+
+@dataclass
+class CellResult:
+    """All systems' outcomes for one experiment cell."""
+
+    dataset: str
+    algorithm: str
+    policy: str
+    batch_size: int
+    insertion_ratio: float
+    num_batches: int
+    systems: Dict[str, SystemOutcome] = field(default_factory=dict)
+    states_agree: bool = True
+
+    def speedup(self, of: str, over: str) -> float:
+        """Per-batch-time speedup of system ``of`` over system ``over``."""
+        denominator = self.systems[of].mean_batch_time_ms
+        if denominator <= 0:
+            return float("inf")
+        return self.systems[over].mean_batch_time_ms / denominator
+
+
+_CACHE: Dict[Tuple, CellResult] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoized cells (tests use this for isolation)."""
+    _CACHE.clear()
+
+
+def _make_algorithm(name: str):
+    if name in _SELECTIVE:
+        return make_algorithm(name, source=0)
+    if name == "adsorption":
+        # Adsorption contracts hard (p_continue * weight split); at the
+        # PageRank tolerance its correction waves die before doing any
+        # measurable work and the speedups become meaningless — tighten.
+        return make_algorithm(name, tolerance=1e-6)
+    return make_algorithm(name, tolerance=EXPERIMENT_ACCUMULATIVE_TOL)
+
+
+def _build_graph(dataset: str, symmetric: bool, seed: int) -> DynamicGraph:
+    return datasets.load(dataset, seed=seed, symmetric=symmetric)
+
+
+def _pregenerate_batches(
+    dataset: str,
+    symmetric: bool,
+    seed: int,
+    batch_size: int,
+    insertion_ratio: float,
+    num_batches: int,
+) -> List[UpdateBatch]:
+    """Generate the batch sequence against a scratch graph copy."""
+    scratch = _build_graph(dataset, symmetric, seed)
+    generator = StreamGenerator(
+        scratch, seed=seed + 1000, insertion_ratio=insertion_ratio
+    )
+    return list(generator.stream(batch_size, num_batches))
+
+
+def run_cell(
+    dataset: str,
+    algorithm: str,
+    policy: DeletePolicy = DeletePolicy.DAP,
+    batch_size: Optional[int] = None,
+    insertion_ratio: float = 0.7,
+    num_batches: int = 1,
+    seed: int = 0,
+    systems: Sequence[str] = ("jetstream", "graphpulse", "software"),
+    accel_config: Optional[AcceleratorConfig] = None,
+    software_config: Optional[SoftwareConfig] = None,
+) -> CellResult:
+    """Run one experiment cell (memoized).
+
+    ``systems`` may contain ``jetstream``, ``graphpulse`` (cold start), and
+    ``software`` (KickStarter for selective algorithms, GraphBolt for
+    accumulative ones — the same pairing as Table 3).
+    """
+    if batch_size is None:
+        batch_size = datasets.scaled_batch_size(dataset)
+    key = (
+        dataset,
+        algorithm,
+        policy.value,
+        batch_size,
+        insertion_ratio,
+        num_batches,
+        seed,
+        tuple(sorted(systems)),
+        accel_config is None,
+        software_config is None,
+    )
+    if key in _CACHE and accel_config is None and software_config is None:
+        return _CACHE[key]
+
+    probe = _make_algorithm(algorithm)
+    symmetric = probe.needs_symmetric
+    batches = _pregenerate_batches(
+        dataset, symmetric, seed, batch_size, insertion_ratio, num_batches
+    )
+    result = CellResult(
+        dataset=dataset,
+        algorithm=algorithm,
+        policy=policy.value,
+        batch_size=batch_size,
+        insertion_ratio=insertion_ratio,
+        num_batches=num_batches,
+    )
+
+    timing = AcceleratorTimingModel(accel_config)
+    cost_model = SoftwareCostModel(software_config)
+    final_states: Dict[str, np.ndarray] = {}
+
+    if "jetstream" in systems:
+        graph = _build_graph(dataset, symmetric, seed)
+        engine = JetStreamEngine(
+            graph, _make_algorithm(algorithm), config=accel_config, policy=policy
+        )
+        initial = engine.initial_compute()
+        outcome = SystemOutcome(
+            name="jetstream",
+            initial_time_ms=timing.run_time(initial.metrics).time_ms,
+        )
+        for batch in batches:
+            res = engine.apply_batch(batch)
+            report = timing.run_time(res.metrics, stream_records=batch.size)
+            outcome.batch_times_ms.append(report.time_ms)
+            outcome.vertex_accesses += res.metrics.vertex_accesses
+            outcome.edge_accesses += res.metrics.edge_accesses
+            outcome.vertices_reset += res.vertices_reset
+            outcome.events_processed += res.metrics.events_processed
+            outcome.memory_utilization = res.metrics.memory_utilization()
+        result.systems["jetstream"] = outcome
+        final_states["jetstream"] = engine.query_result()
+
+    if "graphpulse" in systems:
+        graph = _build_graph(dataset, symmetric, seed)
+        engine = GraphPulseColdStart(graph, _make_algorithm(algorithm), accel_config)
+        initial = engine.initial_compute()
+        outcome = SystemOutcome(
+            name="graphpulse",
+            initial_time_ms=timing.run_time(initial.metrics).time_ms,
+        )
+        for batch in batches:
+            res = engine.apply_batch(batch)
+            report = timing.run_time(res.metrics, stream_records=batch.size)
+            outcome.batch_times_ms.append(report.time_ms)
+            outcome.vertex_accesses += res.metrics.vertex_accesses
+            outcome.edge_accesses += res.metrics.edge_accesses
+            outcome.events_processed += res.metrics.events_processed
+            outcome.memory_utilization = res.metrics.memory_utilization()
+        result.systems["graphpulse"] = outcome
+        final_states["graphpulse"] = res.states.copy()
+
+    if "software" in systems:
+        graph = _build_graph(dataset, symmetric, seed)
+        algo = _make_algorithm(algorithm)
+        if algo.kind is AlgorithmKind.SELECTIVE:
+            engine = KickStarter(graph, algo)
+            name = "kickstarter"
+        else:
+            engine = GraphBolt(graph, algo)
+            name = "graphbolt"
+        initial = engine.initial_compute()
+        outcome = SystemOutcome(
+            name=name,
+            initial_time_ms=cost_model.time_ms(initial.work),
+        )
+        for batch in batches:
+            res = engine.apply_batch(batch)
+            outcome.batch_times_ms.append(cost_model.time_ms(res.work))
+            outcome.vertices_reset += getattr(res, "vertices_reset", 0)
+        result.systems[name] = outcome
+        final_states[name] = res.states.copy()
+
+    # Cross-system agreement on the final query result. Selective
+    # algorithms must match exactly; accumulative systems carry different
+    # threshold-truncation signatures (event retraction assumes full
+    # historical forwarding; synchronous pull re-aggregates exactly), so
+    # they are compared at 2% relative / 5e-3 absolute.
+    names = sorted(final_states)
+    for i in range(1, len(names)):
+        a, b = final_states[names[0]], final_states[names[i]]
+        if len(a) != len(b):
+            continue
+        if probe.kind is AlgorithmKind.ACCUMULATIVE:
+            if not np.allclose(a, b, rtol=0.02, atol=5e-3):
+                result.states_agree = False
+        elif not probe.states_close(a, b):
+            result.states_agree = False
+    if accel_config is None and software_config is None:
+        _CACHE[key] = result
+    return result

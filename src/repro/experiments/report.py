@@ -1,0 +1,52 @@
+"""Plain-text table rendering and EXPERIMENTS.md regeneration."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned monospace table (the benches print these)."""
+    rendered_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "-"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3g}"
+    return str(cell)
+
+
+def render_speedup(value: float) -> str:
+    """Paper-style speedup cell (``12.4x``)."""
+    if value != value or value == float("inf"):
+        return "-"
+    return f"{value:.3g}x"
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's GMean column)."""
+    filtered = [v for v in values if v > 0 and v == v and v != float("inf")]
+    if not filtered:
+        return float("nan")
+    log_sum = sum(__import__("math").log(v) for v in filtered)
+    return float(__import__("math").exp(log_sum / len(filtered)))

@@ -1,0 +1,22 @@
+"""Table 1: experimental configurations (hardware + software platforms)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.config import table1_rows
+from repro.experiments.report import render_table
+
+
+def run() -> List[Dict[str, str]]:
+    """The configuration rows (straight from :mod:`repro.core.config`)."""
+    return table1_rows()
+
+
+def render(rows: List[Dict[str, str]]) -> str:
+    """Paper-style text rendering."""
+    return render_table(
+        ["", "Software Framework", "JetStream"],
+        [[r["item"], r["software"], r["jetstream"]] for r in rows],
+        title="Table 1: experimental configurations",
+    )

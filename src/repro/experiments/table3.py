@@ -1,0 +1,123 @@
+"""Table 3: execution time per query on streaming graphs and speedups.
+
+The paper reports, for every (algorithm × dataset), JetStream's per-query
+time in ms and its speedup over cold-start GraphPulse (GP) and over the
+matching software framework (KickStarter for SSWP/SSSP/BFS/CC, GraphBolt
+for PageRank/Adsorption), with a geometric-mean column. Batches are 100K
+edges at 70% insertions / 30% deletions — scaled to the stand-in graphs by
+:func:`repro.graph.datasets.scaled_batch_size`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.policies import DeletePolicy
+from repro.experiments.harness import run_cell
+from repro.experiments.report import geomean, render_speedup, render_table
+from repro.graph import datasets
+
+#: Algorithm rows in the paper's order with their software comparator.
+ALGORITHMS = [
+    ("sswp", "kickstarter"),
+    ("sssp", "kickstarter"),
+    ("bfs", "kickstarter"),
+    ("cc", "kickstarter"),
+    ("pagerank", "graphbolt"),
+    ("adsorption", "graphbolt"),
+]
+
+#: Paper Table 3 geometric means, for EXPERIMENTS.md comparison.
+PAPER_GMEANS = {
+    ("sswp", "graphpulse"): 21.6,
+    ("sswp", "software"): 11.1,
+    ("sssp", "graphpulse"): 20.1,
+    ("sssp", "software"): 12.9,
+    ("bfs", "graphpulse"): 6.9,
+    ("bfs", "software"): 11.3,
+    ("cc", "graphpulse"): 16.0,
+    ("cc", "software"): 7.72,
+    ("pagerank", "graphpulse"): 19.4,
+    ("pagerank", "software"): 165.0,
+    ("adsorption", "graphpulse"): 5.77,
+    ("adsorption", "software"): 17.1,
+}
+
+
+@dataclass
+class Table3Row:
+    """One algorithm's row group (times + two speedup rows)."""
+
+    algorithm: str
+    comparator: str
+    jet_ms: Dict[str, float] = field(default_factory=dict)
+    speedup_gp: Dict[str, float] = field(default_factory=dict)
+    speedup_sw: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def gmean_gp(self) -> float:
+        return geomean(list(self.speedup_gp.values()))
+
+    @property
+    def gmean_sw(self) -> float:
+        return geomean(list(self.speedup_sw.values()))
+
+
+def run(
+    graphs: Optional[Sequence[str]] = None,
+    algorithms: Optional[Sequence[str]] = None,
+    num_batches: int = 1,
+    seed: int = 0,
+) -> List[Table3Row]:
+    """Compute the Table 3 grid (full paper grid by default)."""
+    graphs = list(graphs or datasets.ORDER)
+    wanted = set(algorithms or [a for a, _ in ALGORITHMS])
+    rows: List[Table3Row] = []
+    for algo, comparator in ALGORITHMS:
+        if algo not in wanted:
+            continue
+        row = Table3Row(algorithm=algo, comparator=comparator)
+        for graph in graphs:
+            cell = run_cell(
+                graph,
+                algo,
+                policy=DeletePolicy.DAP,
+                num_batches=num_batches,
+                seed=seed,
+            )
+            assert cell.states_agree, f"systems disagree on {algo}/{graph}"
+            row.jet_ms[graph] = cell.systems["jetstream"].mean_batch_time_ms
+            row.speedup_gp[graph] = cell.speedup("jetstream", "graphpulse")
+            row.speedup_sw[graph] = cell.speedup("jetstream", comparator)
+        rows.append(row)
+    return rows
+
+
+def render(rows: List[Table3Row]) -> str:
+    """Paper-style text rendering of the Table 3 grid."""
+    graphs = sorted({g for row in rows for g in row.jet_ms}, key=datasets.ORDER.index)
+    headers = ["Algorithm", "Row"] + graphs + ["GMean"]
+    body = []
+    for row in rows:
+        sw_label = "KS" if row.comparator == "kickstarter" else "GB"
+        body.append(
+            [row.algorithm.upper(), "Jet (ms)"]
+            + [row.jet_ms[g] for g in graphs]
+            + ["-"]
+        )
+        body.append(
+            ["", "GP"]
+            + [render_speedup(row.speedup_gp[g]) for g in graphs]
+            + [render_speedup(row.gmean_gp)]
+        )
+        body.append(
+            ["", sw_label]
+            + [render_speedup(row.speedup_sw[g]) for g in graphs]
+            + [render_speedup(row.gmean_sw)]
+        )
+    return render_table(
+        headers,
+        body,
+        title="Table 3: execution time per query and speedups (JetStream vs GP/KS/GB)",
+    )

@@ -1,0 +1,290 @@
+"""Mutable, versioned graph — the host-side graph store.
+
+The paper (§4.7) leaves evolving-edge-list maintenance to a software graph
+versioning framework on the host (e.g. GraphOne / Version Traveler) and has
+the host hand the accelerator a fresh CSR pointer after every batch.
+:class:`DynamicGraph` plays that role here: it applies
+:class:`repro.streams.UpdateBatch` mutations, bumps a version counter, and
+emits immutable :class:`~repro.graph.csr.CSRGraph` snapshots.
+
+Two snapshot flavours exist because accumulative deletion (§3.5, Fig. 5)
+needs an *intermediate* graph in which every mutated source vertex is turned
+into a sink (all its out-edges dropped) to break cyclic re-propagation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.graph.csr import CSRGraph
+
+Edge = Tuple[int, int, float]
+
+
+class GraphMutationError(ValueError):
+    """Raised for invalid mutations (missing edge delete, duplicate insert)."""
+
+
+class DynamicGraph:
+    """Adjacency-map graph supporting batched edge insertion and deletion.
+
+    Parameters
+    ----------
+    num_vertices:
+        Initial vertex count. Grows automatically when an inserted edge
+        references a larger id (vertex addition is modelled as the first
+        edge touching the vertex, per §2.1).
+    symmetric:
+        When true every mutation is mirrored, keeping the edge set
+        symmetric. Used for Connected Components, whose tag/request
+        propagation must travel both directions.
+    """
+
+    def __init__(self, num_vertices: int = 0, symmetric: bool = False):
+        self.num_vertices = int(num_vertices)
+        self.symmetric = bool(symmetric)
+        self.version = 0
+        self._out: Dict[int, Dict[int, float]] = {}
+        self._in: Dict[int, Dict[int, float]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[Edge], num_vertices: int = 0, symmetric: bool = False
+    ) -> "DynamicGraph":
+        """Build a graph from an initial edge list (version 0)."""
+        graph = cls(num_vertices, symmetric=symmetric)
+        for u, v, w in edges:
+            graph.add_edge(u, v, w, _count_version=False)
+        return graph
+
+    @classmethod
+    def from_csr(cls, csr: CSRGraph, symmetric: bool = False) -> "DynamicGraph":
+        """Build a dynamic graph mirroring a CSR snapshot."""
+        return cls.from_edges(csr.edges(), csr.num_vertices, symmetric=symmetric)
+
+    # ------------------------------------------------------------------
+    # Single-edge mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int, w: float = 1.0, _count_version: bool = True) -> None:
+        """Insert directed edge ``u -> v`` (and mirror when symmetric)."""
+        self._grow(max(u, v) + 1)
+        self._insert_one(u, v, w)
+        if self.symmetric and u != v:
+            self._insert_one(v, u, w)
+        if _count_version:
+            self.version += 1
+
+    def remove_edge(self, u: int, v: int, _count_version: bool = True) -> float:
+        """Delete directed edge ``u -> v``; returns its weight."""
+        w = self._remove_one(u, v)
+        if self.symmetric and u != v:
+            self._remove_one(v, u)
+        if _count_version:
+            self.version += 1
+        return w
+
+    def _insert_one(self, u: int, v: int, w: float) -> None:
+        out_u = self._out.setdefault(u, {})
+        if v in out_u:
+            raise GraphMutationError(
+                f"edge {u}->{v} already exists; model weight change as "
+                "delete followed by insert (per paper §2.1)"
+            )
+        out_u[v] = float(w)
+        self._in.setdefault(v, {})[u] = float(w)
+        self._num_edges += 1
+
+    def _remove_one(self, u: int, v: int) -> float:
+        try:
+            w = self._out[u].pop(v)
+        except KeyError:
+            raise GraphMutationError(f"cannot delete missing edge {u}->{v}") from None
+        del self._in[v][u]
+        self._num_edges -= 1
+        return w
+
+    def _grow(self, n: int) -> None:
+        if n > self.num_vertices:
+            self.num_vertices = n
+
+    # ------------------------------------------------------------------
+    # Batched mutation
+    # ------------------------------------------------------------------
+    def apply_batch(self, insertions: Iterable[Edge], deletions: Iterable[Tuple[int, int]]) -> None:
+        """Apply a batch: deletions first, then insertions; bumps version.
+
+        The order matches the engine's phase schedule (delete phase precedes
+        insertion processing, Algorithm 5/6) and allows a weight change to be
+        expressed as ``delete(u, v)`` + ``insert(u, v, w')`` in one batch.
+        """
+        for u, v in deletions:
+            self.remove_edge(u, v, _count_version=False)
+        for u, v, w in insertions:
+            self.add_edge(u, v, w, _count_version=False)
+        self.version += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def has_edge(self, u: int, v: int) -> bool:
+        """True if edge ``u -> v`` is present."""
+        return v in self._out.get(u, ())
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of ``u -> v``; raises ``KeyError`` if absent."""
+        return self._out[u][v]
+
+    def out_degree(self, u: int) -> int:
+        """Current out-degree of ``u``."""
+        return len(self._out.get(u, ()))
+
+    def in_degree(self, v: int) -> int:
+        """Current in-degree of ``v``."""
+        return len(self._in.get(v, ()))
+
+    def out_edges(self, u: int) -> Iterator[Tuple[int, float]]:
+        """Yield ``(target, weight)`` pairs for ``u``'s out-edges."""
+        return iter(self._out.get(u, {}).items())
+
+    def in_edges(self, v: int) -> Iterator[Tuple[int, float]]:
+        """Yield ``(source, weight)`` pairs for ``v``'s in-edges."""
+        return iter(self._in.get(v, {}).items())
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges currently stored."""
+        return self._num_edges
+
+    def edges(self) -> Iterator[Edge]:
+        """Yield every directed edge ``(u, v, w)``."""
+        for u, targets in self._out.items():
+            for v, w in targets.items():
+                yield u, v, w
+
+    # ------------------------------------------------------------------
+    # Snapshots for the accelerator
+    # ------------------------------------------------------------------
+    def snapshot(self) -> CSRGraph:
+        """Immutable CSR snapshot of the current version."""
+        return CSRGraph(self.num_vertices, self.edges())
+
+    def snapshot_with_sinks(self, sink_vertices: Set[int]) -> CSRGraph:
+        """CSR snapshot with all out-edges of ``sink_vertices`` removed.
+
+        This is the *intermediate graph* of Fig. 5: mutated sources become
+        complete sinks so their stale contributions can be drained without
+        cyclic re-propagation. The paper notes this is cheap in hardware
+        (edge-pointer adjustment); here we materialize a filtered snapshot.
+        """
+        edges = [e for e in self.edges() if e[0] not in sink_vertices]
+        return CSRGraph(self.num_vertices, edges)
+
+
+class DeltaVersionStore:
+    """Delta-encoded graph version history (Version Traveler substitute).
+
+    Stores one base edge list plus per-version deltas (insertions and
+    deletions), reconstructing any retained version on demand — the
+    memory-efficient end of the versioning spectrum, versus
+    :class:`GraphVersionStore`'s full snapshots. §4.7 allows either: the
+    accelerator only needs a CSR view of the requested version.
+    """
+
+    def __init__(self, graph: DynamicGraph):
+        self.graph = graph
+        self._base_version = graph.version
+        self._base_edges: List[Edge] = sorted(graph.edges())
+        self._base_vertices = graph.num_vertices
+        #: version -> (insertions, deletion keys), ordered.
+        self._deltas: List[Tuple[int, List[Edge], List[Tuple[int, int]]]] = []
+
+    def record_batch(
+        self, insertions: Iterable[Edge], deletions: Iterable[Tuple[int, int]]
+    ) -> None:
+        """Record the delta that produced the graph's *current* version.
+
+        Call right after ``graph.apply_batch(insertions, deletions)``.
+        """
+        self._deltas.append(
+            (self.graph.version, list(insertions), list(deletions))
+        )
+
+    def versions(self) -> List[int]:
+        """All reconstructible versions, oldest first."""
+        return [self._base_version] + [v for v, _, _ in self._deltas]
+
+    def reconstruct(self, version: int) -> CSRGraph:
+        """Rebuild the CSR snapshot of ``version`` from base + deltas."""
+        if version == self._base_version:
+            return CSRGraph(self._base_vertices, self._base_edges)
+        edges: Dict[Tuple[int, int], float] = {
+            (u, v): w for u, v, w in self._base_edges
+        }
+        num_vertices = self._base_vertices
+        found = False
+        for delta_version, insertions, deletions in self._deltas:
+            for key in deletions:
+                edges.pop(key, None)
+            for u, v, w in insertions:
+                edges[(u, v)] = w
+                num_vertices = max(num_vertices, u + 1, v + 1)
+            if delta_version == version:
+                found = True
+                break
+        if not found:
+            raise KeyError(f"version {version} not recorded")
+        return CSRGraph(
+            num_vertices, [(u, v, w) for (u, v), w in sorted(edges.items())]
+        )
+
+    def delta_bytes(self) -> int:
+        """Approximate storage of the delta log (16 B per record)."""
+        return sum(
+            16 * (len(ins) + len(dels)) for _, ins, dels in self._deltas
+        )
+
+
+class GraphVersionStore:
+    """Retains CSR snapshots per version (Version Traveler substitute).
+
+    The accelerator model only ever needs the latest snapshot plus, during
+    accumulative deletion, the matching intermediate graph — but keeping the
+    history around supports the temporal-analysis example and lets tests
+    diff versions.
+    """
+
+    def __init__(self, graph: DynamicGraph, capacity: Optional[int] = None):
+        self.graph = graph
+        self.capacity = capacity
+        self._versions: List[Tuple[int, CSRGraph]] = []
+        self.record()
+
+    def record(self) -> CSRGraph:
+        """Snapshot the current graph version and remember it."""
+        snap = self.graph.snapshot()
+        self._versions.append((self.graph.version, snap))
+        if self.capacity is not None and len(self._versions) > self.capacity:
+            self._versions.pop(0)
+        return snap
+
+    def latest(self) -> CSRGraph:
+        """Most recently recorded snapshot."""
+        return self._versions[-1][1]
+
+    def get(self, version: int) -> CSRGraph:
+        """Snapshot recorded for ``version``; raises ``KeyError`` if evicted."""
+        for ver, snap in self._versions:
+            if ver == version:
+                return snap
+        raise KeyError(f"version {version} not retained")
+
+    def versions(self) -> List[int]:
+        """Versions currently retained, oldest first."""
+        return [ver for ver, _ in self._versions]
+
+    def __len__(self) -> int:
+        return len(self._versions)

@@ -1,0 +1,127 @@
+"""Edge-list I/O.
+
+Plain-text (one ``src dst [weight]`` triple per line, ``#`` comments) and a
+compact binary format. Streaming update files interleave ``a`` (add) and
+``d`` (delete) records, matching the batch files used by software streaming
+frameworks such as KickStarter.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+from repro.streams import Edge, UpdateBatch
+
+PathLike = Union[str, Path]
+
+_BINARY_MAGIC = b"JSG1"
+_EDGE_STRUCT = struct.Struct("<qqd")
+
+
+def write_edge_list(path: PathLike, edges: Iterable[Tuple[int, int, float]]) -> int:
+    """Write a plain-text edge list; returns the number of edges written."""
+    count = 0
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write("# src dst weight\n")
+        for u, v, w in edges:
+            handle.write(f"{u} {v} {w:g}\n")
+            count += 1
+    return count
+
+
+def read_edge_list(path: PathLike) -> List[Tuple[int, int, float]]:
+    """Read a plain-text edge list (weight defaults to 1.0)."""
+    edges: List[Tuple[int, int, float]] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise ValueError(f"{path}:{lineno}: expected 'src dst [weight]'")
+            u, v = int(parts[0]), int(parts[1])
+            w = float(parts[2]) if len(parts) == 3 else 1.0
+            edges.append((u, v, w))
+    return edges
+
+
+def write_binary_edges(path: PathLike, edges: Iterable[Tuple[int, int, float]]) -> int:
+    """Write the compact binary edge format; returns the edge count."""
+    edges = list(edges)
+    with open(path, "wb") as handle:
+        handle.write(_BINARY_MAGIC)
+        handle.write(struct.pack("<q", len(edges)))
+        for u, v, w in edges:
+            handle.write(_EDGE_STRUCT.pack(u, v, w))
+    return len(edges)
+
+
+def read_binary_edges(path: PathLike) -> List[Tuple[int, int, float]]:
+    """Read the compact binary edge format."""
+    with open(path, "rb") as handle:
+        magic = handle.read(4)
+        if magic != _BINARY_MAGIC:
+            raise ValueError(f"{path}: not a JetStream binary edge file")
+        (count,) = struct.unpack("<q", handle.read(8))
+        edges = []
+        for _ in range(count):
+            u, v, w = _EDGE_STRUCT.unpack(handle.read(_EDGE_STRUCT.size))
+            edges.append((int(u), int(v), float(w)))
+    return edges
+
+
+def write_update_stream(path: PathLike, batches: Iterable[UpdateBatch]) -> int:
+    """Write a stream of update batches; returns the batch count.
+
+    Format: ``batch`` separator lines, then ``a src dst weight`` /
+    ``d src dst`` records.
+    """
+    count = 0
+    with open(path, "w", encoding="ascii") as handle:
+        for batch in batches:
+            handle.write("batch\n")
+            for edge in batch.insertions:
+                handle.write(f"a {edge.u} {edge.v} {edge.w:g}\n")
+            for edge in batch.deletions:
+                handle.write(f"d {edge.u} {edge.v}\n")
+            count += 1
+    return count
+
+
+def read_update_stream(path: PathLike) -> List[UpdateBatch]:
+    """Read a stream of update batches written by :func:`write_update_stream`."""
+    batches: List[UpdateBatch] = []
+    insertions: List[Edge] = []
+    deletions: List[Edge] = []
+    started = False
+
+    def flush() -> None:
+        nonlocal insertions, deletions
+        batches.append(UpdateBatch(insertions=insertions, deletions=deletions))
+        insertions, deletions = [], []
+
+    with open(path, "r", encoding="ascii") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line == "batch":
+                if started:
+                    flush()
+                started = True
+                continue
+            parts = line.split()
+            if not started:
+                raise ValueError(f"{path}:{lineno}: record before first 'batch'")
+            if parts[0] == "a" and len(parts) == 4:
+                insertions.append(Edge(int(parts[1]), int(parts[2]), float(parts[3])))
+            elif parts[0] == "d" and len(parts) == 3:
+                deletions.append(Edge(int(parts[1]), int(parts[2]), 0.0))
+            else:
+                raise ValueError(f"{path}:{lineno}: bad record {line!r}")
+    if started:
+        flush()
+    return batches

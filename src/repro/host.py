@@ -1,0 +1,174 @@
+"""Host-side co-processor API (§4.1).
+
+The paper's accelerator "is designed to work alongside a host as an
+ASIC/FPGA-based co-processor with dedicated DRAM memory": the host
+allocates and initializes the graph and initial events in accelerator
+memory via a provided API, kicks off computation, is alerted on completion,
+and reads the state back. :class:`Accelerator` reproduces that programming
+model as the highest-level entry point of the library:
+
+    accel = Accelerator()
+    session = accel.load_graph(edges)
+    session.configure(algorithm="sssp", source=0)
+    session.run()                       # initial evaluation
+    session.push_updates(insertions=[(2, 0, 1.0)], deletions=[(0, 1)])
+    session.run()                       # incremental re-evaluation
+    distances = session.read_results()
+
+The facade also tracks the host<->accelerator transfer volumes (graph CSR
+upload, batch records, result read-back) the way a driver would, exposing
+them through :meth:`Session.transfer_stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.algorithms import make_algorithm
+from repro.core.config import AcceleratorConfig
+from repro.core.policies import DeletePolicy
+from repro.core.streaming import JetStreamEngine, StreamingResult
+from repro.graph.csr import EDGE_ENTRY_BYTES, VERTEX_STATE_BYTES
+from repro.graph.dynamic import DynamicGraph
+from repro.streams import Edge, UpdateBatch
+
+EdgeTuple = Tuple[int, int, float]
+
+
+class HostApiError(RuntimeError):
+    """Raised when the host protocol is violated (e.g. run before load)."""
+
+
+@dataclass
+class TransferStats:
+    """Host <-> accelerator DMA volumes (bytes)."""
+
+    graph_uploads: int = 0
+    update_records: int = 0
+    results_read: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.graph_uploads + self.update_records + self.results_read
+
+
+class Session:
+    """One query session on the accelerator."""
+
+    def __init__(self, accelerator: "Accelerator", graph: DynamicGraph):
+        self._accelerator = accelerator
+        self._graph = graph
+        self._engine: Optional[JetStreamEngine] = None
+        self._pending: Optional[UpdateBatch] = None
+        self._last_result: Optional[StreamingResult] = None
+        self.transfers = TransferStats()
+        # Initial CSR upload: out + in structures plus vertex states.
+        self.transfers.graph_uploads += 2 * graph.num_edges * EDGE_ENTRY_BYTES
+        self.transfers.graph_uploads += graph.num_vertices * VERTEX_STATE_BYTES
+
+    # ------------------------------------------------------------------
+    def configure(
+        self,
+        algorithm: str,
+        source: int = 0,
+        policy: DeletePolicy = DeletePolicy.DAP,
+        **algorithm_kwargs,
+    ) -> "Session":
+        """Bind the application (Reduce/Propagate pair) to the session."""
+        algo = make_algorithm(algorithm, source=source, **algorithm_kwargs)
+        if algo.needs_symmetric and not self._graph.symmetric:
+            raise HostApiError(
+                f"{algorithm} needs a symmetric graph; pass symmetric=True "
+                "to Accelerator.load_graph"
+            )
+        self._engine = JetStreamEngine(
+            self._graph, algo, config=self._accelerator.config, policy=policy
+        )
+        return self
+
+    def push_updates(
+        self,
+        insertions: Sequence[EdgeTuple] = (),
+        deletions: Sequence[Tuple[int, int]] = (),
+    ) -> "Session":
+        """Stage a batch of streaming updates for the next :meth:`run`."""
+        if self._pending is not None:
+            raise HostApiError("a batch is already staged; run() it first")
+        self._pending = UpdateBatch(
+            insertions=[Edge(u, v, w) for u, v, w in insertions],
+            deletions=[Edge(u, v) for u, v in deletions],
+        )
+        self.transfers.update_records += (
+            self._pending.size * self._accelerator.config.stream_record_bytes
+        )
+        return self
+
+    def run(self) -> StreamingResult:
+        """Run the accelerator: initial evaluation, or the staged batch."""
+        if self._engine is None:
+            raise HostApiError("configure() the session before run()")
+        if self._last_result is None:
+            self._last_result = self._engine.initial_compute()
+        else:
+            if self._pending is None:
+                raise HostApiError("no staged updates; push_updates() first")
+            batch, self._pending = self._pending, None
+            self._last_result = self._engine.apply_batch(batch)
+            # The host swaps a fresh CSR pointer after each batch (§4.7).
+            self.transfers.graph_uploads += (
+                2 * batch.size * EDGE_ENTRY_BYTES
+            )
+        return self._last_result
+
+    def read_results(self) -> np.ndarray:
+        """DMA the converged vertex states back to the host."""
+        if self._last_result is None:
+            raise HostApiError("nothing computed yet; run() first")
+        states = self._engine.query_result()
+        self.transfers.results_read += states.shape[0] * VERTEX_STATE_BYTES
+        return states
+
+    def transfer_stats(self) -> TransferStats:
+        """Cumulative host<->accelerator transfer volumes."""
+        return self.transfers
+
+    @property
+    def graph(self) -> DynamicGraph:
+        """The session's evolving graph (host-side master copy)."""
+        return self._graph
+
+    @property
+    def last_result(self) -> Optional[StreamingResult]:
+        """The most recent run's result record."""
+        return self._last_result
+
+
+class Accelerator:
+    """The co-processor as the host driver sees it."""
+
+    def __init__(self, config: Optional[AcceleratorConfig] = None):
+        self.config = config or AcceleratorConfig()
+        self.sessions: List[Session] = []
+
+    def load_graph(
+        self,
+        edges: Iterable[EdgeTuple],
+        num_vertices: int = 0,
+        symmetric: bool = False,
+    ) -> Session:
+        """Allocate and upload a graph, returning a fresh session."""
+        if symmetric:
+            graph = DynamicGraph(num_vertices, symmetric=True)
+            seen = set()
+            for u, v, w in edges:
+                if (u, v) not in seen and (v, u) not in seen:
+                    seen.add((u, v))
+                    graph.add_edge(u, v, w, _count_version=False)
+        else:
+            graph = DynamicGraph.from_edges(edges, num_vertices)
+        session = Session(self, graph)
+        self.sessions.append(session)
+        return session

@@ -1,0 +1,29 @@
+"""Architectural models: timing, DRAM, power/area, software cost models.
+
+The functional engines (:mod:`repro.core`) record per-round work vectors;
+this package converts them into cycle/time/energy estimates for the
+Table 1 hardware configuration, and converts the software baselines' work
+counters into time on the Table 1 software platform.
+
+See DESIGN.md §1 for why an event-level model substitutes for the paper's
+SST/DRAMSim2 cycle-accurate simulation.
+"""
+
+from repro.sim.memory import DRAMModel, MemoryTraffic
+from repro.sim.timing import AcceleratorTimingModel, TimingReport, PhaseTiming
+from repro.sim.power import PowerAreaModel, ComponentBudget
+from repro.sim.cost_models import SoftwareCostModel
+from repro.sim.noc import CrossbarModel, NocEstimate
+
+__all__ = [
+    "DRAMModel",
+    "MemoryTraffic",
+    "AcceleratorTimingModel",
+    "TimingReport",
+    "PhaseTiming",
+    "PowerAreaModel",
+    "ComponentBudget",
+    "SoftwareCostModel",
+    "CrossbarModel",
+    "NocEstimate",
+]

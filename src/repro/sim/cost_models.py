@@ -1,0 +1,86 @@
+"""Software-platform cost model for the baseline frameworks (§6.1).
+
+The baseline re-implementations (:mod:`repro.baselines`) are *functional*:
+they execute KickStarter's and GraphBolt's algorithms and count the work
+that dominates their runtime on the Table 1 software platform (36-core i9,
+24 MB L2, 4×DDR4). This model converts those counters into wall-clock
+estimates.
+
+Cost constants and their provenance
+-----------------------------------
+
+* ``random_access_ns`` — a dependent random DRAM access on a loaded
+  multi-socket-class server is 60–100 ns; graph frameworks hide part of it
+  with MLP, so the *effective* cost lands near 35–45 ns. KickStarter's
+  neighbor re-reads and pull-mode gathers pay this.
+* ``atomic_op_ns`` — contended CAS/fetch-add ~10–20 ns (the paper singles
+  out KickStarter's atomics for resetting vertex values).
+* ``edge_traverse_ns`` / ``vertex_work_ns`` — streaming sequential work at
+  a few bytes/cycle/core.
+* ``barrier_us`` — an OpenMP-style barrier across 36 threads is 5–30 µs;
+  BSP systems pay it once or twice per iteration.
+* ``parallel_efficiency`` — graph workloads scale sublinearly (memory
+  bound); 0.4–0.6 of linear at 36 cores is typical of published Ligra/
+  GraphBolt scaling curves.
+
+These magnitudes reproduce the paper's *shape*: the accelerator wins ~18×
+on equal algorithmic work and the gap widens at small batches where the
+software frameworks' fixed per-batch costs (barriers, full-frontier scans)
+dominate. Absolute milliseconds are not the target (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.config import SoftwareConfig
+from repro.core.metrics import SoftwareWork
+
+
+@dataclass
+class SoftwareTimeReport:
+    """Wall-clock estimate with per-term breakdown (ns totals)."""
+
+    serial_ns: float
+    parallel_ns: float
+    total_ms: float
+    terms: Dict[str, float]
+
+
+class SoftwareCostModel:
+    """Converts :class:`~repro.core.metrics.SoftwareWork` into time."""
+
+    def __init__(self, config: Optional[SoftwareConfig] = None):
+        self.config = config or SoftwareConfig()
+
+    def time_report(self, work: SoftwareWork) -> SoftwareTimeReport:
+        """Detailed estimate for one framework run."""
+        config = self.config
+        terms = {
+            "random_reads": work.vertex_reads_random * config.random_access_ns,
+            "sequential_reads": work.vertex_reads_sequential * config.cached_access_ns,
+            "vertex_writes": work.vertex_writes * config.vertex_work_ns,
+            "edges": work.edges_traversed * config.edge_traverse_ns,
+            "atomics": work.atomics * config.atomic_op_ns,
+            "bookkeeping": work.bookkeeping_bytes
+            / max(1.0, config.dram_channels * config.dram_channel_gbps)
+            if work.bookkeeping_bytes
+            else 0.0,
+        }
+        parallel_ns = sum(terms.values()) / self.config.effective_cores()
+        serial_ns = (
+            work.iterations * config.barrier_us * 1e3
+            + config.per_batch_overhead_us * 1e3
+        )
+        total_ms = (serial_ns + parallel_ns) / 1e6
+        return SoftwareTimeReport(
+            serial_ns=serial_ns,
+            parallel_ns=parallel_ns,
+            total_ms=total_ms,
+            terms=terms,
+        )
+
+    def time_ms(self, work: SoftwareWork) -> float:
+        """Wall-clock estimate in milliseconds."""
+        return self.time_report(work).total_ms

@@ -1,0 +1,189 @@
+"""Streaming-update batches and workload generation.
+
+Graph updates arrive as a stream of edge insertions/deletions, collected
+into batches and applied between query evaluations (§2.1, Fig. 1). The
+paper's evaluation uses 100K-edge batches at 70% insertions / 30% deletions
+(Table 3) and sweeps both the size (Fig. 13) and the composition (Fig. 14).
+
+:class:`StreamGenerator` produces consistent batches against a
+:class:`~repro.graph.dynamic.DynamicGraph`: deletions sample edges that
+currently exist, insertions are fresh edges, and no edge appears twice in
+one batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Set, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge ``u -> v`` with weight ``w``."""
+
+    u: int
+    v: int
+    w: float = 1.0
+
+    def key(self) -> Tuple[int, int]:
+        """The ``(u, v)`` identity of the edge (weights don't identify)."""
+        return (self.u, self.v)
+
+
+@dataclass
+class UpdateBatch:
+    """One batch of streaming updates (Δ in Fig. 1)."""
+
+    insertions: List[Edge] = field(default_factory=list)
+    deletions: List[Edge] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Total number of edge updates in the batch."""
+        return len(self.insertions) + len(self.deletions)
+
+    @property
+    def insertion_ratio(self) -> float:
+        """Fraction of the batch that is insertions."""
+        return len(self.insertions) / self.size if self.size else 0.0
+
+    def validate(self) -> None:
+        """Check internal consistency: no duplicate updates, no edge both
+        inserted and deleted with identical weight ambiguity."""
+        ins = {e.key() for e in self.insertions}
+        if len(ins) != len(self.insertions):
+            raise ValueError("duplicate insertion in batch")
+        dels = {e.key() for e in self.deletions}
+        if len(dels) != len(self.deletions):
+            raise ValueError("duplicate deletion in batch")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UpdateBatch(+{len(self.insertions)}, -{len(self.deletions)})"
+
+
+class StreamGenerator:
+    """Generates a reproducible stream of update batches for a graph.
+
+    Parameters
+    ----------
+    graph:
+        The :class:`~repro.graph.dynamic.DynamicGraph` the stream mutates.
+        The generator tracks the live edge set; callers must apply each
+        produced batch to the graph (``graph.apply_batch``) before asking
+        for the next one (the engines do this).
+    seed:
+        RNG seed; streams are fully deterministic.
+    insertion_ratio:
+        Fraction of each batch that is insertions (paper default 0.7).
+    weighted:
+        Whether inserted edges get random integer weights (else 1.0).
+    """
+
+    def __init__(
+        self,
+        graph,
+        seed: int = 0,
+        insertion_ratio: float = 0.7,
+        weighted: bool = True,
+        max_weight: int = 64,
+    ):
+        if not 0.0 <= insertion_ratio <= 1.0:
+            raise ValueError("insertion_ratio must be within [0, 1]")
+        self.graph = graph
+        self.rng = np.random.default_rng(seed)
+        self.insertion_ratio = insertion_ratio
+        self.weighted = weighted
+        self.max_weight = max_weight
+
+    def next_batch(
+        self, size: int, insertion_ratio: Optional[float] = None
+    ) -> UpdateBatch:
+        """Produce the next batch of ``size`` edge updates.
+
+        Deletions are sampled uniformly from the current edge set;
+        insertions are fresh ``(u, v)`` pairs not currently present and not
+        deleted in this same batch (re-inserting a just-deleted edge would
+        be a weight update, which the paper models explicitly as two
+        separate batch entries — we keep batches unambiguous instead).
+        """
+        ratio = self.insertion_ratio if insertion_ratio is None else insertion_ratio
+        if not 0.0 <= ratio <= 1.0:
+            raise ValueError("insertion_ratio must be within [0, 1]")
+        num_ins = int(round(size * ratio))
+        num_del = size - num_ins
+
+        deletions = self._sample_deletions(num_del)
+        deleted_keys = {e.key() for e in deletions}
+        insertions = self._sample_insertions(num_ins, deleted_keys)
+        batch = UpdateBatch(insertions=insertions, deletions=deletions)
+        batch.validate()
+        return batch
+
+    def stream(self, batch_size: int, num_batches: int) -> Iterator[UpdateBatch]:
+        """Yield ``num_batches`` batches, applying each to the graph.
+
+        Convenience for examples/tests that don't drive an engine: the graph
+        is mutated here so successive batches stay consistent.
+        """
+        for _ in range(num_batches):
+            batch = self.next_batch(batch_size)
+            self.graph.apply_batch(
+                [(e.u, e.v, e.w) for e in batch.insertions],
+                [e.key() for e in batch.deletions],
+            )
+            yield batch
+
+    # ------------------------------------------------------------------
+    def _sample_deletions(self, count: int) -> List[Edge]:
+        live = self._live_edges()
+        if count > len(live):
+            raise ValueError(
+                f"cannot delete {count} edges from a graph with {len(live)}"
+            )
+        if count == 0:
+            return []
+        picks = self.rng.choice(len(live), size=count, replace=False)
+        out = []
+        for i in picks:
+            u, v, w = live[int(i)]
+            out.append(Edge(u, v, w))
+        return out
+
+    def _live_edges(self) -> List[Tuple[int, int, float]]:
+        if self.graph.symmetric:
+            # Sample each undirected edge once; the engine mirrors deletes.
+            return sorted(
+                (u, v, w) for u, v, w in self.graph.edges() if u < v
+            )
+        return sorted(self.graph.edges())
+
+    def _sample_insertions(
+        self, count: int, excluded: Set[Tuple[int, int]]
+    ) -> List[Edge]:
+        n = self.graph.num_vertices
+        out: List[Edge] = []
+        chosen: Set[Tuple[int, int]] = set()
+        attempts = 0
+        limit = 200 * max(1, count) + 1000
+        while len(out) < count:
+            attempts += 1
+            if attempts > limit:
+                raise RuntimeError("could not find enough fresh edges to insert")
+            u = int(self.rng.integers(0, n))
+            v = int(self.rng.integers(0, n))
+            if u == v:
+                continue
+            key = (u, v)
+            mirror = (v, u)
+            if key in chosen or key in excluded:
+                continue
+            if self.graph.symmetric and (mirror in chosen or mirror in excluded):
+                continue
+            if self.graph.has_edge(u, v):
+                continue
+            w = float(self.rng.integers(1, self.max_weight)) if self.weighted else 1.0
+            out.append(Edge(u, v, w))
+            chosen.add(key)
+        return out

@@ -1,0 +1,236 @@
+"""Unit tests for the DAIC algorithm definitions."""
+
+import math
+
+import pytest
+
+from repro.algorithms import (
+    Adsorption,
+    BFS,
+    ConnectedComponents,
+    PageRank,
+    SSSP,
+    SSWP,
+    make_algorithm,
+)
+from repro.algorithms.base import AlgorithmKind, SourceContext
+from repro.graph.csr import CSRGraph
+
+
+@pytest.fixture
+def tiny_graph():
+    return CSRGraph(4, [(0, 1, 2.0), (1, 2, 3.0), (2, 3, 4.0)])
+
+
+class TestSSSP:
+    def test_interface(self):
+        alg = SSSP(source=0)
+        assert alg.kind is AlgorithmKind.SELECTIVE
+        assert alg.identity == math.inf
+
+    def test_reduce_is_min(self):
+        alg = SSSP()
+        assert alg.reduce(5.0, 3.0) == 3.0
+        assert alg.reduce(3.0, 5.0) == 3.0
+
+    def test_propagate_adds_weight(self):
+        assert SSSP().propagate(5.0, 2.0, None) == 7.0
+
+    def test_initial_events(self, tiny_graph):
+        assert SSSP(source=2).initial_events(tiny_graph) == [(2, 0.0)]
+
+    def test_source_out_of_range(self, tiny_graph):
+        with pytest.raises(ValueError):
+            SSSP(source=10).initial_events(tiny_graph)
+
+    def test_negative_source_rejected(self):
+        with pytest.raises(ValueError):
+            SSSP(source=-1)
+
+    def test_self_event_only_for_source(self):
+        alg = SSSP(source=1)
+        assert alg.self_event(1) == 0.0
+        assert alg.self_event(0) is None
+
+    def test_more_progressed(self):
+        alg = SSSP()
+        assert alg.more_progressed(3.0, 5.0)
+        assert not alg.more_progressed(5.0, 3.0)
+        assert not alg.more_progressed(3.0, 3.0)
+
+
+class TestSSWP:
+    def test_reduce_is_max(self):
+        alg = SSWP()
+        assert alg.reduce(5.0, 3.0) == 5.0
+
+    def test_propagate_is_bottleneck(self):
+        alg = SSWP()
+        assert alg.propagate(5.0, 2.0, None) == 2.0
+        assert alg.propagate(2.0, 5.0, None) == 2.0
+
+    def test_source_gets_infinite_capacity(self, tiny_graph):
+        events = SSWP(source=0).initial_events(tiny_graph)
+        assert events == [(0, math.inf)]
+
+    def test_identity_is_zero(self):
+        assert SSWP().identity == 0.0
+
+    def test_more_progressed(self):
+        alg = SSWP()
+        assert alg.more_progressed(5.0, 3.0)
+        assert not alg.more_progressed(3.0, 5.0)
+
+
+class TestBFS:
+    def test_propagate_ignores_weight(self):
+        assert BFS().propagate(3.0, 99.0, None) == 4.0
+
+    def test_initial_events(self, tiny_graph):
+        assert BFS(source=0).initial_events(tiny_graph) == [(0, 0.0)]
+
+
+class TestConnectedComponents:
+    def test_needs_symmetric(self):
+        assert ConnectedComponents().needs_symmetric
+
+    def test_propagate_passes_label(self):
+        assert ConnectedComponents().propagate(3.0, 7.0, None) == 3.0
+
+    def test_every_vertex_seeded(self, tiny_graph):
+        events = ConnectedComponents().initial_events(tiny_graph)
+        assert events == [(v, float(v)) for v in range(4)]
+
+    def test_self_event_is_own_label(self):
+        alg = ConnectedComponents()
+        assert alg.self_event(3) == 3.0
+        assert alg.seed_event_for_new_vertex(9) == 9.0
+
+
+class TestPageRank:
+    def test_interface(self):
+        alg = PageRank()
+        assert alg.kind is AlgorithmKind.ACCUMULATIVE
+        assert alg.degree_dependent
+        assert alg.identity == 0.0
+
+    def test_reduce_is_sum(self):
+        assert PageRank().reduce(1.0, 2.5) == 3.5
+
+    def test_propagate_divides_by_degree(self):
+        alg = PageRank(alpha=0.85)
+        ctx = SourceContext(out_degree=4, out_weight_sum=10.0)
+        assert alg.propagate(2.0, 1.0, ctx) == pytest.approx(0.425)
+
+    def test_propagate_sink_is_zero(self):
+        alg = PageRank()
+        assert alg.propagate(2.0, 1.0, SourceContext(0, 0.0)) == 0.0
+
+    def test_propagation_factor_consistent(self):
+        alg = PageRank()
+        ctx = SourceContext(out_degree=3, out_weight_sum=5.0)
+        assert alg.propagate(2.0, 1.0, ctx) == pytest.approx(
+            2.0 * alg.propagation_factor(ctx)
+        )
+        assert not alg.weight_scaled_propagation
+
+    def test_teleport_events(self, tiny_graph):
+        events = PageRank(alpha=0.85).initial_events(tiny_graph)
+        assert all(payload == pytest.approx(0.15) for _, payload in events)
+        assert len(events) == 4
+
+    def test_new_vertex_seed(self):
+        assert PageRank(alpha=0.8).seed_event_for_new_vertex(5) == pytest.approx(0.2)
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            PageRank(alpha=1.5)
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            PageRank(tolerance=0.0)
+
+    def test_should_propagate_threshold(self):
+        alg = PageRank(tolerance=1e-3)
+        assert alg.should_propagate(0.01)
+        assert alg.should_propagate(-0.01)
+        assert not alg.should_propagate(1e-4)
+
+
+class TestAdsorption:
+    def test_interface(self):
+        alg = Adsorption()
+        assert alg.kind is AlgorithmKind.ACCUMULATIVE
+        assert alg.degree_dependent
+        assert alg.weight_scaled_propagation
+
+    def test_propagate_normalizes_by_weight_sum(self):
+        alg = Adsorption(p_continue=0.7)
+        ctx = SourceContext(out_degree=2, out_weight_sum=10.0)
+        assert alg.propagate(1.0, 4.0, ctx) == pytest.approx(0.28)
+
+    def test_propagation_factor_consistent(self):
+        alg = Adsorption()
+        ctx = SourceContext(out_degree=2, out_weight_sum=8.0)
+        assert alg.propagate(3.0, 2.0, ctx) == pytest.approx(
+            3.0 * alg.propagation_factor(ctx) * 2.0
+        )
+
+    def test_injection_events(self, tiny_graph):
+        alg = Adsorption(injections={1: 2.0}, p_inject=0.25)
+        assert alg.initial_events(tiny_graph) == [(1, 0.5)]
+
+    def test_injection_out_of_range(self, tiny_graph):
+        with pytest.raises(ValueError):
+            Adsorption(injections={99: 1.0}).initial_events(tiny_graph)
+
+    def test_seed_only_for_injected(self):
+        alg = Adsorption(injections={3: 2.0}, p_inject=0.25)
+        assert alg.seed_event_for_new_vertex(3) == pytest.approx(0.5)
+        assert alg.seed_event_for_new_vertex(4) is None
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            Adsorption(p_inject=0.5, p_continue=0.6)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("sssp", SSSP),
+            ("sswp", SSWP),
+            ("bfs", BFS),
+            ("cc", ConnectedComponents),
+            ("pagerank", PageRank),
+            ("pr", PageRank),
+            ("adsorption", Adsorption),
+        ],
+    )
+    def test_make_algorithm(self, name, cls):
+        assert isinstance(make_algorithm(name), cls)
+
+    def test_source_forwarded(self):
+        assert make_algorithm("sssp", source=3).source == 3
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_algorithm("triangle-counting")
+
+
+class TestValueComparison:
+    def test_selective_exact(self):
+        alg = SSSP()
+        assert alg.values_close(3.0, 3.0)
+        assert not alg.values_close(3.0, 3.0001)
+        assert alg.values_close(math.inf, math.inf)
+
+    def test_accumulative_tolerant(self):
+        alg = PageRank(tolerance=1e-6)
+        assert alg.values_close(1.0, 1.0 + 1e-7)
+        assert not alg.values_close(1.0, 1.1)
+
+    def test_states_close(self):
+        alg = SSSP()
+        assert alg.states_close([1.0, 2.0], [1.0, 2.0])
+        assert not alg.states_close([1.0, 2.0], [1.0, 3.0])

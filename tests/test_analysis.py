@@ -1,0 +1,93 @@
+"""Tests for graph analysis statistics and the metrics trace export."""
+
+import numpy as np
+import pytest
+
+from repro.graph import analysis, datasets, generators
+from repro.graph.csr import CSRGraph
+
+
+class TestDegreeStats:
+    def test_degree_distribution(self):
+        csr = CSRGraph(3, [(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)])
+        assert list(analysis.degree_distribution(csr)) == [2, 1, 0]
+
+    def test_skew_regular_graph(self):
+        csr = CSRGraph(4, [(i, (i + 1) % 4, 1.0) for i in range(4)])
+        assert analysis.degree_skew(csr) == pytest.approx(1.0)
+
+    def test_skew_star_graph(self):
+        csr = CSRGraph(5, [(0, v, 1.0) for v in range(1, 5)])
+        assert analysis.degree_skew(csr) == pytest.approx(4 / 0.8)
+
+    def test_empty_graph(self):
+        csr = CSRGraph(0, [])
+        assert analysis.degree_skew(csr) == 0.0
+
+
+class TestReachability:
+    def test_bfs_levels_chain(self):
+        csr = CSRGraph(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        assert list(analysis.bfs_levels(csr, 0)) == [0, 1, 2, 3]
+
+    def test_unreachable_marked(self):
+        csr = CSRGraph(3, [(0, 1, 1.0)])
+        assert analysis.bfs_levels(csr, 0)[2] == -1
+
+    def test_effective_diameter_chain(self):
+        csr = CSRGraph(11, [(i, i + 1, 1.0) for i in range(10)])
+        assert analysis.effective_diameter(csr, 0, percentile=100) == 10.0
+
+    def test_reachable_fraction(self):
+        csr = CSRGraph(4, [(0, 1, 1.0)])
+        assert analysis.reachable_fraction(csr, 0) == pytest.approx(0.5)
+
+    def test_component_sizes(self):
+        csr = CSRGraph(6, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)])
+        assert analysis.component_sizes(csr) == [3, 2, 1]
+
+
+class TestProfile:
+    def test_profile_fields(self):
+        csr = datasets.load_csr("WK")
+        profile = analysis.profile(csr)
+        assert profile.num_vertices == csr.num_vertices
+        assert profile.reachable_fraction > 0.95  # ensure_reachable_core
+        assert set(profile.as_dict()) >= {"effective_diameter", "degree_skew"}
+
+    def test_topology_classes_hold(self):
+        """DESIGN.md claim: web stand-ins are narrow/long-path, social
+        stand-ins are highly connected with heavy-tailed degrees."""
+        web = analysis.profile(datasets.load_csr("WK"))
+        social = analysis.profile(datasets.load_csr("FB"))
+        assert web.effective_diameter > social.effective_diameter
+        assert social.degree_skew > 5 * web.degree_skew
+
+
+class TestMetricsExport:
+    def _metrics(self):
+        from repro import DynamicGraph, JetStreamEngine, make_algorithm
+
+        graph = DynamicGraph.from_edges(generators.erdos_renyi(30, 120, seed=1), 30)
+        engine = JetStreamEngine(graph, make_algorithm("sssp", source=0))
+        return engine.initial_compute().metrics
+
+    def test_to_rows(self):
+        rows = self._metrics().to_rows()
+        assert rows
+        assert rows[0]["phase"] == "initial"
+        assert all("events_processed" in row for row in rows)
+
+    def test_to_csv_round_trip(self, tmp_path):
+        metrics = self._metrics()
+        path = tmp_path / "trace.csv"
+        count = metrics.to_csv(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == count + 1  # header
+        assert lines[0].startswith("phase,round,")
+
+    def test_to_csv_empty(self, tmp_path):
+        from repro.core.metrics import RunMetrics
+
+        path = tmp_path / "empty.csv"
+        assert RunMetrics().to_csv(str(path)) == 0

@@ -1,0 +1,145 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import generators, io
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    path = tmp_path / "graph.txt"
+    io.write_edge_list(path, generators.erdos_renyi(60, 240, seed=3))
+    return str(path)
+
+
+@pytest.fixture
+def update_file(tmp_path, edge_file):
+    from repro.graph.dynamic import DynamicGraph
+    from repro.streams import StreamGenerator
+
+    graph = DynamicGraph.from_edges(io.read_edge_list(edge_file))
+    generator = StreamGenerator(graph, seed=4)
+    batches = list(generator.stream(8, 3))
+    path = tmp_path / "updates.txt"
+    io.write_update_stream(path, batches)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_args(self):
+        args = build_parser().parse_args(
+            ["query", "--edges", "x.txt", "--algorithm", "bfs", "--source", "3"]
+        )
+        assert args.command == "query"
+        assert args.algorithm == "bfs"
+        assert args.source == 3
+
+    def test_edges_and_dataset_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--edges", "x.txt", "--dataset", "WK"]
+            )
+
+    def test_bad_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--edges", "x.txt", "--algorithm", "mis"]
+            )
+
+
+class TestQueryCommand:
+    def test_selective_query(self, edge_file, capsys):
+        assert main(["query", "--edges", edge_file, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "sssp on 60 vertices" in out
+        assert "model time" in out
+
+    def test_accumulative_query(self, edge_file, capsys):
+        assert (
+            main(["query", "--edges", edge_file, "--algorithm", "pagerank"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "top 10 vertices by value" in out
+
+    def test_cc_symmetrizes(self, edge_file, capsys):
+        assert main(["query", "--edges", edge_file, "--algorithm", "cc"]) == 0
+        assert "cc on" in capsys.readouterr().out
+
+
+class TestStreamCommand:
+    def test_generated_stream(self, edge_file, capsys):
+        code = main(
+            [
+                "stream",
+                "--edges",
+                edge_file,
+                "--batches",
+                "2",
+                "--batch-size",
+                "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "initial evaluation" in out
+        assert out.count("\n") >= 4
+
+    def test_stream_from_file(self, edge_file, update_file, capsys):
+        code = main(
+            [
+                "stream",
+                "--edges",
+                edge_file,
+                "--updates",
+                update_file,
+                "--batches",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "batch" in capsys.readouterr().out
+
+    def test_compare_cold(self, edge_file, capsys):
+        code = main(
+            [
+                "stream",
+                "--edges",
+                edge_file,
+                "--batches",
+                "1",
+                "--batch-size",
+                "6",
+                "--compare-cold",
+            ]
+        )
+        assert code == 0
+        assert "advantage" in capsys.readouterr().out
+
+    def test_policy_choice(self, edge_file, capsys):
+        code = main(
+            [
+                "stream",
+                "--edges",
+                edge_file,
+                "--batches",
+                "1",
+                "--batch-size",
+                "4",
+                "--policy",
+                "vap",
+            ]
+        )
+        assert code == 0
+
+
+class TestDatasetsCommand:
+    def test_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Wikipedia", "Facebook", "LiveJournal", "UK-2002", "Twitter"):
+            assert name in out

@@ -1,0 +1,101 @@
+"""Tests for the configuration dataclasses and policy descriptors."""
+
+import pytest
+
+from repro.core.config import (
+    AcceleratorConfig,
+    SoftwareConfig,
+    table1_rows,
+)
+from repro.core.policies import DeletePolicy
+
+
+class TestAcceleratorConfig:
+    def test_table1_defaults(self):
+        config = AcceleratorConfig()
+        assert config.num_processors == 8
+        assert config.clock_ghz == 1.0
+        assert config.queue_bytes == 64 * 1024 * 1024
+        assert config.dram_channels == 4
+        assert config.dram_channel_gbps == 17.0
+
+    def test_queue_capacity(self):
+        config = AcceleratorConfig(queue_bytes=1024)
+        assert config.queue_capacity_vertices(8) == 128
+        assert config.queue_capacity_vertices(14) == 73
+
+    def test_dram_bytes_per_cycle(self):
+        config = AcceleratorConfig(dram_channels=4, dram_channel_gbps=17.0, clock_ghz=1.0)
+        assert config.dram_bytes_per_cycle() == pytest.approx(68.0)
+
+    def test_dram_bytes_scale_with_clock(self):
+        fast_clock = AcceleratorConfig(clock_ghz=2.0)
+        assert fast_clock.dram_bytes_per_cycle() == pytest.approx(34.0)
+
+    def test_with_overrides(self):
+        config = AcceleratorConfig().with_overrides(num_processors=16)
+        assert config.num_processors == 16
+        assert config.queue_bytes == AcceleratorConfig().queue_bytes
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            AcceleratorConfig().num_processors = 4
+
+    def test_event_size_ordering(self):
+        config = AcceleratorConfig()
+        assert (
+            config.event_bytes_graphpulse
+            < config.event_bytes_jetstream
+            < config.event_bytes_dap
+        )
+
+
+class TestSoftwareConfig:
+    def test_table1_defaults(self):
+        config = SoftwareConfig()
+        assert config.num_cores == 36
+        assert config.clock_ghz == 3.0
+        assert config.dram_channel_gbps == 19.0
+
+    def test_effective_cores_floor(self):
+        config = SoftwareConfig(num_cores=1, parallel_efficiency=0.1)
+        assert config.effective_cores() == 1.0
+
+
+class TestTable1Rows:
+    def test_three_rows(self):
+        rows = table1_rows()
+        assert [r["item"] for r in rows] == [
+            "Compute Unit",
+            "On-chip memory",
+            "Off-chip Bandwidth",
+        ]
+
+    def test_values_match_paper(self):
+        rows = {r["item"]: r for r in table1_rows()}
+        assert rows["Compute Unit"]["software"] == "36x Intel Core i9 @3GHz"
+        assert rows["Compute Unit"]["jetstream"] == "8x JetStream Processor @1GHz"
+        assert "64MB eDRAM" in rows["On-chip memory"]["jetstream"]
+        assert "DDR3" in rows["Off-chip Bandwidth"]["jetstream"]
+
+
+class TestDeletePolicy:
+    def test_dependency_tracking(self):
+        assert DeletePolicy.DAP.tracks_dependency
+        assert not DeletePolicy.VAP.tracks_dependency
+        assert not DeletePolicy.BASE.tracks_dependency
+
+    def test_delete_coalescing(self):
+        assert DeletePolicy.BASE.coalesces_deletes
+        assert DeletePolicy.VAP.coalesces_deletes
+        assert not DeletePolicy.DAP.coalesces_deletes
+
+    def test_event_bytes(self):
+        config = AcceleratorConfig()
+        assert DeletePolicy.DAP.event_bytes(config) == config.event_bytes_dap
+        assert DeletePolicy.VAP.event_bytes(config) == config.event_bytes_jetstream
+        assert DeletePolicy.BASE.event_bytes(config) == config.event_bytes_jetstream
+
+    def test_round_trip_by_value(self):
+        for policy in DeletePolicy:
+            assert DeletePolicy(policy.value) is policy

@@ -1,0 +1,150 @@
+"""Unit tests for the CSR graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph, edges_from_arrays
+
+
+@pytest.fixture
+def triangle() -> CSRGraph:
+    return CSRGraph(3, [(0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0)])
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = CSRGraph(0, [])
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert list(graph.edges()) == []
+
+    def test_vertices_without_edges(self):
+        graph = CSRGraph(5, [])
+        assert graph.num_vertices == 5
+        assert all(graph.out_degree(v) == 0 for v in range(5))
+        assert all(graph.in_degree(v) == 0 for v in range(5))
+
+    def test_basic_counts(self, triangle):
+        assert triangle.num_vertices == 3
+        assert triangle.num_edges == 3
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(-1, [])
+
+    def test_out_of_range_endpoint_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(2, [(0, 5, 1.0)])
+
+    def test_negative_vertex_id_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(2, [(-1, 0, 1.0)])
+
+    def test_from_edge_list_infers_size(self):
+        graph = CSRGraph.from_edge_list([(0, 7, 1.0), (3, 2, 1.0)])
+        assert graph.num_vertices == 8
+
+    def test_from_edge_list_explicit_size(self):
+        graph = CSRGraph.from_edge_list([(0, 1, 1.0)], num_vertices=10)
+        assert graph.num_vertices == 10
+
+    def test_edges_from_arrays(self):
+        edges = edges_from_arrays([0, 1], [1, 2], [0.5, 1.5])
+        assert edges == [(0, 1, 0.5), (1, 2, 1.5)]
+
+
+class TestTopology:
+    def test_out_degree(self, triangle):
+        assert [triangle.out_degree(v) for v in range(3)] == [1, 1, 1]
+
+    def test_in_degree(self, triangle):
+        assert [triangle.in_degree(v) for v in range(3)] == [1, 1, 1]
+
+    def test_out_edges(self, triangle):
+        assert list(triangle.out_edges(0)) == [(1, 2.0)]
+
+    def test_in_edges(self, triangle):
+        assert list(triangle.in_edges(0)) == [(2, 4.0)]
+
+    def test_out_in_consistency(self):
+        graph = CSRGraph(6, [(0, 1, 1.0), (0, 2, 2.0), (3, 1, 3.0), (4, 5, 4.0)])
+        out_view = sorted(
+            (u, v, w) for u in range(6) for v, w in graph.out_edges(u)
+        )
+        in_view = sorted(
+            (u, v, w) for v in range(6) for u, w in graph.in_edges(v)
+        )
+        assert out_view == in_view
+
+    def test_edges_round_trip(self):
+        edges = [(0, 1, 1.0), (0, 2, 2.5), (2, 1, 3.0), (1, 0, 4.0)]
+        graph = CSRGraph(3, edges)
+        assert sorted(graph.edges()) == sorted(edges)
+
+    def test_has_edge(self, triangle):
+        assert triangle.has_edge(0, 1)
+        assert not triangle.has_edge(1, 0)
+
+    def test_edge_weight(self, triangle):
+        assert triangle.edge_weight(1, 2) == 3.0
+
+    def test_edge_weight_missing_raises(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.edge_weight(1, 0)
+
+    def test_out_neighbors_array(self, triangle):
+        assert list(triangle.out_neighbors(0)) == [1]
+
+    def test_neighbors_sorted_by_target(self):
+        graph = CSRGraph(4, [(0, 3, 1.0), (0, 1, 1.0), (0, 2, 1.0)])
+        assert list(graph.out_neighbors(0)) == [1, 2, 3]
+
+
+class TestTransforms:
+    def test_reversed(self, triangle):
+        rev = triangle.reversed()
+        assert sorted(rev.edges()) == [(0, 2, 4.0), (1, 0, 2.0), (2, 1, 3.0)]
+
+    def test_reversed_twice_is_identity(self, triangle):
+        assert triangle.reversed().reversed() == triangle
+
+    def test_symmetrized_has_both_directions(self):
+        graph = CSRGraph(3, [(0, 1, 2.0)]).symmetrized()
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+
+    def test_symmetrized_keeps_existing_weight(self):
+        graph = CSRGraph(2, [(0, 1, 2.0), (1, 0, 9.0)]).symmetrized()
+        assert graph.edge_weight(1, 0) == 9.0
+        assert graph.num_edges == 2
+
+    def test_equality(self):
+        a = CSRGraph(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        b = CSRGraph(3, [(1, 2, 2.0), (0, 1, 1.0)])
+        assert a == b
+
+    def test_inequality(self):
+        a = CSRGraph(3, [(0, 1, 1.0)])
+        b = CSRGraph(3, [(0, 1, 2.0)])
+        assert a != b
+
+    def test_not_hashable(self, triangle):
+        with pytest.raises(TypeError):
+            hash(triangle)
+
+
+class TestLocalityHelpers:
+    def test_vertex_page(self):
+        graph = CSRGraph(2000, [])
+        assert graph.vertex_page(0, 2048) == 0
+        assert graph.vertex_page(255, 2048) == 0
+        assert graph.vertex_page(256, 2048) == 1  # 256 * 8B = 2048
+
+    def test_edge_pages_cover_range(self):
+        graph = CSRGraph(3, [(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)])
+        pages = graph.edge_pages(0, 2048)
+        assert len(list(pages)) >= 1
+
+    def test_offsets_monotone(self):
+        graph = CSRGraph(50, [(i, (i + 1) % 50, 1.0) for i in range(50)])
+        assert np.all(np.diff(graph.out_offsets) >= 0)
+        assert graph.out_offsets[-1] == graph.num_edges

@@ -1,0 +1,76 @@
+"""Unit tests for the Table 2 dataset stand-ins."""
+
+import pytest
+
+from repro.graph import datasets
+
+
+class TestSpecs:
+    def test_all_five_present(self):
+        assert set(datasets.ORDER) == {"WK", "FB", "LJ", "UK", "TW"}
+        assert set(datasets.SPECS) == set(datasets.ORDER)
+
+    def test_relative_size_ordering(self):
+        """TW is the largest, UK next — mirroring the paper's ordering."""
+        sizes = {k: datasets.SPECS[k].num_edges for k in datasets.ORDER}
+        assert sizes["TW"] == max(sizes.values())
+        assert sizes["TW"] > sizes["UK"] > sizes["LJ"] > sizes["FB"]
+
+    def test_load_matches_spec_scale(self):
+        graph = datasets.load("WK")
+        spec = datasets.SPECS["WK"]
+        assert graph.num_vertices == spec.num_vertices
+        # ensure_reachable_core may add a few stitching edges.
+        assert abs(graph.num_edges - spec.num_edges) < 0.1 * spec.num_edges
+
+    def test_load_deterministic(self):
+        a = sorted(datasets.load("FB", seed=1).edges())
+        b = sorted(datasets.load("FB", seed=1).edges())
+        assert a == b
+
+    def test_load_case_insensitive(self):
+        assert datasets.load("wk").num_vertices == datasets.SPECS["WK"].num_vertices
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(KeyError):
+            datasets.load("XX")
+
+    def test_load_symmetric(self):
+        graph = datasets.load("WK", symmetric=True)
+        assert graph.symmetric
+        for u, v, _ in list(graph.edges())[:50]:
+            assert graph.has_edge(v, u)
+
+    def test_load_csr(self):
+        csr = datasets.load_csr("FB")
+        assert csr.num_vertices == datasets.SPECS["FB"].num_vertices
+
+
+class TestBatchScaling:
+    def test_scaled_batch_preserves_ratio_ordering(self):
+        """WK has the largest batch:graph ratio in the paper, TW the smallest."""
+        ratios = {
+            k: datasets.scaled_batch_size(k) / datasets.SPECS[k].num_edges
+            for k in datasets.ORDER
+        }
+        assert ratios["WK"] > ratios["UK"]
+        assert ratios["WK"] > ratios["TW"]
+
+    def test_scaled_batch_minimum(self):
+        assert datasets.scaled_batch_size("TW") >= 16
+
+    def test_custom_paper_batch(self):
+        small = datasets.scaled_batch_size("WK", paper_batch=10_000)
+        large = datasets.scaled_batch_size("WK", paper_batch=100_000)
+        assert small <= large
+
+
+class TestTable2Rows:
+    def test_rows_complete(self):
+        rows = datasets.table2_rows()
+        assert len(rows) == 5
+        assert all(int(r["standin_nodes"]) > 0 for r in rows)
+
+    def test_rows_mention_paper_scale(self):
+        rows = datasets.table2_rows()
+        assert rows[0]["paper_edges"] == "45.03M"

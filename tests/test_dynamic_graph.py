@@ -1,0 +1,151 @@
+"""Unit tests for the dynamic (host-side) graph and version store."""
+
+import pytest
+
+from repro.graph.dynamic import DynamicGraph, GraphMutationError, GraphVersionStore
+
+
+class TestMutation:
+    def test_add_edge(self):
+        graph = DynamicGraph(3)
+        graph.add_edge(0, 1, 2.0)
+        assert graph.has_edge(0, 1)
+        assert graph.edge_weight(0, 1) == 2.0
+        assert graph.num_edges == 1
+
+    def test_add_duplicate_rejected(self):
+        graph = DynamicGraph(3)
+        graph.add_edge(0, 1)
+        with pytest.raises(GraphMutationError):
+            graph.add_edge(0, 1, 5.0)
+
+    def test_remove_edge_returns_weight(self):
+        graph = DynamicGraph(3)
+        graph.add_edge(0, 1, 7.0)
+        assert graph.remove_edge(0, 1) == 7.0
+        assert not graph.has_edge(0, 1)
+        assert graph.num_edges == 0
+
+    def test_remove_missing_rejected(self):
+        graph = DynamicGraph(3)
+        with pytest.raises(GraphMutationError):
+            graph.remove_edge(0, 1)
+
+    def test_vertex_growth_on_insert(self):
+        graph = DynamicGraph(2)
+        graph.add_edge(0, 9)
+        assert graph.num_vertices == 10
+
+    def test_version_bumps(self):
+        graph = DynamicGraph(3)
+        v0 = graph.version
+        graph.add_edge(0, 1)
+        graph.remove_edge(0, 1)
+        assert graph.version == v0 + 2
+
+    def test_apply_batch_single_version_bump(self):
+        graph = DynamicGraph.from_edges([(0, 1, 1.0), (1, 2, 2.0)], 3)
+        v0 = graph.version
+        graph.apply_batch([(2, 0, 3.0)], [(0, 1)])
+        assert graph.version == v0 + 1
+        assert graph.has_edge(2, 0)
+        assert not graph.has_edge(0, 1)
+
+    def test_apply_batch_weight_change_idiom(self):
+        graph = DynamicGraph.from_edges([(0, 1, 1.0)], 2)
+        graph.apply_batch([(0, 1, 9.0)], [(0, 1)])
+        assert graph.edge_weight(0, 1) == 9.0
+
+    def test_degrees(self):
+        graph = DynamicGraph.from_edges([(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)], 3)
+        assert graph.out_degree(0) == 2
+        assert graph.in_degree(2) == 2
+        assert graph.out_degree(2) == 0
+
+
+class TestSymmetric:
+    def test_add_mirrors(self):
+        graph = DynamicGraph(3, symmetric=True)
+        graph.add_edge(0, 1, 2.0)
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+        assert graph.num_edges == 2
+
+    def test_remove_mirrors(self):
+        graph = DynamicGraph(3, symmetric=True)
+        graph.add_edge(0, 1, 2.0)
+        graph.remove_edge(0, 1)
+        assert graph.num_edges == 0
+
+    def test_remove_via_mirror_direction(self):
+        graph = DynamicGraph(3, symmetric=True)
+        graph.add_edge(0, 1, 2.0)
+        graph.remove_edge(1, 0)
+        assert graph.num_edges == 0
+
+    def test_self_loop_not_doubled(self):
+        graph = DynamicGraph(3, symmetric=True)
+        graph.add_edge(1, 1, 2.0)
+        assert graph.num_edges == 1
+
+
+class TestSnapshots:
+    def test_snapshot_matches_edges(self):
+        edges = [(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)]
+        graph = DynamicGraph.from_edges(edges, 3)
+        snap = graph.snapshot()
+        assert sorted(snap.edges()) == sorted(edges)
+
+    def test_snapshot_is_isolated_from_mutation(self):
+        graph = DynamicGraph.from_edges([(0, 1, 1.0)], 2)
+        snap = graph.snapshot()
+        graph.remove_edge(0, 1)
+        assert snap.has_edge(0, 1)
+
+    def test_snapshot_with_sinks_drops_out_edges(self):
+        graph = DynamicGraph.from_edges(
+            [(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0), (2, 0, 1.0)], 3
+        )
+        snap = graph.snapshot_with_sinks({0})
+        assert snap.out_degree(0) == 0
+        assert snap.has_edge(1, 2) and snap.has_edge(2, 0)
+        assert snap.num_edges == 2
+
+    def test_from_csr_round_trip(self):
+        graph = DynamicGraph.from_edges([(0, 1, 1.5), (1, 0, 2.5)], 2)
+        again = DynamicGraph.from_csr(graph.snapshot())
+        assert sorted(again.edges()) == sorted(graph.edges())
+
+
+class TestVersionStore:
+    def test_records_versions(self):
+        graph = DynamicGraph.from_edges([(0, 1, 1.0)], 2)
+        store = GraphVersionStore(graph)
+        graph.apply_batch([(1, 0, 2.0)], [])
+        store.record()
+        assert len(store) == 2
+        assert store.latest().has_edge(1, 0)
+
+    def test_get_by_version(self):
+        graph = DynamicGraph.from_edges([(0, 1, 1.0)], 2)
+        store = GraphVersionStore(graph)
+        first_version = graph.version
+        graph.apply_batch([], [(0, 1)])
+        store.record()
+        assert store.get(first_version).has_edge(0, 1)
+        assert not store.latest().has_edge(0, 1)
+
+    def test_capacity_evicts_oldest(self):
+        graph = DynamicGraph.from_edges([(0, 1, 1.0)], 2)
+        store = GraphVersionStore(graph, capacity=2)
+        v0 = graph.version
+        for i in range(3):
+            graph.apply_batch([(1, 0, 1.0)] if i == 0 else [], [] if i == 0 else [(1, 0)] if i == 1 else [(0, 1)])
+            store.record()
+        assert len(store) == 2
+        with pytest.raises(KeyError):
+            store.get(v0)
+
+    def test_versions_listing(self):
+        graph = DynamicGraph.from_edges([(0, 1, 1.0)], 2)
+        store = GraphVersionStore(graph)
+        assert store.versions() == [graph.version]

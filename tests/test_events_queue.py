@@ -1,0 +1,236 @@
+"""Unit tests for events and the coalescing queue."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import PageRank, SSSP
+from repro.core.config import AcceleratorConfig
+from repro.core.events import NO_SOURCE, Event, EventFlags
+from repro.core.metrics import RoundWork
+from repro.core.policies import DeletePolicy
+from repro.core.queue import CoalescingQueue, QueueError
+
+
+def make_queue(policy=DeletePolicy.DAP, algorithm=None, num_vertices=64, slice_of=None):
+    return CoalescingQueue(
+        algorithm or SSSP(),
+        AcceleratorConfig(),
+        policy,
+        num_vertices=num_vertices,
+        slice_of=slice_of,
+    )
+
+
+class TestEvent:
+    def test_flags(self):
+        assert Event(0, 1.0, int(EventFlags.DELETE)).is_delete
+        assert Event(0, 1.0, int(EventFlags.REQUEST)).is_request
+        regular = Event(0, 1.0)
+        assert not regular.is_delete and not regular.is_request
+
+    def test_default_source(self):
+        assert Event(3, 1.0).source == NO_SOURCE
+
+    def test_size_bytes(self):
+        config = AcceleratorConfig()
+        event = Event(0, 1.0)
+        assert event.size_bytes(config, dap=True) == config.event_bytes_dap
+        assert event.size_bytes(config, dap=False) == config.event_bytes_jetstream
+
+    def test_repr_mentions_flags(self):
+        assert "DEL" in repr(Event(0, 1.0, 1))
+        assert "REQ" in repr(Event(0, 1.0, 2))
+
+
+class TestRegularCoalescing:
+    def test_insert_then_drain(self):
+        queue = make_queue()
+        work = RoundWork()
+        queue.insert(Event(5, 3.0), work)
+        batches = queue.drain_round(work)
+        assert [e.target for batch in batches for e in batch] == [5]
+        assert not queue.pending()
+
+    def test_coalesce_keeps_dominant(self):
+        queue = make_queue()
+        work = RoundWork()
+        queue.insert(Event(5, 3.0, 0, 1), work)
+        queue.insert(Event(5, 7.0, 0, 2), work)
+        [batch] = queue.drain_round(work)
+        assert batch[0].payload == 3.0  # min for SSSP
+        assert batch[0].source == 1  # dominant contribution's source
+        assert queue.total_coalesces == 1
+
+    def test_coalesce_switches_source_when_new_dominates(self):
+        queue = make_queue()
+        work = RoundWork()
+        queue.insert(Event(5, 7.0, 0, 1), work)
+        queue.insert(Event(5, 3.0, 0, 2), work)
+        [batch] = queue.drain_round(work)
+        assert batch[0].payload == 3.0
+        assert batch[0].source == 2
+
+    def test_accumulative_coalesce_sums(self):
+        queue = make_queue(algorithm=PageRank())
+        work = RoundWork()
+        queue.insert(Event(2, 0.5), work)
+        queue.insert(Event(2, 0.25), work)
+        [batch] = queue.drain_round(work)
+        assert batch[0].payload == pytest.approx(0.75)
+
+    def test_request_flag_survives_coalescing(self):
+        queue = make_queue()
+        work = RoundWork()
+        queue.insert(Event(5, 3.0, int(EventFlags.REQUEST)), work)
+        queue.insert(Event(5, 1.0, 0), work)
+        [batch] = queue.drain_round(work)
+        assert batch[0].is_request
+        assert batch[0].payload == 1.0
+
+    def test_one_event_per_vertex(self):
+        queue = make_queue()
+        work = RoundWork()
+        for payload in (5.0, 4.0, 3.0):
+            queue.insert(Event(7, payload), work)
+        assert queue.occupancy() == 1
+
+    def test_mixing_delete_and_regular_rejected(self):
+        queue = make_queue()
+        work = RoundWork()
+        queue.insert(Event(5, 3.0), work)
+        with pytest.raises(QueueError):
+            queue.insert(Event(5, 3.0, int(EventFlags.DELETE)), work)
+
+
+class TestDeleteCoalescing:
+    def test_base_keeps_single_tag(self):
+        queue = make_queue(policy=DeletePolicy.BASE)
+        work = RoundWork()
+        queue.insert(Event(5, 0.0, 1, 1), work)
+        queue.insert(Event(5, 0.0, 1, 2), work)
+        [batch] = queue.drain_round(work)
+        assert len(batch) == 1
+
+    def test_vap_keeps_most_progressed(self):
+        queue = make_queue(policy=DeletePolicy.VAP)
+        work = RoundWork()
+        queue.insert(Event(5, 9.0, 1, 1), work)
+        queue.insert(Event(5, 4.0, 1, 2), work)
+        [batch] = queue.drain_round(work)
+        assert batch[0].payload == 4.0  # most progressed for SSSP
+
+    def test_dap_overflow_preserves_all(self):
+        queue = make_queue(policy=DeletePolicy.DAP)
+        queue.set_delete_coalescing(False)
+        work = RoundWork()
+        queue.insert(Event(5, 9.0, 1, 1), work)
+        queue.insert(Event(5, 4.0, 1, 2), work)
+        queue.insert(Event(5, 2.0, 1, 3), work)
+        [batch] = queue.drain_round(work)
+        assert len(batch) == 3
+        assert {e.source for e in batch} == {1, 2, 3}
+
+    def test_dap_overflow_counts_spill(self):
+        queue = make_queue(policy=DeletePolicy.DAP)
+        queue.set_delete_coalescing(False)
+        work = RoundWork()
+        queue.insert(Event(5, 9.0, 1, 1), work)
+        queue.insert(Event(5, 4.0, 1, 2), work)
+        assert work.spill_bytes == 2 * queue.event_bytes
+
+    def test_reenabling_coalescing(self):
+        queue = make_queue(policy=DeletePolicy.DAP)
+        queue.set_delete_coalescing(False)
+        queue.set_delete_coalescing(True)
+        work = RoundWork()
+        queue.insert(Event(5, 9.0, 1, 1), work)
+        queue.insert(Event(5, 4.0, 1, 2), work)
+        [batch] = queue.drain_round(work)
+        assert len(batch) == 1
+
+
+class TestDraining:
+    def test_drain_sorted_by_vertex(self):
+        queue = make_queue()
+        work = RoundWork()
+        for v in (33, 2, 17, 9):
+            queue.insert(Event(v, 1.0), work)
+        events = [e.target for b in queue.drain_round(work) for e in b]
+        assert events == sorted(events)
+
+    def test_row_batching(self):
+        config = AcceleratorConfig()
+        queue = make_queue()
+        work = RoundWork()
+        row = config.queue_row_vertices
+        queue.insert(Event(0, 1.0), work)
+        queue.insert(Event(1, 1.0), work)
+        queue.insert(Event(row, 1.0), work)  # next row
+        batches = queue.drain_round(work)
+        assert len(batches) == 2
+        assert [e.target for e in batches[0]] == [0, 1]
+
+    def test_drain_empty(self):
+        queue = make_queue()
+        assert queue.drain_round(RoundWork()) == []
+
+    def test_generated_events_go_to_next_round(self):
+        queue = make_queue()
+        work = RoundWork()
+        queue.insert(Event(1, 1.0), work)
+        queue.drain_round(work)
+        queue.insert(Event(2, 1.0), work)
+        assert queue.pending()
+
+    def test_peak_occupancy_tracked(self):
+        queue = make_queue()
+        work = RoundWork()
+        for v in range(10):
+            queue.insert(Event(v, 1.0), work)
+        queue.drain_round(work)
+        assert queue.peak_occupancy == 10
+        assert queue.occupancy() == 0
+
+
+class TestSlices:
+    def test_cross_slice_spill_accounted(self):
+        slice_of = np.array([0] * 32 + [1] * 32)
+        queue = make_queue(slice_of=slice_of)
+        work = RoundWork()
+        queue.insert(Event(0, 1.0), work)  # active slice
+        queue.insert(Event(40, 1.0), work)  # inactive slice
+        assert work.spill_bytes == 2 * queue.event_bytes
+
+    def test_drain_only_active_slice(self):
+        slice_of = np.array([0] * 32 + [1] * 32)
+        queue = make_queue(slice_of=slice_of)
+        work = RoundWork()
+        queue.insert(Event(0, 1.0), work)
+        queue.insert(Event(40, 1.0), work)
+        drained = [e.target for b in queue.drain_round(work) for e in b]
+        assert drained == [0]
+        assert queue.pending()
+
+    def test_activate_next_slice(self):
+        slice_of = np.array([0] * 32 + [1] * 32)
+        queue = make_queue(slice_of=slice_of)
+        work = RoundWork()
+        queue.insert(Event(40, 1.0), work)
+        assert queue.activate_next_slice()
+        assert queue.active_slice == 1
+        drained = [e.target for b in queue.drain_round(work) for e in b]
+        assert drained == [40]
+
+    def test_activate_when_all_empty(self):
+        queue = make_queue()
+        assert not queue.activate_next_slice()
+
+    def test_short_slice_map_rejected(self):
+        with pytest.raises(ValueError):
+            make_queue(num_vertices=64, slice_of=np.zeros(10, dtype=np.int64))
+
+    def test_seed_bulk_insert(self):
+        queue = make_queue()
+        work = RoundWork()
+        queue.seed([Event(v, 1.0) for v in range(5)], work)
+        assert queue.occupancy() == 5

@@ -1,0 +1,61 @@
+"""Smoke tests: the fast examples run end to end as subprocesses.
+
+The longer examples (social monitoring, dashboard, sizing) are exercised
+by manual runs and the benchmark suite; here we pin the quick ones so a
+refactor cannot silently break the documented entry points.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestQuickstart:
+    def test_runs_and_matches_paper_values(self):
+        out = run_example("quickstart.py")
+        assert "Incremental result matches cold-start recomputation." in out
+        # Fig. 4(a) converged distances.
+        assert "G: 19" in out
+        # Fig. 4(b)/(c) values after the batch.
+        assert "D: 3" in out and "E: 10" in out
+
+
+class TestCircuitLinearSolver:
+    def test_runs_and_validates(self):
+        out = run_example("circuit_linear_solver.py")
+        assert "matched the dense numpy solve" in out
+        assert "DMA" in out
+
+
+class TestAllExamplesExist:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart.py",
+            "social_network_monitoring.py",
+            "road_network_routing.py",
+            "streaming_pagerank_dashboard.py",
+            "accelerator_sizing.py",
+            "circuit_linear_solver.py",
+        ],
+    )
+    def test_present_and_has_main(self, name):
+        source = (EXAMPLES / name).read_text(encoding="utf-8")
+        assert "def main()" in source
+        assert '__main__' in source
+        assert source.lstrip().startswith('"""')

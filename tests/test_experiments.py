@@ -1,0 +1,105 @@
+"""Integration tests for the experiment harness and report rendering.
+
+Uses the smallest stand-in (WK) and tiny batches so the whole module runs
+in tens of seconds while still exercising the real cross-system pipeline.
+"""
+
+import pytest
+
+from repro.core.policies import DeletePolicy
+from repro.experiments import harness, report
+from repro.experiments import table1, table2, table4
+from repro.experiments.harness import run_cell
+
+
+@pytest.fixture(scope="module")
+def sssp_cell():
+    harness.clear_cache()
+    return run_cell("WK", "sssp", policy=DeletePolicy.DAP, batch_size=24, seed=0)
+
+
+class TestHarness:
+    def test_all_systems_present(self, sssp_cell):
+        assert set(sssp_cell.systems) == {"jetstream", "graphpulse", "kickstarter"}
+
+    def test_states_agree(self, sssp_cell):
+        assert sssp_cell.states_agree
+
+    def test_speedup_directions(self, sssp_cell):
+        """JetStream must beat cold start and the software framework."""
+        assert sssp_cell.speedup("jetstream", "graphpulse") > 1.0
+        assert sssp_cell.speedup("jetstream", "kickstarter") > 1.0
+
+    def test_jetstream_less_work_than_cold(self, sssp_cell):
+        jet = sssp_cell.systems["jetstream"]
+        cold = sssp_cell.systems["graphpulse"]
+        assert jet.vertex_accesses < cold.vertex_accesses
+        assert jet.edge_accesses < cold.edge_accesses
+
+    def test_memory_utilization_contrast(self, sssp_cell):
+        """Fig. 11 direction: incremental rounds waste more of each line."""
+        jet = sssp_cell.systems["jetstream"]
+        cold = sssp_cell.systems["graphpulse"]
+        assert jet.memory_utilization < cold.memory_utilization
+
+    def test_cache_hit(self):
+        first = run_cell("WK", "sssp", policy=DeletePolicy.DAP, batch_size=24, seed=0)
+        second = run_cell("WK", "sssp", policy=DeletePolicy.DAP, batch_size=24, seed=0)
+        assert first is second
+
+    def test_accumulative_uses_graphbolt(self):
+        cell = run_cell(
+            "WK", "pagerank", batch_size=16, seed=0, systems=("jetstream", "software")
+        )
+        assert "graphbolt" in cell.systems
+        assert cell.states_agree
+
+    def test_deletion_only_cell(self):
+        cell = run_cell(
+            "WK",
+            "sssp",
+            batch_size=12,
+            insertion_ratio=0.0,
+            seed=0,
+            systems=("jetstream", "software"),
+        )
+        assert cell.systems["jetstream"].vertices_reset >= 0
+        assert cell.systems["kickstarter"].vertices_reset >= 0
+
+
+class TestStaticTables:
+    def test_table1_rows(self):
+        rows = table1.run()
+        assert len(rows) == 3
+        text = table1.render(rows)
+        assert "JetStream" in text and "DDR3" in text
+
+    def test_table2_rows(self):
+        rows = table2.run()
+        text = table2.render(rows)
+        assert "Twitter" in text
+        assert len(rows) == 5
+
+    def test_table4_render(self):
+        text = table4.render(table4.run())
+        assert "Queue" in text and "Total" in text
+
+
+class TestReportHelpers:
+    def test_render_table_alignment(self):
+        text = report.render_table(["a", "bb"], [[1, 2.5], [10, 0.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 5  # title, header, rule, two rows
+
+    def test_render_speedup(self):
+        assert report.render_speedup(12.34) == "12.3x"
+        assert report.render_speedup(float("nan")) == "-"
+        assert report.render_speedup(float("inf")) == "-"
+
+    def test_geomean(self):
+        assert report.geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert report.geomean([]) != report.geomean([])  # NaN
+
+    def test_fmt_nan(self):
+        assert report._fmt(float("nan")) == "-"

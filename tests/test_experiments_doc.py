@@ -1,0 +1,110 @@
+"""Tests for the EXPERIMENTS.md generator (synthetic result fixtures)."""
+
+import pytest
+
+from repro.experiments import energy as energy_mod
+from repro.experiments import experiments_doc
+from repro.experiments.fig9 import AccessRatio
+from repro.experiments.fig10 import ResetCount
+from repro.experiments.fig11 import UtilizationPair
+from repro.experiments.fig12 import OptimizationPoint
+from repro.experiments.fig13 import BatchSizeCurve
+from repro.experiments.fig14 import CompositionCurve
+from repro.experiments.table3 import Table3Row
+
+
+@pytest.fixture
+def fake_results():
+    t3 = Table3Row(
+        algorithm="sssp",
+        comparator="kickstarter",
+        jet_ms={"WK": 0.01},
+        speedup_gp={"WK": 12.0},
+        speedup_sw={"WK": 9.0},
+    )
+    jet13 = BatchSizeCurve("sssp", "jetstream", points={80: 1.0, 10: 4.0})
+    ks13 = BatchSizeCurve("sssp", "kickstarter", points={80: 0.05, 10: 0.06})
+    jet14 = CompositionCurve("sssp", "jetstream", points={1.0: 0.3, 0.5: 1.0, 0.0: 1.3})
+    ks14 = CompositionCurve("sssp", "kickstarter", points={1.0: 4.0, 0.5: 4.1, 0.0: 3.0})
+    table4_rows = [
+        {
+            "component": name,
+            "count": 1,
+            "static_mw": 1.0,
+            "static_delta": 0.01,
+            "dynamic_mw": 1.0,
+            "dynamic_delta": -0.06,
+            "total_mw": 8926.0 if name == "Total" else 10.0,
+            "total_delta": 0.01,
+            "area_mm2": 199.0 if name == "Total" else 1.0,
+            "area_delta": 0.03,
+        }
+        for name in ["Queue", "Scratchpad", "Network", "Proc. Logic", "Total"]
+    ]
+    return {
+        "table1": ([], "T1"),
+        "table2": ([], "T2"),
+        "table3": ([t3], "T3"),
+        "fig9": ([AccessRatio("sssp", "WK", 0.1, 0.05)], "F9"),
+        "fig10": ([ResetCount("sssp", "WK", 5, 9)], "F10"),
+        "fig11": ([UtilizationPair("sssp", "WK", 0.3, 0.8)], "F11"),
+        "fig12": (
+            [OptimizationPoint("sssp", "LJ", {"base": 0.5, "vap": 10.0, "dap": 12.0})],
+            "F12",
+        ),
+        "fig13": ([jet13, ks13], "F13"),
+        "fig14": ([jet14, ks14], "F14"),
+        "table4": (table4_rows, "T4"),
+        "energy": (
+            [energy_mod.EnergyPoint("sssp", "WK", 0.1, 1.3)],
+            "EN",
+        ),
+    }
+
+
+class TestWriteDoc:
+    def test_writes_file(self, fake_results, tmp_path):
+        path = tmp_path / "EXPERIMENTS.md"
+        text = experiments_doc.write_doc(fake_results, str(path))
+        assert path.exists()
+        assert path.read_text() == text
+
+    def test_every_experiment_present(self, fake_results, tmp_path):
+        text = experiments_doc.write_doc(
+            fake_results, str(tmp_path / "EXPERIMENTS.md")
+        )
+        for heading in (
+            "Table 1",
+            "Table 2",
+            "Table 3",
+            "Fig. 9",
+            "Fig. 10",
+            "Fig. 11",
+            "Fig. 12",
+            "Fig. 13",
+            "Fig. 14",
+            "Table 4",
+            "Energy",
+        ):
+            assert heading in text
+
+    def test_paper_numbers_cited(self, fake_results, tmp_path):
+        text = experiments_doc.write_doc(
+            fake_results, str(tmp_path / "EXPERIMENTS.md")
+        )
+        assert "paper gmean" in text
+        assert "13x average" in text
+
+    def test_renderings_embedded(self, fake_results, tmp_path):
+        text = experiments_doc.write_doc(
+            fake_results, str(tmp_path / "EXPERIMENTS.md")
+        )
+        for marker in ("T3", "F13", "EN"):
+            assert marker in text
+
+    def test_measured_values_interpolated(self, fake_results, tmp_path):
+        text = experiments_doc.write_doc(
+            fake_results, str(tmp_path / "EXPERIMENTS.md")
+        )
+        assert "12.0x" in text  # table 3 measured gmean
+        assert "13.0x" in text or "13x" in text  # energy gain 1.3/0.1

@@ -1,0 +1,73 @@
+"""Tests for the CSV experiment-series exporter."""
+
+import pytest
+
+from repro.experiments import export
+from repro.experiments.fig9 import AccessRatio
+from repro.experiments.fig12 import OptimizationPoint
+
+
+class TestRecordToDict:
+    def test_dataclass(self):
+        record = AccessRatio("sssp", "WK", 0.1, 0.2)
+        flat = export.record_to_dict(record)
+        assert flat == {
+            "algorithm": "sssp",
+            "graph": "WK",
+            "vertex_ratio": 0.1,
+            "edge_ratio": 0.2,
+        }
+
+    def test_nested_dict_flattened(self):
+        record = OptimizationPoint("sssp", "LJ", {"base": 1.0, "dap": 5.0})
+        flat = export.record_to_dict(record)
+        assert flat["speedups_base"] == 1.0
+        assert flat["speedups_dap"] == 5.0
+
+    def test_plain_dict(self):
+        assert export.record_to_dict({"a": 1}) == {"a": 1}
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            export.record_to_dict(42)
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        records = [AccessRatio("sssp", "WK", 0.1, 0.2), AccessRatio("bfs", "LJ", 0.3, 0.4)]
+        path = tmp_path / "out.csv"
+        assert export.write_csv(records, path) == 2
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "algorithm,graph,vertex_ratio,edge_ratio"
+        assert lines[1] == "sssp,WK,0.1,0.2"
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert export.write_csv([], path) == 0
+        assert path.read_text() == ""
+
+    def test_quoting(self, tmp_path):
+        path = tmp_path / "q.csv"
+        export.write_csv([{"a": "x,y", "b": 'say "hi"'}], path)
+        line = path.read_text().splitlines()[1]
+        assert line == '"x,y","say ""hi"""'
+
+    def test_union_header(self, tmp_path):
+        path = tmp_path / "u.csv"
+        export.write_csv([{"a": 1}, {"b": 2}], path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,"
+        assert lines[2] == ",2"
+
+
+class TestExportAll:
+    def test_exports_lists_and_skips_rest(self, tmp_path):
+        results = {
+            "fig9": ([AccessRatio("sssp", "WK", 0.1, 0.2)], "rendering"),
+            "table1": ([], "rendering"),  # empty -> skipped
+            "weird": ([1, 2, 3], "rendering"),  # unexportable -> skipped
+        }
+        written = export.export_all(results, tmp_path)
+        assert written == ["fig9.csv"]
+        assert (tmp_path / "fig9.csv").exists()

@@ -1,0 +1,153 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.graph import generators
+
+
+def _no_self_loops(edges):
+    return all(u != v for u, v, _ in edges)
+
+
+def _no_duplicates(edges):
+    pairs = [(u, v) for u, v, _ in edges]
+    return len(pairs) == len(set(pairs))
+
+
+class TestRmat:
+    def test_deterministic(self):
+        assert generators.rmat(64, 256, seed=5) == generators.rmat(64, 256, seed=5)
+
+    def test_seed_changes_output(self):
+        assert generators.rmat(64, 256, seed=1) != generators.rmat(64, 256, seed=2)
+
+    def test_edge_count(self):
+        edges = generators.rmat(128, 512, seed=0)
+        assert len(edges) == 512
+
+    def test_no_self_loops_or_duplicates(self):
+        edges = generators.rmat(128, 512, seed=3)
+        assert _no_self_loops(edges)
+        assert _no_duplicates(edges)
+
+    def test_skewed_degrees(self):
+        edges = generators.rmat(256, 2048, seed=1)
+        degree = {}
+        for u, _, _ in edges:
+            degree[u] = degree.get(u, 0) + 1
+        assert max(degree.values()) > 4 * (len(edges) / 256)
+
+    def test_weights_in_range(self):
+        edges = generators.rmat(64, 128, seed=0)
+        assert all(1 <= w < 64 for _, _, w in edges)
+
+    def test_unweighted(self):
+        edges = generators.rmat(64, 128, seed=0, weighted=False)
+        assert all(w == 1.0 for _, _, w in edges)
+
+    def test_too_few_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            generators.rmat(1, 4)
+
+    def test_bad_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            generators.rmat(8, 16, a=0.6, b=0.3, c=0.3)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        assert len(generators.erdos_renyi(50, 200, seed=0)) == 200
+
+    def test_deterministic(self):
+        assert generators.erdos_renyi(30, 90, seed=7) == generators.erdos_renyi(
+            30, 90, seed=7
+        )
+
+    def test_no_self_loops_or_duplicates(self):
+        edges = generators.erdos_renyi(40, 300, seed=2)
+        assert _no_self_loops(edges)
+        assert _no_duplicates(edges)
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            generators.erdos_renyi(3, 100)
+
+
+class TestWattsStrogatz:
+    def test_small_world_shape(self):
+        edges = generators.watts_strogatz(60, k=4, seed=1)
+        assert _no_self_loops(edges)
+        assert _no_duplicates(edges)
+        # Symmetric construction.
+        pairs = {(u, v) for u, v, _ in edges}
+        assert all((v, u) in pairs for u, v in pairs)
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            generators.watts_strogatz(20, k=3)
+
+
+class TestLongPathWeb:
+    def test_edge_count_approx(self):
+        edges = generators.long_path_web(512, 2048, seed=0)
+        assert len(edges) == 2048
+
+    def test_deterministic(self):
+        assert generators.long_path_web(256, 1024, seed=4) == generators.long_path_web(
+            256, 1024, seed=4
+        )
+
+    def test_longer_paths_than_rmat(self):
+        """The web generator should produce higher-diameter graphs."""
+        from repro.graph.csr import CSRGraph
+        from repro import reference
+        import numpy as np
+
+        n, m = 1024, 4096
+        web = generators.ensure_reachable_core(
+            generators.long_path_web(n, m, seed=1), n, seed=2
+        )
+        social = generators.ensure_reachable_core(
+            generators.rmat(n, m, seed=1), n, seed=2
+        )
+        web_depth = np.max(
+            reference.bfs(CSRGraph(n, web), 0)[
+                np.isfinite(reference.bfs(CSRGraph(n, web), 0))
+            ]
+        )
+        social_depth = np.max(
+            reference.bfs(CSRGraph(n, social), 0)[
+                np.isfinite(reference.bfs(CSRGraph(n, social), 0))
+            ]
+        )
+        assert web_depth > social_depth
+
+
+class TestGridRoad:
+    def test_grid_edges_bidirectional(self):
+        edges = generators.grid_road(4, 5, seed=0, diagonal_p=0.0)
+        pairs = {(u, v) for u, v, _ in edges}
+        assert all((v, u) in pairs for u, v in pairs)
+
+    def test_grid_size(self):
+        # 4x5 grid: horizontal 4*4=16, vertical 3*5=15, both directions.
+        edges = generators.grid_road(4, 5, seed=0, diagonal_p=0.0)
+        assert len(edges) == 2 * (16 + 15)
+
+
+class TestHelpers:
+    def test_ensure_reachable_core(self):
+        from repro.graph.csr import CSRGraph
+        from repro import reference
+        import numpy as np
+
+        edges = generators.rmat(128, 256, seed=9)
+        fixed = generators.ensure_reachable_core(edges, 128, root=0, seed=1)
+        dist = reference.bfs(CSRGraph(128, fixed), 0)
+        assert np.all(np.isfinite(dist))
+
+    def test_largest_weakly_connected(self):
+        edges = [(0, 1, 1.0), (1, 2, 1.0), (5, 6, 1.0)]
+        sub, n = generators.largest_weakly_connected(edges, 8)
+        assert n == 3
+        assert len(sub) == 2

@@ -1,0 +1,133 @@
+"""Tests for the host-side co-processor API (§4.1) and the NoC model."""
+
+import numpy as np
+import pytest
+
+from repro import reference
+from repro.core.config import AcceleratorConfig
+from repro.host import Accelerator, HostApiError
+from repro.sim.noc import CrossbarModel
+from repro.sim.timing import AcceleratorTimingModel
+
+
+EDGES = [(0, 1, 2.0), (1, 2, 3.0), (0, 2, 9.0), (2, 3, 1.0)]
+
+
+class TestSessionLifecycle:
+    def test_full_protocol(self):
+        session = Accelerator().load_graph(EDGES)
+        session.configure("sssp", source=0)
+        session.run()
+        states = session.read_results()
+        assert list(states) == [0.0, 2.0, 5.0, 6.0]
+
+    def test_streaming_round_trip(self):
+        session = Accelerator().load_graph(EDGES)
+        session.configure("sssp", source=0)
+        session.run()
+        session.push_updates(insertions=[(3, 1, 1.0)], deletions=[(0, 1)])
+        result = session.run()
+        expected = reference.sssp(session.graph.snapshot(), 0)
+        assert np.array_equal(result.states, expected)
+
+    def test_run_before_configure_rejected(self):
+        session = Accelerator().load_graph(EDGES)
+        with pytest.raises(HostApiError):
+            session.run()
+
+    def test_read_before_run_rejected(self):
+        session = Accelerator().load_graph(EDGES)
+        session.configure("sssp")
+        with pytest.raises(HostApiError):
+            session.read_results()
+
+    def test_second_run_needs_staged_batch(self):
+        session = Accelerator().load_graph(EDGES)
+        session.configure("sssp")
+        session.run()
+        with pytest.raises(HostApiError):
+            session.run()
+
+    def test_double_stage_rejected(self):
+        session = Accelerator().load_graph(EDGES)
+        session.configure("sssp")
+        session.run()
+        session.push_updates(insertions=[(3, 0, 1.0)])
+        with pytest.raises(HostApiError):
+            session.push_updates(insertions=[(3, 1, 1.0)])
+
+    def test_cc_requires_symmetric_load(self):
+        session = Accelerator().load_graph(EDGES)
+        with pytest.raises(HostApiError):
+            session.configure("cc")
+
+    def test_symmetric_load(self):
+        session = Accelerator().load_graph(EDGES, symmetric=True)
+        session.configure("cc")
+        session.run()
+        assert set(session.read_results()) == {0.0}
+
+    def test_sessions_tracked(self):
+        accel = Accelerator()
+        accel.load_graph(EDGES)
+        accel.load_graph(EDGES)
+        assert len(accel.sessions) == 2
+
+
+class TestTransferAccounting:
+    def test_upload_counted(self):
+        session = Accelerator().load_graph(EDGES)
+        stats = session.transfer_stats()
+        assert stats.graph_uploads > 0
+        assert stats.update_records == 0
+
+    def test_batch_and_readback_counted(self):
+        config = AcceleratorConfig()
+        session = Accelerator(config).load_graph(EDGES)
+        session.configure("sssp")
+        session.run()
+        session.push_updates(insertions=[(3, 0, 1.0)])
+        session.run()
+        session.read_results()
+        stats = session.transfer_stats()
+        assert stats.update_records == config.stream_record_bytes
+        assert stats.results_read == 4 * 8
+        assert stats.total == (
+            stats.graph_uploads + stats.update_records + stats.results_read
+        )
+
+
+class TestCrossbarModel:
+    def test_flits_scale_with_event_size(self):
+        config = AcceleratorConfig(noc_flit_bytes=8)
+        wide = CrossbarModel(config, event_bytes=14)
+        narrow = CrossbarModel(config, event_bytes=8)
+        assert wide.flits_per_event > narrow.flits_per_event
+
+    def test_contention_factor_above_one(self):
+        model = CrossbarModel(AcceleratorConfig())
+        estimate = model.round_cycles(5000)
+        assert estimate.contention_factor > 1.0
+
+    def test_contention_shrinks_with_load(self):
+        """Relative imbalance falls as the per-port load grows."""
+        model = CrossbarModel(AcceleratorConfig())
+        light = model.round_cycles(100).contention_factor
+        heavy = model.round_cycles(1_000_000).contention_factor
+        assert heavy < light
+
+    def test_zero_events(self):
+        estimate = CrossbarModel(AcceleratorConfig()).round_cycles(0)
+        assert estimate.flits == 0
+        assert estimate.contention_factor == 1.0
+
+    def test_timing_model_contention_slower(self):
+        from repro.core.metrics import RunMetrics
+
+        metrics = RunMetrics()
+        phase = metrics.phase("reevaluation")
+        work = phase.new_round()
+        work.queue_inserts = 100_000
+        flat = AcceleratorTimingModel().run_time(metrics)
+        contended = AcceleratorTimingModel(model_noc_contention=True).run_time(metrics)
+        assert contended.total_cycles >= flat.total_cycles

@@ -1,0 +1,88 @@
+"""Unit tests for edge-list and update-stream I/O."""
+
+import pytest
+
+from repro.graph import io
+from repro.streams import Edge, UpdateBatch
+
+
+@pytest.fixture
+def edges():
+    return [(0, 1, 2.5), (1, 2, 1.0), (2, 0, 3.0)]
+
+
+class TestTextEdgeList:
+    def test_round_trip(self, tmp_path, edges):
+        path = tmp_path / "g.txt"
+        assert io.write_edge_list(path, edges) == 3
+        assert io.read_edge_list(path) == edges
+
+    def test_default_weight(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n2 3\n")
+        assert io.read_edge_list(path) == [(0, 1, 1.0), (2, 3, 1.0)]
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n0 1 2\n")
+        assert io.read_edge_list(path) == [(0, 1, 2.0)]
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2 3 4\n")
+        with pytest.raises(ValueError):
+            io.read_edge_list(path)
+
+
+class TestBinaryEdgeList:
+    def test_round_trip(self, tmp_path, edges):
+        path = tmp_path / "g.bin"
+        assert io.write_binary_edges(path, edges) == 3
+        assert io.read_binary_edges(path) == edges
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "g.bin"
+        io.write_binary_edges(path, [])
+        assert io.read_binary_edges(path) == []
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "g.bin"
+        path.write_bytes(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(ValueError):
+            io.read_binary_edges(path)
+
+
+class TestUpdateStream:
+    def test_round_trip(self, tmp_path):
+        batches = [
+            UpdateBatch(
+                insertions=[Edge(0, 1, 2.0)],
+                deletions=[Edge(2, 3, 0.0)],
+            ),
+            UpdateBatch(insertions=[Edge(4, 5, 1.5)]),
+        ]
+        path = tmp_path / "stream.txt"
+        assert io.write_update_stream(path, batches) == 2
+        loaded = io.read_update_stream(path)
+        assert len(loaded) == 2
+        assert loaded[0].insertions == [Edge(0, 1, 2.0)]
+        assert loaded[0].deletions[0].key() == (2, 3)
+        assert loaded[1].insertions == [Edge(4, 5, 1.5)]
+        assert loaded[1].deletions == []
+
+    def test_record_before_batch_rejected(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        path.write_text("a 0 1 2\n")
+        with pytest.raises(ValueError):
+            io.read_update_stream(path)
+
+    def test_bad_record_rejected(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        path.write_text("batch\nz 0 1\n")
+        with pytest.raises(ValueError):
+            io.read_update_stream(path)
+
+    def test_empty_stream(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        path.write_text("")
+        assert io.read_update_stream(path) == []

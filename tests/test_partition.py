@@ -1,0 +1,85 @@
+"""Unit tests for the edge-cut partitioner (PuLP substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import partition_graph, repartition_report, slices_required
+
+
+@pytest.fixture
+def medium_graph() -> CSRGraph:
+    return CSRGraph(200, generators.erdos_renyi(200, 1200, seed=3))
+
+
+class TestPartition:
+    def test_single_slice(self, medium_graph):
+        result = partition_graph(medium_graph, 1)
+        assert result.num_slices == 1
+        assert result.cut_edges == 0
+        assert result.slice_sizes == [200]
+
+    def test_every_vertex_assigned(self, medium_graph):
+        result = partition_graph(medium_graph, 4)
+        assert np.all(result.assignment >= 0)
+        assert sum(result.slice_sizes) == 200
+
+    def test_balance(self, medium_graph):
+        result = partition_graph(medium_graph, 4)
+        assert max(result.slice_sizes) <= int(np.ceil(200 / 4) * 1.05) + 1
+
+    def test_cut_fraction_below_random(self, medium_graph):
+        """BFS-grown slices should beat a random assignment's cut."""
+        result = partition_graph(medium_graph, 4)
+        rng = np.random.default_rng(0)
+        random_assignment = rng.integers(0, 4, size=200)
+        random_cut = sum(
+            1
+            for u, v, _ in medium_graph.edges()
+            if random_assignment[u] != random_assignment[v]
+        )
+        assert result.cut_edges < random_cut
+
+    def test_cut_fraction_property(self, medium_graph):
+        result = partition_graph(medium_graph, 2)
+        assert 0.0 <= result.cut_fraction <= 1.0
+
+    def test_members_match_assignment(self, medium_graph):
+        result = partition_graph(medium_graph, 3)
+        for sid, members in enumerate(result.members):
+            assert np.all(result.assignment[members] == sid)
+
+    def test_zero_slices_rejected(self, medium_graph):
+        with pytest.raises(ValueError):
+            partition_graph(medium_graph, 0)
+
+    def test_empty_graph(self):
+        result = partition_graph(CSRGraph(0, []), 1)
+        assert result.num_slices == 1
+        assert result.total_edges == 0
+
+    def test_isolated_vertices_assigned(self):
+        graph = CSRGraph(10, [(0, 1, 1.0)])
+        result = partition_graph(graph, 2)
+        assert sum(result.slice_sizes) == 10
+
+
+class TestHelpers:
+    def test_slices_required(self):
+        assert slices_required(100, 50) == 2
+        assert slices_required(101, 50) == 3
+        assert slices_required(10, 50) == 1
+
+    def test_slices_required_invalid(self):
+        with pytest.raises(ValueError):
+            slices_required(10, 0)
+
+    def test_repartition_report(self, medium_graph):
+        a = partition_graph(medium_graph, 4).assignment
+        rng = np.random.default_rng(1)
+        drifted = a.copy()
+        idx = rng.choice(200, size=40, replace=False)
+        drifted[idx] = rng.integers(0, 4, size=40)
+        report = repartition_report(medium_graph, [a, drifted])
+        assert report["last_cut_fraction"] >= report["first_cut_fraction"]

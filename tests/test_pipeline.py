@@ -1,0 +1,128 @@
+"""Tests for the end-to-end streaming pipeline simulation (§2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import (
+    ArrivalTrace,
+    PipelineReport,
+    StreamingPipeline,
+    engine_latency_function,
+)
+
+
+class TestArrivalTrace:
+    def test_uniform_spacing(self):
+        trace = ArrivalTrace.uniform(rate_per_s=10, duration_s=1.0)
+        assert len(trace) == 10
+        assert np.allclose(np.diff(trace.times), 0.1)
+
+    def test_poisson_rate(self):
+        trace = ArrivalTrace.poisson(rate_per_s=1000, duration_s=2.0, seed=1)
+        assert len(trace) == pytest.approx(2000, rel=0.15)
+        assert np.all(np.diff(trace.times) >= 0)
+
+    def test_poisson_deterministic(self):
+        a = ArrivalTrace.poisson(100, 1.0, seed=3)
+        b = ArrivalTrace.poisson(100, 1.0, seed=3)
+        assert np.array_equal(a.times, b.times)
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            ArrivalTrace.poisson(0, 1.0)
+
+
+class TestPipelineMechanics:
+    def test_fast_engine_small_batches(self):
+        """An engine much faster than the arrival gap processes updates
+        nearly one at a time with tiny staleness."""
+        trace = ArrivalTrace.uniform(rate_per_s=100, duration_s=1.0)
+        pipeline = StreamingPipeline(evaluation_time_s=lambda n: 1e-6)
+        report = pipeline.simulate(trace)
+        assert report.updates_processed == 100
+        assert report.mean_batch_size < 1.5
+        assert report.mean_staleness_s < 0.01
+
+    def test_slow_engine_forces_big_batches(self):
+        """An engine slower than the arrival rate accumulates arrivals
+        while busy — batches grow and staleness compounds."""
+        trace = ArrivalTrace.uniform(rate_per_s=100, duration_s=1.0)
+        pipeline = StreamingPipeline(evaluation_time_s=lambda n: 0.1)
+        report = pipeline.simulate(trace)
+        assert report.mean_batch_size > 5
+        assert report.mean_staleness_s > 0.05
+
+    def test_min_batch_gate(self):
+        trace = ArrivalTrace.uniform(rate_per_s=10, duration_s=1.0)
+        pipeline = StreamingPipeline(evaluation_time_s=lambda n: 1e-6, min_batch=5)
+        report = pipeline.simulate(trace)
+        assert all(b.size >= 5 for b in report.batches[:-1])
+
+    def test_max_batch_bound(self):
+        trace = ArrivalTrace.uniform(rate_per_s=1000, duration_s=0.1)
+        pipeline = StreamingPipeline(
+            evaluation_time_s=lambda n: 0.05, max_batch=10
+        )
+        report = pipeline.simulate(trace)
+        assert all(b.size <= 10 for b in report.batches)
+
+    def test_all_updates_processed_once(self):
+        trace = ArrivalTrace.poisson(rate_per_s=500, duration_s=0.5, seed=5)
+        pipeline = StreamingPipeline(evaluation_time_s=lambda n: 0.001)
+        report = pipeline.simulate(trace)
+        assert report.updates_processed == len(trace)
+
+    def test_busy_fraction_bounded(self):
+        trace = ArrivalTrace.uniform(rate_per_s=100, duration_s=1.0)
+        pipeline = StreamingPipeline(evaluation_time_s=lambda n: 0.002)
+        report = pipeline.simulate(trace)
+        assert 0.0 < report.busy_fraction <= 1.0
+
+    def test_empty_report_properties(self):
+        report = PipelineReport()
+        assert report.mean_staleness_s == 0.0
+        assert report.p99_staleness_s == 0.0
+        assert report.busy_fraction == 0.0
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            StreamingPipeline(lambda n: 0.1, min_batch=0)
+        with pytest.raises(ValueError):
+            StreamingPipeline(lambda n: 0.1, min_batch=5, max_batch=2)
+
+
+class TestRealEngineLatency:
+    def test_jetstream_beats_cold_start_on_staleness(self):
+        """The Fig. 13 conclusion, end to end: at the same arrival rate,
+        the incremental engine serves far fresher results than cold-start
+        recomputation."""
+        from repro import DynamicGraph, GraphPulseEngine, JetStreamEngine, make_algorithm
+        from repro.baselines import GraphPulseColdStart
+        from repro.graph import generators
+
+        edges = generators.ensure_reachable_core(
+            generators.rmat(1024, 6144, seed=31), 1024, seed=32
+        )
+
+        def jet_factory():
+            return JetStreamEngine(
+                DynamicGraph.from_edges(edges, 1024),
+                make_algorithm("sssp", source=0),
+            )
+
+        def cold_factory():
+            return GraphPulseColdStart(
+                DynamicGraph.from_edges(edges, 1024),
+                make_algorithm("sssp", source=0),
+            )
+
+        jet_latency = engine_latency_function(jet_factory, probe_sizes=(4, 32, 128))
+        cold_latency = engine_latency_function(cold_factory, probe_sizes=(4, 32, 128))
+        # Arrival rate chosen so the cold engine saturates: its evaluation
+        # time is paid in full regardless of batch size.
+        rate = 4.0 / max(1e-9, cold_latency(4))
+        trace = ArrivalTrace.poisson(rate_per_s=rate, duration_s=200 / rate, seed=33)
+        jet_report = StreamingPipeline(jet_latency).simulate(trace)
+        cold_report = StreamingPipeline(cold_latency).simulate(trace)
+        assert jet_report.mean_staleness_s < cold_report.mean_staleness_s
+        assert jet_report.mean_batch_size <= cold_report.mean_batch_size

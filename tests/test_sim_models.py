@@ -1,0 +1,235 @@
+"""Tests for the architectural models: timing, DRAM, power, software cost."""
+
+import pytest
+
+from repro.core.config import AcceleratorConfig, SoftwareConfig
+from repro.core.metrics import PhaseStats, RoundWork, RunMetrics, SoftwareWork
+from repro.sim.cost_models import SoftwareCostModel
+from repro.sim.memory import DRAMModel
+from repro.sim.power import PowerAreaModel
+from repro.sim.timing import AcceleratorTimingModel
+
+
+def make_metrics(events=1000, edges=4000, lines=100, pages=10, rounds=4) -> RunMetrics:
+    metrics = RunMetrics()
+    phase = metrics.phase("reevaluation")
+    for _ in range(rounds):
+        work = phase.new_round()
+        work.events_processed = events // rounds
+        work.events_generated = events // rounds
+        work.queue_inserts = events // rounds
+        work.edges_read = edges // rounds
+        work.vertex_reads = events // rounds
+        work.vertex_writes = events // (2 * rounds)
+        work.vertex_lines = lines // rounds
+        work.edge_lines = lines // rounds
+        work.dram_pages = pages // rounds
+    return metrics
+
+
+class TestDRAMModel:
+    def test_traffic_extraction(self):
+        work = RoundWork(vertex_lines=3, edge_lines=2, spill_bytes=128, dram_pages=4)
+        traffic = DRAMModel(AcceleratorConfig()).traffic_of(work)
+        assert traffic.line_bytes == 5 * 64
+        assert traffic.spill_bytes == 128
+        assert traffic.total_bytes == 5 * 64 + 128
+
+    def test_service_cycles_scale_with_bytes(self):
+        model = DRAMModel(AcceleratorConfig())
+        small = model.service_cycles(model.traffic_of(RoundWork(vertex_lines=10)))
+        large = model.service_cycles(model.traffic_of(RoundWork(vertex_lines=1000)))
+        assert large > small
+
+    def test_fewer_channels_slower(self):
+        work = RoundWork(vertex_lines=1000, dram_pages=100)
+        fast = DRAMModel(AcceleratorConfig(dram_channels=8))
+        slow = DRAMModel(AcceleratorConfig(dram_channels=1))
+        assert slow.service_cycles(slow.traffic_of(work)) > fast.service_cycles(
+            fast.traffic_of(work)
+        )
+
+    def test_utilization(self):
+        model = DRAMModel(AcceleratorConfig())
+        assert model.utilization(32, 64) == 0.5
+        assert model.utilization(0, 0) == 0.0
+        assert model.utilization(100, 64) == 1.0  # clamped
+
+
+class TestTimingModel:
+    def test_more_work_more_cycles(self):
+        model = AcceleratorTimingModel()
+        small = model.run_time(make_metrics(events=100, edges=400))
+        large = model.run_time(make_metrics(events=100_000, edges=400_000))
+        assert large.total_cycles > small.total_cycles
+
+    def test_more_processors_fewer_cycles(self):
+        metrics = make_metrics(events=100_000, edges=50_000, lines=50)
+        few = AcceleratorTimingModel(AcceleratorConfig(num_processors=2))
+        many = AcceleratorTimingModel(AcceleratorConfig(num_processors=16))
+        assert many.run_time(metrics).total_cycles < few.run_time(metrics).total_cycles
+
+    def test_stream_reader_cost_added_once(self):
+        model = AcceleratorTimingModel()
+        metrics = make_metrics()
+        without = model.run_time(metrics, stream_records=0)
+        with_records = model.run_time(metrics, stream_records=100_000)
+        assert with_records.total_cycles > without.total_cycles
+
+    def test_initial_phase_gets_no_stream_reader(self):
+        model = AcceleratorTimingModel()
+        metrics = RunMetrics()
+        phase = metrics.phase("initial")
+        phase.new_round().events_processed = 10
+        a = model.run_time(metrics, stream_records=100_000)
+        b = model.run_time(metrics, stream_records=0)
+        assert a.total_cycles == b.total_cycles
+
+    def test_time_units(self):
+        model = AcceleratorTimingModel(AcceleratorConfig(clock_ghz=1.0))
+        report = model.run_time(make_metrics())
+        assert report.time_ms == pytest.approx(report.total_cycles / 1e6)
+        assert report.time_us == pytest.approx(report.total_cycles / 1e3)
+
+    def test_phase_bound_diagnostic(self):
+        model = AcceleratorTimingModel()
+        report = model.run_time(make_metrics(events=100_000, edges=100, lines=4))
+        assert report.phases[0].bound in {"compute", "queue"}
+
+    def test_memory_bound_detected(self):
+        model = AcceleratorTimingModel()
+        metrics = make_metrics(events=16, edges=16, lines=100_000, pages=50_000)
+        report = model.run_time(metrics)
+        assert report.phases[0].bound == "memory"
+
+    def test_energy(self):
+        model = AcceleratorTimingModel()
+        metrics = make_metrics()
+        energy = model.energy_mj(metrics, power_w=8.9)
+        assert energy == pytest.approx(8.9 * model.run_time(metrics).time_ms)
+
+    def test_summary(self):
+        report = AcceleratorTimingModel().run_time(make_metrics())
+        summary = report.summary()
+        assert "total_cycles" in summary and "time_ms" in summary
+
+
+class TestPowerAreaModel:
+    def test_table4_structure(self):
+        rows = PowerAreaModel().table4()
+        names = [r["component"] for r in rows]
+        assert names == ["Queue", "Scratchpad", "Network", "Proc. Logic", "Total"]
+
+    def test_paper_magnitudes(self):
+        """JetStream column should land near the paper's Table 4 values."""
+        rows = {r["component"]: r for r in PowerAreaModel().table4()}
+        assert rows["Queue"]["total_mw"] == pytest.approx(8815, rel=0.02)
+        assert rows["Network"]["total_mw"] == pytest.approx(97, rel=0.05)
+        assert rows["Total"]["total_mw"] == pytest.approx(8926, rel=0.02)
+        assert rows["Total"]["area_mm2"] == pytest.approx(199, rel=0.02)
+
+    def test_paper_delta_signs(self):
+        rows = {r["component"]: r for r in PowerAreaModel().table4()}
+        assert rows["Queue"]["dynamic_delta"] < 0  # paper: -6%
+        assert rows["Network"]["static_delta"] > 0.5  # paper: +78%
+        assert rows["Proc. Logic"]["area_delta"] > 0.4  # paper: +51%
+        assert abs(rows["Total"]["total_delta"]) < 0.02  # paper: +1%
+        assert 0.0 < rows["Total"]["area_delta"] < 0.05  # paper: +3%
+
+    def test_structural_scaling(self):
+        """A larger queue should cost more power and area."""
+        small = PowerAreaModel(AcceleratorConfig(queue_bytes=32 * 1024 * 1024))
+        large = PowerAreaModel(AcceleratorConfig(queue_bytes=128 * 1024 * 1024))
+        assert large.total_power_mw() > small.total_power_mw()
+        assert large.total_area_mm2() > small.total_area_mm2()
+
+    def test_jetstream_overhead_small(self):
+        model = PowerAreaModel()
+        assert model.total_power_mw(True) < 1.05 * model.total_power_mw(False)
+        assert model.total_area_mm2(True) < 1.05 * model.total_area_mm2(False)
+
+
+class TestSoftwareCostModel:
+    def test_terms_accounted(self):
+        work = SoftwareWork(
+            iterations=3,
+            edges_traversed=1000,
+            vertex_reads_random=500,
+            vertex_reads_sequential=2000,
+            vertex_writes=100,
+            atomics=400,
+            bookkeeping_bytes=4096,
+        )
+        report = SoftwareCostModel().time_report(work)
+        assert set(report.terms) == {
+            "random_reads",
+            "sequential_reads",
+            "vertex_writes",
+            "edges",
+            "atomics",
+            "bookkeeping",
+        }
+        assert report.total_ms > 0
+
+    def test_fixed_overhead_floor(self):
+        """Even an empty batch costs the per-batch overhead (Fig. 13)."""
+        config = SoftwareConfig()
+        time_ms = SoftwareCostModel(config).time_ms(SoftwareWork())
+        assert time_ms >= config.per_batch_overhead_us / 1000.0
+
+    def test_barriers_serialize(self):
+        a = SoftwareCostModel().time_ms(SoftwareWork(iterations=1))
+        b = SoftwareCostModel().time_ms(SoftwareWork(iterations=100))
+        assert b > a
+
+    def test_random_reads_dominate_sequential(self):
+        model = SoftwareCostModel()
+        random = model.time_ms(SoftwareWork(vertex_reads_random=100_000))
+        sequential = model.time_ms(SoftwareWork(vertex_reads_sequential=100_000))
+        assert random > sequential
+
+    def test_effective_cores(self):
+        config = SoftwareConfig(num_cores=36, parallel_efficiency=0.5)
+        assert config.effective_cores() == 18.0
+
+    def test_overrides(self):
+        config = SoftwareConfig().with_overrides(num_cores=4)
+        assert config.num_cores == 4
+
+
+class TestMetricsContainers:
+    def test_roundwork_merge(self):
+        a = RoundWork(events_processed=2, edges_read=3, spill_bytes=10)
+        b = RoundWork(events_processed=5, edges_read=7, spill_bytes=1)
+        a.merge(b)
+        assert a.events_processed == 7
+        assert a.edges_read == 10
+        assert a.spill_bytes == 11
+
+    def test_phase_totals(self):
+        phase = PhaseStats("x")
+        phase.new_round().events_processed = 4
+        phase.new_round().events_processed = 6
+        assert phase.events_processed == 10
+        assert phase.num_rounds == 2
+
+    def test_run_metrics_find(self):
+        metrics = RunMetrics()
+        metrics.phase("a")
+        metrics.phase("b")
+        assert metrics.find("b") is not None
+        assert metrics.find("zzz") is None
+
+    def test_bytes_accounting(self):
+        phase = PhaseStats("x")
+        work = phase.new_round()
+        work.vertex_reads = 8
+        work.vertex_lines = 2
+        assert phase.bytes_used() == 64
+        assert phase.bytes_transferred() == 128
+
+    def test_software_work_merge(self):
+        a = SoftwareWork(iterations=1, atomics=5)
+        a.merge(SoftwareWork(iterations=2, atomics=7))
+        assert a.iterations == 3
+        assert a.atomics == 12

@@ -1,0 +1,50 @@
+"""Table 4 model vs the paper's published numbers, row by row."""
+
+import pytest
+
+from repro.experiments import table4
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {r["component"]: r for r in table4.run()}
+
+
+class TestAgainstPaper:
+    @pytest.mark.parametrize(
+        "component, rel",
+        [("Queue", 0.02), ("Scratchpad", 0.05), ("Network", 0.05), ("Proc. Logic", 0.05)],
+    )
+    def test_total_power_close(self, rows, component, rel):
+        paper = table4.PAPER_REFERENCE[component]["total_mw"]
+        assert rows[component]["total_mw"] == pytest.approx(paper, rel=rel)
+
+    @pytest.mark.parametrize(
+        "component, rel",
+        [("Queue", 0.02), ("Network", 0.06), ("Proc. Logic", 0.05)],
+    )
+    def test_area_close(self, rows, component, rel):
+        paper = table4.PAPER_REFERENCE[component]["area_mm2"]
+        assert rows[component]["area_mm2"] == pytest.approx(paper, rel=rel)
+
+    def test_network_delta_matches_event_width(self, rows):
+        """The +75% network delta is structural: 14B vs 8B events."""
+        assert rows["Network"]["static_delta"] == pytest.approx(14 / 8 - 1, abs=0.01)
+
+    def test_total_row_sums_components(self, rows):
+        parts = ["Queue", "Scratchpad", "Network", "Proc. Logic"]
+        assert rows["Total"]["total_mw"] == pytest.approx(
+            sum(rows[p]["total_mw"] for p in parts)
+        )
+        assert rows["Total"]["area_mm2"] == pytest.approx(
+            sum(rows[p]["area_mm2"] for p in parts)
+        )
+
+    def test_paper_reference_shape(self):
+        assert set(table4.PAPER_REFERENCE) == {
+            "Queue",
+            "Scratchpad",
+            "Network",
+            "Proc. Logic",
+            "Total",
+        }

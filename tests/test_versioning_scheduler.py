@@ -1,0 +1,119 @@
+"""Tests for delta-encoded versioning and the partial-drain scheduler."""
+
+import numpy as np
+import pytest
+
+from repro import reference
+from repro.algorithms import make_algorithm
+from repro.core.config import AcceleratorConfig
+from repro.core.streaming import JetStreamEngine
+from repro.graph.dynamic import DeltaVersionStore, DynamicGraph
+from repro.graph import generators
+from repro.streams import StreamGenerator
+
+from conftest import random_digraph
+
+
+class TestDeltaVersionStore:
+    def _stream(self, store, graph, batches=3):
+        generator = StreamGenerator(graph, seed=5, insertion_ratio=0.5)
+        for _ in range(batches):
+            batch = generator.next_batch(8)
+            graph.apply_batch(
+                [(e.u, e.v, e.w) for e in batch.insertions],
+                [e.key() for e in batch.deletions],
+            )
+            store.record_batch(
+                [(e.u, e.v, e.w) for e in batch.insertions],
+                [e.key() for e in batch.deletions],
+            )
+
+    def test_reconstruct_base(self):
+        graph = random_digraph(seed=1)
+        base_edges = sorted(graph.edges())
+        store = DeltaVersionStore(graph)
+        self._stream(store, graph)
+        assert sorted(store.reconstruct(store.versions()[0]).edges()) == base_edges
+
+    def test_reconstruct_latest_matches_live(self):
+        graph = random_digraph(seed=2)
+        store = DeltaVersionStore(graph)
+        self._stream(store, graph)
+        latest = store.reconstruct(store.versions()[-1])
+        assert sorted(latest.edges()) == sorted(graph.edges())
+
+    def test_reconstruct_intermediate(self):
+        graph = random_digraph(seed=3)
+        store = DeltaVersionStore(graph)
+        snapshots = {graph.version: sorted(graph.edges())}
+        generator = StreamGenerator(graph, seed=6, insertion_ratio=0.5)
+        for _ in range(3):
+            batch = generator.next_batch(6)
+            graph.apply_batch(
+                [(e.u, e.v, e.w) for e in batch.insertions],
+                [e.key() for e in batch.deletions],
+            )
+            store.record_batch(
+                [(e.u, e.v, e.w) for e in batch.insertions],
+                [e.key() for e in batch.deletions],
+            )
+            snapshots[graph.version] = sorted(graph.edges())
+        for version, expected in snapshots.items():
+            assert sorted(store.reconstruct(version).edges()) == expected
+
+    def test_unknown_version_rejected(self):
+        graph = random_digraph(seed=4)
+        store = DeltaVersionStore(graph)
+        with pytest.raises(KeyError):
+            store.reconstruct(999)
+
+    def test_delta_bytes_grow(self):
+        graph = random_digraph(seed=5)
+        store = DeltaVersionStore(graph)
+        assert store.delta_bytes() == 0
+        self._stream(store, graph)
+        assert store.delta_bytes() > 0
+
+    def test_vertex_growth_tracked(self):
+        graph = DynamicGraph.from_edges([(0, 1, 1.0)], 2)
+        store = DeltaVersionStore(graph)
+        graph.apply_batch([(1, 7, 2.0)], [])
+        store.record_batch([(1, 7, 2.0)], [])
+        assert store.reconstruct(graph.version).num_vertices == 8
+
+
+class TestPartialDrainScheduler:
+    @pytest.mark.parametrize("rows", [None, 8, 2])
+    def test_results_independent_of_drain_width(self, rows):
+        edges = generators.erdos_renyi(50, 200, seed=7)
+        graph = DynamicGraph.from_edges(edges, 50)
+        config = AcceleratorConfig(scheduler_rows_per_round=rows)
+        engine = JetStreamEngine(graph, make_algorithm("sssp", source=0), config=config)
+        engine.initial_compute()
+        stream = StreamGenerator(graph, seed=8)
+        result = engine.apply_batch(stream.next_batch(10))
+        assert np.array_equal(result.states, reference.sssp(graph.snapshot(), 0))
+
+    def test_narrow_drain_takes_more_rounds(self):
+        edges = generators.erdos_renyi(50, 200, seed=9)
+
+        def rounds_for(rows):
+            graph = DynamicGraph.from_edges(edges, 50)
+            config = AcceleratorConfig(scheduler_rows_per_round=rows)
+            engine = JetStreamEngine(
+                graph, make_algorithm("sssp", source=0), config=config
+            )
+            result = engine.initial_compute()
+            return sum(p.num_rounds for p in result.metrics.phases)
+
+        assert rounds_for(1) > rounds_for(None)
+
+    def test_delete_phase_respects_drain_width(self):
+        edges = generators.erdos_renyi(50, 200, seed=10)
+        graph = DynamicGraph.from_edges(edges, 50)
+        config = AcceleratorConfig(scheduler_rows_per_round=2)
+        engine = JetStreamEngine(graph, make_algorithm("sssp", source=0), config=config)
+        engine.initial_compute()
+        stream = StreamGenerator(graph, seed=11)
+        result = engine.apply_batch(stream.next_batch(12, insertion_ratio=0.0))
+        assert np.array_equal(result.states, reference.sssp(graph.snapshot(), 0))
