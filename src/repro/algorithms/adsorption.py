@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.algorithms.base import Algorithm, AlgorithmKind, SourceContext
 
 
@@ -39,6 +41,7 @@ class Adsorption(Algorithm):
     kind = AlgorithmKind.ACCUMULATIVE
     identity = 0.0
     degree_dependent = True
+    reduce_ufunc = np.add
 
     def __init__(
         self,

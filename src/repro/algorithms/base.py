@@ -25,6 +25,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple
 
+import numpy as np
+
 
 class AlgorithmKind(enum.Enum):
     """The two algorithm families JetStream serves (§2.2, §3.5)."""
@@ -155,6 +157,56 @@ class Algorithm(ABC):
         else 1)`` for accumulative algorithms.
         """
         raise NotImplementedError(f"{self.name} has no linear propagation factor")
+
+    # ------------------------------------------------------------------
+    # Vectorized (structure-of-arrays) hooks
+    # ------------------------------------------------------------------
+    #: NumPy ufunc implementing ``reduce`` element-wise (``np.minimum``,
+    #: ``np.maximum``, ``np.add``). ``None`` means the algorithm has no
+    #: vectorized form and must run on the scalar engine.
+    reduce_ufunc: Optional[np.ufunc] = None
+
+    def propagate_arrays(self, values: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Vectorized ``propagate`` for selective algorithms.
+
+        ``values[i]`` is the propagating state and ``weights[i]`` the edge
+        weight of out-edge ``i``; must return the per-edge deltas, matching
+        ``propagate(values[i], weights[i], NULL_CONTEXT)`` exactly.
+        (Accumulative algorithms instead go through the linear
+        :meth:`propagation_factor` fast path, which the vectorized engine
+        evaluates with plain array arithmetic.)
+        """
+        raise NotImplementedError(f"{self.name} has no vectorized propagate")
+
+    def more_progressed_arrays(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Element-wise :meth:`more_progressed` (selective algorithms)."""
+        raise NotImplementedError(f"{self.name} has no vectorized progression order")
+
+    @property
+    def supports_vectorized(self) -> bool:
+        """Whether the vectorized engine can run this algorithm."""
+        if self.reduce_ufunc is None:
+            return False
+        if self.kind is AlgorithmKind.SELECTIVE:
+            cls = type(self)
+            return (
+                cls.propagate_arrays is not Algorithm.propagate_arrays
+                and cls.more_progressed_arrays is not Algorithm.more_progressed_arrays
+            )
+        # Accumulative algorithms vectorize through the linear fast path.
+        return True
+
+    def initial_events_arrays(self, graph) -> Tuple[np.ndarray, np.ndarray]:
+        """InitialEvents() as ``(targets, payloads)`` arrays.
+
+        The default materialises :meth:`initial_events`; algorithms whose
+        initial set covers every vertex override this to skip the list.
+        """
+        events = self.initial_events(graph)
+        n = len(events)
+        targets = np.fromiter((v for v, _ in events), dtype=np.int64, count=n)
+        payloads = np.fromiter((p for _, p in events), dtype=np.float64, count=n)
+        return targets, payloads
 
     # ------------------------------------------------------------------
     # Result helpers

@@ -10,6 +10,8 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.algorithms.base import Algorithm, AlgorithmKind, SourceContext
 
 
@@ -22,6 +24,7 @@ class BFS(Algorithm):
     name = "bfs"
     kind = AlgorithmKind.SELECTIVE
     identity = math.inf
+    reduce_ufunc = np.minimum
 
     def __init__(self, source: int = 0):
         if source < 0:
@@ -45,4 +48,10 @@ class BFS(Algorithm):
         return 0.0 if v == self.source else None
 
     def more_progressed(self, a: float, b: float) -> bool:
+        return a < b
+
+    def propagate_arrays(self, values: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        return values + 1.0
+
+    def more_progressed_arrays(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return a < b

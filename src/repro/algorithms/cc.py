@@ -14,6 +14,8 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.algorithms.base import Algorithm, AlgorithmKind, SourceContext
 
 
@@ -31,6 +33,7 @@ class ConnectedComponents(Algorithm):
     kind = AlgorithmKind.SELECTIVE
     identity = math.inf
     needs_symmetric = True
+    reduce_ufunc = np.minimum
 
     def reduce(self, a: float, b: float) -> float:
         return a if a <= b else b
@@ -49,3 +52,13 @@ class ConnectedComponents(Algorithm):
 
     def more_progressed(self, a: float, b: float) -> bool:
         return a < b
+
+    def propagate_arrays(self, values: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        return values
+
+    def more_progressed_arrays(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a < b
+
+    def initial_events_arrays(self, graph):
+        ids = np.arange(graph.num_vertices, dtype=np.int64)
+        return ids, ids.astype(np.float64)

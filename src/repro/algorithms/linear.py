@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.algorithms.base import Algorithm, AlgorithmKind, SourceContext
 
 
@@ -46,6 +48,7 @@ class LinearSystemSolver(Algorithm):
     identity = 0.0
     degree_dependent = False
     weight_scaled_propagation = True
+    reduce_ufunc = np.add
 
     def __init__(
         self,

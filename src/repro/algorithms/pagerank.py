@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.algorithms.base import Algorithm, AlgorithmKind, SourceContext
 
 
@@ -35,6 +37,7 @@ class PageRank(Algorithm):
     kind = AlgorithmKind.ACCUMULATIVE
     identity = 0.0
     degree_dependent = True
+    reduce_ufunc = np.add
 
     def __init__(self, alpha: float = 0.85, tolerance: float = 1e-6):
         if not 0.0 < alpha < 1.0:
@@ -63,3 +66,10 @@ class PageRank(Algorithm):
 
     def seed_event_for_new_vertex(self, v: int) -> Optional[float]:
         return 1.0 - self.alpha
+
+    def initial_events_arrays(self, graph):
+        n = graph.num_vertices
+        return (
+            np.arange(n, dtype=np.int64),
+            np.full(n, 1.0 - self.alpha, dtype=np.float64),
+        )

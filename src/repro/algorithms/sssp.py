@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.algorithms.base import Algorithm, AlgorithmKind, SourceContext
 
 
@@ -20,6 +22,7 @@ class SSSP(Algorithm):
     name = "sssp"
     kind = AlgorithmKind.SELECTIVE
     identity = math.inf
+    reduce_ufunc = np.minimum
 
     def __init__(self, source: int = 0):
         if source < 0:
@@ -43,4 +46,10 @@ class SSSP(Algorithm):
         return 0.0 if v == self.source else None
 
     def more_progressed(self, a: float, b: float) -> bool:
+        return a < b
+
+    def propagate_arrays(self, values: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        return values + weights
+
+    def more_progressed_arrays(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return a < b

@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.algorithms.base import Algorithm, AlgorithmKind, SourceContext
 
 
@@ -22,6 +24,7 @@ class SSWP(Algorithm):
     name = "sswp"
     kind = AlgorithmKind.SELECTIVE
     identity = 0.0
+    reduce_ufunc = np.maximum
 
     def __init__(self, source: int = 0):
         if source < 0:
@@ -45,4 +48,10 @@ class SSWP(Algorithm):
         return math.inf if v == self.source else None
 
     def more_progressed(self, a: float, b: float) -> bool:
+        return a > b
+
+    def propagate_arrays(self, values: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        return np.minimum(values, weights)
+
+    def more_progressed_arrays(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return a > b

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.algorithms import make_algorithm
 from repro.algorithms.base import AlgorithmKind
+from repro.core.engine import ENGINE_MODES
 from repro.core.policies import DeletePolicy
 from repro.core.streaming import JetStreamEngine
 from repro.graph import datasets, io
@@ -86,6 +87,14 @@ def _add_graph_args(parser: argparse.ArgumentParser) -> None:
         "--algorithm", choices=ALGORITHM_CHOICES, default="sssp"
     )
     parser.add_argument("--source", type=int, default=0, help="query root")
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_MODES,
+        default="auto",
+        help="event substrate: auto picks the vectorized SoA kernels when "
+        "the algorithm supports them; scalar forces the boxed-event "
+        "reference path",
+    )
 
 
 def _load_graph(args) -> DynamicGraph:
@@ -107,7 +116,7 @@ def _load_graph(args) -> DynamicGraph:
 def cmd_query(args) -> int:
     graph = _load_graph(args)
     algorithm = make_algorithm(args.algorithm, source=args.source)
-    engine = JetStreamEngine(graph, algorithm)
+    engine = JetStreamEngine(graph, algorithm, engine=args.engine)
     started = time.time()
     result = engine.initial_compute()
     elapsed = time.time() - started
@@ -139,7 +148,7 @@ def cmd_stream(args) -> int:
     graph = _load_graph(args)
     algorithm = make_algorithm(args.algorithm, source=args.source)
     policy = DeletePolicy(args.policy)
-    engine = JetStreamEngine(graph, algorithm, policy=policy)
+    engine = JetStreamEngine(graph, algorithm, policy=policy, engine=args.engine)
     timing = AcceleratorTimingModel()
 
     cold = None

@@ -26,10 +26,16 @@ import numpy as np
 
 from repro.algorithms.base import NULL_CONTEXT, AlgorithmKind, SourceContext
 from repro.core.config import AcceleratorConfig
-from repro.core.events import NO_SOURCE, Event
-from repro.core.metrics import PhaseStats, RoundWork, RunMetrics
+from repro.core.events import NO_SOURCE, Event, EventBatch
+from repro.core.metrics import (
+    PhaseStats,
+    RoundWork,
+    RunMetrics,
+    segmented_distinct_count,
+    segmented_interval_union,
+)
 from repro.core.policies import DeletePolicy
-from repro.core.queue import CoalescingQueue
+from repro.core.queue import CoalescingQueue, VectorQueue
 from repro.graph.csr import CSRGraph
 
 #: Hard cap on scheduler rounds — generous (real runs take tens to a few
@@ -37,6 +43,10 @@ from repro.graph.csr import CSRGraph
 MAX_ROUNDS = 1_000_000
 
 _LINE = 64  # cache-line bytes (fixed by the DRAM interface)
+
+#: Engine substrate choices: ``auto`` picks the vectorized path whenever the
+#: algorithm provides the array hooks, falling back to scalar otherwise.
+ENGINE_MODES = ("auto", "scalar", "vectorized")
 
 
 class EngineCore:
@@ -48,10 +58,19 @@ class EngineCore:
         config: Optional[AcceleratorConfig] = None,
         policy: DeletePolicy = DeletePolicy.DAP,
         queue_event_bytes: Optional[int] = None,
+        engine: str = "auto",
     ):
         self.algorithm = algorithm
         self.config = config or AcceleratorConfig()
         self.policy = policy
+        if engine not in ENGINE_MODES:
+            raise ValueError(f"engine must be one of {ENGINE_MODES}, got {engine!r}")
+        if engine == "vectorized" and not algorithm.supports_vectorized:
+            raise ValueError(
+                f"{algorithm.name} provides no vectorized hooks; "
+                "use engine='scalar' or 'auto'"
+            )
+        self.engine_mode = engine
         self.event_bytes = (
             queue_event_bytes
             if queue_event_bytes is not None
@@ -143,9 +162,23 @@ class EngineCore:
             out_weight_sum=float(self._out_weight_sum[v]),
         )
 
-    def new_queue(self) -> CoalescingQueue:
-        """A coalescing queue sized/partitioned for the current state."""
-        return CoalescingQueue(
+    @property
+    def uses_vectorized(self) -> bool:
+        """Whether this core runs on the structure-of-arrays substrate."""
+        if self.engine_mode == "scalar":
+            return False
+        return self.algorithm.supports_vectorized
+
+    def new_queue(self):
+        """A coalescing queue sized/partitioned for the current state.
+
+        Returns a :class:`VectorQueue` on the vectorized substrate and the
+        boxed-event :class:`CoalescingQueue` otherwise; both expose the
+        same insertion/slicing interface, and the event loops dispatch on
+        the type.
+        """
+        queue_cls = VectorQueue if self.uses_vectorized else CoalescingQueue
+        return queue_cls(
             self.algorithm,
             self.config,
             self.policy,
@@ -153,16 +186,28 @@ class EngineCore:
             slice_of=self._slice_of,
         )
 
+    def seed_initial(self, queue, work: RoundWork) -> None:
+        """Feed InitialEvents() into ``queue`` (the Initializer, §4.6)."""
+        if isinstance(queue, VectorQueue):
+            targets, payloads = self.algorithm.initial_events_arrays(self.csr)
+            queue.insert_batch(EventBatch.from_arrays(targets, payloads), work)
+        else:
+            for vertex, payload in self.algorithm.initial_events(self.csr):
+                queue.insert(Event(vertex, payload, 0, NO_SOURCE), work)
+
     # ------------------------------------------------------------------
     # Event loops
     # ------------------------------------------------------------------
-    def run_regular(self, queue: CoalescingQueue, phase: PhaseStats) -> None:
+    def run_regular(self, queue, phase: PhaseStats) -> None:
         """Computation phase: process events until the queue drains (§4.6.1).
 
         Implements Algorithm 1 plus request-flag semantics: a vertex
         receiving a request event propagates its state along all out-edges
-        even when the state did not change (§3.4).
+        even when the state did not change (§3.4). Dispatches to the
+        vectorized kernel when ``queue`` is a :class:`VectorQueue`.
         """
+        if isinstance(queue, VectorQueue):
+            return self._run_regular_vectorized(queue, phase)
         algorithm = self.algorithm
         csr = self.csr
         states = self.states
@@ -182,12 +227,13 @@ class EngineCore:
         max_rows = self.config.scheduler_rows_per_round
         rounds = 0
         while queue.pending():
-            if not queue.active_pending():
-                queue.activate_next_slice()
             rounds += 1
             if rounds > MAX_ROUNDS:
                 raise RuntimeError("engine exceeded MAX_ROUNDS; non-termination?")
             work = phase.new_round()
+            if not queue.active_pending():
+                # Charge the activated slice's spill read-back to this round.
+                queue.activate_next_slice(work)
             for batch in queue.drain_round(work, max_rows):
                 self._account_vertex_batch(batch, work, page_bytes)
                 edge_lines = set()
@@ -245,15 +291,18 @@ class EngineCore:
                 work.edge_lines += len(edge_lines)
                 work.dram_pages += len(edge_pages)
 
-    def run_delete(self, queue: CoalescingQueue, phase: PhaseStats) -> List[int]:
+    def run_delete(self, queue, phase: PhaseStats) -> List[int]:
         """Recovery phase: propagate delete tags, reset impacted vertices.
 
         Implements ``ResetImpacted`` of Algorithm 4 with the policy impact
         tests of §5. The queue must contain the initial delete events
         (``ProcessDeletesSelective``); the bound graph must be the
         *previous* version (§3.5). Returns the impacted-vertex list (the
-        Impact Buffer contents, §4.5).
+        Impact Buffer contents, §4.5). Dispatches to the vectorized kernel
+        when ``queue`` is a :class:`VectorQueue`.
         """
+        if isinstance(queue, VectorQueue):
+            return self._run_delete_vectorized(queue, phase)
         algorithm = self.algorithm
         csr = self.csr
         states = self.states
@@ -274,12 +323,13 @@ class EngineCore:
         impacted: List[int] = []
         rounds = 0
         while queue.pending():
-            if not queue.active_pending():
-                queue.activate_next_slice()
             rounds += 1
             if rounds > MAX_ROUNDS:
                 raise RuntimeError("delete phase exceeded MAX_ROUNDS")
             work = phase.new_round()
+            if not queue.active_pending():
+                # Charge the activated slice's spill read-back to this round.
+                queue.activate_next_slice(work)
             for batch in queue.drain_round(work, max_rows):
                 self._account_vertex_batch(batch, work, page_bytes)
                 edge_lines = set()
@@ -338,6 +388,210 @@ class EngineCore:
         return impacted
 
     # ------------------------------------------------------------------
+    # Vectorized kernels (structure-of-arrays substrate)
+    # ------------------------------------------------------------------
+    def _run_regular_vectorized(self, queue: VectorQueue, phase: PhaseStats) -> None:
+        """Array-kernel form of :meth:`run_regular`.
+
+        One round is: drain the whole queue slice as a sorted
+        :class:`EventBatch`, gather states, reduce element-wise, scatter
+        the changed values back, expand the frontier with CSR offset
+        arithmetic, and insert the generated events as one batch. Every
+        :class:`RoundWork` counter is computed to match the scalar loop
+        exactly (see docs/architecture.md, "Vectorized substrate").
+        """
+        algorithm = self.algorithm
+        states = self.states
+        dependency = self.dependency
+        track_dep = self.policy.tracks_dependency
+        accumulative = algorithm.kind is AlgorithmKind.ACCUMULATIVE
+        threshold = algorithm.propagation_threshold
+        weight_scaled = algorithm.weight_scaled_propagation
+        prop_factor = self._prop_factor
+        offsets = self.csr.out_offsets
+        out_targets = self.csr.out_targets
+        out_weights = self.csr.out_weights
+        page_bytes = self.config.dram_page_bytes
+        max_rows = self.config.scheduler_rows_per_round
+
+        rounds = 0
+        while queue.pending():
+            rounds += 1
+            if rounds > MAX_ROUNDS:
+                raise RuntimeError("engine exceeded MAX_ROUNDS; non-termination?")
+            work = phase.new_round()
+            if not queue.active_pending():
+                queue.activate_next_slice(work)
+            batch, starts = queue.drain_round(work, max_rows)
+            k = len(batch)
+            if k == 0:
+                continue
+            t = batch.targets
+            seg_start = np.zeros(k, dtype=bool)
+            seg_start[starts] = True
+            self._account_vertex_batch_arrays(t, seg_start, work, page_bytes)
+            work.events_processed += k
+            work.vertex_reads += k
+
+            # Reduce + conditional write-back (targets are unique: the
+            # queue coalesced all regular events per vertex).
+            old = states[t]
+            new = algorithm.reduce_ufunc(old, batch.payloads)
+            changed = new != old
+            tc = t[changed]
+            states[tc] = new[changed]
+            work.vertex_writes += int(tc.shape[0])
+            if track_dep:
+                dependency[tc] = batch.sources[changed]
+
+            # Frontier: changed or request-flagged vertices with out-edges.
+            prop = changed | ((batch.flags & 2) != 0)
+            start_all = offsets[t]
+            deg_all = offsets[t + 1] - start_all
+            nz = prop & (deg_all > 0)
+            if not nz.any():
+                continue
+            idx = np.flatnonzero(nz)
+            v = t[idx]
+            start = start_all[idx]
+            deg = deg_all[idx]
+            work.edges_read += int(deg.sum())
+            row_ids = np.searchsorted(starts, idx, side="right")
+            self._account_edge_batches(start, start + deg, row_ids, work, page_bytes)
+
+            if accumulative:
+                base = (new[idx] - old[idx]) * prop_factor[v]
+                if weight_scaled:
+                    eidx = self._edge_indices(start, deg)
+                    values = np.repeat(base, deg) * out_weights[eidx]
+                    keep = (values > threshold) | (values < -threshold)
+                    gen_t = out_targets[eidx][keep]
+                    gen_p = values[keep]
+                    gen_s = np.repeat(v, deg)[keep]
+                else:
+                    keepv = (base > threshold) | (base < -threshold)
+                    dg = deg[keepv]
+                    eidx = self._edge_indices(start[keepv], dg)
+                    gen_t = out_targets[eidx]
+                    gen_p = np.repeat(base[keepv], dg)
+                    gen_s = np.repeat(v[keepv], dg)
+            else:
+                # Selective: propagation basis is the post-write state.
+                eidx = self._edge_indices(start, deg)
+                gen_t = out_targets[eidx]
+                gen_p = algorithm.propagate_arrays(
+                    np.repeat(new[idx], deg), out_weights[eidx]
+                )
+                gen_s = np.repeat(v, deg)
+            n_gen = int(gen_t.shape[0])
+            if n_gen:
+                work.events_generated += n_gen
+                queue.insert_batch(
+                    EventBatch.from_arrays(gen_t, gen_p, 0, gen_s), work
+                )
+
+    def _run_delete_vectorized(self, queue: VectorQueue, phase: PhaseStats) -> List[int]:
+        """Array-kernel form of :meth:`run_delete`.
+
+        Duplicate targets (the DAP overflow buffer drains uncoalesced
+        events) are resolved per group: the winner is the first event that
+        passes the policy impact test against the pre-round state — the
+        same event the scalar loop resets on, since every later duplicate
+        then fails the identity check.
+        """
+        algorithm = self.algorithm
+        states = self.states
+        dependency = self.dependency
+        policy = self.policy
+        identity = algorithm.identity
+        offsets = self.csr.out_offsets
+        out_targets = self.csr.out_targets
+        out_weights = self.csr.out_weights
+        page_bytes = self.config.dram_page_bytes
+        base_policy = policy is DeletePolicy.BASE
+        vap = policy is DeletePolicy.VAP
+        dap = policy is DeletePolicy.DAP
+        max_rows = self.config.scheduler_rows_per_round
+
+        impacted: List[int] = []
+        rounds = 0
+        while queue.pending():
+            rounds += 1
+            if rounds > MAX_ROUNDS:
+                raise RuntimeError("delete phase exceeded MAX_ROUNDS")
+            work = phase.new_round()
+            if not queue.active_pending():
+                queue.activate_next_slice(work)
+            batch, starts = queue.drain_round(work, max_rows)
+            k = len(batch)
+            if k == 0:
+                continue
+            t = batch.targets
+            seg_start = np.zeros(k, dtype=bool)
+            seg_start[starts] = True
+            self._account_vertex_batch_arrays(t, seg_start, work, page_bytes)
+            work.events_processed += k
+            work.vertex_reads += k
+
+            st = states[t]
+            cond = st != identity
+            if dap:
+                cond &= dependency[t] == batch.sources
+            if vap:
+                cond &= ~algorithm.more_progressed_arrays(st, batch.payloads)
+            gfirst = np.empty(k, dtype=bool)
+            gfirst[0] = True
+            np.not_equal(t[1:], t[:-1], out=gfirst[1:])
+            gstarts = np.flatnonzero(gfirst)
+            pos = np.where(cond, np.arange(k), k)
+            win = np.minimum.reduceat(pos, gstarts)
+            win = win[win < np.append(gstarts[1:], k)]
+            n_win = int(win.shape[0])
+            phase.deletes_discarded += k - n_win
+            if n_win == 0:
+                continue
+            v = t[win]
+            pre = st[win]
+            # Reset (tag) the impacted vertices — Algorithm 4, line 11.
+            states[v] = identity
+            work.vertex_writes += n_win
+            if dap:
+                dependency[v] = NO_SOURCE
+            impacted.extend(v.tolist())
+            phase.vertices_reset += n_win
+
+            start_all = offsets[v]
+            deg_all = offsets[v + 1] - start_all
+            sub = np.flatnonzero(deg_all > 0)
+            if sub.shape[0] == 0:
+                continue
+            vs = v[sub]
+            start = start_all[sub]
+            deg = deg_all[sub]
+            total = int(deg.sum())
+            work.edges_read += total
+            row_ids = np.searchsorted(starts, win[sub], side="right")
+            self._account_edge_batches(start, start + deg, row_ids, work, page_bytes)
+            eidx = self._edge_indices(start, deg)
+            if base_policy:
+                # BASE carries no value (Algorithm 4 queues <v, 0>).
+                gen_p = np.zeros(total, dtype=np.float64)
+            else:
+                # VAP/DAP carry the contribution computed from the
+                # pre-reset state (§5.1, §5.2).
+                gen_p = algorithm.propagate_arrays(
+                    np.repeat(pre[sub], deg), out_weights[eidx]
+                )
+            work.events_generated += total
+            queue.insert_batch(
+                EventBatch.from_arrays(
+                    out_targets[eidx], gen_p, 1, np.repeat(vs, deg)
+                ),
+                work,
+            )
+        return impacted
+
+    # ------------------------------------------------------------------
     @staticmethod
     def _account_vertex_batch(
         batch: List[Event], work: RoundWork, page_bytes: int
@@ -352,6 +606,59 @@ class EngineCore:
         work.vertex_lines += len(lines)
         work.dram_pages += len(pages)
 
+    @staticmethod
+    def _account_vertex_batch_arrays(
+        targets: np.ndarray, seg_start: np.ndarray, work: RoundWork, page_bytes: int
+    ) -> None:
+        """Array form of :meth:`_account_vertex_batch` over a whole round.
+
+        ``targets`` is the drained round sorted by vertex id; ``seg_start``
+        marks the first event of each row batch. Distinct lines/pages per
+        batch reduce to counting value changes within segments.
+        """
+        work.vertex_lines += segmented_distinct_count(
+            targets // (_LINE // 8), seg_start
+        )
+        work.dram_pages += segmented_distinct_count(
+            (targets * 8) // page_bytes, seg_start
+        )
+
+    @staticmethod
+    def _account_edge_batches(
+        start: np.ndarray,
+        stop: np.ndarray,
+        row_ids: np.ndarray,
+        work: RoundWork,
+        page_bytes: int,
+    ) -> None:
+        """Unique edge lines/pages per row batch via interval unions.
+
+        ``start``/``stop`` are CSR edge ranges of propagating vertices in
+        ascending id order (so the byte intervals are monotone) and
+        ``row_ids`` assigns each vertex to its row batch.
+        """
+        if start.shape[0] == 0:
+            return
+        seg = np.empty(row_ids.shape[0], dtype=bool)
+        seg[0] = True
+        np.not_equal(row_ids[1:], row_ids[:-1], out=seg[1:])
+        work.edge_lines += segmented_interval_union(
+            (start * 8) // _LINE, (stop * 8 - 1) // _LINE, seg
+        )
+        work.dram_pages += segmented_interval_union(
+            (start * 8) // page_bytes, (stop * 8 - 1) // page_bytes, seg
+        )
+
+    @staticmethod
+    def _edge_indices(start: np.ndarray, deg: np.ndarray) -> np.ndarray:
+        """Indices into the CSR edge arrays for multiple ``[start, start+deg)``
+        ranges, concatenated in order — the vectorized frontier gather."""
+        total = int(deg.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        exclusive = np.cumsum(deg) - deg
+        return np.arange(total, dtype=np.int64) + np.repeat(start - exclusive, deg)
+
 
 @dataclass
 class ComputeResult:
@@ -359,6 +666,9 @@ class ComputeResult:
 
     states: np.ndarray
     metrics: RunMetrics
+    #: Lifetime queue counters (inserts/coalesces/peak/switches) — identical
+    #: across engine substrates; kept for the parity oracle.
+    queue_stats: Optional[dict] = None
 
     @property
     def num_rounds(self) -> int:
@@ -381,6 +691,10 @@ class GraphPulseEngine:
     graphpulse_event_size:
         Use the narrower GraphPulse event encoding for queue capacity
         accounting (the static accelerator carries no flags/source).
+    engine:
+        Substrate selection: ``auto`` (vectorized when the algorithm
+        provides array hooks), ``vectorized``, or ``scalar`` (the boxed
+        reference oracle).
     """
 
     def __init__(
@@ -388,6 +702,7 @@ class GraphPulseEngine:
         algorithm,
         config: Optional[AcceleratorConfig] = None,
         graphpulse_event_size: bool = True,
+        engine: str = "auto",
     ):
         config = config or AcceleratorConfig()
         event_bytes = config.event_bytes_graphpulse if graphpulse_event_size else None
@@ -396,6 +711,7 @@ class GraphPulseEngine:
             config,
             policy=DeletePolicy.BASE,
             queue_event_bytes=event_bytes,
+            engine=engine,
         )
 
     @property
@@ -412,7 +728,10 @@ class GraphPulseEngine:
         phase = metrics.phase("initial")
         queue = core.new_queue()
         seed_work = phase.new_round()
-        for vertex, payload in core.algorithm.initial_events(csr):
-            queue.insert(Event(vertex, payload, 0, NO_SOURCE), seed_work)
+        core.seed_initial(queue, seed_work)
         core.run_regular(queue, phase)
-        return ComputeResult(states=core.states.copy(), metrics=metrics)
+        return ComputeResult(
+            states=core.states.copy(),
+            metrics=metrics,
+            queue_stats=queue.lifetime_stats(),
+        )

@@ -11,6 +11,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
 
 
 class EventFlags(enum.IntFlag):
@@ -83,3 +86,109 @@ class Event:
         suffix = f" [{','.join(tags)}]" if tags else ""
         src = f" src={self.source}" if self.source != NO_SOURCE else ""
         return f"Event(->{self.target}, {self.payload:g}{suffix}{src})"
+
+
+@dataclass
+class EventBatch:
+    """A batch of events in structure-of-arrays form.
+
+    The vectorized substrate never materialises :class:`Event` objects on
+    the hot path: a batch is four parallel NumPy arrays (target, payload,
+    flags, source), which is both the on-chip layout a hardware queue would
+    use and the shape NumPy's scatter/gather kernels want. Positions are
+    significant — index ``i`` of every array describes the same event, and
+    array order is insertion/drain order.
+    """
+
+    targets: np.ndarray  # int64 destination vertex ids
+    payloads: np.ndarray  # float64 payload values
+    flags: np.ndarray  # int64 flag bits (EventFlags values)
+    sources: np.ndarray  # int64 generating vertex ids (NO_SOURCE = none)
+
+    def __len__(self) -> int:
+        return int(self.targets.shape[0])
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "EventBatch":
+        """A zero-length batch."""
+        return cls(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        targets,
+        payloads,
+        flags=None,
+        sources=None,
+    ) -> "EventBatch":
+        """Build a batch from array-likes, filling defaults for flags/sources."""
+        t = np.ascontiguousarray(targets, dtype=np.int64)
+        p = np.ascontiguousarray(payloads, dtype=np.float64)
+        if flags is None:
+            f = np.zeros(t.shape[0], dtype=np.int64)
+        elif np.isscalar(flags):
+            f = np.full(t.shape[0], int(flags), dtype=np.int64)
+        else:
+            f = np.ascontiguousarray(flags, dtype=np.int64)
+        if sources is None:
+            s = np.full(t.shape[0], NO_SOURCE, dtype=np.int64)
+        elif np.isscalar(sources):
+            s = np.full(t.shape[0], int(sources), dtype=np.int64)
+        else:
+            s = np.ascontiguousarray(sources, dtype=np.int64)
+        if not (t.shape == p.shape == f.shape == s.shape):
+            raise ValueError("EventBatch arrays must have matching lengths")
+        return cls(t, p, f, s)
+
+    @classmethod
+    def from_events(cls, events: Iterable[Event]) -> "EventBatch":
+        """Convert boxed events (preserving order) to SoA form."""
+        events = list(events)
+        n = len(events)
+        t = np.fromiter((e.target for e in events), dtype=np.int64, count=n)
+        p = np.fromiter((e.payload for e in events), dtype=np.float64, count=n)
+        f = np.fromiter((int(e.flags) for e in events), dtype=np.int64, count=n)
+        s = np.fromiter((e.source for e in events), dtype=np.int64, count=n)
+        return cls(t, p, f, s)
+
+    @staticmethod
+    def concat(batches: Sequence["EventBatch"]) -> "EventBatch":
+        """Concatenate batches, preserving order."""
+        batches = [b for b in batches if len(b)]
+        if not batches:
+            return EventBatch.empty()
+        if len(batches) == 1:
+            return batches[0]
+        return EventBatch(
+            np.concatenate([b.targets for b in batches]),
+            np.concatenate([b.payloads for b in batches]),
+            np.concatenate([b.flags for b in batches]),
+            np.concatenate([b.sources for b in batches]),
+        )
+
+    # ------------------------------------------------------------------
+    # Views / conversion
+    # ------------------------------------------------------------------
+    def take(self, index) -> "EventBatch":
+        """Subset/reorder by fancy index or boolean mask."""
+        return EventBatch(
+            self.targets[index],
+            self.payloads[index],
+            self.flags[index],
+            self.sources[index],
+        )
+
+    def to_events(self) -> List[Event]:
+        """Materialise boxed :class:`Event` objects (tests/debugging only)."""
+        return [
+            Event(int(t), float(p), int(f), int(s))
+            for t, p, f, s in zip(self.targets, self.payloads, self.flags, self.sources)
+        ]

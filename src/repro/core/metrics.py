@@ -15,6 +15,51 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+import numpy as np
+
+
+def segmented_distinct_count(values: np.ndarray, seg_start: np.ndarray) -> int:
+    """Number of distinct values per segment, summed over all segments.
+
+    ``values`` must be sorted (non-decreasing) within each segment;
+    ``seg_start`` is a boolean mask marking the first element of each
+    segment. This is the vectorized equivalent of building one Python
+    ``set`` per processing-buffer batch and summing their sizes — the
+    prefetcher line/page accounting of §4.4 — and matches it exactly
+    because sorted duplicates are adjacent.
+    """
+    n = values.shape[0]
+    if n == 0:
+        return 0
+    new = np.empty(n, dtype=bool)
+    new[0] = True
+    np.not_equal(values[1:], values[:-1], out=new[1:])
+    return int(np.count_nonzero(new | seg_start))
+
+
+def segmented_interval_union(
+    lo: np.ndarray, hi: np.ndarray, seg_start: np.ndarray
+) -> int:
+    """Total size of the per-segment unions of integer intervals ``[lo, hi]``.
+
+    Both bounds must be non-decreasing within each segment (true for edge
+    line/page intervals of vertices processed in ascending id order, since
+    CSR offsets are monotone). Replaces the scalar engine's per-batch
+    ``set.update(range(lo, hi + 1))`` with closed-form overlap arithmetic:
+    each interval contributes the part of ``[lo, hi]`` that lies beyond the
+    previous interval's end.
+    """
+    n = lo.shape[0]
+    if n == 0:
+        return 0
+    prev_hi = np.empty_like(hi)
+    prev_hi[0] = lo[0] - 1
+    prev_hi[1:] = hi[:-1]
+    # First interval of each segment overlaps nothing.
+    prev_hi[seg_start] = lo[seg_start] - 1
+    contrib = hi - np.maximum(lo - 1, prev_hi)
+    return int(np.maximum(contrib, 0).sum())
+
 
 @dataclass
 class RoundWork:

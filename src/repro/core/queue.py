@@ -27,11 +27,12 @@ makes order irrelevant — and gives the timing model clean units.)
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.events import Event
+from repro.algorithms.base import AlgorithmKind
+from repro.core.events import NO_SOURCE, Event, EventBatch
 from repro.core.metrics import RoundWork
 from repro.core.policies import DeletePolicy
 
@@ -86,6 +87,9 @@ class CoalescingQueue:
         self._occupancy = 0
         self._delete_coalescing_off = False
         self.event_bytes = policy.event_bytes(config)
+        #: Cross-slice events written off-chip and not yet read back, per
+        #: slice; charged as read-back traffic when the slice activates.
+        self._spilled_pending = [0] * self.num_slices
         # Lifetime statistics
         self.total_inserts = 0
         self.total_coalesces = 0
@@ -117,9 +121,10 @@ class CoalescingQueue:
         work.queue_inserts += 1
         sid = self.slice_id(event.target) if self._slice_of is not None else 0
         if sid != self.active_slice:
-            # Cross-slice event: written to off-chip memory now, read back
-            # when the slice activates (§4.7) — two transfers.
-            work.spill_bytes += 2 * self.event_bytes
+            # Cross-slice event: written to off-chip memory now (§4.7); the
+            # matching read-back is charged when the slice activates.
+            work.spill_bytes += self.event_bytes
+            self._spilled_pending[sid] += 1
         cells = self._cells[sid]
         existing = cells.get(event.target)
         if existing is None:
@@ -138,6 +143,8 @@ class CoalescingQueue:
             # which spills to off-chip memory in blocks (§5.2).
             self._overflow[sid].setdefault(event.target, []).append(event)
             self._occupancy += 1
+            if self._occupancy > self.peak_occupancy:
+                self.peak_occupancy = self._occupancy
             work.spill_bytes += 2 * self.event_bytes
             return
         self._coalesce(existing, event)
@@ -186,14 +193,21 @@ class CoalescingQueue:
     def activate_next_slice(self, work: Optional[RoundWork] = None) -> bool:
         """Swap to the next slice with pending events (§4.7).
 
-        Counts the read-back of that slice's spilled events. Returns False
-        when every slice is empty.
+        Counts the read-back of that slice's spilled events into ``work``:
+        every event written off-chip while the slice was inactive must be
+        fetched back before the slice can drain. Returns False when every
+        slice is empty.
         """
         for step in range(1, self.num_slices + 1):
             candidate = (self.active_slice + step) % self.num_slices
             if self._cells[candidate] or self._overflow[candidate]:
                 if candidate != self.active_slice:
                     self.slice_switches += 1
+                if work is not None and self._spilled_pending[candidate]:
+                    work.spill_bytes += (
+                        self._spilled_pending[candidate] * self.event_bytes
+                    )
+                    self._spilled_pending[candidate] = 0
                 self.active_slice = candidate
                 return True
         return False
@@ -258,7 +272,431 @@ class CoalescingQueue:
             len(v) for o in self._overflow for v in o.values()
         )
 
+    def insert_batch(self, batch: EventBatch, work: RoundWork) -> None:
+        """Insert a whole :class:`EventBatch` in array order.
+
+        The scalar queue simply loops; :class:`VectorQueue` overrides this
+        with a scatter-reduce. Both produce identical queue state and
+        identical work accounting for the same batch.
+        """
+        for event in batch.to_events():
+            self.insert(event, work)
+
     def seed(self, events: Iterable[Event], work: RoundWork) -> None:
         """Bulk-insert initial events (the Initializer module, §4.6)."""
         for event in events:
             self.insert(event, work)
+
+    def lifetime_stats(self) -> Dict[str, int]:
+        """Lifetime counters (inserts, coalesces, peak occupancy, switches)."""
+        return {
+            "total_inserts": self.total_inserts,
+            "total_coalesces": self.total_coalesces,
+            "peak_occupancy": self.peak_occupancy,
+            "slice_switches": self.slice_switches,
+        }
+
+
+class VectorQueue:
+    """Structure-of-arrays coalescing queue with batched scatter-reduce.
+
+    Drop-in functional twin of :class:`CoalescingQueue` for the vectorized
+    engine: one direct-mapped cell per vertex held in parallel NumPy arrays
+    (payload / flags / source / occupancy mask), so inserting a whole
+    :class:`EventBatch` is a handful of array kernels instead of a Python
+    loop:
+
+    * **accumulative coalescing** is ``reduce_ufunc.at`` (``np.add.at``) —
+      an ordered scatter-add that reproduces the scalar fold bit for bit
+      because duplicate indices are applied sequentially in array order;
+    * **selective coalescing** reduces each duplicate-target group with
+      ``np.minimum.reduceat``-style segmented reduction and picks the
+      source of the *first* event attaining the group optimum, which is
+      exactly the event that last strictly improved the scalar fold;
+    * the DAP overflow buffer and slice spill accounting mirror the scalar
+      queue operation for operation, so lifetime statistics and per-round
+      work vectors stay identical.
+
+    Drains return an :class:`EventBatch` (sorted by target) plus row-batch
+    boundaries rather than ``List[List[Event]]``; :class:`EngineCore`
+    dispatches on the queue type.
+    """
+
+    def __init__(
+        self,
+        algorithm,
+        config,
+        policy: DeletePolicy = DeletePolicy.DAP,
+        num_vertices: int = 0,
+        slice_of: Optional[np.ndarray] = None,
+    ):
+        if getattr(algorithm, "reduce_ufunc", None) is None:
+            raise QueueError(
+                f"{algorithm!r} provides no reduce_ufunc; use CoalescingQueue "
+                "(scalar engine) for algorithms without vectorized hooks"
+            )
+        self.algorithm = algorithm
+        self.config = config
+        self.policy = policy
+        self.num_vertices = num_vertices
+        if slice_of is not None:
+            slice_of = np.asarray(slice_of, dtype=np.int64)
+            if slice_of.shape[0] < num_vertices:
+                raise ValueError("slice_of must cover every vertex")
+            self.num_slices = int(slice_of.max()) + 1 if slice_of.size else 1
+        else:
+            self.num_slices = 1
+        self._slice_of = slice_of
+        n = int(num_vertices)
+        self._payloads = np.zeros(n, dtype=np.float64)
+        self._flags = np.zeros(n, dtype=np.int64)
+        self._sources = np.full(n, NO_SOURCE, dtype=np.int64)
+        self._occupied = np.zeros(n, dtype=bool)
+        if slice_of is not None:
+            self._slice_masks = [slice_of[:n] == s for s in range(self.num_slices)]
+        else:
+            self._slice_masks = None
+        self._cell_counts = np.zeros(self.num_slices, dtype=np.int64)
+        self._overflow_chunks: List[List[EventBatch]] = [
+            [] for _ in range(self.num_slices)
+        ]
+        self._overflow_counts = np.zeros(self.num_slices, dtype=np.int64)
+        self._spilled_pending = np.zeros(self.num_slices, dtype=np.int64)
+        self.active_slice = 0
+        self._occupancy = 0
+        self._delete_coalescing_off = False
+        self.event_bytes = policy.event_bytes(config)
+        # Lifetime statistics (same meaning as CoalescingQueue's)
+        self.total_inserts = 0
+        self.total_coalesces = 0
+        self.peak_occupancy = 0
+        self.slice_switches = 0
+
+    # ------------------------------------------------------------------
+    # Mode control
+    # ------------------------------------------------------------------
+    def set_delete_coalescing(self, enabled: bool) -> None:
+        """Enable/disable delete coalescing (DAP recovery disables it)."""
+        self._delete_coalescing_off = not enabled
+
+    def slice_id(self, vertex: int) -> int:
+        """Slice holding ``vertex``."""
+        if self._slice_of is None:
+            return 0
+        return int(self._slice_of[vertex])
+
+    # ------------------------------------------------------------------
+    # Insertion / coalescing
+    # ------------------------------------------------------------------
+    def insert(self, event: Event, work: RoundWork) -> None:
+        """Insert one boxed event (seeding/tests; hot paths use batches)."""
+        self.insert_batch(EventBatch.from_events([event]), work)
+
+    def seed(self, events: Iterable[Event], work: RoundWork) -> None:
+        """Bulk-insert initial events (the Initializer module, §4.6)."""
+        self.insert_batch(EventBatch.from_events(events), work)
+
+    def insert_batch(self, batch: EventBatch, work: RoundWork) -> None:
+        """Insert ``batch`` in array order with scatter-reduce coalescing.
+
+        Equivalent to inserting each event through the scalar queue in the
+        same order — including every counter ``work`` receives — but runs
+        as O(sort + a few passes) array kernels.
+        """
+        k = len(batch)
+        if k == 0:
+            return
+        self.total_inserts += k
+        work.queue_inserts += k
+        t = batch.targets
+        maxt = int(t.max())
+        if maxt >= self._payloads.shape[0]:
+            # Vertices created mid-stream (single-slice queues only — the
+            # boxed queue likewise cannot map a new vertex to a slice).
+            self._grow(maxt + 1)
+        if self._slice_of is not None:
+            sids = self._slice_of[t]
+            cross = sids != self.active_slice
+            n_cross = int(np.count_nonzero(cross))
+            if n_cross:
+                # Write half of the spill; read-back charged at activation.
+                work.spill_bytes += n_cross * self.event_bytes
+                np.add.at(self._spilled_pending, sids[cross], 1)
+
+        # Group duplicate targets (stable: preserves per-target insert order).
+        order = np.argsort(t, kind="stable")
+        ts = t[order]
+        ps = batch.payloads[order]
+        fs = batch.flags[order]
+        ss = batch.sources[order]
+        first = np.empty(k, dtype=bool)
+        first[0] = True
+        np.not_equal(ts[1:], ts[:-1], out=first[1:])
+        starts = np.flatnonzero(first)
+        ut = ts[starts]
+        counts = np.diff(np.append(starts, k))
+        occ_u = self._occupied[ut]
+
+        # Delete/non-delete coexistence check (§4.3 separates the phases).
+        ev_del = (fs & 1).astype(bool)
+        cell_del = np.where(occ_u, (self._flags[ut] & 1).astype(bool), ev_del[starts])
+        if np.any(ev_del != np.repeat(cell_del, counts)):
+            raise QueueError(
+                "delete and non-delete events may not coexist for a vertex; "
+                "the scheduler separates the phases (§4.3)"
+            )
+
+        # Classify each event: direct cell store (group-first of an empty
+        # cell), overflow append (extra deletes while coalescing is off),
+        # or coalesce into the existing cell.
+        grp = np.cumsum(first) - 1
+        occ_ev = occ_u[grp]
+        overflow_grp = cell_del & self._delete_coalescing_off
+        ev_first_new = first & ~occ_ev
+        ev_overflow = overflow_grp[grp] & ~ev_first_new
+        ev_coalesce = ~overflow_grp[grp] & ~ev_first_new
+
+        # Direct stores create cells.
+        tn = ts[ev_first_new]
+        created = int(tn.shape[0])
+        if created:
+            self._payloads[tn] = ps[ev_first_new]
+            self._flags[tn] = fs[ev_first_new]
+            self._sources[tn] = ss[ev_first_new]
+            self._occupied[tn] = True
+            if self._slice_of is not None:
+                np.add.at(self._cell_counts, self._slice_of[tn], 1)
+            else:
+                self._cell_counts[0] += created
+
+        # Overflow buffer (extra delete events under DAP, §5.2).
+        n_overflow = int(np.count_nonzero(ev_overflow))
+        if n_overflow:
+            chunk = EventBatch(
+                ts[ev_overflow], ps[ev_overflow], fs[ev_overflow], ss[ev_overflow]
+            )
+            work.spill_bytes += 2 * self.event_bytes * n_overflow
+            if self._slice_of is not None:
+                ov_sids = self._slice_of[chunk.targets]
+                np.add.at(self._overflow_counts, ov_sids, 1)
+                for sid in np.unique(ov_sids):
+                    mask = ov_sids == sid
+                    self._overflow_chunks[int(sid)].append(chunk.take(mask))
+            else:
+                self._overflow_counts[0] += n_overflow
+                self._overflow_chunks[0].append(chunk)
+
+        # Coalesce the rest through Reduce (§4.2).
+        n_coalesce = int(np.count_nonzero(ev_coalesce))
+        if n_coalesce:
+            self.total_coalesces += n_coalesce
+            work.coalesce_ops += n_coalesce
+            # Request/delete flag bits always merge.
+            np.bitwise_or.at(self._flags, ts[ev_coalesce], fs[ev_coalesce])
+            # Value folding: regular events always fold; delete events fold
+            # only under VAP (BASE tags carry no payload information).
+            value_grp = ~overflow_grp & (~cell_del | (self.policy is DeletePolicy.VAP))
+            if self.algorithm.kind is AlgorithmKind.ACCUMULATIVE:
+                vmask = ev_coalesce & value_grp[grp]
+                tv = ts[vmask]
+                if tv.shape[0]:
+                    # Ordered scatter-add == the scalar left fold, bit for
+                    # bit (ufunc.at applies duplicates sequentially).
+                    self.algorithm.reduce_ufunc.at(self._payloads, tv, ps[vmask])
+                    # Source: last event of each group wins. (The scalar
+                    # fold re-stamps on every sum-changing coalesce, which
+                    # is the same unless an event leaves the sum unchanged;
+                    # accumulative algorithms never consume sources — the
+                    # recovery path normalizes their policy to BASE.)
+                    sv = ss[vmask]
+                    last = np.empty(tv.shape[0], dtype=bool)
+                    last[-1] = True
+                    np.not_equal(tv[1:], tv[:-1], out=last[:-1])
+                    self._sources[tv[last]] = sv[last]
+            else:
+                # All events of value groups participate — including the
+                # group-first direct store of a freshly created cell, whose
+                # payload seeds the scalar fold.
+                value_ev = value_grp[grp]
+                if value_ev.any():
+                    self._fold_selective(
+                        ts[value_ev],
+                        ps[value_ev],
+                        ss[value_ev],
+                        (~occ_ev)[value_ev],
+                    )
+        self._occupancy += created + n_overflow
+        if self._occupancy > self.peak_occupancy:
+            self.peak_occupancy = self._occupancy
+
+    def _grow(self, num_vertices: int) -> None:
+        """Extend the cell arrays for vertices created mid-stream."""
+        if self._slice_of is not None:
+            raise QueueError(
+                "cannot grow a slice-partitioned queue; rebuild it with the "
+                "new slice assignment"
+            )
+        current = self._payloads.shape[0]
+        extra = num_vertices - current
+        self._payloads = np.concatenate(
+            [self._payloads, np.zeros(extra, dtype=np.float64)]
+        )
+        self._flags = np.concatenate([self._flags, np.zeros(extra, dtype=np.int64)])
+        self._sources = np.concatenate(
+            [self._sources, np.full(extra, NO_SOURCE, dtype=np.int64)]
+        )
+        self._occupied = np.concatenate(
+            [self._occupied, np.zeros(extra, dtype=bool)]
+        )
+        self.num_vertices = num_vertices
+
+    def _fold_selective(self, tv, pv, sv, new_v) -> None:
+        """Min/max fold of duplicate-target event groups into the cells.
+
+        Matches the scalar sequential fold exactly: the final payload is
+        ``reduce(existing, group best)`` and the final source is the source
+        of the *first* event attaining the group best (the event at which
+        the running fold last strictly improved). Groups whose existing
+        cell already dominates are left untouched — ties keep the
+        incumbent, like the scalar Reduce. ``new_v`` marks events whose
+        cell was created by this batch; those groups update
+        unconditionally because their first event seeded the fold.
+        """
+        uf = self.algorithm.reduce_ufunc
+        n = tv.shape[0]
+        vfirst = np.empty(n, dtype=bool)
+        vfirst[0] = True
+        np.not_equal(tv[1:], tv[:-1], out=vfirst[1:])
+        vstarts = np.flatnonzero(vfirst)
+        vcounts = np.diff(np.append(vstarts, n))
+        uvt = tv[vstarts]
+        best = uf.reduceat(pv, vstarts)
+        # Position of the first event of each group attaining the best.
+        at_best = pv == np.repeat(best, vcounts)
+        pos = np.where(at_best, np.arange(n), n)
+        first_best = np.minimum.reduceat(pos, vstarts)
+        cand_src = sv[first_best]
+        existing = self._payloads[uvt]
+        new_group = new_v[vstarts]
+        reduced = uf(existing, best)
+        improves = new_group | (reduced != existing)
+        upd = uvt[improves]
+        self._payloads[upd] = np.where(new_group, best, reduced)[improves]
+        self._sources[upd] = cand_src[improves]
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    def pending(self) -> bool:
+        """True when any slice holds events."""
+        return self._occupancy > 0
+
+    def active_pending(self) -> bool:
+        """True when the active slice holds events."""
+        sid = self.active_slice
+        return bool(self._cell_counts[sid] or self._overflow_counts[sid])
+
+    def activate_next_slice(self, work: Optional[RoundWork] = None) -> bool:
+        """Swap to the next slice with pending events (§4.7).
+
+        Counts the read-back of that slice's spilled events into ``work``,
+        exactly like :meth:`CoalescingQueue.activate_next_slice`.
+        """
+        for step in range(1, self.num_slices + 1):
+            candidate = (self.active_slice + step) % self.num_slices
+            if self._cell_counts[candidate] or self._overflow_counts[candidate]:
+                if candidate != self.active_slice:
+                    self.slice_switches += 1
+                if work is not None and self._spilled_pending[candidate]:
+                    work.spill_bytes += (
+                        int(self._spilled_pending[candidate]) * self.event_bytes
+                    )
+                    self._spilled_pending[candidate] = 0
+                self.active_slice = candidate
+                return True
+        return False
+
+    def drain_round(
+        self, work: RoundWork, max_rows: Optional[int] = None
+    ) -> Tuple[EventBatch, np.ndarray]:
+        """Emit queued events of the active slice as one sorted batch.
+
+        Returns ``(batch, row_starts)``: the drained events sorted by
+        destination vertex (cell event first, then any overflow events for
+        the same target in arrival order — the scalar drain order), and
+        the indices where a new queue row of ``config.queue_row_vertices``
+        consecutive vertices begins. ``max_rows`` limits the drain to the
+        first N distinct rows, mirroring the scalar partial drain.
+        """
+        sid = self.active_slice
+        if self._slice_masks is not None:
+            cell_t = np.flatnonzero(self._occupied & self._slice_masks[sid])
+        else:
+            cell_t = np.flatnonzero(self._occupied)
+        chunks = self._overflow_chunks[sid]
+        of = EventBatch.concat(chunks) if chunks else EventBatch.empty()
+        if cell_t.shape[0] == 0 and len(of) == 0:
+            return EventBatch.empty(), np.empty(0, dtype=np.int64)
+        row_width = self.config.queue_row_vertices
+
+        if max_rows is not None:
+            all_t = np.unique(np.concatenate([cell_t, of.targets]))
+            rows = np.unique(all_t // row_width)
+            allowed = rows[:max_rows]
+            cell_t = cell_t[np.isin(cell_t // row_width, allowed)]
+            of_mask = np.isin(of.targets // row_width, allowed)
+        else:
+            of_mask = np.ones(len(of), dtype=bool)
+
+        cell_batch = EventBatch(
+            cell_t,
+            self._payloads[cell_t],
+            self._flags[cell_t],
+            self._sources[cell_t],
+        )
+        of_drained = of.take(of_mask)
+        n_of = len(of_drained)
+        if n_of:
+            merged = EventBatch.concat([cell_batch, of_drained])
+            # Per target: the coalesced cell first, then overflow events in
+            # arrival order (chunks were appended chronologically).
+            prio = np.concatenate(
+                [
+                    np.zeros(cell_t.shape[0], dtype=np.int64),
+                    np.ones(n_of, dtype=np.int64),
+                ]
+            )
+            seq = np.concatenate(
+                [np.arange(cell_t.shape[0]), np.arange(n_of)]
+            )
+            out = merged.take(np.lexsort((seq, prio, merged.targets)))
+        else:
+            out = cell_batch  # flatnonzero order: already target-sorted
+
+        # Clear drained state.
+        self._occupied[cell_t] = False
+        self._cell_counts[sid] -= cell_t.shape[0]
+        retained = of.take(~of_mask)
+        self._overflow_chunks[sid] = [retained] if len(retained) else []
+        self._overflow_counts[sid] -= n_of
+        self._occupancy -= cell_t.shape[0] + n_of
+
+        out_rows = out.targets // row_width
+        bstart = np.empty(len(out), dtype=bool)
+        bstart[0] = True
+        np.not_equal(out_rows[1:], out_rows[:-1], out=bstart[1:])
+        return out, np.flatnonzero(bstart)
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        """Number of queued events across all slices."""
+        return int(self._occupancy)
+
+    def lifetime_stats(self) -> Dict[str, int]:
+        """Lifetime counters (inserts, coalesces, peak occupancy, switches)."""
+        return {
+            "total_inserts": self.total_inserts,
+            "total_coalesces": self.total_coalesces,
+            "peak_occupancy": self.peak_occupancy,
+            "slice_switches": self.slice_switches,
+        }

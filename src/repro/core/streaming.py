@@ -31,13 +31,50 @@ import numpy as np
 from repro.algorithms.base import AlgorithmKind, SourceContext
 from repro.core.config import AcceleratorConfig
 from repro.core.engine import EngineCore
-from repro.core.events import NO_SOURCE, Event
+from repro.core.events import NO_SOURCE, Event, EventBatch
 from repro.core.metrics import RunMetrics
 from repro.core.policies import DeletePolicy
 from repro.graph.dynamic import DynamicGraph
 from repro.streams import UpdateBatch
 
 Edge = Tuple[int, int, float]
+
+
+class _SeedBuffer:
+    """Collects seed events and inserts them as one :class:`EventBatch`.
+
+    The streaming orchestration computes seed payloads one edge at a time
+    (Python-level stream decoding), but the queue insert is batched so the
+    vectorized substrate coalesces the whole seed set with one
+    scatter-reduce. Insertion order — and therefore every coalescing
+    outcome and work counter — matches the former per-event inserts.
+    """
+
+    __slots__ = ("targets", "payloads", "flags", "sources")
+
+    def __init__(self):
+        self.targets: List[int] = []
+        self.payloads: List[float] = []
+        self.flags: List[int] = []
+        self.sources: List[int] = []
+
+    def add(self, target: int, payload: float, flags: int, source: int) -> None:
+        self.targets.append(target)
+        self.payloads.append(payload)
+        self.flags.append(flags)
+        self.sources.append(source)
+
+    def flush(self, queue, work) -> None:
+        if not self.targets:
+            return
+        queue.insert_batch(
+            EventBatch.from_arrays(
+                self.targets, self.payloads, self.flags, self.sources
+            ),
+            work,
+        )
+        self.targets, self.payloads = [], []
+        self.flags, self.sources = [], []
 
 
 @dataclass
@@ -49,6 +86,9 @@ class StreamingResult:
     graph_version: int
     #: Vertices reset during the recovery phase (selective only).
     impacted: List[int] = field(default_factory=list)
+    #: Lifetime queue counters — identical across engine substrates; kept
+    #: for the parity oracle.
+    queue_stats: Optional[dict] = None
 
     @property
     def vertices_reset(self) -> int:
@@ -71,6 +111,10 @@ class JetStreamEngine:
     policy:
         Deletion-propagation policy (§5). DAP is the paper's best
         performer and the default.
+    engine:
+        Substrate selection: ``auto`` (default — vectorized whenever the
+        algorithm provides array hooks), ``vectorized``, or ``scalar``
+        (the boxed-event reference oracle).
     """
 
     def __init__(
@@ -80,6 +124,7 @@ class JetStreamEngine:
         config: Optional[AcceleratorConfig] = None,
         policy: DeletePolicy = DeletePolicy.DAP,
         two_phase_accumulative: bool = False,
+        engine: str = "auto",
     ):
         if algorithm.needs_symmetric and not graph.symmetric:
             raise ValueError(
@@ -104,7 +149,9 @@ class JetStreamEngine:
         #: stand-in graph scale would swamp the incremental advantage the
         #: paper measures at 45M–1.46B-edge scale. See DESIGN.md §4.
         self.two_phase_accumulative = two_phase_accumulative
-        self.core = EngineCore(algorithm, config or AcceleratorConfig(), policy)
+        self.core = EngineCore(
+            algorithm, config or AcceleratorConfig(), policy, engine=engine
+        )
         self._initialized = False
         self.history: List[StreamingResult] = []
 
@@ -133,14 +180,14 @@ class JetStreamEngine:
         phase = metrics.phase("initial")
         queue = core.new_queue()
         work = phase.new_round()
-        for vertex, payload in self.algorithm.initial_events(csr):
-            queue.insert(Event(vertex, payload, 0, NO_SOURCE), work)
+        core.seed_initial(queue, work)
         core.run_regular(queue, phase)
         self._initialized = True
         result = StreamingResult(
             states=core.states.copy(),
             metrics=metrics,
             graph_version=self.graph.version,
+            queue_stats=queue.lifetime_stats(),
         )
         self.history.append(result)
         return result
@@ -182,6 +229,7 @@ class JetStreamEngine:
         queue = core.new_queue()
         queue.set_delete_coalescing(self.policy.coalesces_deletes)
         seed_work = delete_phase.new_round()
+        buf = _SeedBuffer()
         for u, v, w in deletions:
             # The stream reader computes the payload from the previous
             # converged source state (§3.3); BASE events carry no value.
@@ -191,7 +239,8 @@ class JetStreamEngine:
                 payload = algorithm.propagate(float(core.states[u]), w, SourceContext.of(old_csr, u))
             seed_work.vertex_reads += 1
             seed_work.events_generated += 1
-            queue.insert(Event(v, payload, 1, u), seed_work)
+            buf.add(v, payload, 1, u)
+        buf.flush(queue, seed_work)
         impacted = core.run_delete(queue, delete_phase)
         queue.set_delete_coalescing(True)
 
@@ -204,22 +253,25 @@ class JetStreamEngine:
         # Phase 2: Reapproximate + ProcessInserts + recompute.
         compute_phase = metrics.phase("reevaluation")
         work = compute_phase.new_round()
+        identity = algorithm.identity
+        buf = _SeedBuffer()
         for i in impacted:
             self_payload = algorithm.self_event(i)
             if self_payload is not None:
-                queue.insert(Event(i, self_payload, 0, NO_SOURCE), work)
+                buf.add(i, self_payload, 0, NO_SOURCE)
                 work.events_generated += 1
-            for u, _w in new_csr.in_edges(i):
-                queue.insert(
-                    Event(u, algorithm.identity, 2, NO_SOURCE), work
-                )
-                work.events_generated += 1
-                compute_phase.request_events += 1
+            sources = new_csr.in_neighbors(i)
+            for u in sources:
+                buf.add(int(u), identity, 2, NO_SOURCE)
+            n_req = int(sources.shape[0])
+            work.events_generated += n_req
+            compute_phase.request_events += n_req
         for u, v, w in insertions:
             payload = algorithm.propagate(float(core.states[u]), w, SourceContext.of(new_csr, u))
             work.vertex_reads += 1
             work.events_generated += 1
-            queue.insert(Event(v, payload, 0, u), work)
+            buf.add(v, payload, 0, u)
+        buf.flush(queue, work)
         self._seed_new_vertices(queue, work, old_csr.num_vertices, new_csr.num_vertices)
         core.run_regular(queue, compute_phase)
 
@@ -228,6 +280,7 @@ class JetStreamEngine:
             metrics=metrics,
             graph_version=self.graph.version,
             impacted=impacted,
+            queue_stats=queue.lifetime_stats(),
         )
 
     # -- accumulative flow (Algorithm 6 / Fig. 5) ----------------------
@@ -290,11 +343,13 @@ class JetStreamEngine:
             corrections[v] = corrections.get(v, 0.0) + delta
 
         queue = core.new_queue()
+        buf = _SeedBuffer()
         for v in sorted(corrections):
             delta = corrections[v]
             if algorithm.should_propagate(delta):
                 work.events_generated += 1
-                queue.insert(Event(v, delta, 0, NO_SOURCE), work)
+                buf.add(v, delta, 0, NO_SOURCE)
+        buf.flush(queue, work)
         self._seed_new_vertices(queue, work, old_n, new_csr.num_vertices)
         core.run_regular(queue, phase)
 
@@ -302,6 +357,7 @@ class JetStreamEngine:
             states=core.states.copy(),
             metrics=metrics,
             graph_version=self.graph.version,
+            queue_stats=queue.lifetime_stats(),
         )
 
     def _apply_accumulative_two_phase(self, batch: UpdateBatch) -> StreamingResult:
@@ -349,9 +405,8 @@ class JetStreamEngine:
                 negative_events.append(Event(v, delta, 0, u))
         core.bind_graph(intermediate_csr)
         queue = core.new_queue()
-        for event in negative_events:
-            seed_work.events_generated += 1
-            queue.insert(event, seed_work)
+        seed_work.events_generated += len(negative_events)
+        queue.insert_batch(EventBatch.from_events(negative_events), seed_work)
         core.run_regular(queue, delete_phase)
 
         # Mutate; switch to the new structure.
@@ -364,6 +419,7 @@ class JetStreamEngine:
         # Phase 2: re-add surviving + new edges at the new degrees.
         compute_phase = metrics.phase("reevaluation")
         work = compute_phase.new_round()
+        buf = _SeedBuffer()
         for u, v, w in re_adds:
             delta = algorithm.propagate(
                 float(core.states[u]), w, SourceContext.of(new_csr, u)
@@ -371,7 +427,8 @@ class JetStreamEngine:
             work.vertex_reads += 1
             if algorithm.should_propagate(delta):
                 work.events_generated += 1
-                queue.insert(Event(v, delta, 0, u), work)
+                buf.add(v, delta, 0, u)
+        buf.flush(queue, work)
         self._seed_new_vertices(queue, work, old_n, new_csr.num_vertices)
         core.run_regular(queue, compute_phase)
 
@@ -379,6 +436,7 @@ class JetStreamEngine:
             states=core.states.copy(),
             metrics=metrics,
             graph_version=self.graph.version,
+            queue_stats=queue.lifetime_stats(),
         )
 
     # ------------------------------------------------------------------

@@ -75,9 +75,16 @@ class Session:
         algorithm: str,
         source: int = 0,
         policy: DeletePolicy = DeletePolicy.DAP,
+        engine: str = "auto",
         **algorithm_kwargs,
     ) -> "Session":
-        """Bind the application (Reduce/Propagate pair) to the session."""
+        """Bind the application (Reduce/Propagate pair) to the session.
+
+        ``engine`` selects the event substrate: ``auto`` (default) uses the
+        vectorized SoA kernels when the algorithm supports them, ``scalar``
+        forces the boxed-event reference path, ``vectorized`` requires the
+        array hooks and raises otherwise.
+        """
         algo = make_algorithm(algorithm, source=source, **algorithm_kwargs)
         if algo.needs_symmetric and not self._graph.symmetric:
             raise HostApiError(
@@ -85,7 +92,11 @@ class Session:
                 "to Accelerator.load_graph"
             )
         self._engine = JetStreamEngine(
-            self._graph, algo, config=self._accelerator.config, policy=policy
+            self._graph,
+            algo,
+            config=self._accelerator.config,
+            policy=policy,
+            engine=engine,
         )
         return self
 

@@ -5,10 +5,10 @@ import pytest
 
 from repro.algorithms import PageRank, SSSP
 from repro.core.config import AcceleratorConfig
-from repro.core.events import NO_SOURCE, Event, EventFlags
+from repro.core.events import NO_SOURCE, Event, EventBatch, EventFlags
 from repro.core.metrics import RoundWork
 from repro.core.policies import DeletePolicy
-from repro.core.queue import CoalescingQueue, QueueError
+from repro.core.queue import CoalescingQueue, QueueError, VectorQueue
 
 
 def make_queue(policy=DeletePolicy.DAP, algorithm=None, num_vertices=64, slice_of=None):
@@ -198,8 +198,16 @@ class TestSlices:
         queue = make_queue(slice_of=slice_of)
         work = RoundWork()
         queue.insert(Event(0, 1.0), work)  # active slice
-        queue.insert(Event(40, 1.0), work)  # inactive slice
+        queue.insert(Event(40, 1.0), work)  # inactive slice: off-chip write
+        assert work.spill_bytes == queue.event_bytes
+        # The matching read-back is charged when the slice activates.
+        queue.drain_round(work)
+        assert queue.activate_next_slice(work)
         assert work.spill_bytes == 2 * queue.event_bytes
+        # Re-activating later does not double-charge.
+        readback = RoundWork()
+        queue.activate_next_slice(readback)
+        assert readback.spill_bytes == 0
 
     def test_drain_only_active_slice(self):
         slice_of = np.array([0] * 32 + [1] * 32)
@@ -234,3 +242,179 @@ class TestSlices:
         work = RoundWork()
         queue.seed([Event(v, 1.0) for v in range(5)], work)
         assert queue.occupancy() == 5
+
+
+def make_vector_queue(
+    policy=DeletePolicy.DAP, algorithm=None, num_vertices=64, slice_of=None
+):
+    return VectorQueue(
+        algorithm or SSSP(),
+        AcceleratorConfig(),
+        policy,
+        num_vertices=num_vertices,
+        slice_of=slice_of,
+    )
+
+
+class TestVectorQueue:
+    """The SoA queue must mirror CoalescingQueue behavior exactly."""
+
+    def test_rejects_algorithm_without_ufunc(self):
+        class Hookless(SSSP):
+            reduce_ufunc = None
+
+        with pytest.raises(QueueError):
+            make_vector_queue(algorithm=Hookless())
+
+    def test_batch_coalesce_keeps_dominant_source(self):
+        queue = make_vector_queue()
+        work = RoundWork()
+        queue.insert_batch(
+            EventBatch.from_arrays(
+                np.array([5, 5, 5]),
+                np.array([7.0, 3.0, 4.0]),
+                sources=np.array([1, 2, 3]),
+            ),
+            work,
+        )
+        batch, _ = queue.drain_round(work)
+        assert batch.payloads.tolist() == [3.0]
+        assert batch.sources.tolist() == [2]  # first event attaining the min
+        assert queue.total_coalesces == 2
+
+    def test_accumulative_batch_sums_in_order(self):
+        queue = make_vector_queue(algorithm=PageRank())
+        work = RoundWork()
+        queue.insert_batch(
+            EventBatch.from_arrays(np.array([2, 2, 2]), np.array([0.5, 0.25, 0.125])),
+            work,
+        )
+        batch, _ = queue.drain_round(work)
+        assert batch.payloads[0] == pytest.approx(0.875)
+
+    def test_request_flag_survives_batch_coalescing(self):
+        queue = make_vector_queue()
+        work = RoundWork()
+        queue.insert(Event(5, 3.0, int(EventFlags.REQUEST)), work)
+        queue.insert(Event(5, 1.0, 0), work)
+        batch, _ = queue.drain_round(work)
+        assert batch.flags[0] & int(EventFlags.REQUEST)
+        assert batch.payloads[0] == 1.0
+
+    def test_mixing_delete_and_regular_rejected(self):
+        queue = make_vector_queue()
+        work = RoundWork()
+        queue.insert(Event(5, 3.0), work)
+        with pytest.raises(QueueError):
+            queue.insert(Event(5, 3.0, int(EventFlags.DELETE)), work)
+
+    def test_vap_keeps_most_progressed_delete(self):
+        queue = make_vector_queue(policy=DeletePolicy.VAP)
+        work = RoundWork()
+        queue.insert(Event(5, 9.0, 1, 1), work)
+        queue.insert(Event(5, 4.0, 1, 2), work)
+        batch, _ = queue.drain_round(work)
+        assert len(batch) == 1
+        assert batch.payloads[0] == 4.0
+
+    def test_dap_overflow_preserves_all_and_counts_spill(self):
+        queue = make_vector_queue(policy=DeletePolicy.DAP)
+        queue.set_delete_coalescing(False)
+        work = RoundWork()
+        queue.insert_batch(
+            EventBatch.from_arrays(
+                np.array([5, 5, 5]),
+                np.array([9.0, 4.0, 2.0]),
+                flags=np.array([1, 1, 1]),
+                sources=np.array([1, 2, 3]),
+            ),
+            work,
+        )
+        assert work.spill_bytes == 2 * 2 * queue.event_bytes
+        batch, _ = queue.drain_round(work)
+        assert len(batch) == 3
+        assert set(batch.sources.tolist()) == {1, 2, 3}
+        # Coalesced cell drains first, overflow in arrival order.
+        assert batch.payloads.tolist() == [9.0, 4.0, 2.0]
+
+    def test_drain_sorted_with_row_starts(self):
+        config = AcceleratorConfig()
+        queue = make_vector_queue()
+        work = RoundWork()
+        row = config.queue_row_vertices
+        queue.insert_batch(
+            EventBatch.from_arrays(
+                np.array([row, 1, 0]), np.array([1.0, 1.0, 1.0])
+            ),
+            work,
+        )
+        batch, row_starts = queue.drain_round(work)
+        assert batch.targets.tolist() == [0, 1, row]
+        assert row_starts.tolist() == [0, 2]
+        assert queue.occupancy() == 0
+
+    def test_max_rows_partial_drain(self):
+        config = AcceleratorConfig()
+        queue = make_vector_queue()
+        work = RoundWork()
+        row = config.queue_row_vertices
+        queue.insert_batch(
+            EventBatch.from_arrays(
+                np.array([0, row, 3 * row]), np.array([1.0, 1.0, 1.0])
+            ),
+            work,
+        )
+        batch, row_starts = queue.drain_round(work, max_rows=2)
+        assert batch.targets.tolist() == [0, row]
+        assert queue.pending()
+        batch, _ = queue.drain_round(work)
+        assert batch.targets.tolist() == [3 * row]
+
+    def test_cross_slice_spill_accounted(self):
+        slice_of = np.array([0] * 32 + [1] * 32)
+        queue = make_vector_queue(slice_of=slice_of)
+        work = RoundWork()
+        queue.insert(Event(0, 1.0), work)
+        queue.insert(Event(40, 1.0), work)
+        assert work.spill_bytes == queue.event_bytes
+        queue.drain_round(work)
+        assert queue.activate_next_slice(work)
+        assert work.spill_bytes == 2 * queue.event_bytes
+        readback = RoundWork()
+        queue.activate_next_slice(readback)
+        assert readback.spill_bytes == 0
+
+    def test_drain_only_active_slice(self):
+        slice_of = np.array([0] * 32 + [1] * 32)
+        queue = make_vector_queue(slice_of=slice_of)
+        work = RoundWork()
+        queue.insert_batch(
+            EventBatch.from_arrays(np.array([0, 40]), np.array([1.0, 1.0])), work
+        )
+        batch, _ = queue.drain_round(work)
+        assert batch.targets.tolist() == [0]
+        assert queue.pending()
+        assert queue.activate_next_slice(work)
+        batch, _ = queue.drain_round(work)
+        assert batch.targets.tolist() == [40]
+
+    def test_grows_for_out_of_range_target(self):
+        queue = make_vector_queue(num_vertices=4)
+        work = RoundWork()
+        queue.insert(Event(9, 2.0), work)
+        batch, _ = queue.drain_round(work)
+        assert batch.targets.tolist() == [9]
+
+    def test_lifetime_stats_shape(self):
+        queue = make_vector_queue()
+        work = RoundWork()
+        queue.insert_batch(
+            EventBatch.from_arrays(np.array([1, 1, 2]), np.array([3.0, 2.0, 1.0])),
+            work,
+        )
+        queue.drain_round(work)
+        stats = queue.lifetime_stats()
+        assert stats["total_inserts"] == 3
+        assert stats["total_coalesces"] == 1
+        assert stats["peak_occupancy"] == 2
+        assert stats["slice_switches"] == 0

@@ -1,0 +1,208 @@
+"""Scalar <-> vectorized engine parity (the tentpole invariant).
+
+The structure-of-arrays substrate (``VectorQueue`` + the vectorized
+``run_regular``/``run_delete`` kernels) must be a *bit-identical* drop-in
+for the boxed-event reference engine: same final states, same per-round
+``RoundWork`` vectors (hence identical modelled cycles/energy), same phase
+extras, same queue lifetime statistics. These property-style tests sweep
+every algorithm × delete policy over seeded random graphs and streams,
+including multi-slice and partial-drain configurations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.core.config import AcceleratorConfig
+from repro.core.engine import GraphPulseEngine
+from repro.core.policies import DeletePolicy
+from repro.core.streaming import JetStreamEngine
+from repro.graph.dynamic import DynamicGraph
+from repro.streams import StreamGenerator
+
+from conftest import make_graph_for
+
+ALGORITHMS = ["sssp", "bfs", "cc", "sswp", "pagerank", "adsorption"]
+POLICIES = [DeletePolicy.BASE, DeletePolicy.VAP, DeletePolicy.DAP]
+
+
+def assert_run_parity(scalar, vector, context: str = "") -> None:
+    """States bit-identical; every work vector and queue stat equal."""
+    assert scalar.states.tobytes() == vector.states.tobytes(), (
+        f"{context}: states diverge"
+    )
+    srows = scalar.metrics.to_rows()
+    vrows = vector.metrics.to_rows()
+    assert srows == vrows, f"{context}: per-round work vectors diverge"
+    for sp, vp in zip(scalar.metrics.phases, vector.metrics.phases):
+        assert sp.name == vp.name, context
+        assert sp.vertices_reset == vp.vertices_reset, f"{context}: {sp.name}"
+        assert sp.deletes_discarded == vp.deletes_discarded, f"{context}: {sp.name}"
+        assert sp.request_events == vp.request_events, f"{context}: {sp.name}"
+    assert scalar.queue_stats == vector.queue_stats, (
+        f"{context}: queue lifetime stats diverge"
+    )
+
+
+def run_static_pair(name: str, config=None, n: int = 60, m: int = 240, seed: int = 7):
+    algorithm = make_algorithm(name, source=0)
+    graph = make_graph_for(algorithm, n=n, m=m, seed=seed)
+    results = []
+    for engine_mode in ("scalar", "vectorized"):
+        engine = GraphPulseEngine(
+            make_algorithm(name, source=0), config, engine=engine_mode
+        )
+        results.append(engine.compute(graph.snapshot()))
+    return results
+
+
+def run_stream_pair(
+    name: str,
+    policy: DeletePolicy,
+    config=None,
+    n: int = 50,
+    m: int = 200,
+    seed: int = 11,
+    num_batches: int = 3,
+    batch_size: int = 12,
+):
+    results = []
+    for engine_mode in ("scalar", "vectorized"):
+        algorithm = make_algorithm(name, source=0)
+        graph = make_graph_for(algorithm, n=n, m=m, seed=seed)
+        engine = JetStreamEngine(
+            graph, algorithm, config, policy=policy, engine=engine_mode
+        )
+        stream = StreamGenerator(graph, seed=seed + 1)
+        runs = [engine.initial_compute()]
+        for _ in range(num_batches):
+            runs.append(engine.apply_batch(stream.next_batch(batch_size)))
+        results.append(runs)
+    return results
+
+
+class TestStaticParity:
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_static_compute(self, name):
+        scalar, vector = run_static_pair(name)
+        assert_run_parity(scalar, vector, f"static/{name}")
+
+    @pytest.mark.parametrize("name", ["sssp", "cc", "pagerank"])
+    def test_static_compute_sliced(self, name):
+        config = AcceleratorConfig(queue_bytes=25 * 8)
+        scalar, vector = run_static_pair(name, config, n=100, m=400, seed=21)
+        assert_run_parity(scalar, vector, f"static-sliced/{name}")
+
+    @pytest.mark.parametrize("name", ["sssp", "pagerank"])
+    def test_static_compute_partial_drain(self, name):
+        config = AcceleratorConfig(scheduler_rows_per_round=2)
+        scalar, vector = run_static_pair(name, config, seed=33)
+        assert_run_parity(scalar, vector, f"static-partial/{name}")
+
+    def test_static_compute_linear(self):
+        # Contractive operator: normalize each row's out-weight sum below 1.
+        from collections import defaultdict
+
+        from repro.graph import generators
+
+        raw = generators.erdos_renyi(40, 160, seed=5)
+        row_sum = defaultdict(float)
+        for u, _, w in raw:
+            row_sum[u] += abs(w)
+        edges = [(u, v, 0.8 * w / row_sum[u]) for u, v, w in raw]
+        graph = DynamicGraph.from_edges(edges, 40)
+        results = []
+        for engine_mode in ("scalar", "vectorized"):
+            engine = GraphPulseEngine(
+                make_algorithm("linear"), engine=engine_mode
+            )
+            results.append(engine.compute(graph.snapshot()))
+        assert_run_parity(*results, "static/linear")
+
+
+class TestStreamingParity:
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_streaming(self, name, policy):
+        scalar_runs, vector_runs = run_stream_pair(name, policy)
+        for index, (scalar, vector) in enumerate(zip(scalar_runs, vector_runs)):
+            assert scalar.impacted == vector.impacted, (
+                f"stream/{name}/{policy.name}/batch{index}: impacted diverge"
+            )
+            assert_run_parity(
+                scalar, vector, f"stream/{name}/{policy.name}/batch{index}"
+            )
+
+    @pytest.mark.parametrize("name", ["sssp", "cc", "pagerank"])
+    def test_streaming_sliced(self, name):
+        config = AcceleratorConfig(queue_bytes=20 * 14)
+        scalar_runs, vector_runs = run_stream_pair(
+            name, DeletePolicy.DAP, config, n=80, m=320, seed=41
+        )
+        for index, (scalar, vector) in enumerate(zip(scalar_runs, vector_runs)):
+            assert scalar.impacted == vector.impacted
+            assert_run_parity(scalar, vector, f"stream-sliced/{name}/batch{index}")
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_streaming_partial_drain(self, policy):
+        config = AcceleratorConfig(scheduler_rows_per_round=2)
+        scalar_runs, vector_runs = run_stream_pair(
+            "sssp", policy, config, seed=51
+        )
+        for index, (scalar, vector) in enumerate(zip(scalar_runs, vector_runs)):
+            assert scalar.impacted == vector.impacted
+            assert_run_parity(
+                scalar, vector, f"stream-partial/{policy.name}/batch{index}"
+            )
+
+    def test_streaming_two_phase_accumulative(self):
+        results = []
+        for engine_mode in ("scalar", "vectorized"):
+            algorithm = make_algorithm("pagerank")
+            graph = make_graph_for(algorithm, n=50, m=200, seed=61)
+            engine = JetStreamEngine(
+                graph,
+                algorithm,
+                two_phase_accumulative=True,
+                engine=engine_mode,
+            )
+            stream = StreamGenerator(graph, seed=62)
+            runs = [engine.initial_compute()]
+            for _ in range(3):
+                runs.append(engine.apply_batch(stream.next_batch(10)))
+            results.append(runs)
+        for index, (scalar, vector) in enumerate(zip(*results)):
+            assert_run_parity(scalar, vector, f"two-phase/batch{index}")
+
+
+class TestEngineSelection:
+    def test_scalar_flag_forces_boxed_queue(self):
+        from repro.core.queue import CoalescingQueue, VectorQueue
+
+        algorithm = make_algorithm("sssp", source=0)
+        graph = make_graph_for(algorithm, n=10, m=30, seed=1)
+        engine = JetStreamEngine(graph, algorithm, engine="scalar")
+        engine.initial_compute()
+        assert isinstance(engine.core.new_queue(), CoalescingQueue)
+        vec = JetStreamEngine(
+            make_graph_for(algorithm, n=10, m=30, seed=1), algorithm
+        )
+        vec.initial_compute()
+        assert isinstance(vec.core.new_queue(), VectorQueue)
+
+    def test_vectorized_requires_hooks(self):
+        from repro.core.engine import EngineCore
+
+        class NoHooks(type(make_algorithm("sssp"))):
+            reduce_ufunc = None
+
+        with pytest.raises(ValueError):
+            EngineCore(NoHooks(source=0), engine="vectorized")
+
+    def test_unknown_engine_rejected(self):
+        from repro.core.engine import EngineCore
+
+        with pytest.raises(ValueError):
+            EngineCore(make_algorithm("sssp"), engine="simd")
