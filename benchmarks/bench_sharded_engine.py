@@ -1,0 +1,132 @@
+"""1-engine vs 8-engine sharded execution wall-clock comparison.
+
+Runs static convergence with the single-engine vectorized substrate and
+the sharded parallel backend (``engine="sharded"``, Table 1's 8 engines)
+on a generated RMAT power-law graph, verifies the results are
+*bit-identical* (the tentpole determinism contract), and appends a
+``"sharded"`` section to the machine-readable ``BENCH_engine.json`` at
+the repo root so the perf trajectory is tracked across PRs.
+
+Usable two ways:
+
+* ``python benchmarks/bench_sharded_engine.py`` — standalone, updates
+  ``BENCH_engine.json`` and prints a table. ``REPRO_BENCH_QUICK=1``
+  shrinks the graph for CI smoke runs.
+* ``pytest benchmarks/bench_sharded_engine.py`` — the same comparison as
+  a pytest-benchmark test (quick grid unless overridden).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.algorithms import make_algorithm
+from repro.core.engine import GraphPulseEngine
+from repro.graph import generators
+from repro.graph.dynamic import DynamicGraph
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_engine.json"
+
+ALGORITHMS = ["sssp", "pagerank"]
+
+
+def quick_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def build_graph(quick: bool):
+    if quick:
+        name, n, m = "rmat-2k", 2_048, 12_288
+    else:
+        name, n, m = "rmat-131k", 16_384, 131_072
+    edges = generators.ensure_reachable_core(
+        generators.rmat(n, m, seed=17), n, seed=18
+    )
+    return name, len(edges), DynamicGraph.from_edges(edges, n)
+
+
+def run_once(name: str, csr, engine_mode: str, num_engines: int = 8):
+    algorithm = make_algorithm(name, source=0)
+    engine = GraphPulseEngine(
+        algorithm, engine=engine_mode, num_engines=num_engines
+    )
+    started = time.perf_counter()
+    result = engine.compute(csr)
+    elapsed = time.perf_counter() - started
+    events = result.metrics.events_processed
+    return result, {
+        "wall_clock_s": elapsed,
+        "events_processed": events,
+        "events_per_s": events / elapsed if elapsed > 0 else float("inf"),
+    }
+
+
+def run_grid(quick: bool) -> dict:
+    graph_name, num_edges, graph = build_graph(quick)
+    csr = graph.snapshot()
+    rows = []
+    for algo in ALGORITHMS:
+        base_result, one = run_once(algo, csr, "vectorized")
+        shard_result, eight = run_once(algo, csr, "sharded", num_engines=8)
+        if base_result.states.tobytes() != shard_result.states.tobytes():
+            raise AssertionError(
+                f"{graph_name}/{algo}: sharded states diverge from the "
+                "single-engine vectorized oracle — determinism broken"
+            )
+        if base_result.metrics.to_rows() != shard_result.metrics.to_rows():
+            raise AssertionError(
+                f"{graph_name}/{algo}: sharded per-round work vectors "
+                "diverge — determinism broken"
+            )
+        noc = shard_result.metrics.noc_summary()
+        rows.append({
+            "graph": graph_name,
+            "num_edges": num_edges,
+            "algorithm": algo,
+            "engines_1": one,
+            "engines_8": eight,
+            "speedup_8_over_1": one["wall_clock_s"] / eight["wall_clock_s"],
+            "noc_events_remote": noc["events_remote"],
+            "noc_flits": noc["flits"],
+        })
+        print(
+            f"{graph_name:>12} {algo:>10}: "
+            f"1 engine {one['wall_clock_s']:8.3f}s  "
+            f"8 engines {eight['wall_clock_s']:8.3f}s  "
+            f"ratio {rows[-1]['speedup_8_over_1']:6.2f}x  "
+            f"(remote events {noc['events_remote']:,})"
+        )
+    return {"quick": quick, "results": rows}
+
+
+def main() -> int:
+    quick = quick_mode()
+    report = run_grid(quick)
+    existing = {}
+    if OUTPUT_PATH.exists():
+        existing = json.loads(OUTPUT_PATH.read_text(encoding="utf-8"))
+    existing["sharded"] = report
+    OUTPUT_PATH.write_text(json.dumps(existing, indent=2) + "\n", encoding="utf-8")
+    print(f"[appended 'sharded' section to {OUTPUT_PATH}]")
+    return 0
+
+
+def test_sharded_engine_parity(benchmark):
+    """pytest-benchmark entry: quick grid; parity is asserted inside."""
+    os.environ.setdefault("REPRO_BENCH_QUICK", "1")
+    report = benchmark.pedantic(lambda: run_grid(True), rounds=1, iterations=1)
+    benchmark.extra_info["ratios"] = {
+        f"{r['graph']}/{r['algorithm']}": round(r["speedup_8_over_1"], 2)
+        for r in report["results"]
+    }
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -93,7 +93,13 @@ def _add_graph_args(parser: argparse.ArgumentParser) -> None:
         default="auto",
         help="event substrate: auto picks the vectorized SoA kernels when "
         "the algorithm supports them; scalar forces the boxed-event "
-        "reference path",
+        "reference path; sharded runs num-engines parallel graph slices",
+    )
+    parser.add_argument(
+        "--num-engines",
+        type=int,
+        default=8,
+        help="parallel engine count for --engine sharded (Table 1 default: 8)",
     )
 
 
@@ -116,7 +122,9 @@ def _load_graph(args) -> DynamicGraph:
 def cmd_query(args) -> int:
     graph = _load_graph(args)
     algorithm = make_algorithm(args.algorithm, source=args.source)
-    engine = JetStreamEngine(graph, algorithm, engine=args.engine)
+    engine = JetStreamEngine(
+        graph, algorithm, engine=args.engine, num_engines=args.num_engines
+    )
     started = time.time()
     result = engine.initial_compute()
     elapsed = time.time() - started
@@ -148,7 +156,13 @@ def cmd_stream(args) -> int:
     graph = _load_graph(args)
     algorithm = make_algorithm(args.algorithm, source=args.source)
     policy = DeletePolicy(args.policy)
-    engine = JetStreamEngine(graph, algorithm, policy=policy, engine=args.engine)
+    engine = JetStreamEngine(
+        graph,
+        algorithm,
+        policy=policy,
+        engine=args.engine,
+        num_engines=args.num_engines,
+    )
     timing = AcceleratorTimingModel()
 
     cold = None

@@ -37,6 +37,7 @@ from repro.core.metrics import (
 from repro.core.policies import DeletePolicy
 from repro.core.queue import CoalescingQueue, VectorQueue
 from repro.graph.csr import CSRGraph
+from repro.graph.partition import extend_assignment, extend_partition, partition_graph
 
 #: Hard cap on scheduler rounds — generous (real runs take tens to a few
 #: thousand rounds); exceeding it indicates non-termination.
@@ -45,8 +46,10 @@ MAX_ROUNDS = 1_000_000
 _LINE = 64  # cache-line bytes (fixed by the DRAM interface)
 
 #: Engine substrate choices: ``auto`` picks the vectorized path whenever the
-#: algorithm provides the array hooks, falling back to scalar otherwise.
-ENGINE_MODES = ("auto", "scalar", "vectorized")
+#: algorithm provides the array hooks, falling back to scalar otherwise;
+#: ``sharded`` runs the vectorized kernels over ``num_engines`` parallel
+#: graph slices (Table 1, §4.7) with deterministic merge.
+ENGINE_MODES = ("auto", "scalar", "vectorized", "sharded")
 
 
 class EngineCore:
@@ -59,18 +62,24 @@ class EngineCore:
         policy: DeletePolicy = DeletePolicy.DAP,
         queue_event_bytes: Optional[int] = None,
         engine: str = "auto",
+        num_engines: int = 8,
+        shard_workers: Optional[int] = None,
     ):
         self.algorithm = algorithm
         self.config = config or AcceleratorConfig()
         self.policy = policy
         if engine not in ENGINE_MODES:
             raise ValueError(f"engine must be one of {ENGINE_MODES}, got {engine!r}")
-        if engine == "vectorized" and not algorithm.supports_vectorized:
+        if engine in ("vectorized", "sharded") and not algorithm.supports_vectorized:
             raise ValueError(
                 f"{algorithm.name} provides no vectorized hooks; "
                 "use engine='scalar' or 'auto'"
             )
+        if num_engines < 1:
+            raise ValueError("num_engines must be >= 1")
         self.engine_mode = engine
+        self.num_engines = num_engines
+        self.shard_workers = shard_workers
         self.event_bytes = (
             queue_event_bytes
             if queue_event_bytes is not None
@@ -82,7 +91,9 @@ class EngineCore:
         self._out_degree: Optional[np.ndarray] = None
         self._out_weight_sum: Optional[np.ndarray] = None
         self._slice_of: Optional[np.ndarray] = None
+        self._custom_slice_of: Optional[np.ndarray] = None
         self._prop_factor: Optional[np.ndarray] = None
+        self._shard_plan = None  # PartitionResult driving engine="sharded"
         self.num_slices = 1
 
     # ------------------------------------------------------------------
@@ -92,10 +103,20 @@ class EngineCore:
         """(Re)initialize vertex state to Identity for ``num_vertices``."""
         self.states = np.full(num_vertices, self.algorithm.identity, dtype=np.float64)
         self.dependency = np.full(num_vertices, NO_SOURCE, dtype=np.int64)
+        self._custom_slice_of = None
+        self._shard_plan = None
         self._assign_slices(num_vertices)
 
     def grow(self, num_vertices: int) -> None:
-        """Extend the state arrays for vertices created mid-stream."""
+        """Extend the state arrays for vertices created mid-stream.
+
+        A custom slice assignment installed with :meth:`set_slice_assignment`
+        is *extended* (lightest slice, lowest id on ties — see
+        :func:`repro.graph.partition.extend_assignment`), not discarded: the
+        old behaviour of rebuilding the contiguous-range slicing silently
+        dropped an edge-cut partition the moment a streamed insert created a
+        vertex. The active shard plan grows by the same rule.
+        """
         current = self.states.shape[0]
         if num_vertices <= current:
             return
@@ -106,7 +127,15 @@ class EngineCore:
         self.dependency = np.concatenate(
             [self.dependency, np.full(extra, NO_SOURCE, dtype=np.int64)]
         )
-        self._assign_slices(num_vertices)
+        if self._custom_slice_of is not None:
+            self._custom_slice_of = extend_assignment(
+                self._custom_slice_of, num_vertices, self.num_slices
+            )
+            self._slice_of = self._custom_slice_of
+        else:
+            self._assign_slices(num_vertices)
+        if self._shard_plan is not None:
+            self._shard_plan = extend_partition(self._shard_plan, num_vertices)
 
     def _assign_slices(self, num_vertices: int) -> None:
         capacity = self.config.queue_capacity_vertices(self.event_bytes)
@@ -124,11 +153,17 @@ class EngineCore:
         if slice_of.shape[0] != self.states.shape[0]:
             raise ValueError("assignment must cover every vertex")
         self._slice_of = slice_of
+        self._custom_slice_of = slice_of
         self.num_slices = int(slice_of.max()) + 1 if slice_of.size else 1
 
     def bind_graph(self, csr: CSRGraph) -> None:
         """Point the datapath at a graph snapshot (host CSR swap, §4.7)."""
         self.csr = csr
+        if self.engine_mode == "sharded" and self._shard_plan is None:
+            # Edge-cut the first bound snapshot across the engines; growth
+            # extends this plan (see grow), so mid-stream snapshots keep a
+            # consistent vertex→engine map until an explicit re-partition.
+            self._shard_plan = partition_graph(csr, self.num_engines)
         if self.algorithm.kind is AlgorithmKind.ACCUMULATIVE:
             offsets = csr.out_offsets
             self._out_degree = np.diff(offsets)
@@ -172,11 +207,33 @@ class EngineCore:
     def new_queue(self):
         """A coalescing queue sized/partitioned for the current state.
 
-        Returns a :class:`VectorQueue` on the vectorized substrate and the
-        boxed-event :class:`CoalescingQueue` otherwise; both expose the
-        same insertion/slicing interface, and the event loops dispatch on
-        the type.
+        Returns a :class:`VectorQueue` on the vectorized substrate, a
+        :class:`~repro.core.parallel.ShardedQueueGroup` (one queue per
+        engine) in sharded mode, and the boxed-event
+        :class:`CoalescingQueue` otherwise; all expose the same
+        insertion/slicing interface, and the event loops dispatch on the
+        type.
         """
+        if self.engine_mode == "sharded":
+            from repro.core.parallel import ShardedQueueGroup
+
+            if self._slice_of is not None:
+                raise ValueError(
+                    "engine='sharded' keeps each engine's slice resident in "
+                    "its own queue (§4.7) and does not compose with "
+                    "capacity-forced queue slicing; raise queue_bytes or "
+                    "shrink the graph"
+                )
+            plan = self._shard_plan
+            return ShardedQueueGroup(
+                self.algorithm,
+                self.config,
+                self.policy,
+                num_vertices=self.states.shape[0],
+                shard_of=None if plan is None else plan.assignment,
+                num_engines=self.num_engines,
+                workers=self.shard_workers,
+            )
         queue_cls = VectorQueue if self.uses_vectorized else CoalescingQueue
         return queue_cls(
             self.algorithm,
@@ -188,12 +245,12 @@ class EngineCore:
 
     def seed_initial(self, queue, work: RoundWork) -> None:
         """Feed InitialEvents() into ``queue`` (the Initializer, §4.6)."""
-        if isinstance(queue, VectorQueue):
-            targets, payloads = self.algorithm.initial_events_arrays(self.csr)
-            queue.insert_batch(EventBatch.from_arrays(targets, payloads), work)
-        else:
+        if isinstance(queue, CoalescingQueue):
             for vertex, payload in self.algorithm.initial_events(self.csr):
                 queue.insert(Event(vertex, payload, 0, NO_SOURCE), work)
+        else:
+            targets, payloads = self.algorithm.initial_events_arrays(self.csr)
+            queue.insert_batch(EventBatch.from_arrays(targets, payloads), work)
 
     # ------------------------------------------------------------------
     # Event loops
@@ -204,8 +261,13 @@ class EngineCore:
         Implements Algorithm 1 plus request-flag semantics: a vertex
         receiving a request event propagates its state along all out-edges
         even when the state did not change (§3.4). Dispatches to the
-        vectorized kernel when ``queue`` is a :class:`VectorQueue`.
+        vectorized kernel when ``queue`` is a :class:`VectorQueue` and to
+        the parallel sharded kernel for a ``ShardedQueueGroup``.
         """
+        from repro.core import parallel
+
+        if isinstance(queue, parallel.ShardedQueueGroup):
+            return parallel.run_regular_sharded(self, queue, phase)
         if isinstance(queue, VectorQueue):
             return self._run_regular_vectorized(queue, phase)
         algorithm = self.algorithm
@@ -299,8 +361,13 @@ class EngineCore:
         (``ProcessDeletesSelective``); the bound graph must be the
         *previous* version (§3.5). Returns the impacted-vertex list (the
         Impact Buffer contents, §4.5). Dispatches to the vectorized kernel
-        when ``queue`` is a :class:`VectorQueue`.
+        when ``queue`` is a :class:`VectorQueue` and to the parallel
+        sharded kernel for a ``ShardedQueueGroup``.
         """
+        from repro.core import parallel
+
+        if isinstance(queue, parallel.ShardedQueueGroup):
+            return parallel.run_delete_sharded(self, queue, phase)
         if isinstance(queue, VectorQueue):
             return self._run_delete_vectorized(queue, phase)
         algorithm = self.algorithm
@@ -693,8 +760,14 @@ class GraphPulseEngine:
         accounting (the static accelerator carries no flags/source).
     engine:
         Substrate selection: ``auto`` (vectorized when the algorithm
-        provides array hooks), ``vectorized``, or ``scalar`` (the boxed
-        reference oracle).
+        provides array hooks), ``vectorized``, ``sharded`` (parallel
+        multi-engine slices, Table 1), or ``scalar`` (the boxed reference
+        oracle).
+    num_engines:
+        Parallel engine count for ``engine="sharded"`` (default 8, Table 1).
+    shard_workers:
+        Thread-pool width for sharded execution (default: one per engine,
+        capped at the CPU count; 1 forces serial shard execution).
     """
 
     def __init__(
@@ -703,6 +776,8 @@ class GraphPulseEngine:
         config: Optional[AcceleratorConfig] = None,
         graphpulse_event_size: bool = True,
         engine: str = "auto",
+        num_engines: int = 8,
+        shard_workers: Optional[int] = None,
     ):
         config = config or AcceleratorConfig()
         event_bytes = config.event_bytes_graphpulse if graphpulse_event_size else None
@@ -712,6 +787,8 @@ class GraphPulseEngine:
             policy=DeletePolicy.BASE,
             queue_event_bytes=event_bytes,
             engine=engine,
+            num_engines=num_engines,
+            shard_workers=shard_workers,
         )
 
     @property

@@ -112,6 +112,21 @@ class PhaseStats:
     deletes_discarded: int = 0
     request_events: int = 0
     touched_vertices: Set[int] = field(default_factory=set)
+    #: Per-engine work vectors of each *kernel* round when the sharded
+    #: backend runs this phase (one ``List[RoundWork]`` per drained round,
+    #: indexed by engine id). Orchestration/seed rounds add no entry. The
+    #: merged per-round vectors in :attr:`rounds` stay bit-identical to the
+    #: single-engine substrates; this is the per-engine decomposition the
+    #: Fig. 11-style utilization analysis derives engine load from.
+    shard_rounds: List[List[RoundWork]] = field(default_factory=list)
+    #: Inter-engine NoC traffic of the sharded backend (§4.4/§4.7):
+    #: generated events delivered to the producer's own engine vs. routed
+    #: across the crossbar, with flit and contended-cycle estimates from
+    #: :class:`repro.sim.noc.CrossbarModel`. Zero on single-engine runs.
+    noc_events_local: int = 0
+    noc_events_remote: int = 0
+    noc_flits: int = 0
+    noc_cycles: float = 0.0
 
     def new_round(self) -> RoundWork:
         """Open a new round and return its work vector."""
@@ -131,6 +146,19 @@ class PhaseStats:
     def num_rounds(self) -> int:
         """Number of scheduler rounds executed in this phase."""
         return len(self.rounds)
+
+    def per_engine_totals(self) -> List[RoundWork]:
+        """Per-engine work summed over this phase's sharded rounds.
+
+        Empty when the phase did not run on the sharded backend.
+        """
+        if not self.shard_rounds:
+            return []
+        totals = [RoundWork() for _ in self.shard_rounds[0]]
+        for shard_works in self.shard_rounds:
+            for engine_id, work in enumerate(shard_works):
+                totals[engine_id].merge(work)
+        return totals
 
     # Convenience accessors used throughout the experiments -------------
     @property
@@ -201,6 +229,37 @@ class RunMetrics:
     @property
     def events_processed(self) -> int:
         return sum(p.events_processed for p in self.phases)
+
+    def per_engine_totals(self) -> List[RoundWork]:
+        """Per-engine work summed across every sharded phase of the run."""
+        totals: List[RoundWork] = []
+        for stats in self.phases:
+            for engine_id, work in enumerate(stats.per_engine_totals()):
+                while len(totals) <= engine_id:
+                    totals.append(RoundWork())
+                totals[engine_id].merge(work)
+        return totals
+
+    def engine_utilization(self) -> List[float]:
+        """Fraction of total processed events handled by each engine.
+
+        The Fig. 11-style load-balance view of a sharded run: 1/N per
+        engine is perfect balance. Empty for single-engine runs.
+        """
+        totals = self.per_engine_totals()
+        processed = sum(t.events_processed for t in totals)
+        if not totals or processed == 0:
+            return []
+        return [t.events_processed / processed for t in totals]
+
+    def noc_summary(self) -> Dict[str, float]:
+        """Inter-engine NoC traffic summed over all phases (sharded runs)."""
+        return {
+            "events_local": sum(p.noc_events_local for p in self.phases),
+            "events_remote": sum(p.noc_events_remote for p in self.phases),
+            "flits": sum(p.noc_flits for p in self.phases),
+            "cycles": sum(p.noc_cycles for p in self.phases),
+        }
 
     def memory_utilization(self) -> float:
         """Ratio of bytes used to bytes transferred (Fig. 11).

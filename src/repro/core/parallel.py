@@ -1,0 +1,654 @@
+"""Sharded multi-engine execution over graph slices (§4.7, Table 1).
+
+The paper's accelerator runs **8 event-driven engines in parallel**: the
+graph is sliced (PuLP edge-cut — here :func:`repro.graph.partition.
+partition_graph`), each engine owns one slice's vertices and its own
+coalescing queue, and events crossing slices travel through the 16×16
+crossbar NoC (§4.4). This module reproduces that organization on the
+vectorized SoA substrate:
+
+* :class:`ShardedQueueGroup` — one :class:`~repro.core.queue.VectorQueue`
+  per engine plus the vertex→engine map, presenting the same queue
+  interface the orchestration layers already use;
+* :class:`InterEngineChannel` — cross-engine event routing with NoC flit
+  and contention accounting via :class:`repro.sim.noc.CrossbarModel`;
+* :func:`run_regular_sharded` / :func:`run_delete_sharded` — the two
+  event-loop kernels with per-engine work running concurrently on a
+  thread pool (the NumPy kernels dominate and vertex sets are disjoint,
+  so shard tasks never touch the same state).
+
+**Determinism contract.** The sharded backend is *bit-identical* to the
+single-engine vectorized path — final states, per-round
+:class:`~repro.core.metrics.RoundWork` vectors, phase extras, and queue
+lifetime statistics — for any shard assignment and any worker count. Each
+round, per-engine drains are merged into one batch in canonical
+shard-then-vertex order (vertex ids are globally sorted; every vertex
+lives in exactly one shard, so this is simultaneously ascending-vertex
+order — the oracle's drain order), per-engine generated events are merged
+back in the producing vertex's drain position order (the oracle's
+generation order), and cross-shard deliveries coalesce into each
+destination queue in that fixed order regardless of which worker finished
+first. Because floating-point reduction order is preserved exactly,
+results do not drift by even one ulp (``tests/test_sharded_parity.py``).
+
+Parallelism is thread-based: the per-shard NumPy kernels release or spend
+little time under the GIL, and shards write disjoint rows of the shared
+state arrays (the "shared-memory state arrays" organization — a process
+pool over the same arrays is a possible future extension; the merge
+contract above is what makes either safe).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+import os
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.events import NO_SOURCE, Event, EventBatch
+from repro.core.metrics import PhaseStats, RoundWork
+from repro.core.policies import DeletePolicy
+from repro.core.queue import VectorQueue
+from repro.graph.partition import extend_assignment
+from repro.sim.noc import CrossbarModel
+
+from repro.algorithms.base import AlgorithmKind
+
+
+def _default_workers(num_engines: int) -> int:
+    return max(1, min(num_engines, os.cpu_count() or 1))
+
+
+@contextmanager
+def _shard_pool(workers: int):
+    """A bounded thread pool for one kernel invocation (or None = serial)."""
+    if workers <= 1:
+        yield None
+        return
+    pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-shard")
+    try:
+        yield pool
+    finally:
+        pool.shutdown(wait=True)
+
+
+def _run_tasks(pool: Optional[ThreadPoolExecutor], tasks):
+    """Run thunks (serially or on ``pool``), returning results in task order.
+
+    Collecting results in submission order — never completion order — is
+    one half of the determinism contract; the other half is the canonical
+    merge the callers apply to those results.
+    """
+    if pool is None:
+        return [task() for task in tasks]
+    futures = [pool.submit(task) for task in tasks]
+    return [future.result() for future in futures]
+
+
+class InterEngineChannel:
+    """Cross-engine event traffic accounting (§4.4 crossbar, §4.7 slices).
+
+    Every generated event is delivered either to the producing engine's own
+    queue (local) or across the NoC to another engine (remote). Remote
+    traffic is charged flits and contended cycles through
+    :class:`~repro.sim.noc.CrossbarModel`, per round, and accumulated both
+    here (lifetime, per-engine) and on the active
+    :class:`~repro.core.metrics.PhaseStats` (``noc_*`` counters).
+    """
+
+    def __init__(self, config, event_bytes: int, num_engines: int):
+        self.model = CrossbarModel(config, event_bytes=event_bytes)
+        self.num_engines = num_engines
+        self.events_local = 0
+        self.events_remote = 0
+        self.flits = 0
+        self.cycles = 0.0
+        self.sent = np.zeros(num_engines, dtype=np.int64)
+        self.received = np.zeros(num_engines, dtype=np.int64)
+
+    def record(
+        self,
+        src_engine: np.ndarray,
+        dst_engine: np.ndarray,
+        phase: Optional[PhaseStats] = None,
+    ) -> None:
+        """Account one round's deliveries (``src_engine`` < 0 = host-injected)."""
+        remote = (src_engine >= 0) & (src_engine != dst_engine)
+        n_remote = int(np.count_nonzero(remote))
+        n_local = int(src_engine.shape[0]) - n_remote
+        self.events_local += n_local
+        self.events_remote += n_remote
+        flits = 0
+        cycles = 0.0
+        if n_remote:
+            estimate = self.model.round_cycles(n_remote)
+            flits = estimate.flits
+            cycles = estimate.contended_cycles
+            self.flits += flits
+            self.cycles += cycles
+            np.add.at(self.sent, src_engine[remote], 1)
+            np.add.at(self.received, dst_engine[remote], 1)
+        if phase is not None:
+            phase.noc_events_local += n_local
+            phase.noc_events_remote += n_remote
+            phase.noc_flits += flits
+            phase.noc_cycles += cycles
+
+    def stats(self) -> Dict[str, object]:
+        """Lifetime channel counters."""
+        return {
+            "events_local": self.events_local,
+            "events_remote": self.events_remote,
+            "flits": self.flits,
+            "cycles": self.cycles,
+            "sent_per_engine": self.sent.tolist(),
+            "received_per_engine": self.received.tolist(),
+        }
+
+
+class ShardedQueueGroup:
+    """Per-engine :class:`VectorQueue` bank behind the single-queue API.
+
+    The orchestration layers (static compute, streaming phases, seed
+    buffers) talk to this group exactly as they talk to one queue: inserts
+    are routed to the owning engine's queue by the vertex→engine map,
+    preserving arrival order per vertex so per-cell coalescing folds in the
+    oracle's order; drains are merged in canonical order by
+    :meth:`drain_round_merged`.
+
+    Lifetime statistics aggregate to the oracle's exactly: inserts and
+    coalesces are disjoint sums, and peak occupancy is sampled across the
+    whole bank after each logical insert — the same observation points the
+    single queue uses.
+    """
+
+    def __init__(
+        self,
+        algorithm,
+        config,
+        policy: DeletePolicy = DeletePolicy.DAP,
+        num_vertices: int = 0,
+        shard_of: Optional[np.ndarray] = None,
+        num_engines: int = 8,
+        workers: Optional[int] = None,
+    ):
+        if num_engines < 1:
+            raise ValueError("num_engines must be >= 1")
+        self.algorithm = algorithm
+        self.config = config
+        self.policy = policy
+        self.num_engines = num_engines
+        if shard_of is None:
+            shard_of = np.arange(num_vertices, dtype=np.int64) % num_engines
+        shard_of = np.asarray(shard_of, dtype=np.int64).copy()
+        if shard_of.shape[0] < num_vertices:
+            shard_of = extend_assignment(shard_of, num_vertices, num_engines)
+        if shard_of.size and (shard_of.max() >= num_engines or shard_of.min() < 0):
+            raise ValueError("shard assignment references an engine out of range")
+        self.shard_of = shard_of
+        self.queues = [
+            VectorQueue(algorithm, config, policy, num_vertices=num_vertices)
+            for _ in range(num_engines)
+        ]
+        self.event_bytes = policy.event_bytes(config)
+        self.channel = InterEngineChannel(config, self.event_bytes, num_engines)
+        self.workers = workers if workers is not None else _default_workers(num_engines)
+        self.active_slice = 0
+        self.peak_occupancy = 0
+
+    # ------------------------------------------------------------------
+    # Mode control
+    # ------------------------------------------------------------------
+    def set_delete_coalescing(self, enabled: bool) -> None:
+        """Enable/disable delete coalescing on every engine's queue."""
+        for queue in self.queues:
+            queue.set_delete_coalescing(enabled)
+
+    def engine_of(self, vertex: int) -> int:
+        """Engine owning ``vertex``."""
+        return int(self.shard_of[vertex])
+
+    # ------------------------------------------------------------------
+    # Insertion / routing
+    # ------------------------------------------------------------------
+    def _ensure_covers(self, num_vertices: int) -> None:
+        """Extend the vertex→engine map for vertices created mid-stream.
+
+        Uses the same deterministic lightest-shard rule as
+        :func:`repro.graph.partition.extend_assignment`, so the engine-side
+        plan (extended by :meth:`EngineCore.grow`) and this group agree on
+        every new vertex's owner.
+        """
+        if num_vertices <= self.shard_of.shape[0]:
+            return
+        self.shard_of = extend_assignment(self.shard_of, num_vertices, self.num_engines)
+
+    def insert(self, event: Event, work: RoundWork) -> None:
+        """Insert one boxed event (seeding/tests; hot paths use batches)."""
+        self.insert_batch(EventBatch.from_events([event]), work)
+
+    def seed(self, events: Iterable[Event], work: RoundWork) -> None:
+        """Bulk-insert initial events (the Initializer module, §4.6)."""
+        self.insert_batch(EventBatch.from_events(list(events)), work)
+
+    def insert_batch(self, batch: EventBatch, work: RoundWork) -> None:
+        """Route ``batch`` to the owning engines' queues in shard order.
+
+        Splitting by owner preserves per-vertex arrival order (every event
+        for a vertex lands in the same sub-batch), so each queue's
+        scatter-reduce folds the exact event sequence the single-queue
+        oracle folds, and all ``work`` counters sum to the oracle's.
+        """
+        k = len(batch)
+        if k == 0:
+            return
+        self._ensure_covers(int(batch.targets.max()) + 1)
+        owner = self.shard_of[batch.targets]
+        for engine_id in range(self.num_engines):
+            mask = owner == engine_id
+            if mask.any():
+                self.queues[engine_id].insert_batch(batch.take(mask), work)
+        self._sample_peak()
+
+    def route_generated(
+        self, batch: EventBatch, work: RoundWork, phase: PhaseStats
+    ) -> None:
+        """Deliver engine-generated events, charging inter-engine NoC traffic."""
+        k = len(batch)
+        if k == 0:
+            return
+        self._ensure_covers(int(batch.targets.max()) + 1)
+        dst = self.shard_of[batch.targets]
+        src = np.where(
+            batch.sources >= 0, self.shard_of[np.maximum(batch.sources, 0)], -1
+        )
+        self.channel.record(src, dst, phase)
+        for engine_id in range(self.num_engines):
+            mask = dst == engine_id
+            if mask.any():
+                self.queues[engine_id].insert_batch(batch.take(mask), work)
+        self._sample_peak()
+
+    def _sample_peak(self) -> None:
+        occupancy = self.occupancy()
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    def pending(self) -> bool:
+        """True when any engine's queue holds events."""
+        return any(queue.pending() for queue in self.queues)
+
+    def active_pending(self) -> bool:
+        """True when the active slice holds events (per-engine queues are
+        single-slice, so this equals :meth:`pending`)."""
+        return self.pending()
+
+    def activate_next_slice(self, work: Optional[RoundWork] = None) -> bool:
+        """Single-slice no-op mirroring the oracle queue's behaviour."""
+        return self.pending()
+
+    def drain_round_merged(
+        self, max_rows: Optional[int] = None, pool=None
+    ) -> Tuple[EventBatch, np.ndarray]:
+        """Drain every engine's queue and merge in canonical order.
+
+        Per-engine drains run concurrently on ``pool``; the merge is a
+        stable sort by target vertex id. Vertices are disjoint across
+        engines, so this reconstructs exactly the single queue's drain
+        order (cells first, then overflow events per target in arrival
+        order), and the returned row starts are the global row boundaries.
+        ``max_rows`` computes the allowed row window over the union of all
+        engines' pending targets — the same window the oracle drains.
+        """
+        allowed: Optional[np.ndarray] = None
+        row_width = self.config.queue_row_vertices
+        if max_rows is not None:
+            pending = [q.pending_targets() for q in self.queues]
+            pending = [p for p in pending if p.size]
+            if not pending:
+                return EventBatch.empty(), np.empty(0, dtype=np.int64)
+            rows = np.unique(np.concatenate(pending) // row_width)
+            allowed = rows[:max_rows]
+
+        scratch = [RoundWork() for _ in self.queues]
+
+        def drain_task(queue, work):
+            def run():
+                return queue.drain_round(work, allowed_rows=allowed)
+
+            return run
+
+        parts = _run_tasks(
+            pool, [drain_task(q, w) for q, w in zip(self.queues, scratch)]
+        )
+        batches = [batch for batch, _ in parts if len(batch)]
+        if not batches:
+            return EventBatch.empty(), np.empty(0, dtype=np.int64)
+        merged = EventBatch.concat(batches)
+        order = np.argsort(merged.targets, kind="stable")
+        out = merged.take(order)
+        out_rows = out.targets // row_width
+        row_start = np.empty(len(out), dtype=bool)
+        row_start[0] = True
+        np.not_equal(out_rows[1:], out_rows[:-1], out=row_start[1:])
+        return out, np.flatnonzero(row_start)
+
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        """Queued events across every engine's queue."""
+        return sum(queue.occupancy() for queue in self.queues)
+
+    def lifetime_stats(self) -> Dict[str, int]:
+        """Lifetime counters, aggregated to match the single-queue oracle."""
+        return {
+            "total_inserts": sum(q.total_inserts for q in self.queues),
+            "total_coalesces": sum(q.total_coalesces for q in self.queues),
+            "peak_occupancy": self.peak_occupancy,
+            "slice_switches": 0,
+        }
+
+    def channel_stats(self) -> Dict[str, object]:
+        """Lifetime inter-engine NoC counters."""
+        return self.channel.stats()
+
+
+# ----------------------------------------------------------------------
+# Sharded event-loop kernels
+# ----------------------------------------------------------------------
+def run_regular_sharded(core, group: ShardedQueueGroup, phase: PhaseStats) -> None:
+    """Computation phase over parallel shards (Algorithm 1 on 8 engines).
+
+    One round: each engine drains its queue; drains merge in canonical
+    order; each engine reduces + expands its own vertices' frontier on the
+    thread pool (disjoint rows of the shared state arrays); generated
+    events merge back in producer drain-position order and route through
+    the inter-engine channel. Work accounting runs on the merged round so
+    the per-round vectors equal the single-engine vectorized kernel's.
+    """
+    from repro.core.engine import MAX_ROUNDS
+
+    algorithm = core.algorithm
+    states = core.states
+    dependency = core.dependency
+    track_dep = core.policy.tracks_dependency
+    accumulative = algorithm.kind is AlgorithmKind.ACCUMULATIVE
+    threshold = algorithm.propagation_threshold
+    weight_scaled = algorithm.weight_scaled_propagation
+    prop_factor = core._prop_factor
+    offsets = core.csr.out_offsets
+    out_targets = core.csr.out_targets
+    out_weights = core.csr.out_weights
+    page_bytes = core.config.dram_page_bytes
+    max_rows = core.config.scheduler_rows_per_round
+    edge_indices = core._edge_indices
+    num_engines = group.num_engines
+
+    def shard_task(sel: np.ndarray, batch: EventBatch, sw: RoundWork):
+        def run():
+            ts = batch.targets[sel]
+            old = states[ts]
+            new = algorithm.reduce_ufunc(old, batch.payloads[sel])
+            changed = new != old
+            tc = ts[changed]
+            states[tc] = new[changed]
+            if track_dep:
+                dependency[tc] = batch.sources[sel][changed]
+            prop = changed | ((batch.flags[sel] & 2) != 0)
+            start_all = offsets[ts]
+            deg_all = offsets[ts + 1] - start_all
+            nz = prop & (deg_all > 0)
+            idx = np.flatnonzero(nz)
+            v = ts[idx]
+            start = start_all[idx]
+            deg = deg_all[idx]
+            if accumulative:
+                base = (new[idx] - old[idx]) * prop_factor[v]
+                if weight_scaled:
+                    eidx = edge_indices(start, deg)
+                    values = np.repeat(base, deg) * out_weights[eidx]
+                    keep = (values > threshold) | (values < -threshold)
+                    gen_t = out_targets[eidx][keep]
+                    gen_p = values[keep]
+                    gen_s = np.repeat(v, deg)[keep]
+                    gen_pos = np.repeat(sel[idx], deg)[keep]
+                else:
+                    keepv = (base > threshold) | (base < -threshold)
+                    dg = deg[keepv]
+                    eidx = edge_indices(start[keepv], dg)
+                    gen_t = out_targets[eidx]
+                    gen_p = np.repeat(base[keepv], dg)
+                    gen_s = np.repeat(v[keepv], dg)
+                    gen_pos = np.repeat(sel[idx][keepv], dg)
+            else:
+                # Selective: propagation basis is the post-write state.
+                eidx = edge_indices(start, deg)
+                gen_t = out_targets[eidx]
+                gen_p = algorithm.propagate_arrays(
+                    np.repeat(new[idx], deg), out_weights[eidx]
+                )
+                gen_s = np.repeat(v, deg)
+                gen_pos = np.repeat(sel[idx], deg)
+            sw.events_processed = int(sel.shape[0])
+            sw.vertex_reads = int(sel.shape[0])
+            sw.vertex_writes = int(tc.shape[0])
+            sw.edges_read = int(deg.sum())
+            sw.events_generated = int(gen_t.shape[0])
+            return sel[idx], gen_t, gen_p, gen_s, gen_pos
+
+        return run
+
+    rounds = 0
+    with _shard_pool(group.workers) as pool:
+        while group.pending():
+            rounds += 1
+            if rounds > MAX_ROUNDS:
+                raise RuntimeError("engine exceeded MAX_ROUNDS; non-termination?")
+            work = phase.new_round()
+            shard_works = [RoundWork() for _ in range(num_engines)]
+            phase.shard_rounds.append(shard_works)
+            if not group.active_pending():
+                group.activate_next_slice(work)
+            batch, starts = group.drain_round_merged(max_rows, pool)
+            k = len(batch)
+            if k == 0:
+                continue
+            t = batch.targets
+            seg_start = np.zeros(k, dtype=bool)
+            seg_start[starts] = True
+            core._account_vertex_batch_arrays(t, seg_start, work, page_bytes)
+            work.events_processed += k
+            work.vertex_reads += k
+
+            owner = group.shard_of[t]
+            results = _run_tasks(
+                pool,
+                [
+                    shard_task(np.flatnonzero(owner == s), batch, shard_works[s])
+                    for s in range(num_engines)
+                ],
+            )
+            work.vertex_writes += sum(sw.vertex_writes for sw in shard_works)
+            work.edges_read += sum(sw.edges_read for sw in shard_works)
+
+            prop_pos = np.concatenate([r[0] for r in results])
+            if prop_pos.shape[0]:
+                gidx = np.sort(prop_pos)
+                v = t[gidx]
+                start = offsets[v]
+                deg = offsets[v + 1] - start
+                row_ids = np.searchsorted(starts, gidx, side="right")
+                core._account_edge_batches(start, start + deg, row_ids, work, page_bytes)
+
+            gen_pos = np.concatenate([r[4] for r in results])
+            n_gen = int(gen_pos.shape[0])
+            if n_gen:
+                order = np.argsort(gen_pos, kind="stable")
+                generated = EventBatch(
+                    np.concatenate([r[1] for r in results])[order],
+                    np.concatenate([r[2] for r in results])[order],
+                    np.zeros(n_gen, dtype=np.int64),
+                    np.concatenate([r[3] for r in results])[order],
+                )
+                work.events_generated += n_gen
+                group.route_generated(generated, work, phase)
+
+
+def run_delete_sharded(
+    core, group: ShardedQueueGroup, phase: PhaseStats
+) -> List[int]:
+    """Recovery phase over parallel shards (Algorithm 4 on 8 engines).
+
+    Per-engine tasks resolve their own targets' duplicate groups with the
+    same first-qualifying-event rule as the vectorized oracle (groups never
+    span engines — a vertex lives in exactly one shard), reset impacted
+    vertices, and expand delete propagation; merging follows the same
+    canonical orders as the regular kernel. Returns the impacted list in
+    the oracle's order (ascending vertex id per round).
+    """
+    from repro.core.engine import MAX_ROUNDS
+
+    algorithm = core.algorithm
+    states = core.states
+    dependency = core.dependency
+    policy = core.policy
+    identity = algorithm.identity
+    offsets = core.csr.out_offsets
+    out_targets = core.csr.out_targets
+    out_weights = core.csr.out_weights
+    page_bytes = core.config.dram_page_bytes
+    base_policy = policy is DeletePolicy.BASE
+    vap = policy is DeletePolicy.VAP
+    dap = policy is DeletePolicy.DAP
+    max_rows = core.config.scheduler_rows_per_round
+    edge_indices = core._edge_indices
+    num_engines = group.num_engines
+
+    empty_i = np.empty(0, dtype=np.int64)
+    empty_f = np.empty(0, dtype=np.float64)
+
+    def shard_task(sel: np.ndarray, batch: EventBatch, sw: RoundWork):
+        def run():
+            n_local = int(sel.shape[0])
+            if n_local == 0:
+                return empty_i, 0, empty_i, empty_f, empty_i, empty_i
+            ts = batch.targets[sel]
+            st = states[ts]
+            cond = st != identity
+            if dap:
+                cond &= dependency[ts] == batch.sources[sel]
+            if vap:
+                cond &= ~algorithm.more_progressed_arrays(st, batch.payloads[sel])
+            gfirst = np.empty(n_local, dtype=bool)
+            gfirst[0] = True
+            np.not_equal(ts[1:], ts[:-1], out=gfirst[1:])
+            gstarts = np.flatnonzero(gfirst)
+            pos = np.where(cond, np.arange(n_local), n_local)
+            win = np.minimum.reduceat(pos, gstarts)
+            win = win[win < np.append(gstarts[1:], n_local)]
+            n_win = int(win.shape[0])
+            v = ts[win]
+            pre = st[win]
+            # Reset (tag) the impacted vertices — Algorithm 4, line 11.
+            states[v] = identity
+            if dap:
+                dependency[v] = NO_SOURCE
+            win_global = sel[win]
+            start_all = offsets[v]
+            deg_all = offsets[v + 1] - start_all
+            sub = np.flatnonzero(deg_all > 0)
+            vs = v[sub]
+            start = start_all[sub]
+            deg = deg_all[sub]
+            total = int(deg.sum())
+            eidx = edge_indices(start, deg)
+            if base_policy:
+                # BASE carries no value (Algorithm 4 queues <v, 0>).
+                gen_p = np.zeros(total, dtype=np.float64)
+            else:
+                # VAP/DAP carry the contribution computed from the
+                # pre-reset state (§5.1, §5.2).
+                gen_p = algorithm.propagate_arrays(
+                    np.repeat(pre[sub], deg), out_weights[eidx]
+                )
+            gen_t = out_targets[eidx]
+            gen_s = np.repeat(vs, deg)
+            gen_pos = np.repeat(win_global[sub], deg)
+            sw.events_processed = n_local
+            sw.vertex_reads = n_local
+            sw.vertex_writes = n_win
+            sw.edges_read = total
+            sw.events_generated = total
+            return win_global, n_local - n_win, gen_t, gen_p, gen_s, gen_pos
+
+        return run
+
+    impacted: List[int] = []
+    rounds = 0
+    with _shard_pool(group.workers) as pool:
+        while group.pending():
+            rounds += 1
+            if rounds > MAX_ROUNDS:
+                raise RuntimeError("delete phase exceeded MAX_ROUNDS")
+            work = phase.new_round()
+            shard_works = [RoundWork() for _ in range(num_engines)]
+            phase.shard_rounds.append(shard_works)
+            if not group.active_pending():
+                group.activate_next_slice(work)
+            batch, starts = group.drain_round_merged(max_rows, pool)
+            k = len(batch)
+            if k == 0:
+                continue
+            t = batch.targets
+            seg_start = np.zeros(k, dtype=bool)
+            seg_start[starts] = True
+            core._account_vertex_batch_arrays(t, seg_start, work, page_bytes)
+            work.events_processed += k
+            work.vertex_reads += k
+
+            owner = group.shard_of[t]
+            results = _run_tasks(
+                pool,
+                [
+                    shard_task(np.flatnonzero(owner == s), batch, shard_works[s])
+                    for s in range(num_engines)
+                ],
+            )
+            phase.deletes_discarded += sum(r[1] for r in results)
+            win_all = np.concatenate([r[0] for r in results])
+            n_win = int(win_all.shape[0])
+            work.vertex_writes += n_win
+            phase.vertices_reset += n_win
+            work.edges_read += sum(sw.edges_read for sw in shard_works)
+            if n_win:
+                win_sorted = np.sort(win_all)
+                v = t[win_sorted]
+                impacted.extend(v.tolist())
+                start_all = offsets[v]
+                deg_all = offsets[v + 1] - start_all
+                sub = np.flatnonzero(deg_all > 0)
+                if sub.shape[0]:
+                    start = start_all[sub]
+                    deg = deg_all[sub]
+                    row_ids = np.searchsorted(starts, win_sorted[sub], side="right")
+                    core._account_edge_batches(
+                        start, start + deg, row_ids, work, page_bytes
+                    )
+
+            gen_pos = np.concatenate([r[5] for r in results])
+            n_gen = int(gen_pos.shape[0])
+            if n_gen:
+                order = np.argsort(gen_pos, kind="stable")
+                generated = EventBatch(
+                    np.concatenate([r[2] for r in results])[order],
+                    np.concatenate([r[3] for r in results])[order],
+                    np.ones(n_gen, dtype=np.int64),
+                    np.concatenate([r[4] for r in results])[order],
+                )
+                work.events_generated += n_gen
+                group.route_generated(generated, work, phase)
+    return impacted

@@ -616,8 +616,29 @@ class VectorQueue:
                 return True
         return False
 
+    def pending_targets(self) -> np.ndarray:
+        """Distinct queued target ids of the active slice, ascending.
+
+        Used by the sharded engine group to compute a globally consistent
+        partial-drain row set across per-engine queues before draining.
+        """
+        sid = self.active_slice
+        if self._slice_masks is not None:
+            cell_t = np.flatnonzero(self._occupied & self._slice_masks[sid])
+        else:
+            cell_t = np.flatnonzero(self._occupied)
+        chunks = self._overflow_chunks[sid]
+        if chunks:
+            return np.unique(
+                np.concatenate([cell_t] + [c.targets for c in chunks])
+            )
+        return cell_t
+
     def drain_round(
-        self, work: RoundWork, max_rows: Optional[int] = None
+        self,
+        work: RoundWork,
+        max_rows: Optional[int] = None,
+        allowed_rows: Optional[np.ndarray] = None,
     ) -> Tuple[EventBatch, np.ndarray]:
         """Emit queued events of the active slice as one sorted batch.
 
@@ -627,6 +648,9 @@ class VectorQueue:
         the indices where a new queue row of ``config.queue_row_vertices``
         consecutive vertices begins. ``max_rows`` limits the drain to the
         first N distinct rows, mirroring the scalar partial drain.
+        ``allowed_rows`` instead drains exactly the given row ids (the
+        sharded group passes the globally computed row window so every
+        engine drains the same logical rows); it overrides ``max_rows``.
         """
         sid = self.active_slice
         if self._slice_masks is not None:
@@ -639,7 +663,12 @@ class VectorQueue:
             return EventBatch.empty(), np.empty(0, dtype=np.int64)
         row_width = self.config.queue_row_vertices
 
-        if max_rows is not None:
+        if allowed_rows is not None:
+            cell_t = cell_t[np.isin(cell_t // row_width, allowed_rows)]
+            of_mask = np.isin(of.targets // row_width, allowed_rows)
+            if cell_t.shape[0] == 0 and not of_mask.any():
+                return EventBatch.empty(), np.empty(0, dtype=np.int64)
+        elif max_rows is not None:
             all_t = np.unique(np.concatenate([cell_t, of.targets]))
             rows = np.unique(all_t // row_width)
             allowed = rows[:max_rows]

@@ -113,8 +113,14 @@ class JetStreamEngine:
         performer and the default.
     engine:
         Substrate selection: ``auto`` (default — vectorized whenever the
-        algorithm provides array hooks), ``vectorized``, or ``scalar``
-        (the boxed-event reference oracle).
+        algorithm provides array hooks), ``vectorized``, ``sharded``
+        (parallel multi-engine graph slices, Table 1 / §4.7), or
+        ``scalar`` (the boxed-event reference oracle).
+    num_engines:
+        Parallel engine count for ``engine="sharded"`` (default 8).
+    shard_workers:
+        Thread-pool width for sharded execution (default: one per engine,
+        capped at the CPU count; 1 forces serial shard execution).
     """
 
     def __init__(
@@ -125,6 +131,8 @@ class JetStreamEngine:
         policy: DeletePolicy = DeletePolicy.DAP,
         two_phase_accumulative: bool = False,
         engine: str = "auto",
+        num_engines: int = 8,
+        shard_workers: Optional[int] = None,
     ):
         if algorithm.needs_symmetric and not graph.symmetric:
             raise ValueError(
@@ -150,7 +158,12 @@ class JetStreamEngine:
         #: paper measures at 45M–1.46B-edge scale. See DESIGN.md §4.
         self.two_phase_accumulative = two_phase_accumulative
         self.core = EngineCore(
-            algorithm, config or AcceleratorConfig(), policy, engine=engine
+            algorithm,
+            config or AcceleratorConfig(),
+            policy,
+            engine=engine,
+            num_engines=num_engines,
+            shard_workers=shard_workers,
         )
         self._initialized = False
         self.history: List[StreamingResult] = []

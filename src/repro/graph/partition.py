@@ -110,6 +110,58 @@ def _finalize(graph: CSRGraph, num_slices: int, assignment: np.ndarray) -> Parti
     )
 
 
+def extend_assignment(
+    assignment: np.ndarray, num_vertices: int, num_slices: int = 0
+) -> np.ndarray:
+    """Deterministically extend ``assignment`` to cover ``num_vertices``.
+
+    Vertices created mid-stream have no edges in the partitioned snapshot,
+    so there is nothing for the edge-cut heuristic to optimize; each new
+    vertex simply joins the currently lightest slice (lowest slice id on
+    ties). The rule is a pure function of the existing assignment, so every
+    holder of the same base assignment — the engine's slice map, the
+    sharded queue group, a staged :class:`PartitionResult` — extends to the
+    same result regardless of when growth is observed.
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    n = assignment.shape[0]
+    if num_vertices <= n:
+        return assignment
+    if num_slices <= 0:
+        num_slices = int(assignment.max()) + 1 if assignment.size else 1
+    sizes = np.bincount(assignment, minlength=num_slices).astype(np.int64)
+    extended = np.empty(num_vertices, dtype=np.int64)
+    extended[:n] = assignment
+    for v in range(n, num_vertices):
+        lightest = int(np.argmin(sizes))
+        extended[v] = lightest
+        sizes[lightest] += 1
+    return extended
+
+
+def extend_partition(result: PartitionResult, num_vertices: int) -> PartitionResult:
+    """A :class:`PartitionResult` covering ``num_vertices`` vertices.
+
+    Growth keeps the original slice structure and applies the
+    :func:`extend_assignment` rule; ``cut_edges``/``total_edges`` still
+    describe the snapshot that was partitioned (new vertices carry no edges
+    at extension time — §4.7's repartitioning drift is measured separately
+    by :func:`repartition_report`).
+    """
+    if num_vertices <= result.assignment.shape[0]:
+        return result
+    assignment = extend_assignment(result.assignment, num_vertices, result.num_slices)
+    members = [np.flatnonzero(assignment == s) for s in range(result.num_slices)]
+    return PartitionResult(
+        num_slices=result.num_slices,
+        assignment=assignment,
+        slice_sizes=[int(m.size) for m in members],
+        cut_edges=result.cut_edges,
+        total_edges=result.total_edges,
+        members=members,
+    )
+
+
 def slices_required(num_vertices: int, queue_capacity: int) -> int:
     """Number of slices needed so each slice fits the on-chip queue."""
     if queue_capacity <= 0:

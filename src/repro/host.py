@@ -76,6 +76,7 @@ class Session:
         source: int = 0,
         policy: DeletePolicy = DeletePolicy.DAP,
         engine: str = "auto",
+        num_engines: int = 8,
         **algorithm_kwargs,
     ) -> "Session":
         """Bind the application (Reduce/Propagate pair) to the session.
@@ -83,7 +84,9 @@ class Session:
         ``engine`` selects the event substrate: ``auto`` (default) uses the
         vectorized SoA kernels when the algorithm supports them, ``scalar``
         forces the boxed-event reference path, ``vectorized`` requires the
-        array hooks and raises otherwise.
+        array hooks and raises otherwise, and ``sharded`` runs
+        ``num_engines`` parallel engines over graph slices (Table 1, §4.7)
+        with results bit-identical to ``vectorized``.
         """
         algo = make_algorithm(algorithm, source=source, **algorithm_kwargs)
         if algo.needs_symmetric and not self._graph.symmetric:
@@ -97,6 +100,7 @@ class Session:
             config=self._accelerator.config,
             policy=policy,
             engine=engine,
+            num_engines=num_engines,
         )
         return self
 

@@ -1,11 +1,17 @@
-"""Unit tests for the edge-cut partitioner (PuLP substitute)."""
+"""Unit and property tests for the edge-cut partitioner (PuLP substitute)."""
 
 import numpy as np
 import pytest
 
 from repro.graph import generators
 from repro.graph.csr import CSRGraph
-from repro.graph.partition import partition_graph, repartition_report, slices_required
+from repro.graph.partition import (
+    extend_assignment,
+    extend_partition,
+    partition_graph,
+    repartition_report,
+    slices_required,
+)
 
 
 @pytest.fixture
@@ -63,6 +69,141 @@ class TestPartition:
         graph = CSRGraph(10, [(0, 1, 1.0)])
         result = partition_graph(graph, 2)
         assert sum(result.slice_sizes) == 10
+
+
+class TestPartitionProperties:
+    """Property-style sweeps over sizes, slice counts, and seeds."""
+
+    CASES = [
+        (1, 1, 0),
+        (5, 2, 1),
+        (40, 3, 2),
+        (120, 8, 3),
+        (200, 5, 4),
+    ]
+
+    @pytest.mark.parametrize("n,k,seed", CASES)
+    def test_every_vertex_assigned_exactly_once(self, n, k, seed):
+        graph = CSRGraph(n, generators.erdos_renyi(n, min(4 * n, n * (n - 1)), seed=seed))
+        result = partition_graph(graph, k)
+        assert result.assignment.shape == (n,)
+        assert np.all((result.assignment >= 0) & (result.assignment < k))
+        # Membership lists partition [0, n): disjoint and exhaustive.
+        merged = np.concatenate(result.members) if result.members else np.empty(0)
+        assert np.array_equal(np.sort(merged), np.arange(n))
+        assert sum(result.slice_sizes) == n
+
+    @pytest.mark.parametrize("n,k,seed", CASES)
+    def test_balance_slack_respected(self, n, k, seed):
+        graph = CSRGraph(n, generators.erdos_renyi(n, min(4 * n, n * (n - 1)), seed=seed))
+        slack = 0.05
+        result = partition_graph(graph, k, balance_slack=slack)
+        capacity = int(np.ceil(n / k) * (1 + slack))
+        # Every slice but the last is capacity-bounded by construction (the
+        # last absorbs whatever the earlier slices left, plus stragglers).
+        for size in result.slice_sizes[:-1]:
+            assert size <= capacity + 1
+
+    @pytest.mark.parametrize("n,k,seed", CASES)
+    def test_cut_edges_matches_recount(self, n, k, seed):
+        graph = CSRGraph(n, generators.erdos_renyi(n, min(4 * n, n * (n - 1)), seed=seed))
+        result = partition_graph(graph, k)
+        recount = sum(
+            1
+            for u, v, _ in graph.edges()
+            if result.assignment[u] != result.assignment[v]
+        )
+        assert result.cut_edges == recount
+        assert result.total_edges == graph.num_edges
+
+    @pytest.mark.parametrize("n,k,seed", CASES)
+    def test_deterministic_across_runs(self, n, k, seed):
+        graph = CSRGraph(n, generators.erdos_renyi(n, min(4 * n, n * (n - 1)), seed=seed))
+        first = partition_graph(graph, k)
+        second = partition_graph(graph, k)
+        assert np.array_equal(first.assignment, second.assignment)
+        assert first.cut_edges == second.cut_edges
+        assert first.slice_sizes == second.slice_sizes
+
+    def test_empty_graph_any_slice_count(self):
+        for k in (1, 2, 8):
+            result = partition_graph(CSRGraph(0, []), k)
+            assert result.assignment.shape == (0,)
+            assert sum(result.slice_sizes) == 0
+            assert result.cut_edges == 0
+            assert result.cut_fraction == 0.0
+
+    def test_singleton_slices(self):
+        # k == n: every vertex can sit alone; assignment is still total.
+        graph = CSRGraph(6, [(0, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0)])
+        result = partition_graph(graph, 6)
+        assert sum(result.slice_sizes) == 6
+        assert np.all((result.assignment >= 0) & (result.assignment < 6))
+
+    def test_more_slices_than_vertices(self):
+        graph = CSRGraph(3, [(0, 1, 1.0)])
+        result = partition_graph(graph, 8)
+        assert result.assignment.shape == (3,)
+        assert np.all((result.assignment >= 0) & (result.assignment < 8))
+        assert sum(result.slice_sizes) == 3
+
+
+class TestExtendAssignment:
+    def test_prefix_preserved(self):
+        base = np.array([0, 1, 1, 2], dtype=np.int64)
+        extended = extend_assignment(base, 8, 3)
+        assert np.array_equal(extended[:4], base)
+        assert extended.shape == (8,)
+
+    def test_lightest_slice_lowest_id_ties(self):
+        # Sizes: slice0=2, slice1=1, slice2=1 -> first new vertex joins
+        # slice 1 (lightest, lowest id on the 1-vs-2 tie), then slice 2.
+        base = np.array([0, 0, 1, 2], dtype=np.int64)
+        extended = extend_assignment(base, 6, 3)
+        assert extended[4] == 1
+        assert extended[5] == 2
+
+    def test_no_growth_is_identity(self):
+        base = np.array([0, 1], dtype=np.int64)
+        assert extend_assignment(base, 2, 2) is base or np.array_equal(
+            extend_assignment(base, 2, 2), base
+        )
+
+    def test_deterministic(self):
+        base = np.array([2, 0, 1, 1, 0], dtype=np.int64)
+        a = extend_assignment(base, 20, 3)
+        b = extend_assignment(base, 20, 3)
+        assert np.array_equal(a, b)
+
+    def test_extension_stays_balanced(self):
+        base = np.zeros(1, dtype=np.int64)
+        extended = extend_assignment(base, 31, 3)
+        sizes = np.bincount(extended, minlength=3)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_extend_partition_keeps_structure(self):
+        graph = CSRGraph(20, generators.erdos_renyi(20, 60, seed=7))
+        result = partition_graph(graph, 4)
+        grown = extend_partition(result, 30)
+        assert grown.num_slices == result.num_slices
+        assert np.array_equal(grown.assignment[:20], result.assignment)
+        assert grown.cut_edges == result.cut_edges
+        assert sum(grown.slice_sizes) == 30
+        merged = np.sort(np.concatenate(grown.members))
+        assert np.array_equal(merged, np.arange(30))
+
+    def test_extend_partition_no_growth_returns_same(self):
+        graph = CSRGraph(10, generators.erdos_renyi(10, 30, seed=9))
+        result = partition_graph(graph, 2)
+        assert extend_partition(result, 10) is result
+
+    def test_incremental_equals_one_shot(self):
+        # Extending 10 -> 15 -> 25 equals extending 10 -> 25 directly: the
+        # rule is a pure fold over the size vector.
+        base = np.array([0, 0, 0, 1, 1, 2, 2, 2, 2, 1], dtype=np.int64)
+        staged = extend_assignment(extend_assignment(base, 15, 3), 25, 3)
+        direct = extend_assignment(base, 25, 3)
+        assert np.array_equal(staged, direct)
 
 
 class TestHelpers:

@@ -1,0 +1,265 @@
+"""Sharded multi-engine <-> vectorized engine parity (the tentpole invariant).
+
+The parallel sharded backend (``ShardedQueueGroup`` + the
+``run_regular_sharded``/``run_delete_sharded`` kernels in
+``repro.core.parallel``) must be a *bit-identical* drop-in for the
+single-engine vectorized path for any engine count and any worker count:
+same final states, same per-round ``RoundWork`` vectors (hence identical
+modelled cycles/energy), same phase extras, same queue lifetime
+statistics. These tests sweep every algorithm × delete policy ×
+{static, streaming insert+delete batches} × ``num_engines ∈ {1, 2, 8}``,
+mirroring the structure of ``tests/test_vector_parity.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.core.config import AcceleratorConfig
+from repro.core.engine import GraphPulseEngine
+from repro.core.policies import DeletePolicy
+from repro.core.streaming import JetStreamEngine
+from repro.streams import StreamGenerator
+
+from conftest import make_graph_for
+
+ALGORITHMS = ["sssp", "bfs", "cc", "sswp", "pagerank", "adsorption"]
+POLICIES = [DeletePolicy.BASE, DeletePolicy.VAP, DeletePolicy.DAP]
+ENGINE_COUNTS = [1, 2, 8]
+
+
+def assert_run_parity(oracle, sharded, context: str = "") -> None:
+    """States bit-identical; every work vector and queue stat equal."""
+    assert oracle.states.tobytes() == sharded.states.tobytes(), (
+        f"{context}: states diverge"
+    )
+    orows = oracle.metrics.to_rows()
+    srows = sharded.metrics.to_rows()
+    assert orows == srows, f"{context}: per-round work vectors diverge"
+    for op, sp in zip(oracle.metrics.phases, sharded.metrics.phases):
+        assert op.name == sp.name, context
+        assert op.vertices_reset == sp.vertices_reset, f"{context}: {op.name}"
+        assert op.deletes_discarded == sp.deletes_discarded, f"{context}: {op.name}"
+        assert op.request_events == sp.request_events, f"{context}: {op.name}"
+    assert oracle.queue_stats == sharded.queue_stats, (
+        f"{context}: queue lifetime stats diverge"
+    )
+
+
+def run_static_pair(
+    name: str,
+    num_engines: int,
+    config=None,
+    n: int = 60,
+    m: int = 240,
+    seed: int = 7,
+):
+    algorithm = make_algorithm(name, source=0)
+    graph = make_graph_for(algorithm, n=n, m=m, seed=seed)
+    oracle = GraphPulseEngine(
+        make_algorithm(name, source=0), config, engine="vectorized"
+    ).compute(graph.snapshot())
+    sharded = GraphPulseEngine(
+        make_algorithm(name, source=0),
+        config,
+        engine="sharded",
+        num_engines=num_engines,
+    ).compute(graph.snapshot())
+    return oracle, sharded
+
+
+def run_stream_pair(
+    name: str,
+    policy: DeletePolicy,
+    num_engines: int,
+    config=None,
+    n: int = 50,
+    m: int = 200,
+    seed: int = 11,
+    num_batches: int = 3,
+    batch_size: int = 12,
+    **engine_kwargs,
+):
+    results = []
+    for engine_mode in ("vectorized", "sharded"):
+        algorithm = make_algorithm(name, source=0)
+        graph = make_graph_for(algorithm, n=n, m=m, seed=seed)
+        kwargs = dict(engine_kwargs)
+        if engine_mode == "sharded":
+            kwargs["num_engines"] = num_engines
+        engine = JetStreamEngine(
+            graph, algorithm, config, policy=policy, engine=engine_mode, **kwargs
+        )
+        stream = StreamGenerator(graph, seed=seed + 1)
+        runs = [engine.initial_compute()]
+        for _ in range(num_batches):
+            runs.append(engine.apply_batch(stream.next_batch(batch_size)))
+        results.append(runs)
+    return results
+
+
+class TestStaticShardedParity:
+    @pytest.mark.parametrize("num_engines", ENGINE_COUNTS)
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_static_compute(self, name, num_engines):
+        oracle, sharded = run_static_pair(name, num_engines)
+        assert_run_parity(oracle, sharded, f"static/{name}/e{num_engines}")
+
+    @pytest.mark.parametrize("name", ["sssp", "pagerank"])
+    def test_static_partial_drain(self, name):
+        # The scheduler's bounded row window must be computed over the
+        # union of every engine's pending rows.
+        config = AcceleratorConfig(scheduler_rows_per_round=2)
+        oracle, sharded = run_static_pair(name, 8, config, seed=33)
+        assert_run_parity(oracle, sharded, f"static-partial/{name}")
+
+    def test_serial_workers_identical(self):
+        # workers=1 (serial shard execution) is the same computation as the
+        # thread pool — determinism cannot depend on scheduling.
+        algorithm = make_algorithm("pagerank")
+        graph = make_graph_for(algorithm, n=60, m=240, seed=7)
+        pooled = GraphPulseEngine(
+            make_algorithm("pagerank"), engine="sharded", num_engines=8
+        ).compute(graph.snapshot())
+        serial = GraphPulseEngine(
+            make_algorithm("pagerank"),
+            engine="sharded",
+            num_engines=8,
+            shard_workers=1,
+        ).compute(graph.snapshot())
+        assert_run_parity(pooled, serial, "static/workers")
+
+    def test_sharded_rejects_forced_queue_slicing(self):
+        # Each engine's queue must hold its whole slice resident (§4.7);
+        # a queue too small for the graph cannot be sharded.
+        config = AcceleratorConfig(queue_bytes=25 * 8)
+        with pytest.raises(ValueError):
+            run_static_pair("sssp", 8, config, n=100, m=400, seed=21)
+
+    def test_sharded_requires_vector_hooks(self):
+        from repro.core.engine import EngineCore
+
+        class NoHooks(type(make_algorithm("sssp"))):
+            reduce_ufunc = None
+
+        with pytest.raises(ValueError):
+            EngineCore(NoHooks(source=0), engine="sharded")
+
+    def test_bad_engine_count_rejected(self):
+        from repro.core.engine import EngineCore
+
+        with pytest.raises(ValueError):
+            EngineCore(make_algorithm("sssp"), engine="sharded", num_engines=0)
+
+
+class TestStreamingShardedParity:
+    @pytest.mark.parametrize("num_engines", ENGINE_COUNTS)
+    @pytest.mark.parametrize("policy", POLICIES)
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_streaming(self, name, policy, num_engines):
+        oracle_runs, sharded_runs = run_stream_pair(name, policy, num_engines)
+        for index, (oracle, sharded) in enumerate(zip(oracle_runs, sharded_runs)):
+            context = f"stream/{name}/{policy.name}/e{num_engines}/batch{index}"
+            assert oracle.impacted == sharded.impacted, (
+                f"{context}: impacted diverge"
+            )
+            assert_run_parity(oracle, sharded, context)
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_streaming_partial_drain(self, policy):
+        config = AcceleratorConfig(scheduler_rows_per_round=2)
+        oracle_runs, sharded_runs = run_stream_pair("sssp", policy, 8, config, seed=51)
+        for index, (oracle, sharded) in enumerate(zip(oracle_runs, sharded_runs)):
+            assert oracle.impacted == sharded.impacted
+            assert_run_parity(
+                oracle, sharded, f"stream-partial/{policy.name}/batch{index}"
+            )
+
+    def test_streaming_two_phase_accumulative(self):
+        oracle_runs, sharded_runs = run_stream_pair(
+            "pagerank",
+            DeletePolicy.DAP,
+            8,
+            n=50,
+            m=200,
+            seed=61,
+            two_phase_accumulative=True,
+        )
+        for index, (oracle, sharded) in enumerate(zip(oracle_runs, sharded_runs)):
+            assert_run_parity(oracle, sharded, f"two-phase/batch{index}")
+
+    def test_streaming_grows_vertices(self):
+        # Streams that create brand-new vertices exercise the deterministic
+        # partition-growth rule on both the engine plan and the queue group.
+        algorithm = make_algorithm("sssp", source=0)
+        graph = make_graph_for(algorithm, n=30, m=100, seed=71)
+        runs = []
+        for engine_mode in ("vectorized", "sharded"):
+            g = make_graph_for(algorithm, n=30, m=100, seed=71)
+            engine = JetStreamEngine(
+                g, make_algorithm("sssp", source=0), engine=engine_mode
+            )
+            engine.initial_compute()
+            out = []
+            next_vertex = g.num_vertices
+            for step in range(3):
+                from repro.streams import Edge, UpdateBatch
+
+                insertions = [
+                    Edge(step, next_vertex, 1.0),
+                    Edge(next_vertex, next_vertex + 1, 2.0),
+                ]
+                next_vertex += 2
+                out.append(engine.apply_batch(UpdateBatch(insertions=insertions)))
+            runs.append(out)
+        for index, (oracle, sharded) in enumerate(zip(*runs)):
+            assert oracle.impacted == sharded.impacted
+            assert_run_parity(oracle, sharded, f"grow/batch{index}")
+
+
+class TestShardedMetrics:
+    def test_per_engine_rounds_recorded(self):
+        algorithm = make_algorithm("sssp", source=0)
+        graph = make_graph_for(algorithm, n=60, m=240, seed=7)
+        engine = GraphPulseEngine(
+            make_algorithm("sssp", source=0), engine="sharded", num_engines=4
+        )
+        result = engine.compute(graph.snapshot())
+        phase = result.metrics.phases[0]
+        assert phase.shard_rounds, "per-shard work vectors missing"
+        assert all(len(round_) == 4 for round_ in phase.shard_rounds)
+        per_engine = phase.per_engine_totals()
+        assert len(per_engine) == 4
+        # Per-engine processed events partition the global count.
+        merged = sum(w.events_processed for w in per_engine)
+        assert merged == phase.events_processed
+
+    def test_engine_utilization_and_noc_summary(self):
+        algorithm = make_algorithm("pagerank")
+        graph = make_graph_for(algorithm, n=80, m=400, seed=13)
+        engine = GraphPulseEngine(
+            make_algorithm("pagerank"), engine="sharded", num_engines=8
+        )
+        result = engine.compute(graph.snapshot())
+        util = result.metrics.engine_utilization()
+        assert len(util) == 8
+        assert sum(util) == pytest.approx(1.0)
+        noc = result.metrics.noc_summary()
+        # Cross-slice edges exist on a random graph, so remote traffic and
+        # its flit/cycle accounting must be non-zero.
+        assert noc["events_remote"] > 0
+        assert noc["flits"] > 0
+        assert noc["cycles"] > 0
+
+    def test_single_engine_has_no_remote_traffic(self):
+        algorithm = make_algorithm("sssp", source=0)
+        graph = make_graph_for(algorithm, n=40, m=160, seed=3)
+        engine = GraphPulseEngine(
+            make_algorithm("sssp", source=0), engine="sharded", num_engines=1
+        )
+        result = engine.compute(graph.snapshot())
+        noc = result.metrics.noc_summary()
+        assert noc["events_remote"] == 0
+        assert noc["flits"] == 0

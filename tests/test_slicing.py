@@ -95,6 +95,48 @@ class TestStreamingSlicing:
         expected = reference.compute_reference(algorithm, graph.snapshot())
         assert_states_match(algorithm, result.states, expected)
 
+    def test_grow_preserves_custom_assignment(self):
+        """Regression: ``grow()`` used to rebuild the contiguous-range
+        slicing, silently discarding an installed edge-cut assignment the
+        moment a streamed insert created a new vertex."""
+        from repro.graph.partition import extend_assignment, partition_graph
+
+        algorithm = make_algorithm("sssp", source=0)
+        graph = make_graph_for(algorithm, n=80, m=320, seed=68)
+        engine = JetStreamEngine(graph, algorithm, config=tiny_queue_config(50))
+        engine.core.allocate(graph.num_vertices)
+        partition = partition_graph(graph.snapshot(), 2)
+        engine.core.set_slice_assignment(partition.assignment)
+        engine.core.grow(graph.num_vertices + 5)
+        slice_of = engine.core._slice_of
+        assert slice_of is not None
+        # Old vertices keep their edge-cut slice; new ones follow the
+        # deterministic lightest-slice extension rule.
+        assert np.array_equal(slice_of[: graph.num_vertices], partition.assignment)
+        expected = extend_assignment(
+            partition.assignment, graph.num_vertices + 5, partition.num_slices
+        )
+        assert np.array_equal(slice_of, expected)
+        assert engine.core.num_slices == partition.num_slices
+        # Growing again extends the already-extended assignment, not the
+        # original contiguous ranges.
+        engine.core.grow(graph.num_vertices + 9)
+        assert np.array_equal(
+            engine.core._slice_of,
+            extend_assignment(expected, graph.num_vertices + 9, 2),
+        )
+
+    def test_grow_without_custom_assignment_reslices(self):
+        """Default path unchanged: growth recomputes capacity slicing."""
+        algorithm = make_algorithm("sssp", source=0)
+        graph = make_graph_for(algorithm, n=60, m=240, seed=69)
+        engine = JetStreamEngine(graph, algorithm, config=tiny_queue_config(32))
+        engine.core.allocate(graph.num_vertices)
+        before = engine.core.num_slices
+        engine.core.grow(graph.num_vertices + 40)
+        assert engine.core.num_slices >= before
+        assert engine.core._slice_of.shape == (graph.num_vertices + 40,)
+
     def test_slice_switches_recorded(self):
         algorithm = make_algorithm("sssp", source=0)
         graph = make_graph_for(algorithm, n=100, m=400, seed=67)
