@@ -29,7 +29,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.algorithms import make_algorithm
 from repro.core.engine import GraphPulseEngine
 from repro.graph import generators
-from repro.graph.dynamic import DynamicGraph
+from repro.graph.dynamic import DynamicGraph, build_symmetric_graph
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT_PATH = REPO_ROOT / "BENCH_engine.json"
@@ -67,13 +67,9 @@ def make_benchmark_algorithm(name: str):
 def run_once(name: str, graph: DynamicGraph, engine_mode: str):
     algorithm = make_benchmark_algorithm(name)
     if algorithm.needs_symmetric:
-        sym = DynamicGraph(graph.num_vertices, symmetric=True)
-        seen = set()
-        for u, v, w in graph.snapshot().edges():
-            if (u, v) not in seen and (v, u) not in seen:
-                seen.add((u, v))
-                sym.add_edge(u, v, w, _count_version=False)
-        graph = sym
+        graph = build_symmetric_graph(
+            graph.snapshot().edges(), graph.num_vertices, on_conflict="silent"
+        )
     csr = graph.snapshot()
     engine = GraphPulseEngine(algorithm, engine=engine_mode)
     started = time.perf_counter()

@@ -14,6 +14,10 @@ Commands
 ``experiments``
     Run the paper's tables/figures (delegates to
     :mod:`repro.experiments.runner`).
+``trace``
+    Inspect a saved JSONL run trace (``--trace`` output): ``summarize``
+    renders the wall-clock vs. modeled-cycles correlation table,
+    ``validate`` checks the file against the documented schema.
 """
 
 from __future__ import annotations
@@ -31,7 +35,18 @@ from repro.core.engine import ENGINE_MODES
 from repro.core.policies import DeletePolicy
 from repro.core.streaming import JetStreamEngine
 from repro.graph import datasets, io
-from repro.graph.dynamic import DynamicGraph
+from repro.graph.dynamic import DynamicGraph, build_symmetric_graph
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    ProgressSink,
+    TraceData,
+    Tracer,
+    correlate,
+    render_correlation,
+    summarize,
+    validate_trace,
+)
 from repro.sim.timing import AcceleratorTimingModel
 from repro.streams import StreamGenerator
 
@@ -48,10 +63,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     query = sub.add_parser("query", help="static query evaluation")
     _add_graph_args(query)
+    _add_trace_args(query)
     query.add_argument("--top", type=int, default=10, help="results to print")
 
     stream = sub.add_parser("stream", help="streaming evaluation")
     _add_graph_args(stream)
+    _add_trace_args(stream)
     stream.add_argument("--batches", type=int, default=5)
     stream.add_argument("--batch-size", type=int, default=100)
     stream.add_argument("--insertion-ratio", type=float, default=0.7)
@@ -74,6 +91,18 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("experiments", help="run the paper's tables/figures")
     exp.add_argument("--quick", action="store_true")
     exp.add_argument("--seed", type=int, default=0)
+
+    trace = sub.add_parser("trace", help="inspect a saved JSONL run trace")
+    trace_sub = trace.add_subparsers(dest="action", required=True)
+    trace_summ = trace_sub.add_parser(
+        "summarize",
+        help="render the per-phase wall-clock vs modeled-cycles table",
+    )
+    trace_summ.add_argument("path", help="JSONL trace written by --trace")
+    trace_val = trace_sub.add_parser(
+        "validate", help="check a trace file against the documented schema"
+    )
+    trace_val.add_argument("path", help="JSONL trace written by --trace")
     return parser
 
 
@@ -103,30 +132,78 @@ def _add_graph_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a JSONL run trace (see `repro trace summarize`)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live phase/round progress on stderr",
+    )
+
+
+def _make_tracer(args):
+    """Build the tracer requested by --trace/--progress.
+
+    Returns ``(tracer, memory_sink)`` — both ``None`` when tracing is off.
+    The memory sink mirrors the JSONL file so the post-run correlation
+    table can be rendered without re-reading the trace from disk.
+    """
+    sinks: List = []
+    memory = None
+    if args.trace:
+        sinks.append(JsonlSink(args.trace))
+        memory = MemorySink()
+        sinks.append(memory)
+    if args.progress:
+        sinks.append(ProgressSink())
+    if not sinks:
+        return None, None
+    return Tracer(sinks), memory
+
+
+def _finish_trace(tracer, memory, args) -> None:
+    """Close the sinks and print the wall-clock/model correlation table."""
+    if tracer is None:
+        return
+    tracer.close()
+    if memory is not None:
+        print(f"\ntrace written to {args.trace}")
+        trace = TraceData.from_spans(memory.spans, memory.events)
+        print(render_correlation(correlate(trace)))
+
+
 def _load_graph(args) -> DynamicGraph:
     algorithm = make_algorithm(args.algorithm, source=args.source)
     if args.dataset:
         return datasets.load(args.dataset, symmetric=algorithm.needs_symmetric)
     edges = io.read_edge_list(args.edges)
     if algorithm.needs_symmetric:
-        graph = DynamicGraph(0, symmetric=True)
-        seen = set()
-        for u, v, w in edges:
-            if (u, v) not in seen and (v, u) not in seen:
-                seen.add((u, v))
-                graph.add_edge(u, v, w, _count_version=False)
-        return graph
+        return build_symmetric_graph(edges)
     return DynamicGraph.from_edges(edges)
 
 
 def cmd_query(args) -> int:
     graph = _load_graph(args)
     algorithm = make_algorithm(args.algorithm, source=args.source)
+    tracer, memory = _make_tracer(args)
     engine = JetStreamEngine(
-        graph, algorithm, engine=args.engine, num_engines=args.num_engines
+        graph,
+        algorithm,
+        engine=args.engine,
+        num_engines=args.num_engines,
+        tracer=tracer,
     )
     started = time.time()
-    result = engine.initial_compute()
+    try:
+        result = engine.initial_compute()
+    except BaseException:
+        if tracer is not None:
+            tracer.close()
+        raise
     elapsed = time.time() - started
     timing = AcceleratorTimingModel().run_time(result.metrics)
     print(
@@ -149,6 +226,7 @@ def cmd_query(args) -> int:
         print(f"{args.top} most progressed vertices:")
         for v in order:
             print(f"  {int(v):>8}  {states[v]:.6g}")
+    _finish_trace(tracer, memory, args)
     return 0
 
 
@@ -156,12 +234,14 @@ def cmd_stream(args) -> int:
     graph = _load_graph(args)
     algorithm = make_algorithm(args.algorithm, source=args.source)
     policy = DeletePolicy(args.policy)
+    tracer, memory = _make_tracer(args)
     engine = JetStreamEngine(
         graph,
         algorithm,
         policy=policy,
         engine=args.engine,
         num_engines=args.num_engines,
+        tracer=tracer,
     )
     timing = AcceleratorTimingModel()
 
@@ -173,45 +253,51 @@ def cmd_stream(args) -> int:
         cold_graph = _load_graph(cold_args)
         cold = GraphPulseColdStart(cold_graph, make_algorithm(args.algorithm, source=args.source))
 
-    initial = engine.initial_compute()
-    if cold:
-        cold.initial_compute()
-    print(
-        f"initial evaluation: {initial.metrics.events_processed:,} events, "
-        f"{timing.run_time(initial.metrics).time_us:.1f} us"
-    )
-
-    if args.updates:
-        batches = io.read_update_stream(args.updates)[: args.batches]
-    else:
-        generator = StreamGenerator(
-            graph, seed=args.seed, insertion_ratio=args.insertion_ratio
-        )
-        batches = None  # generated lazily below
-
-    header = f"{'batch':>5} {'size':>6} {'resets':>7} {'jet us':>10}"
-    if cold:
-        header += f" {'cold us':>10} {'advantage':>10}"
-    print(header)
-    for index in range(args.batches):
-        if batches is not None:
-            if index >= len(batches):
-                break
-            batch = batches[index]
-        else:
-            batch = generator.next_batch(args.batch_size)
-        result = engine.apply_batch(batch)
-        jet_us = timing.run_time(result.metrics, stream_records=batch.size).time_us
-        line = (
-            f"{index:>5} {batch.size:>6} {result.vertices_reset:>7} {jet_us:>10.1f}"
-        )
+    try:
+        initial = engine.initial_compute()
         if cold:
-            cold_result = cold.apply_batch(batch)
-            cold_us = timing.run_time(
-                cold_result.metrics, stream_records=batch.size
-            ).time_us
-            line += f" {cold_us:>10.1f} {cold_us / max(1e-9, jet_us):>9.1f}x"
-        print(line)
+            cold.initial_compute()
+        print(
+            f"initial evaluation: {initial.metrics.events_processed:,} events, "
+            f"{timing.run_time(initial.metrics).time_us:.1f} us"
+        )
+
+        if args.updates:
+            batches = io.read_update_stream(args.updates)[: args.batches]
+        else:
+            generator = StreamGenerator(
+                graph, seed=args.seed, insertion_ratio=args.insertion_ratio
+            )
+            batches = None  # generated lazily below
+
+        header = f"{'batch':>5} {'size':>6} {'resets':>7} {'jet us':>10}"
+        if cold:
+            header += f" {'cold us':>10} {'advantage':>10}"
+        print(header)
+        for index in range(args.batches):
+            if batches is not None:
+                if index >= len(batches):
+                    break
+                batch = batches[index]
+            else:
+                batch = generator.next_batch(args.batch_size)
+            result = engine.apply_batch(batch)
+            jet_us = timing.run_time(result.metrics, stream_records=batch.size).time_us
+            line = (
+                f"{index:>5} {batch.size:>6} {result.vertices_reset:>7} {jet_us:>10.1f}"
+            )
+            if cold:
+                cold_result = cold.apply_batch(batch)
+                cold_us = timing.run_time(
+                    cold_result.metrics, stream_records=batch.size
+                ).time_us
+                line += f" {cold_us:>10.1f} {cold_us / max(1e-9, jet_us):>9.1f}x"
+            print(line)
+    except BaseException:
+        if tracer is not None:
+            tracer.close()
+        raise
+    _finish_trace(tracer, memory, args)
     return 0
 
 
@@ -231,6 +317,20 @@ def cmd_experiments(args) -> int:
     return runner.main(argv)
 
 
+def cmd_trace(args) -> int:
+    if args.action == "validate":
+        errors = validate_trace(args.path)
+        if errors:
+            for problem in errors:
+                print(problem, file=sys.stderr)
+            print(f"{args.path}: INVALID ({len(errors)} problem(s))", file=sys.stderr)
+            return 1
+        print(f"{args.path}: valid trace")
+        return 0
+    print(summarize(args.path))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -239,6 +339,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "stream": cmd_stream,
         "datasets": cmd_datasets,
         "experiments": cmd_experiments,
+        "trace": cmd_trace,
     }[args.command]
     return handler(args)
 

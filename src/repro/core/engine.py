@@ -37,6 +37,7 @@ from repro.core.metrics import (
 from repro.core.policies import DeletePolicy
 from repro.core.queue import CoalescingQueue, VectorQueue
 from repro.graph.csr import CSRGraph
+from repro.obs.tracer import NULL_TRACER, work_attrs
 from repro.graph.partition import extend_assignment, extend_partition, partition_graph
 
 #: Hard cap on scheduler rounds — generous (real runs take tens to a few
@@ -64,10 +65,14 @@ class EngineCore:
         engine: str = "auto",
         num_engines: int = 8,
         shard_workers: Optional[int] = None,
+        tracer=None,
     ):
         self.algorithm = algorithm
         self.config = config or AcceleratorConfig()
         self.policy = policy
+        #: Observability hook (repro.obs). The default NULL_TRACER keeps
+        #: the event loops' per-round cost at one attribute check.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         if engine not in ENGINE_MODES:
             raise ValueError(f"engine must be one of {ENGINE_MODES}, got {engine!r}")
         if engine in ("vectorized", "sharded") and not algorithm.supports_vectorized:
@@ -285,6 +290,7 @@ class EngineCore:
         targets = csr.out_targets
         weights = csr.out_weights
         page_bytes = self.config.dram_page_bytes
+        tracer = self.tracer
 
         max_rows = self.config.scheduler_rows_per_round
         rounds = 0
@@ -293,6 +299,11 @@ class EngineCore:
             if rounds > MAX_ROUNDS:
                 raise RuntimeError("engine exceeded MAX_ROUNDS; non-termination?")
             work = phase.new_round()
+            round_span = (
+                tracer.start("round", occupancy_start=queue.occupancy())
+                if tracer.enabled
+                else None
+            )
             if not queue.active_pending():
                 # Charge the activated slice's spill read-back to this round.
                 queue.activate_next_slice(work)
@@ -352,6 +363,10 @@ class EngineCore:
                             queue.insert(Event(int(targets[i]), value, 0, v), work)
                 work.edge_lines += len(edge_lines)
                 work.dram_pages += len(edge_pages)
+            if round_span is not None:
+                tracer.end(
+                    round_span, **work_attrs(work), occupancy_end=queue.occupancy()
+                )
 
     def run_delete(self, queue, phase: PhaseStats) -> List[int]:
         """Recovery phase: propagate delete tags, reset impacted vertices.
@@ -387,6 +402,7 @@ class EngineCore:
         dap = policy is DeletePolicy.DAP
 
         max_rows = self.config.scheduler_rows_per_round
+        tracer = self.tracer
         impacted: List[int] = []
         rounds = 0
         while queue.pending():
@@ -394,6 +410,11 @@ class EngineCore:
             if rounds > MAX_ROUNDS:
                 raise RuntimeError("delete phase exceeded MAX_ROUNDS")
             work = phase.new_round()
+            round_span = (
+                tracer.start("round", occupancy_start=queue.occupancy())
+                if tracer.enabled
+                else None
+            )
             if not queue.active_pending():
                 # Charge the activated slice's spill read-back to this round.
                 queue.activate_next_slice(work)
@@ -452,6 +473,10 @@ class EngineCore:
                         )
                 work.edge_lines += len(edge_lines)
                 work.dram_pages += len(edge_pages)
+            if round_span is not None:
+                tracer.end(
+                    round_span, **work_attrs(work), occupancy_end=queue.occupancy()
+                )
         return impacted
 
     # ------------------------------------------------------------------
@@ -480,6 +505,7 @@ class EngineCore:
         out_weights = self.csr.out_weights
         page_bytes = self.config.dram_page_bytes
         max_rows = self.config.scheduler_rows_per_round
+        tracer = self.tracer
 
         rounds = 0
         while queue.pending():
@@ -487,75 +513,86 @@ class EngineCore:
             if rounds > MAX_ROUNDS:
                 raise RuntimeError("engine exceeded MAX_ROUNDS; non-termination?")
             work = phase.new_round()
-            if not queue.active_pending():
-                queue.activate_next_slice(work)
-            batch, starts = queue.drain_round(work, max_rows)
-            k = len(batch)
-            if k == 0:
-                continue
-            t = batch.targets
-            seg_start = np.zeros(k, dtype=bool)
-            seg_start[starts] = True
-            self._account_vertex_batch_arrays(t, seg_start, work, page_bytes)
-            work.events_processed += k
-            work.vertex_reads += k
+            round_span = (
+                tracer.start("round", occupancy_start=queue.occupancy())
+                if tracer.enabled
+                else None
+            )
+            try:
+                if not queue.active_pending():
+                    queue.activate_next_slice(work)
+                batch, starts = queue.drain_round(work, max_rows)
+                k = len(batch)
+                if k == 0:
+                    continue
+                t = batch.targets
+                seg_start = np.zeros(k, dtype=bool)
+                seg_start[starts] = True
+                self._account_vertex_batch_arrays(t, seg_start, work, page_bytes)
+                work.events_processed += k
+                work.vertex_reads += k
 
-            # Reduce + conditional write-back (targets are unique: the
-            # queue coalesced all regular events per vertex).
-            old = states[t]
-            new = algorithm.reduce_ufunc(old, batch.payloads)
-            changed = new != old
-            tc = t[changed]
-            states[tc] = new[changed]
-            work.vertex_writes += int(tc.shape[0])
-            if track_dep:
-                dependency[tc] = batch.sources[changed]
+                # Reduce + conditional write-back (targets are unique: the
+                # queue coalesced all regular events per vertex).
+                old = states[t]
+                new = algorithm.reduce_ufunc(old, batch.payloads)
+                changed = new != old
+                tc = t[changed]
+                states[tc] = new[changed]
+                work.vertex_writes += int(tc.shape[0])
+                if track_dep:
+                    dependency[tc] = batch.sources[changed]
 
-            # Frontier: changed or request-flagged vertices with out-edges.
-            prop = changed | ((batch.flags & 2) != 0)
-            start_all = offsets[t]
-            deg_all = offsets[t + 1] - start_all
-            nz = prop & (deg_all > 0)
-            if not nz.any():
-                continue
-            idx = np.flatnonzero(nz)
-            v = t[idx]
-            start = start_all[idx]
-            deg = deg_all[idx]
-            work.edges_read += int(deg.sum())
-            row_ids = np.searchsorted(starts, idx, side="right")
-            self._account_edge_batches(start, start + deg, row_ids, work, page_bytes)
+                # Frontier: changed or request-flagged vertices with out-edges.
+                prop = changed | ((batch.flags & 2) != 0)
+                start_all = offsets[t]
+                deg_all = offsets[t + 1] - start_all
+                nz = prop & (deg_all > 0)
+                if not nz.any():
+                    continue
+                idx = np.flatnonzero(nz)
+                v = t[idx]
+                start = start_all[idx]
+                deg = deg_all[idx]
+                work.edges_read += int(deg.sum())
+                row_ids = np.searchsorted(starts, idx, side="right")
+                self._account_edge_batches(start, start + deg, row_ids, work, page_bytes)
 
-            if accumulative:
-                base = (new[idx] - old[idx]) * prop_factor[v]
-                if weight_scaled:
-                    eidx = self._edge_indices(start, deg)
-                    values = np.repeat(base, deg) * out_weights[eidx]
-                    keep = (values > threshold) | (values < -threshold)
-                    gen_t = out_targets[eidx][keep]
-                    gen_p = values[keep]
-                    gen_s = np.repeat(v, deg)[keep]
+                if accumulative:
+                    base = (new[idx] - old[idx]) * prop_factor[v]
+                    if weight_scaled:
+                        eidx = self._edge_indices(start, deg)
+                        values = np.repeat(base, deg) * out_weights[eidx]
+                        keep = (values > threshold) | (values < -threshold)
+                        gen_t = out_targets[eidx][keep]
+                        gen_p = values[keep]
+                        gen_s = np.repeat(v, deg)[keep]
+                    else:
+                        keepv = (base > threshold) | (base < -threshold)
+                        dg = deg[keepv]
+                        eidx = self._edge_indices(start[keepv], dg)
+                        gen_t = out_targets[eidx]
+                        gen_p = np.repeat(base[keepv], dg)
+                        gen_s = np.repeat(v[keepv], dg)
                 else:
-                    keepv = (base > threshold) | (base < -threshold)
-                    dg = deg[keepv]
-                    eidx = self._edge_indices(start[keepv], dg)
+                    # Selective: propagation basis is the post-write state.
+                    eidx = self._edge_indices(start, deg)
                     gen_t = out_targets[eidx]
-                    gen_p = np.repeat(base[keepv], dg)
-                    gen_s = np.repeat(v[keepv], dg)
-            else:
-                # Selective: propagation basis is the post-write state.
-                eidx = self._edge_indices(start, deg)
-                gen_t = out_targets[eidx]
-                gen_p = algorithm.propagate_arrays(
-                    np.repeat(new[idx], deg), out_weights[eidx]
-                )
-                gen_s = np.repeat(v, deg)
-            n_gen = int(gen_t.shape[0])
-            if n_gen:
-                work.events_generated += n_gen
-                queue.insert_batch(
-                    EventBatch.from_arrays(gen_t, gen_p, 0, gen_s), work
-                )
+                    gen_p = algorithm.propagate_arrays(
+                        np.repeat(new[idx], deg), out_weights[eidx]
+                    )
+                    gen_s = np.repeat(v, deg)
+                n_gen = int(gen_t.shape[0])
+                if n_gen:
+                    work.events_generated += n_gen
+                    queue.insert_batch(
+                        EventBatch.from_arrays(gen_t, gen_p, 0, gen_s), work
+                    )
+            finally:
+                if round_span is not None:
+                    tracer.end(
+                        round_span, **work_attrs(work), occupancy_end=queue.occupancy()
+                    )
 
     def _run_delete_vectorized(self, queue: VectorQueue, phase: PhaseStats) -> List[int]:
         """Array-kernel form of :meth:`run_delete`.
@@ -579,6 +616,7 @@ class EngineCore:
         vap = policy is DeletePolicy.VAP
         dap = policy is DeletePolicy.DAP
         max_rows = self.config.scheduler_rows_per_round
+        tracer = self.tracer
 
         impacted: List[int] = []
         rounds = 0
@@ -587,75 +625,86 @@ class EngineCore:
             if rounds > MAX_ROUNDS:
                 raise RuntimeError("delete phase exceeded MAX_ROUNDS")
             work = phase.new_round()
-            if not queue.active_pending():
-                queue.activate_next_slice(work)
-            batch, starts = queue.drain_round(work, max_rows)
-            k = len(batch)
-            if k == 0:
-                continue
-            t = batch.targets
-            seg_start = np.zeros(k, dtype=bool)
-            seg_start[starts] = True
-            self._account_vertex_batch_arrays(t, seg_start, work, page_bytes)
-            work.events_processed += k
-            work.vertex_reads += k
-
-            st = states[t]
-            cond = st != identity
-            if dap:
-                cond &= dependency[t] == batch.sources
-            if vap:
-                cond &= ~algorithm.more_progressed_arrays(st, batch.payloads)
-            gfirst = np.empty(k, dtype=bool)
-            gfirst[0] = True
-            np.not_equal(t[1:], t[:-1], out=gfirst[1:])
-            gstarts = np.flatnonzero(gfirst)
-            pos = np.where(cond, np.arange(k), k)
-            win = np.minimum.reduceat(pos, gstarts)
-            win = win[win < np.append(gstarts[1:], k)]
-            n_win = int(win.shape[0])
-            phase.deletes_discarded += k - n_win
-            if n_win == 0:
-                continue
-            v = t[win]
-            pre = st[win]
-            # Reset (tag) the impacted vertices — Algorithm 4, line 11.
-            states[v] = identity
-            work.vertex_writes += n_win
-            if dap:
-                dependency[v] = NO_SOURCE
-            impacted.extend(v.tolist())
-            phase.vertices_reset += n_win
-
-            start_all = offsets[v]
-            deg_all = offsets[v + 1] - start_all
-            sub = np.flatnonzero(deg_all > 0)
-            if sub.shape[0] == 0:
-                continue
-            vs = v[sub]
-            start = start_all[sub]
-            deg = deg_all[sub]
-            total = int(deg.sum())
-            work.edges_read += total
-            row_ids = np.searchsorted(starts, win[sub], side="right")
-            self._account_edge_batches(start, start + deg, row_ids, work, page_bytes)
-            eidx = self._edge_indices(start, deg)
-            if base_policy:
-                # BASE carries no value (Algorithm 4 queues <v, 0>).
-                gen_p = np.zeros(total, dtype=np.float64)
-            else:
-                # VAP/DAP carry the contribution computed from the
-                # pre-reset state (§5.1, §5.2).
-                gen_p = algorithm.propagate_arrays(
-                    np.repeat(pre[sub], deg), out_weights[eidx]
-                )
-            work.events_generated += total
-            queue.insert_batch(
-                EventBatch.from_arrays(
-                    out_targets[eidx], gen_p, 1, np.repeat(vs, deg)
-                ),
-                work,
+            round_span = (
+                tracer.start("round", occupancy_start=queue.occupancy())
+                if tracer.enabled
+                else None
             )
+            try:
+                if not queue.active_pending():
+                    queue.activate_next_slice(work)
+                batch, starts = queue.drain_round(work, max_rows)
+                k = len(batch)
+                if k == 0:
+                    continue
+                t = batch.targets
+                seg_start = np.zeros(k, dtype=bool)
+                seg_start[starts] = True
+                self._account_vertex_batch_arrays(t, seg_start, work, page_bytes)
+                work.events_processed += k
+                work.vertex_reads += k
+
+                st = states[t]
+                cond = st != identity
+                if dap:
+                    cond &= dependency[t] == batch.sources
+                if vap:
+                    cond &= ~algorithm.more_progressed_arrays(st, batch.payloads)
+                gfirst = np.empty(k, dtype=bool)
+                gfirst[0] = True
+                np.not_equal(t[1:], t[:-1], out=gfirst[1:])
+                gstarts = np.flatnonzero(gfirst)
+                pos = np.where(cond, np.arange(k), k)
+                win = np.minimum.reduceat(pos, gstarts)
+                win = win[win < np.append(gstarts[1:], k)]
+                n_win = int(win.shape[0])
+                phase.deletes_discarded += k - n_win
+                if n_win == 0:
+                    continue
+                v = t[win]
+                pre = st[win]
+                # Reset (tag) the impacted vertices — Algorithm 4, line 11.
+                states[v] = identity
+                work.vertex_writes += n_win
+                if dap:
+                    dependency[v] = NO_SOURCE
+                impacted.extend(v.tolist())
+                phase.vertices_reset += n_win
+
+                start_all = offsets[v]
+                deg_all = offsets[v + 1] - start_all
+                sub = np.flatnonzero(deg_all > 0)
+                if sub.shape[0] == 0:
+                    continue
+                vs = v[sub]
+                start = start_all[sub]
+                deg = deg_all[sub]
+                total = int(deg.sum())
+                work.edges_read += total
+                row_ids = np.searchsorted(starts, win[sub], side="right")
+                self._account_edge_batches(start, start + deg, row_ids, work, page_bytes)
+                eidx = self._edge_indices(start, deg)
+                if base_policy:
+                    # BASE carries no value (Algorithm 4 queues <v, 0>).
+                    gen_p = np.zeros(total, dtype=np.float64)
+                else:
+                    # VAP/DAP carry the contribution computed from the
+                    # pre-reset state (§5.1, §5.2).
+                    gen_p = algorithm.propagate_arrays(
+                        np.repeat(pre[sub], deg), out_weights[eidx]
+                    )
+                work.events_generated += total
+                queue.insert_batch(
+                    EventBatch.from_arrays(
+                        out_targets[eidx], gen_p, 1, np.repeat(vs, deg)
+                    ),
+                    work,
+                )
+            finally:
+                if round_span is not None:
+                    tracer.end(
+                        round_span, **work_attrs(work), occupancy_end=queue.occupancy()
+                    )
         return impacted
 
     # ------------------------------------------------------------------
@@ -768,6 +817,9 @@ class GraphPulseEngine:
     shard_workers:
         Thread-pool width for sharded execution (default: one per engine,
         capped at the CPU count; 1 forces serial shard execution).
+    tracer:
+        A :class:`repro.obs.Tracer` for run observability (default: the
+        no-op :data:`~repro.obs.NULL_TRACER`).
     """
 
     def __init__(
@@ -778,6 +830,7 @@ class GraphPulseEngine:
         engine: str = "auto",
         num_engines: int = 8,
         shard_workers: Optional[int] = None,
+        tracer=None,
     ):
         config = config or AcceleratorConfig()
         event_bytes = config.event_bytes_graphpulse if graphpulse_event_size else None
@@ -789,6 +842,7 @@ class GraphPulseEngine:
             engine=engine,
             num_engines=num_engines,
             shard_workers=shard_workers,
+            tracer=tracer,
         )
 
     @property
@@ -796,17 +850,33 @@ class GraphPulseEngine:
         """The bound algorithm."""
         return self.core.algorithm
 
+    @property
+    def tracer(self):
+        """The observability hook shared with the core."""
+        return self.core.tracer
+
     def compute(self, csr: CSRGraph) -> ComputeResult:
         """Evaluate the query on ``csr`` from scratch (cold start)."""
         core = self.core
-        core.allocate(csr.num_vertices)
-        core.bind_graph(csr)
-        metrics = RunMetrics()
-        phase = metrics.phase("initial")
-        queue = core.new_queue()
-        seed_work = phase.new_round()
-        core.seed_initial(queue, seed_work)
-        core.run_regular(queue, phase)
+        tracer = core.tracer
+        with tracer.span(
+            "run",
+            "static",
+            algorithm=self.algorithm.name,
+            engine_mode=core.engine_mode,
+            num_vertices=csr.num_vertices,
+            num_edges=csr.num_edges,
+        ):
+            core.allocate(csr.num_vertices)
+            core.bind_graph(csr)
+            metrics = RunMetrics()
+            phase = metrics.phase("initial")
+            queue = core.new_queue()
+            with tracer.phase(phase):
+                seed_work = phase.new_round()
+                with tracer.round(seed_work, queue):
+                    core.seed_initial(queue, seed_work)
+                core.run_regular(queue, phase)
         return ComputeResult(
             states=core.states.copy(),
             metrics=metrics,

@@ -52,6 +52,7 @@ from repro.core.metrics import PhaseStats, RoundWork
 from repro.core.policies import DeletePolicy
 from repro.core.queue import VectorQueue
 from repro.graph.partition import extend_assignment
+from repro.obs.tracer import work_attrs
 from repro.sim.noc import CrossbarModel
 
 from repro.algorithms.base import AlgorithmKind
@@ -85,6 +86,41 @@ def _run_tasks(pool: Optional[ThreadPoolExecutor], tasks):
         return [task() for task in tasks]
     futures = [pool.submit(task) for task in tasks]
     return [future.result() for future in futures]
+
+
+def _timed_task(task, slot, clock):
+    """Wrap a shard thunk to record its wall-clock window into ``slot``.
+
+    Only used when tracing is enabled; ``perf_counter`` is monotonic
+    across threads, so worker-side stamps compare with the main thread's.
+    """
+
+    def run():
+        slot[0] = clock()
+        try:
+            return task()
+        finally:
+            slot[1] = clock()
+
+    return run
+
+
+def _noc_snapshot(phase: PhaseStats):
+    return (
+        phase.noc_events_local,
+        phase.noc_events_remote,
+        phase.noc_flits,
+        phase.noc_cycles,
+    )
+
+
+def _noc_delta_attrs(phase: PhaseStats, snapshot) -> dict:
+    return {
+        "noc_events_local": phase.noc_events_local - snapshot[0],
+        "noc_events_remote": phase.noc_events_remote - snapshot[1],
+        "noc_flits": phase.noc_flits - snapshot[2],
+        "noc_cycles": phase.noc_cycles - snapshot[3],
+    }
 
 
 class InterEngineChannel:
@@ -442,6 +478,7 @@ def run_regular_sharded(core, group: ShardedQueueGroup, phase: PhaseStats) -> No
 
         return run
 
+    tracer = core.tracer
     rounds = 0
     with _shard_pool(group.workers) as pool:
         while group.pending():
@@ -451,51 +488,81 @@ def run_regular_sharded(core, group: ShardedQueueGroup, phase: PhaseStats) -> No
             work = phase.new_round()
             shard_works = [RoundWork() for _ in range(num_engines)]
             phase.shard_rounds.append(shard_works)
-            if not group.active_pending():
-                group.activate_next_slice(work)
-            batch, starts = group.drain_round_merged(max_rows, pool)
-            k = len(batch)
-            if k == 0:
-                continue
-            t = batch.targets
-            seg_start = np.zeros(k, dtype=bool)
-            seg_start[starts] = True
-            core._account_vertex_batch_arrays(t, seg_start, work, page_bytes)
-            work.events_processed += k
-            work.vertex_reads += k
+            round_span = None
+            if tracer.enabled:
+                round_span = tracer.start(
+                    "round", occupancy_start=group.occupancy()
+                )
+                noc_before = _noc_snapshot(phase)
+            try:
+                if not group.active_pending():
+                    group.activate_next_slice(work)
+                batch, starts = group.drain_round_merged(max_rows, pool)
+                k = len(batch)
+                if k == 0:
+                    continue
+                t = batch.targets
+                seg_start = np.zeros(k, dtype=bool)
+                seg_start[starts] = True
+                core._account_vertex_batch_arrays(t, seg_start, work, page_bytes)
+                work.events_processed += k
+                work.vertex_reads += k
 
-            owner = group.shard_of[t]
-            results = _run_tasks(
-                pool,
-                [
+                owner = group.shard_of[t]
+                tasks = [
                     shard_task(np.flatnonzero(owner == s), batch, shard_works[s])
                     for s in range(num_engines)
-                ],
-            )
-            work.vertex_writes += sum(sw.vertex_writes for sw in shard_works)
-            work.edges_read += sum(sw.edges_read for sw in shard_works)
+                ]
+                if round_span is not None:
+                    task_times = [[0.0, 0.0] for _ in range(num_engines)]
+                    tasks = [
+                        _timed_task(task, slot, tracer.clock)
+                        for task, slot in zip(tasks, task_times)
+                    ]
+                results = _run_tasks(pool, tasks)
+                if round_span is not None:
+                    for s in range(num_engines):
+                        tracer.emit(
+                            "engine",
+                            f"engine-{s}",
+                            task_times[s][0],
+                            task_times[s][1],
+                            parent=round_span,
+                            engine=s,
+                            **work_attrs(shard_works[s]),
+                        )
+                work.vertex_writes += sum(sw.vertex_writes for sw in shard_works)
+                work.edges_read += sum(sw.edges_read for sw in shard_works)
 
-            prop_pos = np.concatenate([r[0] for r in results])
-            if prop_pos.shape[0]:
-                gidx = np.sort(prop_pos)
-                v = t[gidx]
-                start = offsets[v]
-                deg = offsets[v + 1] - start
-                row_ids = np.searchsorted(starts, gidx, side="right")
-                core._account_edge_batches(start, start + deg, row_ids, work, page_bytes)
+                prop_pos = np.concatenate([r[0] for r in results])
+                if prop_pos.shape[0]:
+                    gidx = np.sort(prop_pos)
+                    v = t[gidx]
+                    start = offsets[v]
+                    deg = offsets[v + 1] - start
+                    row_ids = np.searchsorted(starts, gidx, side="right")
+                    core._account_edge_batches(start, start + deg, row_ids, work, page_bytes)
 
-            gen_pos = np.concatenate([r[4] for r in results])
-            n_gen = int(gen_pos.shape[0])
-            if n_gen:
-                order = np.argsort(gen_pos, kind="stable")
-                generated = EventBatch(
-                    np.concatenate([r[1] for r in results])[order],
-                    np.concatenate([r[2] for r in results])[order],
-                    np.zeros(n_gen, dtype=np.int64),
-                    np.concatenate([r[3] for r in results])[order],
-                )
-                work.events_generated += n_gen
-                group.route_generated(generated, work, phase)
+                gen_pos = np.concatenate([r[4] for r in results])
+                n_gen = int(gen_pos.shape[0])
+                if n_gen:
+                    order = np.argsort(gen_pos, kind="stable")
+                    generated = EventBatch(
+                        np.concatenate([r[1] for r in results])[order],
+                        np.concatenate([r[2] for r in results])[order],
+                        np.zeros(n_gen, dtype=np.int64),
+                        np.concatenate([r[3] for r in results])[order],
+                    )
+                    work.events_generated += n_gen
+                    group.route_generated(generated, work, phase)
+            finally:
+                if round_span is not None:
+                    tracer.end(
+                        round_span,
+                        **work_attrs(work),
+                        occupancy_end=group.occupancy(),
+                        **_noc_delta_attrs(phase, noc_before),
+                    )
 
 
 def run_delete_sharded(
@@ -587,6 +654,7 @@ def run_delete_sharded(
 
         return run
 
+    tracer = core.tracer
     impacted: List[int] = []
     rounds = 0
     with _shard_pool(group.workers) as pool:
@@ -597,58 +665,88 @@ def run_delete_sharded(
             work = phase.new_round()
             shard_works = [RoundWork() for _ in range(num_engines)]
             phase.shard_rounds.append(shard_works)
-            if not group.active_pending():
-                group.activate_next_slice(work)
-            batch, starts = group.drain_round_merged(max_rows, pool)
-            k = len(batch)
-            if k == 0:
-                continue
-            t = batch.targets
-            seg_start = np.zeros(k, dtype=bool)
-            seg_start[starts] = True
-            core._account_vertex_batch_arrays(t, seg_start, work, page_bytes)
-            work.events_processed += k
-            work.vertex_reads += k
+            round_span = None
+            if tracer.enabled:
+                round_span = tracer.start(
+                    "round", occupancy_start=group.occupancy()
+                )
+                noc_before = _noc_snapshot(phase)
+            try:
+                if not group.active_pending():
+                    group.activate_next_slice(work)
+                batch, starts = group.drain_round_merged(max_rows, pool)
+                k = len(batch)
+                if k == 0:
+                    continue
+                t = batch.targets
+                seg_start = np.zeros(k, dtype=bool)
+                seg_start[starts] = True
+                core._account_vertex_batch_arrays(t, seg_start, work, page_bytes)
+                work.events_processed += k
+                work.vertex_reads += k
 
-            owner = group.shard_of[t]
-            results = _run_tasks(
-                pool,
-                [
+                owner = group.shard_of[t]
+                tasks = [
                     shard_task(np.flatnonzero(owner == s), batch, shard_works[s])
                     for s in range(num_engines)
-                ],
-            )
-            phase.deletes_discarded += sum(r[1] for r in results)
-            win_all = np.concatenate([r[0] for r in results])
-            n_win = int(win_all.shape[0])
-            work.vertex_writes += n_win
-            phase.vertices_reset += n_win
-            work.edges_read += sum(sw.edges_read for sw in shard_works)
-            if n_win:
-                win_sorted = np.sort(win_all)
-                v = t[win_sorted]
-                impacted.extend(v.tolist())
-                start_all = offsets[v]
-                deg_all = offsets[v + 1] - start_all
-                sub = np.flatnonzero(deg_all > 0)
-                if sub.shape[0]:
-                    start = start_all[sub]
-                    deg = deg_all[sub]
-                    row_ids = np.searchsorted(starts, win_sorted[sub], side="right")
-                    core._account_edge_batches(
-                        start, start + deg, row_ids, work, page_bytes
-                    )
+                ]
+                if round_span is not None:
+                    task_times = [[0.0, 0.0] for _ in range(num_engines)]
+                    tasks = [
+                        _timed_task(task, slot, tracer.clock)
+                        for task, slot in zip(tasks, task_times)
+                    ]
+                results = _run_tasks(pool, tasks)
+                if round_span is not None:
+                    for s in range(num_engines):
+                        tracer.emit(
+                            "engine",
+                            f"engine-{s}",
+                            task_times[s][0],
+                            task_times[s][1],
+                            parent=round_span,
+                            engine=s,
+                            **work_attrs(shard_works[s]),
+                        )
+                phase.deletes_discarded += sum(r[1] for r in results)
+                win_all = np.concatenate([r[0] for r in results])
+                n_win = int(win_all.shape[0])
+                work.vertex_writes += n_win
+                phase.vertices_reset += n_win
+                work.edges_read += sum(sw.edges_read for sw in shard_works)
+                if n_win:
+                    win_sorted = np.sort(win_all)
+                    v = t[win_sorted]
+                    impacted.extend(v.tolist())
+                    start_all = offsets[v]
+                    deg_all = offsets[v + 1] - start_all
+                    sub = np.flatnonzero(deg_all > 0)
+                    if sub.shape[0]:
+                        start = start_all[sub]
+                        deg = deg_all[sub]
+                        row_ids = np.searchsorted(starts, win_sorted[sub], side="right")
+                        core._account_edge_batches(
+                            start, start + deg, row_ids, work, page_bytes
+                        )
 
-            gen_pos = np.concatenate([r[5] for r in results])
-            n_gen = int(gen_pos.shape[0])
-            if n_gen:
-                order = np.argsort(gen_pos, kind="stable")
-                generated = EventBatch(
-                    np.concatenate([r[2] for r in results])[order],
-                    np.concatenate([r[3] for r in results])[order],
-                    np.ones(n_gen, dtype=np.int64),
-                    np.concatenate([r[4] for r in results])[order],
-                )
-                work.events_generated += n_gen
-                group.route_generated(generated, work, phase)
+                gen_pos = np.concatenate([r[5] for r in results])
+                n_gen = int(gen_pos.shape[0])
+                if n_gen:
+                    order = np.argsort(gen_pos, kind="stable")
+                    generated = EventBatch(
+                        np.concatenate([r[2] for r in results])[order],
+                        np.concatenate([r[3] for r in results])[order],
+                        np.ones(n_gen, dtype=np.int64),
+                        np.concatenate([r[4] for r in results])[order],
+                    )
+                    work.events_generated += n_gen
+                    group.route_generated(generated, work, phase)
+            finally:
+                if round_span is not None:
+                    tracer.end(
+                        round_span,
+                        **work_attrs(work),
+                        occupancy_end=group.occupancy(),
+                        **_noc_delta_attrs(phase, noc_before),
+                    )
     return impacted

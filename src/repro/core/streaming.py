@@ -133,6 +133,7 @@ class JetStreamEngine:
         engine: str = "auto",
         num_engines: int = 8,
         shard_workers: Optional[int] = None,
+        tracer=None,
     ):
         if algorithm.needs_symmetric and not graph.symmetric:
             raise ValueError(
@@ -164,6 +165,7 @@ class JetStreamEngine:
             engine=engine,
             num_engines=num_engines,
             shard_workers=shard_workers,
+            tracer=tracer,
         )
         self._initialized = False
         self.history: List[StreamingResult] = []
@@ -171,6 +173,11 @@ class JetStreamEngine:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        """The observability hook shared with the engine core."""
+        return self.core.tracer
+
     @property
     def states(self) -> np.ndarray:
         """Current (converged) vertex states — read-only view."""
@@ -186,15 +193,28 @@ class JetStreamEngine:
     def initial_compute(self) -> StreamingResult:
         """Evaluate the query on the current graph from initial state."""
         core = self.core
+        tracer = core.tracer
         csr = self.graph.snapshot()
         core.allocate(csr.num_vertices)
         core.bind_graph(csr)
         metrics = RunMetrics()
         phase = metrics.phase("initial")
         queue = core.new_queue()
-        work = phase.new_round()
-        core.seed_initial(queue, work)
-        core.run_regular(queue, phase)
+        with tracer.span(
+            "run",
+            "initial",
+            algorithm=self.algorithm.name,
+            engine_mode=core.engine_mode,
+            num_vertices=csr.num_vertices,
+            num_edges=csr.num_edges,
+            graph_version=self.graph.version,
+            stream_records=0,
+        ):
+            with tracer.phase(phase):
+                work = phase.new_round()
+                with tracer.round(work, queue):
+                    core.seed_initial(queue, work)
+                core.run_regular(queue, phase)
         self._initialized = True
         result = StreamingResult(
             states=core.states.copy(),
@@ -219,10 +239,20 @@ class JetStreamEngine:
             raise RuntimeError("call initial_compute() before apply_batch()")
         batch.validate()
         self._check_batch(batch)
-        if self.algorithm.kind is AlgorithmKind.SELECTIVE:
-            result = self._apply_selective(batch)
-        else:
-            result = self._apply_accumulative(batch)
+        with self.tracer.span(
+            "run",
+            "batch",
+            algorithm=self.algorithm.name,
+            engine_mode=self.core.engine_mode,
+            batch_index=len(self.history) - 1,
+            insertions=len(batch.insertions),
+            deletions=len(batch.deletions),
+            stream_records=batch.size,
+        ):
+            if self.algorithm.kind is AlgorithmKind.SELECTIVE:
+                result = self._apply_selective(batch)
+            else:
+                result = self._apply_accumulative(batch)
         self.history.append(result)
         return result
 
@@ -238,23 +268,26 @@ class JetStreamEngine:
         insertions = self._directed_insertions(batch)
 
         # Phase 1: ProcessDeletesSelective + ResetImpacted on the old graph.
+        tracer = core.tracer
         delete_phase = metrics.phase("delete-propagation")
         queue = core.new_queue()
         queue.set_delete_coalescing(self.policy.coalesces_deletes)
-        seed_work = delete_phase.new_round()
-        buf = _SeedBuffer()
-        for u, v, w in deletions:
-            # The stream reader computes the payload from the previous
-            # converged source state (§3.3); BASE events carry no value.
-            if self.policy is DeletePolicy.BASE:
-                payload = 0.0
-            else:
-                payload = algorithm.propagate(float(core.states[u]), w, SourceContext.of(old_csr, u))
-            seed_work.vertex_reads += 1
-            seed_work.events_generated += 1
-            buf.add(v, payload, 1, u)
-        buf.flush(queue, seed_work)
-        impacted = core.run_delete(queue, delete_phase)
+        with tracer.phase(delete_phase):
+            seed_work = delete_phase.new_round()
+            with tracer.round(seed_work, queue):
+                buf = _SeedBuffer()
+                for u, v, w in deletions:
+                    # The stream reader computes the payload from the previous
+                    # converged source state (§3.3); BASE events carry no value.
+                    if self.policy is DeletePolicy.BASE:
+                        payload = 0.0
+                    else:
+                        payload = algorithm.propagate(float(core.states[u]), w, SourceContext.of(old_csr, u))
+                    seed_work.vertex_reads += 1
+                    seed_work.events_generated += 1
+                    buf.add(v, payload, 1, u)
+                buf.flush(queue, seed_work)
+            impacted = core.run_delete(queue, delete_phase)
         queue.set_delete_coalescing(True)
 
         # Mutate the graph; switch to the new structure.
@@ -265,28 +298,30 @@ class JetStreamEngine:
 
         # Phase 2: Reapproximate + ProcessInserts + recompute.
         compute_phase = metrics.phase("reevaluation")
-        work = compute_phase.new_round()
-        identity = algorithm.identity
-        buf = _SeedBuffer()
-        for i in impacted:
-            self_payload = algorithm.self_event(i)
-            if self_payload is not None:
-                buf.add(i, self_payload, 0, NO_SOURCE)
-                work.events_generated += 1
-            sources = new_csr.in_neighbors(i)
-            for u in sources:
-                buf.add(int(u), identity, 2, NO_SOURCE)
-            n_req = int(sources.shape[0])
-            work.events_generated += n_req
-            compute_phase.request_events += n_req
-        for u, v, w in insertions:
-            payload = algorithm.propagate(float(core.states[u]), w, SourceContext.of(new_csr, u))
-            work.vertex_reads += 1
-            work.events_generated += 1
-            buf.add(v, payload, 0, u)
-        buf.flush(queue, work)
-        self._seed_new_vertices(queue, work, old_csr.num_vertices, new_csr.num_vertices)
-        core.run_regular(queue, compute_phase)
+        with tracer.phase(compute_phase):
+            work = compute_phase.new_round()
+            with tracer.round(work, queue):
+                identity = algorithm.identity
+                buf = _SeedBuffer()
+                for i in impacted:
+                    self_payload = algorithm.self_event(i)
+                    if self_payload is not None:
+                        buf.add(i, self_payload, 0, NO_SOURCE)
+                        work.events_generated += 1
+                    sources = new_csr.in_neighbors(i)
+                    for u in sources:
+                        buf.add(int(u), identity, 2, NO_SOURCE)
+                    n_req = int(sources.shape[0])
+                    work.events_generated += n_req
+                    compute_phase.request_events += n_req
+                for u, v, w in insertions:
+                    payload = algorithm.propagate(float(core.states[u]), w, SourceContext.of(new_csr, u))
+                    work.vertex_reads += 1
+                    work.events_generated += 1
+                    buf.add(v, payload, 0, u)
+                buf.flush(queue, work)
+                self._seed_new_vertices(queue, work, old_csr.num_vertices, new_csr.num_vertices)
+            core.run_regular(queue, compute_phase)
 
         return StreamingResult(
             states=core.states.copy(),
@@ -320,51 +355,57 @@ class JetStreamEngine:
         old_csr = self.graph.snapshot()
         old_n = old_csr.num_vertices
 
+        tracer = core.tracer
         phase = metrics.phase("reevaluation")
-        work = phase.new_round()
-        corrections: Dict[int, float] = {}
-        if algorithm.degree_dependent:
-            modified: Set[int] = {u for u, _, _ in deletions}
-            modified.update(u for u, _, _ in insertions if u < old_n)
-            stale: List[Edge] = []
-            for u in sorted(modified):
-                for v, w in self.graph.out_edges(u):
-                    stale.append((u, v, w))
-            replacements = [e for e in stale if (e[0], e[1]) not in deleted_keys]
-            replacements.extend(insertions)
-        else:
-            stale = deletions
-            replacements = list(insertions)
+        with tracer.phase(phase):
+            work = phase.new_round()
+            # The queue does not exist yet (corrections are computed across
+            # the graph mutation), so the seed round span carries no
+            # occupancy samples — only the work vector.
+            with tracer.round(work):
+                corrections: Dict[int, float] = {}
+                if algorithm.degree_dependent:
+                    modified: Set[int] = {u for u, _, _ in deletions}
+                    modified.update(u for u, _, _ in insertions if u < old_n)
+                    stale: List[Edge] = []
+                    for u in sorted(modified):
+                        for v, w in self.graph.out_edges(u):
+                            stale.append((u, v, w))
+                    replacements = [e for e in stale if (e[0], e[1]) not in deleted_keys]
+                    replacements.extend(insertions)
+                else:
+                    stale = deletions
+                    replacements = list(insertions)
 
-        for u, v, w in stale:
-            delta = -algorithm.propagate(
-                float(core.states[u]), w, SourceContext.of(old_csr, u)
-            )
-            work.vertex_reads += 1
-            corrections[v] = corrections.get(v, 0.0) + delta
+                for u, v, w in stale:
+                    delta = -algorithm.propagate(
+                        float(core.states[u]), w, SourceContext.of(old_csr, u)
+                    )
+                    work.vertex_reads += 1
+                    corrections[v] = corrections.get(v, 0.0) + delta
 
-        # Mutate; replacements are priced against the new structure.
-        self._mutate_graph(batch)
-        new_csr = self.graph.snapshot()
-        core.grow(new_csr.num_vertices)
-        core.bind_graph(new_csr)
-        for u, v, w in replacements:
-            delta = algorithm.propagate(
-                float(core.states[u]), w, SourceContext.of(new_csr, u)
-            )
-            work.vertex_reads += 1
-            corrections[v] = corrections.get(v, 0.0) + delta
+                # Mutate; replacements are priced against the new structure.
+                self._mutate_graph(batch)
+                new_csr = self.graph.snapshot()
+                core.grow(new_csr.num_vertices)
+                core.bind_graph(new_csr)
+                for u, v, w in replacements:
+                    delta = algorithm.propagate(
+                        float(core.states[u]), w, SourceContext.of(new_csr, u)
+                    )
+                    work.vertex_reads += 1
+                    corrections[v] = corrections.get(v, 0.0) + delta
 
-        queue = core.new_queue()
-        buf = _SeedBuffer()
-        for v in sorted(corrections):
-            delta = corrections[v]
-            if algorithm.should_propagate(delta):
-                work.events_generated += 1
-                buf.add(v, delta, 0, NO_SOURCE)
-        buf.flush(queue, work)
-        self._seed_new_vertices(queue, work, old_n, new_csr.num_vertices)
-        core.run_regular(queue, phase)
+                queue = core.new_queue()
+                buf = _SeedBuffer()
+                for v in sorted(corrections):
+                    delta = corrections[v]
+                    if algorithm.should_propagate(delta):
+                        work.events_generated += 1
+                        buf.add(v, delta, 0, NO_SOURCE)
+                buf.flush(queue, work)
+                self._seed_new_vertices(queue, work, old_n, new_csr.num_vertices)
+            core.run_regular(queue, phase)
 
         return StreamingResult(
             states=core.states.copy(),
@@ -406,21 +447,24 @@ class JetStreamEngine:
 
         # Phase 1: negative events drain stale contributions (Algorithm 3)
         # while the intermediate graph blocks cyclic re-propagation.
+        tracer = core.tracer
         delete_phase = metrics.phase("delete-negation")
-        seed_work = delete_phase.new_round()
-        negative_events = []
-        for u, v, w in expanded_deletes:
-            delta = -algorithm.propagate(
-                float(core.states[u]), w, SourceContext.of(old_csr, u)
-            )
-            seed_work.vertex_reads += 1
-            if algorithm.should_propagate(delta):
-                negative_events.append(Event(v, delta, 0, u))
-        core.bind_graph(intermediate_csr)
-        queue = core.new_queue()
-        seed_work.events_generated += len(negative_events)
-        queue.insert_batch(EventBatch.from_events(negative_events), seed_work)
-        core.run_regular(queue, delete_phase)
+        with tracer.phase(delete_phase):
+            seed_work = delete_phase.new_round()
+            with tracer.round(seed_work):
+                negative_events = []
+                for u, v, w in expanded_deletes:
+                    delta = -algorithm.propagate(
+                        float(core.states[u]), w, SourceContext.of(old_csr, u)
+                    )
+                    seed_work.vertex_reads += 1
+                    if algorithm.should_propagate(delta):
+                        negative_events.append(Event(v, delta, 0, u))
+                core.bind_graph(intermediate_csr)
+                queue = core.new_queue()
+                seed_work.events_generated += len(negative_events)
+                queue.insert_batch(EventBatch.from_events(negative_events), seed_work)
+            core.run_regular(queue, delete_phase)
 
         # Mutate; switch to the new structure.
         old_n = self.graph.num_vertices
@@ -431,19 +475,21 @@ class JetStreamEngine:
 
         # Phase 2: re-add surviving + new edges at the new degrees.
         compute_phase = metrics.phase("reevaluation")
-        work = compute_phase.new_round()
-        buf = _SeedBuffer()
-        for u, v, w in re_adds:
-            delta = algorithm.propagate(
-                float(core.states[u]), w, SourceContext.of(new_csr, u)
-            )
-            work.vertex_reads += 1
-            if algorithm.should_propagate(delta):
-                work.events_generated += 1
-                buf.add(v, delta, 0, u)
-        buf.flush(queue, work)
-        self._seed_new_vertices(queue, work, old_n, new_csr.num_vertices)
-        core.run_regular(queue, compute_phase)
+        with tracer.phase(compute_phase):
+            work = compute_phase.new_round()
+            with tracer.round(work, queue):
+                buf = _SeedBuffer()
+                for u, v, w in re_adds:
+                    delta = algorithm.propagate(
+                        float(core.states[u]), w, SourceContext.of(new_csr, u)
+                    )
+                    work.vertex_reads += 1
+                    if algorithm.should_propagate(delta):
+                        work.events_generated += 1
+                        buf.add(v, delta, 0, u)
+                buf.flush(queue, work)
+                self._seed_new_vertices(queue, work, old_n, new_csr.num_vertices)
+            core.run_regular(queue, compute_phase)
 
         return StreamingResult(
             states=core.states.copy(),

@@ -14,6 +14,7 @@ into a sink (all its out-edges dropped) to break cyclic re-propagation.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.graph.csr import CSRGraph
@@ -23,6 +24,50 @@ Edge = Tuple[int, int, float]
 
 class GraphMutationError(ValueError):
     """Raised for invalid mutations (missing edge delete, duplicate insert)."""
+
+
+def build_symmetric_graph(
+    edges: Iterable[Edge],
+    num_vertices: int = 0,
+    on_conflict: str = "warn",
+) -> "DynamicGraph":
+    """Build a symmetric :class:`DynamicGraph` from a directed edge list.
+
+    A symmetric graph mirrors every insertion, so an input that lists both
+    ``(u, v)`` and ``(v, u)`` would double-insert; such reverse (and exact)
+    duplicates collapse to one undirected edge, first occurrence wins. When
+    a discarded duplicate carries a *different* weight the collapse is
+    lossy — ``on_conflict`` selects the response: ``"warn"`` (default)
+    emits a :class:`UserWarning`, ``"raise"`` raises
+    :class:`GraphMutationError`, ``"silent"`` keeps the old quiet
+    behaviour.
+
+    ``num_vertices`` is a floor on the vertex count, for inputs whose
+    trailing vertices have no edges.
+    """
+    if on_conflict not in ("warn", "raise", "silent"):
+        raise ValueError(
+            f"on_conflict must be 'warn', 'raise', or 'silent', "
+            f"not {on_conflict!r}"
+        )
+    graph = DynamicGraph(num_vertices, symmetric=True)
+    kept: Dict[Tuple[int, int], float] = {}
+    for u, v, w in edges:
+        key = (u, v) if u <= v else (v, u)
+        w = float(w)
+        if key in kept:
+            if w != kept[key] and on_conflict != "silent":
+                msg = (
+                    f"duplicate edge {u}->{v} weight {w} conflicts with "
+                    f"already-kept weight {kept[key]}; first occurrence wins"
+                )
+                if on_conflict == "raise":
+                    raise GraphMutationError(msg)
+                warnings.warn(msg, stacklevel=2)
+            continue
+        kept[key] = w
+        graph.add_edge(u, v, w, _count_version=False)
+    return graph
 
 
 class DynamicGraph:

@@ -32,7 +32,8 @@ from repro.core.config import AcceleratorConfig
 from repro.core.policies import DeletePolicy
 from repro.core.streaming import JetStreamEngine, StreamingResult
 from repro.graph.csr import EDGE_ENTRY_BYTES, VERTEX_STATE_BYTES
-from repro.graph.dynamic import DynamicGraph
+from repro.graph.dynamic import DynamicGraph, build_symmetric_graph
+from repro.obs.tracer import NULL_TRACER
 from repro.streams import Edge, UpdateBatch
 
 EdgeTuple = Tuple[int, int, float]
@@ -66,8 +67,20 @@ class Session:
         self._last_result: Optional[StreamingResult] = None
         self.transfers = TransferStats()
         # Initial CSR upload: out + in structures plus vertex states.
-        self.transfers.graph_uploads += 2 * graph.num_edges * EDGE_ENTRY_BYTES
-        self.transfers.graph_uploads += graph.num_vertices * VERTEX_STATE_BYTES
+        upload = 2 * graph.num_edges * EDGE_ENTRY_BYTES
+        upload += graph.num_vertices * VERTEX_STATE_BYTES
+        self._record_transfer("graph_uploads", upload)
+
+    @property
+    def tracer(self):
+        """The accelerator's observability hook (NULL_TRACER when off)."""
+        return self._accelerator.tracer
+
+    def _record_transfer(self, direction: str, nbytes: int) -> None:
+        setattr(self.transfers, direction, getattr(self.transfers, direction) + nbytes)
+        tracer = self._accelerator.tracer
+        if tracer.enabled:
+            tracer.event("transfer", direction=direction, bytes=nbytes)
 
     # ------------------------------------------------------------------
     def configure(
@@ -87,7 +100,17 @@ class Session:
         array hooks and raises otherwise, and ``sharded`` runs
         ``num_engines`` parallel engines over graph slices (Table 1, §4.7)
         with results bit-identical to ``vectorized``.
+
+        Reconfiguring an already-run session starts a fresh query: the next
+        :meth:`run` is an initial evaluation on the current graph, and
+        :meth:`read_results` is refused until it happens. A staged
+        (un-run) batch blocks reconfiguration — run or it would be lost.
         """
+        if self._pending is not None:
+            raise HostApiError(
+                "cannot reconfigure with a staged update batch; run() it "
+                "first (the batch would otherwise be silently dropped)"
+            )
         algo = make_algorithm(algorithm, source=source, **algorithm_kwargs)
         if algo.needs_symmetric and not self._graph.symmetric:
             raise HostApiError(
@@ -101,7 +124,12 @@ class Session:
             policy=policy,
             engine=engine,
             num_engines=num_engines,
+            tracer=self._accelerator.tracer,
         )
+        # A new engine has no results: drop the previous query's state so
+        # run() performs the initial evaluation instead of demanding a
+        # batch for an engine that never ran initial_compute().
+        self._last_result = None
         return self
 
     def push_updates(
@@ -116,8 +144,9 @@ class Session:
             insertions=[Edge(u, v, w) for u, v, w in insertions],
             deletions=[Edge(u, v) for u, v in deletions],
         )
-        self.transfers.update_records += (
-            self._pending.size * self._accelerator.config.stream_record_bytes
+        self._record_transfer(
+            "update_records",
+            self._pending.size * self._accelerator.config.stream_record_bytes,
         )
         return self
 
@@ -133,9 +162,7 @@ class Session:
             batch, self._pending = self._pending, None
             self._last_result = self._engine.apply_batch(batch)
             # The host swaps a fresh CSR pointer after each batch (§4.7).
-            self.transfers.graph_uploads += (
-                2 * batch.size * EDGE_ENTRY_BYTES
-            )
+            self._record_transfer("graph_uploads", 2 * batch.size * EDGE_ENTRY_BYTES)
         return self._last_result
 
     def read_results(self) -> np.ndarray:
@@ -143,7 +170,7 @@ class Session:
         if self._last_result is None:
             raise HostApiError("nothing computed yet; run() first")
         states = self._engine.query_result()
-        self.transfers.results_read += states.shape[0] * VERTEX_STATE_BYTES
+        self._record_transfer("results_read", states.shape[0] * VERTEX_STATE_BYTES)
         return states
 
     def transfer_stats(self) -> TransferStats:
@@ -162,10 +189,16 @@ class Session:
 
 
 class Accelerator:
-    """The co-processor as the host driver sees it."""
+    """The co-processor as the host driver sees it.
 
-    def __init__(self, config: Optional[AcceleratorConfig] = None):
+    ``tracer`` (a :class:`repro.obs.Tracer`) threads the observability
+    layer through every session's engine and records host DMA transfers
+    as trace events; the default :data:`NULL_TRACER` keeps it all off.
+    """
+
+    def __init__(self, config: Optional[AcceleratorConfig] = None, tracer=None):
         self.config = config or AcceleratorConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.sessions: List[Session] = []
 
     def load_graph(
@@ -176,12 +209,7 @@ class Accelerator:
     ) -> Session:
         """Allocate and upload a graph, returning a fresh session."""
         if symmetric:
-            graph = DynamicGraph(num_vertices, symmetric=True)
-            seen = set()
-            for u, v, w in edges:
-                if (u, v) not in seen and (v, u) not in seen:
-                    seen.add((u, v))
-                    graph.add_edge(u, v, w, _count_version=False)
+            graph = build_symmetric_graph(edges, num_vertices)
         else:
             graph = DynamicGraph.from_edges(edges, num_vertices)
         session = Session(self, graph)

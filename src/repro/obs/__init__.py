@@ -1,0 +1,74 @@
+"""Run-trace observability: structured tracing, sinks, and correlation.
+
+Public surface:
+
+* :class:`Tracer` / :data:`NULL_TRACER` — span emission (run → phase →
+  round → engine) with the one-attribute-check-when-off contract;
+* :class:`MemorySink` / :class:`JsonlSink` / :class:`ProgressSink` —
+  pluggable destinations;
+* :func:`read_trace` / :func:`validate_trace` — the JSONL format;
+* :func:`correlate` / :func:`summarize` — join trace wall-clock against
+  :class:`~repro.sim.timing.AcceleratorTimingModel` cycles.
+"""
+
+from repro.obs.correlate import (
+    PhaseCorrelation,
+    correlate,
+    correlate_run,
+    rebuild_run_metrics,
+    render_correlation,
+    summarize,
+)
+from repro.obs.sinks import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    JsonlSink,
+    MemorySink,
+    ProgressSink,
+    Sink,
+)
+from repro.obs.trace_file import (
+    TraceData,
+    TraceFormatError,
+    read_trace,
+    validate_trace,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    SPAN_KINDS,
+    WORK_FIELDS,
+    NullTracer,
+    Span,
+    TraceEvent,
+    Tracer,
+    phase_attrs,
+    work_attrs,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "TraceEvent",
+    "SPAN_KINDS",
+    "WORK_FIELDS",
+    "work_attrs",
+    "phase_attrs",
+    "Sink",
+    "MemorySink",
+    "JsonlSink",
+    "ProgressSink",
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "TraceData",
+    "TraceFormatError",
+    "read_trace",
+    "validate_trace",
+    "PhaseCorrelation",
+    "correlate",
+    "correlate_run",
+    "rebuild_run_metrics",
+    "render_correlation",
+    "summarize",
+]

@@ -1,0 +1,169 @@
+"""Post-run correlation: trace wall-clock vs. modeled accelerator cycles.
+
+A trace's round spans carry the complete per-round work vectors, so a
+:class:`~repro.core.metrics.RunMetrics` can be rebuilt *offline* from the
+JSONL file alone and re-priced by
+:class:`~repro.sim.timing.AcceleratorTimingModel`. Joining the modeled
+cycles with the measured wall-clock of each phase span yields the
+modeled-cycles-per-wall-clock-second rate — the number that says how many
+accelerator cycles one second of this Python simulation stands for, per
+phase. ``repro trace summarize`` renders the result as a table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.config import AcceleratorConfig
+from repro.core.metrics import RunMetrics
+from repro.obs.trace_file import PathLike, TraceData, TraceFormatError, read_trace
+from repro.obs.tracer import WORK_FIELDS
+from repro.sim.timing import AcceleratorTimingModel
+
+#: Phase extras copied back onto the rebuilt PhaseStats.
+_PHASE_EXTRAS = (
+    "vertices_reset",
+    "deletes_discarded",
+    "request_events",
+    "noc_events_local",
+    "noc_events_remote",
+    "noc_flits",
+    "noc_cycles",
+)
+
+
+@dataclass
+class PhaseCorrelation:
+    """One phase's joined trace/model row."""
+
+    run_name: str
+    run_index: int
+    phase_index: int
+    name: str
+    rounds: int
+    events_processed: int
+    events_generated: int
+    wall_s: float
+    modeled_cycles: float
+    modeled_us: float
+
+    @property
+    def cycles_per_wall_s(self) -> float:
+        """Modeled accelerator cycles represented per wall-clock second."""
+        return self.modeled_cycles / self.wall_s if self.wall_s > 0 else 0.0
+
+
+def rebuild_run_metrics(trace: TraceData, run: Dict[str, object]) -> RunMetrics:
+    """Reconstruct a run's :class:`RunMetrics` from its trace spans.
+
+    Raises :class:`TraceFormatError` when a phase span's aggregate attrs
+    disagree with the sum of its round spans — the trace is internally
+    inconsistent and any derived numbers would be wrong.
+    """
+    metrics = RunMetrics()
+    for phase_record in trace.children_of(run["id"], "phase"):
+        attrs = phase_record["attrs"]
+        stats = metrics.phase(phase_record["name"])
+        for name in _PHASE_EXTRAS:
+            setattr(stats, name, attrs.get(name, 0))
+        rounds = trace.children_of(phase_record["id"], "round")
+        for round_record in rounds:
+            work = stats.new_round()
+            for name in WORK_FIELDS:
+                setattr(work, name, round_record["attrs"][name])
+        if stats.num_rounds != attrs.get("rounds"):
+            raise TraceFormatError(
+                f"phase {phase_record['name']!r} (span {phase_record['id']}) "
+                f"declares {attrs.get('rounds')} rounds but the trace holds "
+                f"{stats.num_rounds} round spans"
+            )
+        total = stats.total
+        for name in WORK_FIELDS:
+            if getattr(total, name) != attrs.get(name):
+                raise TraceFormatError(
+                    f"phase {phase_record['name']!r} (span "
+                    f"{phase_record['id']}): aggregate {name}="
+                    f"{attrs.get(name)} != sum of round spans "
+                    f"{getattr(total, name)}"
+                )
+    return metrics
+
+
+def correlate_run(
+    trace: TraceData,
+    run: Dict[str, object],
+    run_index: int = 0,
+    config: Optional[AcceleratorConfig] = None,
+) -> List[PhaseCorrelation]:
+    """Join one run's phase wall-clock with re-modeled cycle estimates."""
+    metrics = rebuild_run_metrics(trace, run)
+    model = AcceleratorTimingModel(config)
+    stream_records = int(run["attrs"].get("stream_records", 0))
+    report = model.run_time(metrics, stream_records=stream_records)
+    rows: List[PhaseCorrelation] = []
+    phases = trace.children_of(run["id"], "phase")
+    for phase_index, (record, timing) in enumerate(zip(phases, report.phases)):
+        attrs = record["attrs"]
+        rows.append(
+            PhaseCorrelation(
+                run_name=run["name"],
+                run_index=run_index,
+                phase_index=phase_index,
+                name=record["name"],
+                rounds=int(attrs["rounds"]),
+                events_processed=int(attrs["events_processed"]),
+                events_generated=int(attrs["events_generated"]),
+                wall_s=float(record["dur_s"]),
+                modeled_cycles=float(timing.total_cycles),
+                modeled_us=float(
+                    timing.total_cycles / (report.clock_ghz * 1e9) * 1e6
+                ),
+            )
+        )
+    return rows
+
+
+def correlate(
+    trace: TraceData, config: Optional[AcceleratorConfig] = None
+) -> List[PhaseCorrelation]:
+    """Correlation rows for every run span of a trace, in start order."""
+    rows: List[PhaseCorrelation] = []
+    for run_index, run in enumerate(trace.runs()):
+        rows.extend(correlate_run(trace, run, run_index, config))
+    return rows
+
+
+def render_correlation(rows: List[PhaseCorrelation]) -> str:
+    """The per-phase table (`repro trace summarize` output)."""
+    if not rows:
+        return "(empty trace: no run spans)"
+    header = (
+        f"{'run':>12} {'phase':>20} {'rounds':>7} {'events':>12} "
+        f"{'wall ms':>10} {'model cycles':>14} {'model us':>10} {'Mcyc/s':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        run_label = f"{row.run_index}:{row.run_name}"
+        lines.append(
+            f"{run_label:>12} {row.name:>20} {row.rounds:>7} "
+            f"{row.events_processed:>12,} {row.wall_s * 1e3:>10.2f} "
+            f"{row.modeled_cycles:>14,.0f} {row.modeled_us:>10.1f} "
+            f"{row.cycles_per_wall_s / 1e6:>10.2f}"
+        )
+    total_wall = sum(r.wall_s for r in rows)
+    total_cycles = sum(r.modeled_cycles for r in rows)
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'total':>12} {'':>20} {sum(r.rounds for r in rows):>7} "
+        f"{sum(r.events_processed for r in rows):>12,} "
+        f"{total_wall * 1e3:>10.2f} {total_cycles:>14,.0f} {'':>10} "
+        f"{(total_cycles / total_wall if total_wall > 0 else 0.0) / 1e6:>10.2f}"
+    )
+    return "\n".join(lines)
+
+
+def summarize(path: PathLike, config: Optional[AcceleratorConfig] = None) -> str:
+    """Read a saved JSONL trace and render the per-phase table."""
+    trace = read_trace(path)
+    return render_correlation(correlate(trace, config))

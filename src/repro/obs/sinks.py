@@ -1,0 +1,148 @@
+"""Trace sinks: where spans and events go.
+
+* :class:`MemorySink` — keeps finished spans/events in lists (tests, the
+  in-process correlator).
+* :class:`JsonlSink` — appends one JSON object per record to a file, with
+  a header line identifying the format (:mod:`repro.obs.trace_file`).
+* :class:`ProgressSink` — human-readable live progress on a text stream
+  (stderr by default): run/phase boundaries always, per-round ticks only
+  on a TTY (carriage-return updates, no scrollback spam).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO, List, Optional, Union
+
+from repro.obs.tracer import Span, TraceEvent
+
+#: Format marker written as the first line of every JSONL trace.
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+
+class Sink:
+    """Base sink: all callbacks optional."""
+
+    def on_span_start(self, span: Span) -> None:
+        pass
+
+    def on_span_end(self, span: Span) -> None:
+        pass
+
+    def on_event(self, event: TraceEvent) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink(Sink):
+    """Collects finished spans and events in memory (end order)."""
+
+    def __init__(self):
+        self.spans: List[Span] = []
+        self.events: List[TraceEvent] = []
+
+    def on_span_end(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def on_event(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def find(self, kind: str) -> List[Span]:
+        """Finished spans of one kind, in end order."""
+        return [s for s in self.spans if s.kind == kind]
+
+
+class JsonlSink(Sink):
+    """Writes one JSON record per line; spans are written when they end.
+
+    Children therefore precede their parents in the file — readers must
+    reassemble the tree from the ``parent`` pointers, which
+    :func:`repro.obs.trace_file.read_trace` does.
+    """
+
+    def __init__(self, path_or_handle: Union[str, IO[str]]):
+        if hasattr(path_or_handle, "write"):
+            self._handle = path_or_handle
+            self._owns = False
+        else:
+            self._handle = open(path_or_handle, "w", encoding="utf-8")
+            self._owns = True
+        self._write(
+            {"type": "header", "format": TRACE_FORMAT, "version": TRACE_VERSION}
+        )
+
+    def _write(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def on_span_end(self, span: Span) -> None:
+        self._write(span.to_record())
+
+    def on_event(self, event: TraceEvent) -> None:
+        self._write(event.to_record())
+
+    def close(self) -> None:
+        self._handle.flush()
+        if self._owns:
+            self._handle.close()
+
+
+class ProgressSink(Sink):
+    """Live human-readable progress (the ``--progress`` CLI flag)."""
+
+    def __init__(self, stream: Optional[IO[str]] = None):
+        self.stream = stream if stream is not None else sys.stderr
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._round_count = 0
+        self._dirty_line = False
+
+    def _println(self, text: str) -> None:
+        if self._dirty_line:
+            self.stream.write("\n")
+            self._dirty_line = False
+        self.stream.write(text + "\n")
+        self.stream.flush()
+
+    def on_span_start(self, span: Span) -> None:
+        if span.kind == "run":
+            self._println(f"[trace] run {span.name} started")
+        elif span.kind == "phase":
+            self._round_count = 0
+            self._println(f"[trace]  phase {span.name}")
+
+    def on_span_end(self, span: Span) -> None:
+        if span.kind == "round":
+            self._round_count += 1
+            if self._tty:
+                self.stream.write(
+                    f"\r[trace]   round {self._round_count}: "
+                    f"{span.attrs.get('events_processed', 0):,} events "
+                    f"({span.dur_s * 1e3:.2f} ms)   "
+                )
+                self.stream.flush()
+                self._dirty_line = True
+        elif span.kind == "phase":
+            self._println(
+                f"[trace]  phase {span.name} done: "
+                f"{span.attrs.get('rounds', 0)} rounds, "
+                f"{span.attrs.get('events_processed', 0):,} events, "
+                f"{span.dur_s * 1e3:.1f} ms"
+            )
+        elif span.kind == "run":
+            self._println(f"[trace] run {span.name} done in {span.dur_s:.3f} s")
+
+    def on_event(self, event: TraceEvent) -> None:
+        if event.name == "transfer":
+            self._println(
+                f"[trace] transfer {event.attrs.get('direction', '?')}: "
+                f"{event.attrs.get('bytes', 0):,} B"
+            )
+
+    def close(self) -> None:
+        if self._dirty_line:
+            self.stream.write("\n")
+            self._dirty_line = False
+        self.stream.flush()

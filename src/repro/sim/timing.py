@@ -77,12 +77,20 @@ class TimingReport:
         return self.total_cycles / (self.clock_ghz * 1e9) * 1e6
 
     def summary(self) -> Dict[str, float]:
-        """Flat diagnostic dictionary."""
-        return {
+        """Flat diagnostic dictionary.
+
+        Phase keys carry the phase's position (``phase_2_reevaluation``) so
+        runs whose schedule visits the same phase name twice — e.g. the
+        two-phase accumulative flow's repeated ``reevaluation`` — keep one
+        entry per phase instead of silently collapsing onto one key.
+        """
+        out: Dict[str, float] = {
             "total_cycles": self.total_cycles,
             "time_ms": self.time_ms,
-            **{f"phase_{p.name}": p.total_cycles for p in self.phases},
         }
+        for index, p in enumerate(self.phases):
+            out[f"phase_{index}_{p.name}"] = p.total_cycles
+        return out
 
 
 class AcceleratorTimingModel:
@@ -158,11 +166,15 @@ class AcceleratorTimingModel:
 
     # ------------------------------------------------------------------
     def _stream_reader_cycles(self, records: int) -> float:
-        """Stream Reader fetch of the update batch from main memory."""
+        """Stream Reader fetch of the update batch from main memory.
+
+        Whole cycles: a transfer occupying a fraction of a DRAM burst slot
+        still consumes the full cycle.
+        """
         if records <= 0:
             return 0.0
         bytes_needed = records * self.config.stream_record_bytes
-        return bytes_needed / self.config.dram_bytes_per_cycle()
+        return float(math.ceil(bytes_needed / self.config.dram_bytes_per_cycle()))
 
     # ------------------------------------------------------------------
     def energy_mj(self, metrics: RunMetrics, power_w: float) -> float:

@@ -137,6 +137,104 @@ class TestStreamCommand:
         assert code == 0
 
 
+class TestTraceFlags:
+    def test_stream_writes_valid_trace(self, edge_file, tmp_path, capsys):
+        from repro.obs import read_trace, validate_trace
+
+        trace_path = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "stream",
+                "--edges",
+                edge_file,
+                "--batches",
+                "2",
+                "--batch-size",
+                "8",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        assert code == 0
+        assert validate_trace(trace_path) == []
+        trace = read_trace(trace_path)
+        # initial + 2 batches.
+        assert len(trace.runs()) == 3
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert "Mcyc/s" in out  # correlation table printed
+
+    def test_query_trace_and_progress(self, edge_file, tmp_path, capsys):
+        from repro.obs import validate_trace
+
+        trace_path = tmp_path / "q.jsonl"
+        code = main(
+            [
+                "query",
+                "--edges",
+                edge_file,
+                "--trace",
+                str(trace_path),
+                "--progress",
+            ]
+        )
+        assert code == 0
+        assert validate_trace(trace_path) == []
+        err = capsys.readouterr().err
+        assert "[trace] run initial started" in err
+
+    def test_untraced_run_unchanged(self, edge_file, capsys):
+        assert main(["query", "--edges", edge_file]) == 0
+        out = capsys.readouterr().out
+        assert "trace written" not in out
+
+
+class TestTraceCommand:
+    def make_trace(self, edge_file, tmp_path):
+        path = tmp_path / "t.jsonl"
+        assert (
+            main(
+                [
+                    "stream",
+                    "--edges",
+                    edge_file,
+                    "--batches",
+                    "1",
+                    "--batch-size",
+                    "6",
+                    "--trace",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        return path
+
+    def test_summarize_round_trips(self, edge_file, tmp_path, capsys):
+        path = self.make_trace(edge_file, tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Mcyc/s" in out
+        assert "initial" in out and "reevaluation" in out
+
+    def test_validate_accepts_good_trace(self, edge_file, tmp_path, capsys):
+        path = self.make_trace(edge_file, tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "validate", str(path)]) == 0
+        assert "valid trace" in capsys.readouterr().out
+
+    def test_validate_rejects_bad_trace(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{}\n")
+        assert main(["trace", "validate", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_trace_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+
 class TestDatasetsCommand:
     def test_lists_all(self, capsys):
         assert main(["datasets"]) == 0

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.graph.dynamic import DynamicGraph, GraphMutationError, GraphVersionStore
+from repro.graph.dynamic import (
+    DynamicGraph,
+    GraphMutationError,
+    GraphVersionStore,
+    build_symmetric_graph,
+)
 
 
 class TestMutation:
@@ -149,3 +154,61 @@ class TestVersionStore:
         graph = DynamicGraph.from_edges([(0, 1, 1.0)], 2)
         store = GraphVersionStore(graph)
         assert store.versions() == [graph.version]
+
+
+class TestBuildSymmetricGraph:
+    """The shared symmetric-build helper (host, CLI, benchmarks)."""
+
+    def test_reverse_duplicates_collapse(self):
+        graph = build_symmetric_graph([(0, 1, 2.0), (1, 0, 2.0), (1, 2, 3.0)])
+        assert graph.symmetric
+        # One undirected edge per pair, mirrored into both directions.
+        assert graph.num_edges == 4
+        assert graph.edge_weight(0, 1) == 2.0
+        assert graph.edge_weight(1, 0) == 2.0
+
+    def test_num_vertices_floor_applied(self):
+        graph = build_symmetric_graph([(0, 1, 1.0)], num_vertices=10)
+        assert graph.num_vertices == 10
+
+    def test_grows_past_floor(self):
+        graph = build_symmetric_graph([(0, 7, 1.0)], num_vertices=3)
+        assert graph.num_vertices == 8
+
+    def test_conflicting_weight_warns_and_keeps_first(self):
+        with pytest.warns(UserWarning, match="conflicts"):
+            graph = build_symmetric_graph([(0, 1, 2.0), (1, 0, 9.0)])
+        assert graph.edge_weight(0, 1) == 2.0
+        assert graph.edge_weight(1, 0) == 2.0
+
+    def test_conflicting_weight_raise_mode(self):
+        with pytest.raises(GraphMutationError, match="conflicts"):
+            build_symmetric_graph(
+                [(0, 1, 2.0), (1, 0, 9.0)], on_conflict="raise"
+            )
+
+    def test_conflicting_weight_silent_mode(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            graph = build_symmetric_graph(
+                [(0, 1, 2.0), (1, 0, 9.0)], on_conflict="silent"
+            )
+        assert graph.edge_weight(0, 1) == 2.0
+
+    def test_matching_duplicate_is_quiet(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            graph = build_symmetric_graph([(0, 1, 2.0), (1, 0, 2.0)])
+        assert graph.num_edges == 2
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            build_symmetric_graph([], on_conflict="explode")
+
+    def test_self_loop_kept_once(self):
+        graph = build_symmetric_graph([(2, 2, 1.0), (2, 2, 1.0)])
+        assert graph.num_edges == 1

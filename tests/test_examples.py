@@ -42,6 +42,13 @@ class TestCircuitLinearSolver:
         assert "DMA" in out
 
 
+class TestTracedStreamRun:
+    def test_runs_and_reconstructs_metrics(self):
+        out = run_example("traced_stream_run.py")
+        assert "matches in-process metrics" in out
+        assert "Mcyc/s" in out
+
+
 class TestAllExamplesExist:
     @pytest.mark.parametrize(
         "name",
@@ -52,6 +59,7 @@ class TestAllExamplesExist:
             "streaming_pagerank_dashboard.py",
             "accelerator_sizing.py",
             "circuit_linear_solver.py",
+            "traced_stream_run.py",
         ],
     )
     def test_present_and_has_main(self, name):

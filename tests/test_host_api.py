@@ -73,6 +73,48 @@ class TestSessionLifecycle:
         accel.load_graph(EDGES)
         assert len(accel.sessions) == 2
 
+    def test_reconfigure_after_run_starts_fresh_query(self):
+        """Regression: configure() after a completed run used to leave
+        _last_result stale, so the next run() demanded a staged batch for
+        an engine that never ran initial_compute()."""
+        session = Accelerator().load_graph(EDGES)
+        session.configure("sssp", source=0)
+        session.run()
+        session.configure("bfs", source=0)
+        result = session.run()  # must be an initial evaluation, not a batch
+        expected = reference.bfs(session.graph.snapshot(), 0)
+        assert np.array_equal(result.states, expected)
+
+    def test_reconfigure_resets_read_results(self):
+        session = Accelerator().load_graph(EDGES)
+        session.configure("sssp", source=0)
+        session.run()
+        session.read_results()
+        session.configure("bfs", source=0)
+        with pytest.raises(HostApiError):
+            session.read_results()  # new query has not run yet
+        session.run()
+        states = session.read_results()
+        assert np.array_equal(states, reference.bfs(session.graph.snapshot(), 0))
+
+    def test_reconfigure_with_staged_batch_rejected(self):
+        session = Accelerator().load_graph(EDGES)
+        session.configure("sssp", source=0)
+        session.run()
+        session.push_updates(insertions=[(3, 0, 1.0)])
+        with pytest.raises(HostApiError, match="staged"):
+            session.configure("bfs", source=0)
+
+    def test_empty_batch_is_legal(self):
+        """An empty push_updates() batch runs and changes nothing."""
+        session = Accelerator().load_graph(EDGES)
+        session.configure("sssp", source=0)
+        before = session.run().states.copy()
+        session.push_updates()
+        result = session.run()
+        assert np.array_equal(result.states, before)
+        assert session.graph.version == 1
+
 
 class TestTransferAccounting:
     def test_upload_counted(self):
@@ -95,6 +137,36 @@ class TestTransferAccounting:
         assert stats.total == (
             stats.graph_uploads + stats.update_records + stats.results_read
         )
+
+    def test_empty_batch_transfers_nothing(self):
+        session = Accelerator().load_graph(EDGES)
+        session.configure("sssp")
+        session.run()
+        session.push_updates()
+        session.run()
+        assert session.transfer_stats().update_records == 0
+
+    def test_deletion_only_batch_counted(self):
+        """Deletion records cross the bus like insertions do."""
+        config = AcceleratorConfig()
+        session = Accelerator(config).load_graph(EDGES)
+        session.configure("sssp")
+        session.run()
+        session.push_updates(deletions=[(0, 1), (2, 3)])
+        session.run()
+        stats = session.transfer_stats()
+        assert stats.update_records == 2 * config.stream_record_bytes
+
+    def test_transfer_stats_accumulate_across_reconfigure(self):
+        session = Accelerator().load_graph(EDGES)
+        session.configure("sssp")
+        session.run()
+        session.read_results()
+        read_before = session.transfer_stats().results_read
+        session.configure("bfs")
+        session.run()
+        session.read_results()
+        assert session.transfer_stats().results_read == 2 * read_before
 
 
 class TestCrossbarModel:

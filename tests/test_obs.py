@@ -1,0 +1,461 @@
+"""Tests for the run-trace observability layer (repro.obs).
+
+The central contract: a trace's round spans carry the complete per-round
+work vectors, so the recorded :class:`RunMetrics` can be rebuilt from the
+trace alone and must match the in-process metrics *exactly* — on every
+engine substrate (scalar, vectorized, sharded).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.core.engine import GraphPulseEngine
+from repro.core.metrics import RunMetrics
+from repro.core.streaming import JetStreamEngine
+from repro.host import Accelerator
+from repro.obs import (
+    WORK_FIELDS,
+    JsonlSink,
+    MemorySink,
+    ProgressSink,
+    TraceData,
+    TraceFormatError,
+    Tracer,
+    correlate,
+    read_trace,
+    render_correlation,
+    summarize,
+    validate_trace,
+    work_attrs,
+)
+from repro.obs.tracer import NULL_TRACER
+from repro.streams import StreamGenerator
+
+from conftest import make_graph_for
+
+
+def make_traced_engine(engine_mode: str, algorithm_name: str = "sssp", **kwargs):
+    memory = MemorySink()
+    tracer = Tracer([memory])
+    algorithm = make_algorithm(algorithm_name, source=0)
+    graph = make_graph_for(algorithm, n=40, m=160, seed=5)
+    engine = JetStreamEngine(
+        graph, algorithm, engine=engine_mode, tracer=tracer, **kwargs
+    )
+    return engine, tracer, memory
+
+
+def run_traced_stream(engine, seed: int = 6, batches: int = 2, size: int = 10):
+    stream = StreamGenerator(engine.graph, seed=seed)
+    results = [engine.initial_compute()]
+    for _ in range(batches):
+        results.append(engine.apply_batch(stream.next_batch(size)))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Tracer unit behaviour
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_nesting_assigns_parents(self):
+        memory = MemorySink()
+        tracer = Tracer([memory])
+        run = tracer.start("run", "r")
+        phase = tracer.start("phase", "p")
+        rnd = tracer.start("round")
+        tracer.end(rnd, events_processed=3)
+        tracer.end(phase)
+        tracer.end(run)
+        spans = {s.span_id: s for s in memory.spans}
+        assert spans[rnd.span_id].parent_id == phase.span_id
+        assert spans[phase.span_id].parent_id == run.span_id
+        assert spans[run.span_id].parent_id is None
+        assert spans[rnd.span_id].attrs["events_processed"] == 3
+
+    def test_spans_emitted_in_end_order(self):
+        memory = MemorySink()
+        tracer = Tracer([memory])
+        with tracer.span("run", "r"):
+            with tracer.span("phase", "p"):
+                pass
+        assert [s.kind for s in memory.spans] == ["phase", "run"]
+        assert all(s.t_end >= s.t_start for s in memory.spans)
+
+    def test_end_closes_forgotten_children(self):
+        memory = MemorySink()
+        tracer = Tracer([memory])
+        run = tracer.start("run", "r")
+        tracer.start("phase", "orphan")
+        tracer.end(run)
+        assert {s.name for s in memory.spans} == {"r", "orphan"}
+        assert tracer.current() is None
+
+    def test_emit_bypasses_stack(self):
+        memory = MemorySink()
+        tracer = Tracer([memory])
+        rnd = tracer.start("round")
+        tracer.emit("engine", "engine-0", 1.0, 2.0, parent=rnd, engine=0)
+        assert tracer.current() is rnd
+        engine_span = memory.find("engine")[0]
+        assert engine_span.parent_id == rnd.span_id
+        assert engine_span.dur_s == pytest.approx(1.0)
+        tracer.end(rnd)
+
+    def test_event_attaches_to_current_span(self):
+        memory = MemorySink()
+        tracer = Tracer([memory])
+        with tracer.span("run", "r") as run:
+            tracer.event("transfer", direction="results_read", bytes=64)
+        assert memory.events[0].parent_id == run.span_id
+        assert memory.events[0].attrs["bytes"] == 64
+
+    def test_close_flushes_open_spans(self):
+        memory = MemorySink()
+        tracer = Tracer([memory])
+        tracer.start("run", "r")
+        tracer.start("phase", "p")
+        tracer.close()
+        assert len(memory.spans) == 2
+
+    def test_null_tracer_is_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.start("round") is None
+        with NULL_TRACER.span("run", "x") as s:
+            assert s is None
+        with NULL_TRACER.round(None) as r:
+            assert r is None
+        NULL_TRACER.event("transfer")
+        NULL_TRACER.close()
+
+    def test_engines_default_to_null_tracer(self):
+        algorithm = make_algorithm("sssp", source=0)
+        graph = make_graph_for(algorithm)
+        engine = JetStreamEngine(graph, algorithm)
+        assert engine.tracer is NULL_TRACER
+        assert engine.core.tracer.enabled is False
+
+
+# ----------------------------------------------------------------------
+# Trace <-> RunMetrics exact-match parity, per substrate
+# ----------------------------------------------------------------------
+SUBSTRATES = [
+    ("scalar", {}),
+    ("vectorized", {}),
+    ("sharded", {"num_engines": 4}),
+]
+
+
+def assert_trace_matches_metrics(trace: TraceData, results) -> None:
+    """Every run span's rounds/phases must equal the recorded metrics."""
+    runs = trace.runs()
+    assert len(runs) == len(results)
+    for run, result in zip(runs, results):
+        phases = trace.children_of(run["id"], "phase")
+        assert [p["name"] for p in phases] == [
+            p.name for p in result.metrics.phases
+        ]
+        for record, stats in zip(phases, result.metrics.phases):
+            attrs = record["attrs"]
+            assert attrs["rounds"] == stats.num_rounds
+            for name in WORK_FIELDS:
+                assert attrs[name] == getattr(stats.total, name), (
+                    record["name"],
+                    name,
+                )
+            rounds = trace.children_of(record["id"], "round")
+            assert len(rounds) == stats.num_rounds
+            for round_record, work in zip(rounds, stats.rounds):
+                for name, value in work_attrs(work).items():
+                    assert round_record["attrs"][name] == value
+        from repro.obs import rebuild_run_metrics
+
+        rebuilt = rebuild_run_metrics(trace, run)
+        assert rebuilt.to_rows() == result.metrics.to_rows()
+
+
+class TestTraceMetricsParity:
+    @pytest.mark.parametrize("engine_mode,kwargs", SUBSTRATES)
+    def test_selective_stream(self, engine_mode, kwargs):
+        engine, tracer, memory = make_traced_engine(engine_mode, "sssp", **kwargs)
+        results = run_traced_stream(engine)
+        tracer.close()
+        trace = TraceData.from_spans(memory.spans, memory.events)
+        assert_trace_matches_metrics(trace, results)
+
+    @pytest.mark.parametrize("engine_mode,kwargs", SUBSTRATES)
+    def test_accumulative_stream(self, engine_mode, kwargs):
+        engine, tracer, memory = make_traced_engine(
+            engine_mode, "pagerank", **kwargs
+        )
+        results = run_traced_stream(engine)
+        tracer.close()
+        trace = TraceData.from_spans(memory.spans, memory.events)
+        assert_trace_matches_metrics(trace, results)
+
+    def test_two_phase_accumulative_stream(self):
+        engine, tracer, memory = make_traced_engine(
+            "vectorized", "pagerank", two_phase_accumulative=True
+        )
+        results = run_traced_stream(engine)
+        tracer.close()
+        trace = TraceData.from_spans(memory.spans, memory.events)
+        assert_trace_matches_metrics(trace, results)
+
+    def test_static_compute_traced(self):
+        memory = MemorySink()
+        tracer = Tracer([memory])
+        algorithm = make_algorithm("sssp", source=0)
+        graph = make_graph_for(algorithm)
+        result = GraphPulseEngine(algorithm, tracer=tracer).compute(graph.snapshot())
+        tracer.close()
+        trace = TraceData.from_spans(memory.spans)
+        assert_trace_matches_metrics(trace, [result])
+
+    def test_sharded_rounds_carry_engine_spans_and_noc(self):
+        engine, tracer, memory = make_traced_engine("sharded", "sssp", num_engines=4)
+        run_traced_stream(engine)
+        tracer.close()
+        trace = TraceData.from_spans(memory.spans)
+        engine_spans = [s for s in trace.spans if s["kind"] == "engine"]
+        assert engine_spans, "sharded rounds must emit per-engine spans"
+        round_ids = {s["id"] for s in trace.spans if s["kind"] == "round"}
+        for span in engine_spans:
+            assert span["parent"] in round_ids
+            for name in WORK_FIELDS:
+                assert name in span["attrs"]
+        # Engine-loop round spans carry NoC deltas and occupancy samples.
+        sampled = [
+            s
+            for s in trace.spans
+            if s["kind"] == "round" and "noc_flits" in s["attrs"]
+        ]
+        assert sampled
+        assert all("occupancy_start" in s["attrs"] for s in sampled)
+
+
+# ----------------------------------------------------------------------
+# JSONL round trip + validation
+# ----------------------------------------------------------------------
+class TestJsonlTrace:
+    def trace_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        memory = MemorySink()
+        tracer = Tracer([JsonlSink(str(path)), memory])
+        algorithm = make_algorithm("sssp", source=0)
+        graph = make_graph_for(algorithm, n=40, m=160, seed=5)
+        engine = JetStreamEngine(graph, algorithm, tracer=tracer)
+        results = run_traced_stream(engine)
+        tracer.close()
+        return path, memory, results
+
+    def test_round_trip(self, tmp_path):
+        path, memory, results = self.trace_file(tmp_path)
+        assert validate_trace(path) == []
+        trace = read_trace(path)
+        assert trace.header["format"] == "repro-trace"
+        assert trace.header["version"] == 1
+        assert len(trace.spans) == len(memory.spans)
+        assert len(trace.events) == len(memory.events)
+        assert_trace_matches_metrics(trace, results)
+
+    def test_children_written_before_parents(self, tmp_path):
+        path, _, _ = self.trace_file(tmp_path)
+        # Spans are written at end time, so every child record precedes its
+        # parent's record in the file.
+        trace = read_trace(path)
+        order = [s["id"] for s in trace.spans]
+        for run in trace.runs():
+            for child in trace.children_of(run["id"]):
+                assert order.index(child["id"]) < order.index(run["id"])
+
+    def test_validate_rejects_missing_header(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type":"span","kind":"run"}\n')
+        errors = validate_trace(path)
+        assert any("header" in e for e in errors)
+
+    def test_validate_rejects_bad_version(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type":"header","format":"repro-trace","version":99}\n')
+        assert any("version" in e for e in validate_trace(path))
+
+    def test_validate_rejects_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"type":"header","format":"repro-trace","version":1}\n'
+            '{"type":"span","kind":"galaxy","name":"x","id":1,"parent":null,'
+            '"t_start":0.0,"t_end":1.0,"dur_s":1.0,"attrs":{}}\n'
+        )
+        assert any("kind" in e for e in validate_trace(path))
+
+    def test_validate_requires_round_work_vector(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"type":"header","format":"repro-trace","version":1}\n'
+            '{"type":"span","kind":"round","name":"round","id":1,"parent":null,'
+            '"t_start":0.0,"t_end":1.0,"dur_s":1.0,"attrs":{}}\n'
+        )
+        errors = validate_trace(path)
+        assert any("events_processed" in e for e in errors)
+
+    def test_validate_rejects_dangling_parent(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"type":"header","format":"repro-trace","version":1}\n'
+            '{"type":"span","kind":"run","name":"r","id":1,"parent":77,'
+            '"t_start":0.0,"t_end":1.0,"dur_s":1.0,"attrs":{}}\n'
+        )
+        assert any("parent span 77" in e for e in validate_trace(path))
+
+    def test_validate_rejects_garbage_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"type":"header","format":"repro-trace","version":1}\n{oops\n'
+        )
+        assert any("not valid JSON" in e for e in validate_trace(path))
+
+    def test_read_trace_raises_on_invalid(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{}\n")
+        with pytest.raises(TraceFormatError):
+            read_trace(path)
+
+
+# ----------------------------------------------------------------------
+# Correlation (trace wall-clock vs modeled cycles)
+# ----------------------------------------------------------------------
+class TestCorrelation:
+    def traced_run(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        tracer = Tracer([JsonlSink(str(path))])
+        algorithm = make_algorithm("sssp", source=0)
+        graph = make_graph_for(algorithm, n=40, m=160, seed=5)
+        engine = JetStreamEngine(graph, algorithm, tracer=tracer)
+        results = run_traced_stream(engine)
+        tracer.close()
+        return path, results
+
+    def test_rows_join_model_and_wall_clock(self, tmp_path):
+        path, results = self.traced_run(tmp_path)
+        rows = correlate(read_trace(path))
+        # initial run has 1 phase; each selective batch has 2.
+        assert len(rows) == 1 + 2 * (len(results) - 1)
+        for row in rows:
+            assert row.wall_s >= 0.0
+            assert row.modeled_cycles > 0.0
+            assert row.cycles_per_wall_s >= 0.0
+        names = {row.name for row in rows}
+        assert "initial" in names and "reevaluation" in names
+
+    def test_modeled_cycles_match_in_process_model(self, tmp_path):
+        from repro.sim.timing import AcceleratorTimingModel
+
+        path, results = self.traced_run(tmp_path)
+        rows = correlate(read_trace(path))
+        model = AcceleratorTimingModel()
+        # initial run: no stream records; batches: generator batches of 10.
+        expected_reports = [model.run_time(results[0].metrics, stream_records=0)]
+        for result in results[1:]:
+            expected_reports.append(
+                model.run_time(result.metrics, stream_records=10)
+            )
+        got = [row.modeled_cycles for row in rows]
+        want = [
+            phase.total_cycles
+            for report in expected_reports
+            for phase in report.phases
+        ]
+        assert got == pytest.approx(want)
+
+    def test_render_and_summarize(self, tmp_path):
+        path, _ = self.traced_run(tmp_path)
+        table = render_correlation(correlate(read_trace(path)))
+        assert "Mcyc/s" in table and "total" in table
+        assert summarize(path) == table
+
+    def test_rebuild_detects_tampered_aggregate(self, tmp_path):
+        path, _ = self.traced_run(tmp_path)
+        lines = path.read_text().splitlines()
+        for i, line in enumerate(lines):
+            record = json.loads(line)
+            if record.get("kind") == "phase":
+                record["attrs"]["events_processed"] += 1
+                lines[i] = json.dumps(record)
+                break
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceFormatError):
+            correlate(read_trace(path))
+
+    def test_empty_trace_renders_placeholder(self):
+        assert "empty trace" in render_correlation([])
+
+
+# ----------------------------------------------------------------------
+# Host transfer events + progress sink
+# ----------------------------------------------------------------------
+class TestHostTracing:
+    def test_transfer_events_match_transfer_stats(self):
+        memory = MemorySink()
+        tracer = Tracer([memory])
+        accel = Accelerator(tracer=tracer)
+        session = accel.load_graph(
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)], num_vertices=4
+        )
+        session.configure("sssp", source=0)
+        session.run()
+        session.push_updates(insertions=[(0, 3, 2.0)])
+        session.run()
+        session.read_results()
+        tracer.close()
+        transfers = [e for e in memory.events if e.name == "transfer"]
+        assert transfers
+        total = sum(e.attrs["bytes"] for e in transfers)
+        assert total == session.transfer_stats().total
+        directions = {e.attrs["direction"] for e in transfers}
+        assert directions == {"graph_uploads", "update_records", "results_read"}
+
+    def test_progress_sink_output(self):
+        stream = io.StringIO()
+        tracer = Tracer([ProgressSink(stream)])
+        algorithm = make_algorithm("sssp", source=0)
+        graph = make_graph_for(algorithm, n=20, m=60, seed=2)
+        engine = JetStreamEngine(graph, algorithm, tracer=tracer)
+        engine.initial_compute()
+        tracer.close()
+        out = stream.getvalue()
+        assert "run initial started" in out
+        assert "phase initial done" in out
+
+
+# ----------------------------------------------------------------------
+# Overhead contract
+# ----------------------------------------------------------------------
+class TestOverheadContract:
+    def test_disabled_tracer_emits_nothing(self):
+        algorithm = make_algorithm("sssp", source=0)
+        graph = make_graph_for(algorithm)
+        engine = JetStreamEngine(graph, algorithm)  # NULL_TRACER default
+        run_traced_stream(engine)
+        assert engine.tracer is NULL_TRACER
+
+    def test_traced_and_untraced_metrics_identical(self):
+        """Instrumentation must not perturb the computation or counters."""
+        algorithm = make_algorithm("sssp", source=0)
+        graph_a = make_graph_for(algorithm, seed=9)
+        graph_b = make_graph_for(algorithm, seed=9)
+        plain = JetStreamEngine(graph_a, make_algorithm("sssp", source=0))
+        traced = JetStreamEngine(
+            graph_b,
+            make_algorithm("sssp", source=0),
+            tracer=Tracer([MemorySink()]),
+        )
+        plain_results = run_traced_stream(plain)
+        traced_results = run_traced_stream(traced)
+        for a, b in zip(plain_results, traced_results):
+            assert a.states.tobytes() == b.states.tobytes()
+            assert a.metrics.to_rows() == b.metrics.to_rows()

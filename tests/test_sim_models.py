@@ -113,6 +113,43 @@ class TestTimingModel:
         summary = report.summary()
         assert "total_cycles" in summary and "time_ms" in summary
 
+    def test_summary_keeps_duplicate_phase_names(self):
+        """Regression: repeated phase names (multi-batch streaming runs)
+        used to collapse onto one key, dropping all but the last phase."""
+        metrics = RunMetrics()
+        for _ in range(3):
+            phase = metrics.phase("reevaluation")
+            phase.new_round().events_processed = 10
+        report = AcceleratorTimingModel().run_time(metrics)
+        summary = report.summary()
+        phase_keys = [k for k in summary if k.startswith("phase_")]
+        assert len(phase_keys) == 3
+        assert phase_keys == [
+            "phase_0_reevaluation",
+            "phase_1_reevaluation",
+            "phase_2_reevaluation",
+        ]
+        assert sum(summary[k] for k in phase_keys) == pytest.approx(
+            summary["total_cycles"]
+        )
+
+    def test_stream_reader_cycles_are_integral(self):
+        """Fractional DRAM-burst occupancy still costs whole cycles."""
+        model = AcceleratorTimingModel()
+        for records in (1, 3, 7, 100, 12_345):
+            cycles = model._stream_reader_cycles(records)
+            assert cycles == int(cycles), records
+            assert cycles >= 1
+        assert model._stream_reader_cycles(0) == 0.0
+
+    def test_setup_cycles_stay_integral_with_stream_reader(self):
+        """Regression: a small batch used to add a fractional stream-reader
+        cost (e.g. 0.09 cycles), leaking sub-cycle precision into setup."""
+        model = AcceleratorTimingModel()
+        report = model.run_time(make_metrics(), stream_records=3)
+        for phase in report.phases:
+            assert phase.setup_cycles == int(phase.setup_cycles), phase.name
+
 
 class TestPowerAreaModel:
     def test_table4_structure(self):
