@@ -17,7 +17,15 @@ Commands
 ``trace``
     Inspect a saved JSONL run trace (``--trace`` output): ``summarize``
     renders the wall-clock vs. modeled-cycles correlation table,
-    ``validate`` checks the file against the documented schema.
+    ``validate`` checks the file against the documented schema,
+    ``export`` converts it to a Chrome/Perfetto trace-event file.
+``metrics``
+    Work with metrics snapshots (``--metrics`` output): ``dump`` prints a
+    saved JSON snapshot as Prometheus text or JSON.
+``bench``
+    Performance trajectory tooling: ``check`` re-runs the benchmark
+    suites and gates them against the committed ``BENCH_*.json``
+    baselines.
 """
 
 from __future__ import annotations
@@ -37,15 +45,20 @@ from repro.core.streaming import JetStreamEngine
 from repro.graph import datasets, io
 from repro.graph.dynamic import DynamicGraph, build_symmetric_graph
 from repro.obs import (
+    REGISTRY,
     JsonlSink,
     MemorySink,
+    MetricsServer,
     ProgressSink,
     TraceData,
     Tracer,
     correlate,
+    read_trace,
     render_correlation,
+    render_prometheus,
     summarize,
     validate_trace,
+    write_chrome_trace,
 )
 from repro.sim.timing import AcceleratorTimingModel
 from repro.streams import StreamGenerator
@@ -103,6 +116,77 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="check a trace file against the documented schema"
     )
     trace_val.add_argument("path", help="JSONL trace written by --trace")
+    trace_exp = trace_sub.add_parser(
+        "export",
+        help="convert a trace for external viewers (chrome://tracing, Perfetto)",
+    )
+    trace_exp.add_argument("path", help="JSONL trace written by --trace")
+    trace_exp.add_argument(
+        "--format",
+        choices=["chrome"],
+        default="chrome",
+        help="output format (chrome = Trace Event JSON for Perfetto)",
+    )
+    trace_exp.add_argument(
+        "-o",
+        "--output",
+        help="output path (default: trace path with .chrome.json suffix)",
+    )
+
+    metrics = sub.add_parser("metrics", help="work with metrics snapshots")
+    metrics_sub = metrics.add_subparsers(dest="action", required=True)
+    metrics_dump = metrics_sub.add_parser(
+        "dump", help="print a saved JSON snapshot (--metrics output)"
+    )
+    metrics_dump.add_argument("path", help="JSON snapshot written by --metrics")
+    metrics_dump.add_argument(
+        "--format",
+        choices=["prometheus", "json"],
+        default="prometheus",
+        help="rendering: Prometheus text exposition (default) or JSON",
+    )
+
+    bench = sub.add_parser("bench", help="performance trajectory tooling")
+    bench_sub = bench.add_subparsers(dest="action", required=True)
+    bench_check = bench_sub.add_parser(
+        "check",
+        help="re-run the benchmark suites and gate against BENCH_*.json",
+    )
+    bench_check.add_argument(
+        "--quick",
+        action="store_true",
+        help="quick grids against benchmarks/baselines/*.quick.json",
+    )
+    bench_check.add_argument(
+        "--suite",
+        choices=["engine", "trace", "all"],
+        default="all",
+        help="which benchmark suite(s) to run",
+    )
+    bench_check.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed relative events/s drop before a row regresses "
+        "(default 0.30; event-count drift always fails)",
+    )
+    bench_check.add_argument(
+        "--baseline-engine", help="override the engine-suite baseline path"
+    )
+    bench_check.add_argument(
+        "--baseline-trace", help="override the trace-suite baseline path"
+    )
+    bench_check.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="write this run's reports as the new baselines and exit",
+    )
+    bench_check.add_argument(
+        "--no-fail",
+        action="store_true",
+        help="informational mode: print the table but always exit 0 "
+        "(CI on shared runners)",
+    )
     return parser
 
 
@@ -143,6 +227,19 @@ def _add_trace_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="live phase/round progress on stderr",
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write a JSON metrics snapshot after the run "
+        "(see `repro metrics dump`)",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="N",
+        help="serve live Prometheus metrics on http://127.0.0.1:N/metrics "
+        "while the run executes (0 picks a free port)",
+    )
 
 
 def _make_tracer(args):
@@ -176,6 +273,34 @@ def _finish_trace(tracer, memory, args) -> None:
         print(render_correlation(correlate(trace)))
 
 
+def _start_metrics(args):
+    """Enable the registry / scrape server for --metrics/--metrics-port.
+
+    Returns ``(active, server)``; pass both to :func:`_finish_metrics`
+    in a ``finally`` block.
+    """
+    active = bool(args.metrics) or args.metrics_port is not None
+    server = None
+    if active:
+        REGISTRY.enable().reset()
+    if args.metrics_port is not None:
+        server = MetricsServer(REGISTRY, port=args.metrics_port).start()
+        print(f"[metrics] serving {server.url}", file=sys.stderr)
+    return active, server
+
+
+def _finish_metrics(args, active, server) -> None:
+    """Snapshot to --metrics if requested, then return to the off state."""
+    if server is not None:
+        server.stop()
+    if not active:
+        return
+    if args.metrics:
+        REGISTRY.dump_json(args.metrics)
+        print(f"metrics snapshot written to {args.metrics}")
+    REGISTRY.disable().reset()
+
+
 def _load_graph(args) -> DynamicGraph:
     algorithm = make_algorithm(args.algorithm, source=args.source)
     if args.dataset:
@@ -190,6 +315,7 @@ def cmd_query(args) -> int:
     graph = _load_graph(args)
     algorithm = make_algorithm(args.algorithm, source=args.source)
     tracer, memory = _make_tracer(args)
+    metrics_on, server = _start_metrics(args)
     engine = JetStreamEngine(
         graph,
         algorithm,
@@ -203,6 +329,7 @@ def cmd_query(args) -> int:
     except BaseException:
         if tracer is not None:
             tracer.close()
+        _finish_metrics(args, metrics_on, server)
         raise
     elapsed = time.time() - started
     timing = AcceleratorTimingModel().run_time(result.metrics)
@@ -227,6 +354,7 @@ def cmd_query(args) -> int:
         for v in order:
             print(f"  {int(v):>8}  {states[v]:.6g}")
     _finish_trace(tracer, memory, args)
+    _finish_metrics(args, metrics_on, server)
     return 0
 
 
@@ -235,6 +363,7 @@ def cmd_stream(args) -> int:
     algorithm = make_algorithm(args.algorithm, source=args.source)
     policy = DeletePolicy(args.policy)
     tracer, memory = _make_tracer(args)
+    metrics_on, server = _start_metrics(args)
     engine = JetStreamEngine(
         graph,
         algorithm,
@@ -296,8 +425,10 @@ def cmd_stream(args) -> int:
     except BaseException:
         if tracer is not None:
             tracer.close()
+        _finish_metrics(args, metrics_on, server)
         raise
     _finish_trace(tracer, memory, args)
+    _finish_metrics(args, metrics_on, server)
     return 0
 
 
@@ -327,7 +458,69 @@ def cmd_trace(args) -> int:
             return 1
         print(f"{args.path}: valid trace")
         return 0
+    if args.action == "export":
+        output = args.output or (args.path + ".chrome.json")
+        count = write_chrome_trace(read_trace(args.path), output)
+        print(
+            f"wrote {count} trace events to {output} "
+            "(open in chrome://tracing or https://ui.perfetto.dev)"
+        )
+        return 0
     print(summarize(args.path))
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    import json
+
+    with open(args.path, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2))
+    else:
+        print(render_prometheus(snapshot), end="")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.obs import bench_gate
+
+    suites = ["engine", "trace"] if args.suite == "all" else [args.suite]
+    baseline_paths = {}
+    if args.baseline_engine:
+        baseline_paths["engine"] = args.baseline_engine
+    if args.baseline_trace:
+        baseline_paths["trace"] = args.baseline_trace
+    tolerance = (
+        args.tolerance if args.tolerance is not None else bench_gate.DEFAULT_TOLERANCE
+    )
+    try:
+        result = bench_gate.run_gate(
+            suites=suites,
+            quick=args.quick,
+            tolerance=tolerance,
+            baseline_paths=baseline_paths,
+            update_baselines=args.update_baselines,
+        )
+    except bench_gate.BenchGateError as exc:
+        print(f"bench check: {exc}", file=sys.stderr)
+        return 2
+    if args.update_baselines:
+        for suite in suites:
+            path = baseline_paths.get(suite) or bench_gate.default_baseline_path(
+                suite, args.quick
+            )
+            print(f"baseline updated: {path}")
+        return 0
+    print(bench_gate.render_table(result["comparisons"]))
+    if result["regressions"]:
+        print(
+            f"\nbench check: {result['regressions']} regression(s) "
+            f"(tolerance {tolerance:.0%})",
+            file=sys.stderr,
+        )
+        return 0 if args.no_fail else 1
+    print("\nbench check: all rows within tolerance")
     return 0
 
 
@@ -340,6 +533,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "datasets": cmd_datasets,
         "experiments": cmd_experiments,
         "trace": cmd_trace,
+        "metrics": cmd_metrics,
+        "bench": cmd_bench,
     }[args.command]
     return handler(args)
 

@@ -37,6 +37,7 @@ from repro.core.metrics import (
 from repro.core.policies import DeletePolicy
 from repro.core.queue import CoalescingQueue, VectorQueue
 from repro.graph.csr import CSRGraph
+from repro.obs.metrics import REGISTRY as METRICS
 from repro.obs.tracer import NULL_TRACER, work_attrs
 from repro.graph.partition import extend_assignment, extend_partition, partition_graph
 
@@ -304,6 +305,7 @@ class EngineCore:
                 if tracer.enabled
                 else None
             )
+            m_t0 = METRICS.clock() if METRICS.enabled else 0.0
             if not queue.active_pending():
                 # Charge the activated slice's spill read-back to this round.
                 queue.activate_next_slice(work)
@@ -367,6 +369,8 @@ class EngineCore:
                 tracer.end(
                     round_span, **work_attrs(work), occupancy_end=queue.occupancy()
                 )
+            if METRICS.enabled:
+                METRICS.record_round(work, METRICS.clock() - m_t0, queue.occupancy())
 
     def run_delete(self, queue, phase: PhaseStats) -> List[int]:
         """Recovery phase: propagate delete tags, reset impacted vertices.
@@ -415,6 +419,7 @@ class EngineCore:
                 if tracer.enabled
                 else None
             )
+            m_t0 = METRICS.clock() if METRICS.enabled else 0.0
             if not queue.active_pending():
                 # Charge the activated slice's spill read-back to this round.
                 queue.activate_next_slice(work)
@@ -477,6 +482,8 @@ class EngineCore:
                 tracer.end(
                     round_span, **work_attrs(work), occupancy_end=queue.occupancy()
                 )
+            if METRICS.enabled:
+                METRICS.record_round(work, METRICS.clock() - m_t0, queue.occupancy())
         return impacted
 
     # ------------------------------------------------------------------
@@ -518,6 +525,7 @@ class EngineCore:
                 if tracer.enabled
                 else None
             )
+            m_t0 = METRICS.clock() if METRICS.enabled else 0.0
             try:
                 if not queue.active_pending():
                     queue.activate_next_slice(work)
@@ -593,6 +601,10 @@ class EngineCore:
                     tracer.end(
                         round_span, **work_attrs(work), occupancy_end=queue.occupancy()
                     )
+                if METRICS.enabled:
+                    METRICS.record_round(
+                        work, METRICS.clock() - m_t0, queue.occupancy()
+                    )
 
     def _run_delete_vectorized(self, queue: VectorQueue, phase: PhaseStats) -> List[int]:
         """Array-kernel form of :meth:`run_delete`.
@@ -630,6 +642,7 @@ class EngineCore:
                 if tracer.enabled
                 else None
             )
+            m_t0 = METRICS.clock() if METRICS.enabled else 0.0
             try:
                 if not queue.active_pending():
                     queue.activate_next_slice(work)
@@ -704,6 +717,10 @@ class EngineCore:
                 if round_span is not None:
                     tracer.end(
                         round_span, **work_attrs(work), occupancy_end=queue.occupancy()
+                    )
+                if METRICS.enabled:
+                    METRICS.record_round(
+                        work, METRICS.clock() - m_t0, queue.occupancy()
                     )
         return impacted
 
@@ -859,6 +876,7 @@ class GraphPulseEngine:
         """Evaluate the query on ``csr`` from scratch (cold start)."""
         core = self.core
         tracer = core.tracer
+        run_t0 = METRICS.clock() if METRICS.enabled else 0.0
         with tracer.span(
             "run",
             "static",
@@ -874,9 +892,20 @@ class GraphPulseEngine:
             queue = core.new_queue()
             with tracer.phase(phase):
                 seed_work = phase.new_round()
-                with tracer.round(seed_work, queue):
+                with tracer.round(seed_work, queue), METRICS.round_scope(
+                    seed_work, queue
+                ):
                     core.seed_initial(queue, seed_work)
                 core.run_regular(queue, phase)
+            if METRICS.enabled:
+                METRICS.record_phase(phase)
+        if METRICS.enabled:
+            METRICS.record_run(
+                "static",
+                METRICS.clock() - run_t0,
+                num_vertices=csr.num_vertices,
+                num_edges=csr.num_edges,
+            )
         return ComputeResult(
             states=core.states.copy(),
             metrics=metrics,

@@ -97,6 +97,24 @@ class RoundWork:
         self.spill_bytes += other.spill_bytes
 
 
+#: Column order of :meth:`RunMetrics.to_csv` — the round-trace schema.
+CSV_HEADER = (
+    "phase",
+    "round",
+    "events_processed",
+    "events_generated",
+    "queue_inserts",
+    "coalesce_ops",
+    "vertex_reads",
+    "vertex_writes",
+    "edges_read",
+    "vertex_lines",
+    "edge_lines",
+    "dram_pages",
+    "spill_bytes",
+)
+
+
 @dataclass
 class PhaseStats:
     """Aggregated work of one execution phase (§4.6).
@@ -253,11 +271,15 @@ class RunMetrics:
         return [t.events_processed / processed for t in totals]
 
     def noc_summary(self) -> Dict[str, float]:
-        """Inter-engine NoC traffic summed over all phases (sharded runs)."""
+        """Inter-engine NoC traffic summed over all phases (sharded runs).
+
+        Event and flit counts are exact integers (cycles stay float: the
+        crossbar model amortizes fractional cycles per flit).
+        """
         return {
-            "events_local": sum(p.noc_events_local for p in self.phases),
-            "events_remote": sum(p.noc_events_remote for p in self.phases),
-            "flits": sum(p.noc_flits for p in self.phases),
+            "events_local": int(sum(p.noc_events_local for p in self.phases)),
+            "events_remote": int(sum(p.noc_events_remote for p in self.phases)),
+            "flits": int(sum(p.noc_flits for p in self.phases)),
             "cycles": sum(p.noc_cycles for p in self.phases),
         }
 
@@ -300,14 +322,12 @@ class RunMetrics:
         """Write the per-round trace as CSV; returns the row count.
 
         The hardware-debug view: one line per scheduler round, the raw
-        material behind every timing estimate.
+        material behind every timing estimate. The header is always
+        written, even for zero-round runs, so downstream readers see a
+        well-formed (if empty) table.
         """
         rows = self.to_rows()
-        if not rows:
-            with open(path, "w", encoding="ascii") as handle:
-                handle.write("")
-            return 0
-        header = list(rows[0])
+        header = list(rows[0]) if rows else list(CSV_HEADER)
         with open(path, "w", encoding="ascii") as handle:
             handle.write(",".join(header) + "\n")
             for row in rows:

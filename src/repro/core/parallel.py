@@ -52,6 +52,7 @@ from repro.core.metrics import PhaseStats, RoundWork
 from repro.core.policies import DeletePolicy
 from repro.core.queue import VectorQueue
 from repro.graph.partition import extend_assignment
+from repro.obs.metrics import REGISTRY as METRICS
 from repro.obs.tracer import work_attrs
 from repro.sim.noc import CrossbarModel
 
@@ -171,6 +172,8 @@ class InterEngineChannel:
             phase.noc_events_remote += n_remote
             phase.noc_flits += flits
             phase.noc_cycles += cycles
+        if METRICS.enabled:
+            METRICS.record_noc(n_local, n_remote, flits)
 
     def stats(self) -> Dict[str, object]:
         """Lifetime channel counters."""
@@ -311,6 +314,8 @@ class ShardedQueueGroup:
         occupancy = self.occupancy()
         if occupancy > self.peak_occupancy:
             self.peak_occupancy = occupancy
+        if METRICS.enabled:
+            METRICS.record_queue_occupancy(occupancy, self.peak_occupancy)
 
     # ------------------------------------------------------------------
     # Draining
@@ -494,6 +499,7 @@ def run_regular_sharded(core, group: ShardedQueueGroup, phase: PhaseStats) -> No
                     "round", occupancy_start=group.occupancy()
                 )
                 noc_before = _noc_snapshot(phase)
+            m_t0 = METRICS.clock() if METRICS.enabled else 0.0
             try:
                 if not group.active_pending():
                     group.activate_next_slice(work)
@@ -562,6 +568,10 @@ def run_regular_sharded(core, group: ShardedQueueGroup, phase: PhaseStats) -> No
                         **work_attrs(work),
                         occupancy_end=group.occupancy(),
                         **_noc_delta_attrs(phase, noc_before),
+                    )
+                if METRICS.enabled:
+                    METRICS.record_round(
+                        work, METRICS.clock() - m_t0, group.occupancy()
                     )
 
 
@@ -671,6 +681,7 @@ def run_delete_sharded(
                     "round", occupancy_start=group.occupancy()
                 )
                 noc_before = _noc_snapshot(phase)
+            m_t0 = METRICS.clock() if METRICS.enabled else 0.0
             try:
                 if not group.active_pending():
                     group.activate_next_slice(work)
@@ -748,5 +759,9 @@ def run_delete_sharded(
                         **work_attrs(work),
                         occupancy_end=group.occupancy(),
                         **_noc_delta_attrs(phase, noc_before),
+                    )
+                if METRICS.enabled:
+                    METRICS.record_round(
+                        work, METRICS.clock() - m_t0, group.occupancy()
                     )
     return impacted

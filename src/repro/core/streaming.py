@@ -35,6 +35,7 @@ from repro.core.events import NO_SOURCE, Event, EventBatch
 from repro.core.metrics import RunMetrics
 from repro.core.policies import DeletePolicy
 from repro.graph.dynamic import DynamicGraph
+from repro.obs.metrics import REGISTRY as METRICS
 from repro.streams import UpdateBatch
 
 Edge = Tuple[int, int, float]
@@ -200,6 +201,7 @@ class JetStreamEngine:
         metrics = RunMetrics()
         phase = metrics.phase("initial")
         queue = core.new_queue()
+        run_t0 = METRICS.clock() if METRICS.enabled else 0.0
         with tracer.span(
             "run",
             "initial",
@@ -212,9 +214,18 @@ class JetStreamEngine:
         ):
             with tracer.phase(phase):
                 work = phase.new_round()
-                with tracer.round(work, queue):
+                with tracer.round(work, queue), METRICS.round_scope(work, queue):
                     core.seed_initial(queue, work)
                 core.run_regular(queue, phase)
+            if METRICS.enabled:
+                METRICS.record_phase(phase)
+        if METRICS.enabled:
+            METRICS.record_run(
+                "initial",
+                METRICS.clock() - run_t0,
+                num_vertices=csr.num_vertices,
+                num_edges=csr.num_edges,
+            )
         self._initialized = True
         result = StreamingResult(
             states=core.states.copy(),
@@ -239,6 +250,7 @@ class JetStreamEngine:
             raise RuntimeError("call initial_compute() before apply_batch()")
         batch.validate()
         self._check_batch(batch)
+        run_t0 = METRICS.clock() if METRICS.enabled else 0.0
         with self.tracer.span(
             "run",
             "batch",
@@ -253,6 +265,13 @@ class JetStreamEngine:
                 result = self._apply_selective(batch)
             else:
                 result = self._apply_accumulative(batch)
+        if METRICS.enabled:
+            METRICS.record_run(
+                "batch",
+                METRICS.clock() - run_t0,
+                stream_records=batch.size,
+                num_vertices=self.graph.num_vertices,
+            )
         self.history.append(result)
         return result
 
@@ -274,7 +293,9 @@ class JetStreamEngine:
         queue.set_delete_coalescing(self.policy.coalesces_deletes)
         with tracer.phase(delete_phase):
             seed_work = delete_phase.new_round()
-            with tracer.round(seed_work, queue):
+            with tracer.round(seed_work, queue), METRICS.round_scope(
+                seed_work, queue
+            ):
                 buf = _SeedBuffer()
                 for u, v, w in deletions:
                     # The stream reader computes the payload from the previous
@@ -288,6 +309,8 @@ class JetStreamEngine:
                     buf.add(v, payload, 1, u)
                 buf.flush(queue, seed_work)
             impacted = core.run_delete(queue, delete_phase)
+        if METRICS.enabled:
+            METRICS.record_phase(delete_phase)
         queue.set_delete_coalescing(True)
 
         # Mutate the graph; switch to the new structure.
@@ -300,7 +323,7 @@ class JetStreamEngine:
         compute_phase = metrics.phase("reevaluation")
         with tracer.phase(compute_phase):
             work = compute_phase.new_round()
-            with tracer.round(work, queue):
+            with tracer.round(work, queue), METRICS.round_scope(work, queue):
                 identity = algorithm.identity
                 buf = _SeedBuffer()
                 for i in impacted:
@@ -322,6 +345,8 @@ class JetStreamEngine:
                 buf.flush(queue, work)
                 self._seed_new_vertices(queue, work, old_csr.num_vertices, new_csr.num_vertices)
             core.run_regular(queue, compute_phase)
+        if METRICS.enabled:
+            METRICS.record_phase(compute_phase)
 
         return StreamingResult(
             states=core.states.copy(),
@@ -362,7 +387,7 @@ class JetStreamEngine:
             # The queue does not exist yet (corrections are computed across
             # the graph mutation), so the seed round span carries no
             # occupancy samples — only the work vector.
-            with tracer.round(work):
+            with tracer.round(work), METRICS.round_scope(work):
                 corrections: Dict[int, float] = {}
                 if algorithm.degree_dependent:
                     modified: Set[int] = {u for u, _, _ in deletions}
@@ -406,6 +431,8 @@ class JetStreamEngine:
                 buf.flush(queue, work)
                 self._seed_new_vertices(queue, work, old_n, new_csr.num_vertices)
             core.run_regular(queue, phase)
+        if METRICS.enabled:
+            METRICS.record_phase(phase)
 
         return StreamingResult(
             states=core.states.copy(),
@@ -451,7 +478,7 @@ class JetStreamEngine:
         delete_phase = metrics.phase("delete-negation")
         with tracer.phase(delete_phase):
             seed_work = delete_phase.new_round()
-            with tracer.round(seed_work):
+            with tracer.round(seed_work), METRICS.round_scope(seed_work):
                 negative_events = []
                 for u, v, w in expanded_deletes:
                     delta = -algorithm.propagate(
@@ -465,6 +492,8 @@ class JetStreamEngine:
                 seed_work.events_generated += len(negative_events)
                 queue.insert_batch(EventBatch.from_events(negative_events), seed_work)
             core.run_regular(queue, delete_phase)
+        if METRICS.enabled:
+            METRICS.record_phase(delete_phase)
 
         # Mutate; switch to the new structure.
         old_n = self.graph.num_vertices
@@ -477,7 +506,7 @@ class JetStreamEngine:
         compute_phase = metrics.phase("reevaluation")
         with tracer.phase(compute_phase):
             work = compute_phase.new_round()
-            with tracer.round(work, queue):
+            with tracer.round(work, queue), METRICS.round_scope(work, queue):
                 buf = _SeedBuffer()
                 for u, v, w in re_adds:
                     delta = algorithm.propagate(
@@ -490,6 +519,8 @@ class JetStreamEngine:
                 buf.flush(queue, work)
                 self._seed_new_vertices(queue, work, old_n, new_csr.num_vertices)
             core.run_regular(queue, compute_phase)
+        if METRICS.enabled:
+            METRICS.record_phase(compute_phase)
 
         return StreamingResult(
             states=core.states.copy(),

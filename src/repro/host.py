@@ -33,6 +33,7 @@ from repro.core.policies import DeletePolicy
 from repro.core.streaming import JetStreamEngine, StreamingResult
 from repro.graph.csr import EDGE_ENTRY_BYTES, VERTEX_STATE_BYTES
 from repro.graph.dynamic import DynamicGraph, build_symmetric_graph
+from repro.obs.metrics import REGISTRY as METRICS
 from repro.obs.tracer import NULL_TRACER
 from repro.streams import Edge, UpdateBatch
 
@@ -81,6 +82,8 @@ class Session:
         tracer = self._accelerator.tracer
         if tracer.enabled:
             tracer.event("transfer", direction=direction, bytes=nbytes)
+        if METRICS.enabled:
+            METRICS.record_transfer(direction, nbytes)
 
     # ------------------------------------------------------------------
     def configure(

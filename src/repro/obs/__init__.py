@@ -1,16 +1,26 @@
-"""Run-trace observability: structured tracing, sinks, and correlation.
+"""Run-trace observability: tracing, live metrics, sinks, correlation.
 
 Public surface:
 
 * :class:`Tracer` / :data:`NULL_TRACER` — span emission (run → phase →
   round → engine) with the one-attribute-check-when-off contract;
+* :data:`REGISTRY` / :class:`MetricsRegistry` — live process-wide
+  counters/gauges/histograms with Prometheus + JSON exporters, same
+  disabled-by-default contract;
+* :class:`MetricsServer` — stdlib HTTP ``/metrics`` scrape endpoint;
 * :class:`MemorySink` / :class:`JsonlSink` / :class:`ProgressSink` —
-  pluggable destinations;
+  pluggable trace destinations;
 * :func:`read_trace` / :func:`validate_trace` — the JSONL format;
+* :func:`chrome_trace` / :func:`write_chrome_trace` — Chrome/Perfetto
+  trace-event export;
 * :func:`correlate` / :func:`summarize` — join trace wall-clock against
   :class:`~repro.sim.timing.AcceleratorTimingModel` cycles.
+
+(The benchmark regression gate lives in :mod:`repro.obs.bench_gate`; it
+is not re-exported here because it imports the ``benchmarks/`` scripts.)
 """
 
+from repro.obs.chrome import chrome_trace, write_chrome_trace
 from repro.obs.correlate import (
     PhaseCorrelation,
     correlate,
@@ -19,6 +29,16 @@ from repro.obs.correlate import (
     render_correlation,
     summarize,
 )
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+    render_prometheus,
+)
+from repro.obs.scrape import MetricsServer
 from repro.obs.sinks import (
     TRACE_FORMAT,
     TRACE_VERSION,
@@ -46,6 +66,16 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsServer",
+    "log_buckets",
+    "render_prometheus",
+    "chrome_trace",
+    "write_chrome_trace",
     "Tracer",
     "NullTracer",
     "NULL_TRACER",

@@ -1,0 +1,276 @@
+"""Benchmark regression gate (``repro bench check``).
+
+Re-runs the benchmark suites in ``benchmarks/`` and compares their
+throughput medians against the committed baselines — ``BENCH_engine.json``
+and ``BENCH_trace.json`` at the repo root for full runs, or the quick-mode
+snapshots under ``benchmarks/baselines/`` for ``--quick`` — so the perf
+trajectory the ROADMAP tracks is enforced by CI instead of eyeballs.
+
+Two checks per comparable row:
+
+* **throughput** — ``events_per_s`` may drop at most ``tolerance``
+  (relative) below the baseline median. Wall-clock is machine-dependent,
+  so CI runs this informationally (generous tolerance, or
+  ``--no-fail``) while local runs on the baseline machine use the strict
+  default.
+* **work** — ``events_processed`` must match the baseline *exactly*.
+  Event counts are deterministic and machine-independent; any drift means
+  the functional behaviour changed, which no tolerance excuses.
+
+Baselines are regenerated with ``repro bench check --update-baselines``
+(run on the machine that owns the committed numbers).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "BenchGateError",
+    "collect_engine",
+    "collect_trace",
+    "compare_rows",
+    "default_baseline_path",
+    "flatten_engine",
+    "flatten_trace",
+    "render_table",
+    "run_gate",
+]
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+BENCHMARKS_DIR = REPO_ROOT / "benchmarks"
+BASELINES_DIR = BENCHMARKS_DIR / "baselines"
+
+SUITES = ("engine", "trace")
+
+#: Default allowed relative drop in events_per_s before a row regresses.
+DEFAULT_TOLERANCE = 0.30
+
+
+class BenchGateError(RuntimeError):
+    """Raised when the gate cannot run (missing baseline, bad schema)."""
+
+
+def _load_bench_module(name: str):
+    path = BENCHMARKS_DIR / f"{name}.py"
+    if not path.exists():
+        raise BenchGateError(f"benchmark script not found: {path}")
+    spec = importlib.util.spec_from_file_location(f"repro_bench_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def collect_engine(quick: bool) -> dict:
+    """Run the scalar-vs-vectorized grid and return its report."""
+    return _load_bench_module("bench_vector_engine").run_grid(quick)
+
+
+def collect_trace(quick: bool) -> dict:
+    """Run the tracing/metrics overhead grid and return its report."""
+    return _load_bench_module("bench_trace_overhead").collect(quick)
+
+
+def default_baseline_path(suite: str, quick: bool) -> Path:
+    """Where the committed baseline for ``suite`` lives."""
+    if suite == "engine":
+        return (
+            BASELINES_DIR / "BENCH_engine.quick.json"
+            if quick
+            else REPO_ROOT / "BENCH_engine.json"
+        )
+    if suite == "trace":
+        return (
+            BASELINES_DIR / "BENCH_trace.quick.json"
+            if quick
+            else REPO_ROOT / "BENCH_trace.json"
+        )
+    raise BenchGateError(f"unknown suite {suite!r} (choose from {SUITES})")
+
+
+# ----------------------------------------------------------------------
+# Flattening: per-suite reports -> comparable rows
+# ----------------------------------------------------------------------
+def flatten_engine(report: dict) -> List[dict]:
+    """``BENCH_engine.json`` → one row per (graph, algorithm, substrate)."""
+    rows = []
+    for entry in report.get("results", []):
+        for mode in ("scalar", "vectorized"):
+            sample = entry.get(mode)
+            if not sample:
+                continue
+            rows.append(
+                {
+                    "suite": "engine",
+                    "key": f"{entry['graph']}/{entry['algorithm']}/{mode}",
+                    "events_per_s": float(sample["events_per_s"]),
+                    "events": int(sample["events_processed"]),
+                }
+            )
+    return rows
+
+
+def flatten_trace(report: dict) -> List[dict]:
+    """``BENCH_trace.json`` → one row per tracing mode."""
+    rows = []
+    for entry in report.get("rows", []):
+        rows.append(
+            {
+                "suite": "trace",
+                "key": entry["mode"],
+                "events_per_s": float(entry["events_per_s"]),
+                "events": int(entry["events"]),
+            }
+        )
+    return rows
+
+
+_FLATTENERS: Dict[str, Callable[[dict], List[dict]]] = {
+    "engine": flatten_engine,
+    "trace": flatten_trace,
+}
+
+_COLLECTORS: Dict[str, Callable[[bool], dict]] = {
+    "engine": collect_engine,
+    "trace": collect_trace,
+}
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+def compare_rows(
+    current: List[dict], baseline: List[dict], tolerance: float
+) -> List[dict]:
+    """Join current and baseline rows by key; classify each pair.
+
+    Statuses: ``ok`` (within tolerance), ``improved`` (faster than
+    baseline by more than the tolerance), ``regression`` (throughput drop
+    beyond tolerance OR an exact event-count mismatch), ``new`` (no
+    baseline row), ``removed`` (baseline row with no current run).
+    """
+    base_by_key = {(r["suite"], r["key"]): r for r in baseline}
+    out: List[dict] = []
+    for row in current:
+        base = base_by_key.pop((row["suite"], row["key"]), None)
+        entry = {
+            "suite": row["suite"],
+            "key": row["key"],
+            "events_per_s": row["events_per_s"],
+            "baseline_events_per_s": base["events_per_s"] if base else None,
+            "delta": None,
+            "status": "new",
+            "note": "",
+        }
+        if base is not None:
+            if base["events_per_s"] > 0:
+                entry["delta"] = (
+                    row["events_per_s"] / base["events_per_s"] - 1.0
+                )
+            if row["events"] != base["events"]:
+                entry["status"] = "regression"
+                entry["note"] = (
+                    f"events_processed drifted: {row['events']} vs "
+                    f"baseline {base['events']} (determinism break)"
+                )
+            elif entry["delta"] is not None and entry["delta"] < -tolerance:
+                entry["status"] = "regression"
+                entry["note"] = (
+                    f"throughput {-entry['delta']:.1%} below baseline "
+                    f"(tolerance {tolerance:.0%})"
+                )
+            elif entry["delta"] is not None and entry["delta"] > tolerance:
+                entry["status"] = "improved"
+            else:
+                entry["status"] = "ok"
+        out.append(entry)
+    for (suite, key), base in base_by_key.items():
+        out.append(
+            {
+                "suite": suite,
+                "key": key,
+                "events_per_s": None,
+                "baseline_events_per_s": base["events_per_s"],
+                "delta": None,
+                "status": "removed",
+                "note": "row present in baseline but not in this run",
+            }
+        )
+    return out
+
+
+def render_table(comparisons: List[dict]) -> str:
+    """Human-readable per-row delta table."""
+    lines = [
+        f"{'suite':>7} {'row':<34} {'events/s':>14} "
+        f"{'baseline':>14} {'delta':>8}  status"
+    ]
+    for c in comparisons:
+        cur = f"{c['events_per_s']:,.0f}" if c["events_per_s"] else "-"
+        base = (
+            f"{c['baseline_events_per_s']:,.0f}"
+            if c["baseline_events_per_s"]
+            else "-"
+        )
+        delta = f"{c['delta']:+.1%}" if c["delta"] is not None else "-"
+        note = f"  ({c['note']})" if c["note"] else ""
+        lines.append(
+            f"{c['suite']:>7} {c['key']:<34} {cur:>14} "
+            f"{base:>14} {delta:>8}  {c['status']}{note}"
+        )
+    return "\n".join(lines)
+
+
+def run_gate(
+    suites: Optional[List[str]] = None,
+    quick: bool = False,
+    tolerance: float = DEFAULT_TOLERANCE,
+    baseline_paths: Optional[Dict[str, Path]] = None,
+    collectors: Optional[Dict[str, Callable[[bool], dict]]] = None,
+    update_baselines: bool = False,
+) -> dict:
+    """Run the selected suites and gate them against their baselines.
+
+    Returns ``{"comparisons": [...], "reports": {suite: report},
+    "regressions": int}``. ``collectors`` lets tests substitute canned
+    report producers for the real benchmark runs.
+    """
+    suites = list(suites or SUITES)
+    collectors = collectors or _COLLECTORS
+    comparisons: List[dict] = []
+    reports: Dict[str, dict] = {}
+    for suite in suites:
+        if suite not in _FLATTENERS:
+            raise BenchGateError(f"unknown suite {suite!r} (choose from {SUITES})")
+        report = collectors[suite](quick)
+        reports[suite] = report
+        path = Path(
+            (baseline_paths or {}).get(suite)
+            or default_baseline_path(suite, quick)
+        )
+        if update_baselines:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(json.dumps(report, indent=2) + "\n")
+            continue
+        if not Path(path).exists():
+            raise BenchGateError(
+                f"no committed baseline for suite {suite!r} at {path}; "
+                "generate one with --update-baselines"
+            )
+        baseline = json.loads(Path(path).read_text())
+        comparisons.extend(
+            compare_rows(
+                _FLATTENERS[suite](report),
+                _FLATTENERS[suite](baseline),
+                tolerance,
+            )
+        )
+    regressions = sum(1 for c in comparisons if c["status"] == "regression")
+    return {
+        "comparisons": comparisons,
+        "reports": reports,
+        "regressions": regressions,
+    }

@@ -1,0 +1,122 @@
+"""Live metrics scrape endpoint (stdlib ``http.server``).
+
+Serves the process-wide :data:`~repro.obs.metrics.REGISTRY` (or any
+registry handed in) while a run executes:
+
+* ``GET /metrics``      — Prometheus text exposition (format 0.0.4);
+* ``GET /metrics.json`` — the JSON snapshot (``repro-metrics`` v1).
+
+The server runs a :class:`~http.server.ThreadingHTTPServer` on a daemon
+thread, so scrapes never block the engines — each request takes the
+registry lock only long enough to copy a snapshot. Activated by
+``repro query|stream --metrics-port N`` (port 0 picks a free port;
+:attr:`MetricsServer.port` reports the bound one).
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["MetricsServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    registry: MetricsRegistry  # set on the per-server subclass
+
+    def do_GET(self):  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = self.registry.to_prometheus().encode("utf-8")
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/metrics.json":
+            import json
+
+            body = (
+                json.dumps(self.registry.snapshot(), indent=2) + "\n"
+            ).encode("utf-8")
+            ctype = "application/json"
+        else:
+            self.send_error(404, "unknown path (try /metrics)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt, *args):  # silence per-request stderr noise
+        pass
+
+
+class MetricsServer:
+    """Background HTTP server exposing one registry's metrics.
+
+    Usage::
+
+        with MetricsServer(REGISTRY, port=9102) as server:
+            print("scrape at", server.url)
+            ...  # run the workload
+
+    ``start``/``stop`` are also available for explicit lifecycle control;
+    both are idempotent.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ):
+        self.registry = registry
+        self.host = host
+        self._requested_port = port
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (resolves ``port=0`` after start)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """The scrape URL of the Prometheus endpoint."""
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def start(self) -> "MetricsServer":
+        if self._server is not None:
+            return self
+        handler = type("_BoundHandler", (_Handler,), {"registry": self.registry})
+        self._server = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False

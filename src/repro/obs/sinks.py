@@ -85,17 +85,35 @@ class JsonlSink(Sink):
         self._write(event.to_record())
 
     def close(self) -> None:
+        if getattr(self._handle, "closed", False):
+            return
         self._handle.flush()
         if self._owns:
             self._handle.close()
 
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
 
 class ProgressSink(Sink):
-    """Live human-readable progress (the ``--progress`` CLI flag)."""
+    """Live human-readable progress (the ``--progress`` CLI flag).
 
-    def __init__(self, stream: Optional[IO[str]] = None):
+    On a TTY, rounds tick on one carriage-return-updated line. On a
+    non-TTY stream (piped logs, CI) the same information is throttled to
+    one plain line every ``fallback_every`` rounds, so long phases still
+    show forward motion without flooding the log.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None, fallback_every: int = 50):
+        if fallback_every < 1:
+            raise ValueError("fallback_every must be >= 1")
         self.stream = stream if stream is not None else sys.stderr
         self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.fallback_every = fallback_every
         self._round_count = 0
         self._dirty_line = False
 
@@ -124,6 +142,12 @@ class ProgressSink(Sink):
                 )
                 self.stream.flush()
                 self._dirty_line = True
+            elif self._round_count % self.fallback_every == 0:
+                self._println(
+                    f"[trace]   round {self._round_count}: "
+                    f"{span.attrs.get('events_processed', 0):,} events "
+                    f"({span.dur_s * 1e3:.2f} ms)"
+                )
         elif span.kind == "phase":
             self._println(
                 f"[trace]  phase {span.name} done: "

@@ -269,6 +269,16 @@ class Tracer:
         for sink in self.sinks:
             sink.close()
 
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        # Runs on exceptions too: open spans are ended and every sink is
+        # closed, so a run that dies mid-phase still leaves a flushed
+        # (partial but parseable) trace on disk.
+        self.close()
+        return False
+
 
 class _NullContext:
     __slots__ = ()
@@ -320,6 +330,12 @@ class NullTracer:
 
     def close(self) -> None:
         pass
+
+    def __enter__(self) -> "NullTracer":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
 
 
 #: Shared no-op tracer — the default wherever a tracer is accepted.

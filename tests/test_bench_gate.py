@@ -1,0 +1,317 @@
+"""Tests for the benchmark regression gate (repro.obs.bench_gate).
+
+The gate has two teeth: relative throughput drops beyond the tolerance,
+and *any* drift in the deterministic event counts. Canned collector
+reports stand in for the real benchmark runs so the tests are fast and
+machine-independent.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import bench_gate
+from repro.obs.bench_gate import (
+    BenchGateError,
+    compare_rows,
+    default_baseline_path,
+    flatten_engine,
+    flatten_trace,
+    render_table,
+    run_gate,
+)
+
+ENGINE_REPORT = {
+    "results": [
+        {
+            "graph": "rmat-2k",
+            "algorithm": "sssp",
+            "scalar": {"events_per_s": 1000.0, "events_processed": 500},
+            "vectorized": {"events_per_s": 4000.0, "events_processed": 500},
+        }
+    ]
+}
+
+TRACE_REPORT = {
+    "rows": [
+        {"mode": "off", "events_per_s": 9000.0, "events": 700},
+        {"mode": "metrics", "events_per_s": 8800.0, "events": 700},
+    ]
+}
+
+
+def perturbed(report: dict, scale: float = 1.0, events_delta: int = 0) -> dict:
+    """Copy a canned report with scaled throughput / shifted event counts."""
+    out = json.loads(json.dumps(report))
+    for entry in out.get("results", []):
+        for mode in ("scalar", "vectorized"):
+            entry[mode]["events_per_s"] *= scale
+            entry[mode]["events_processed"] += events_delta
+    for row in out.get("rows", []):
+        row["events_per_s"] *= scale
+        row["events"] += events_delta
+    return out
+
+
+# ----------------------------------------------------------------------
+# Flattening + comparison units
+# ----------------------------------------------------------------------
+class TestFlatten:
+    def test_engine_rows(self):
+        rows = flatten_engine(ENGINE_REPORT)
+        assert {r["key"] for r in rows} == {
+            "rmat-2k/sssp/scalar",
+            "rmat-2k/sssp/vectorized",
+        }
+        assert all(r["suite"] == "engine" for r in rows)
+        assert rows[0]["events"] == 500
+
+    def test_trace_rows(self):
+        rows = flatten_trace(TRACE_REPORT)
+        assert [r["key"] for r in rows] == ["off", "metrics"]
+        assert all(r["suite"] == "trace" for r in rows)
+
+
+class TestCompareRows:
+    def rows(self, events_per_s: float, events: int = 100):
+        return [
+            {
+                "suite": "trace",
+                "key": "off",
+                "events_per_s": events_per_s,
+                "events": events,
+            }
+        ]
+
+    def test_within_tolerance_is_ok(self):
+        out = compare_rows(self.rows(95.0), self.rows(100.0), tolerance=0.10)
+        assert out[0]["status"] == "ok"
+        assert out[0]["delta"] == pytest.approx(-0.05)
+
+    def test_drop_beyond_tolerance_regresses(self):
+        out = compare_rows(self.rows(80.0), self.rows(100.0), tolerance=0.10)
+        assert out[0]["status"] == "regression"
+        assert "throughput" in out[0]["note"]
+
+    def test_speedup_beyond_tolerance_is_improved(self):
+        out = compare_rows(self.rows(150.0), self.rows(100.0), tolerance=0.10)
+        assert out[0]["status"] == "improved"
+
+    def test_event_count_drift_regresses_regardless_of_speed(self):
+        out = compare_rows(
+            self.rows(500.0, events=101), self.rows(100.0, events=100), 0.10
+        )
+        assert out[0]["status"] == "regression"
+        assert "determinism" in out[0]["note"]
+
+    def test_new_and_removed_rows(self):
+        current = self.rows(100.0)
+        baseline = [
+            {
+                "suite": "trace",
+                "key": "jsonl",
+                "events_per_s": 50.0,
+                "events": 100,
+            }
+        ]
+        out = compare_rows(current, baseline, tolerance=0.10)
+        statuses = {c["key"]: c["status"] for c in out}
+        assert statuses == {"off": "new", "jsonl": "removed"}
+
+    def test_render_table_mentions_rows_and_notes(self):
+        out = compare_rows(self.rows(80.0), self.rows(100.0), tolerance=0.10)
+        table = render_table(out)
+        assert "off" in table
+        assert "regression" in table
+        assert "tolerance" in table
+
+
+# ----------------------------------------------------------------------
+# run_gate with canned collectors
+# ----------------------------------------------------------------------
+class TestRunGate:
+    def collectors(self, engine=None, trace=None):
+        return {
+            "engine": lambda quick: engine or ENGINE_REPORT,
+            "trace": lambda quick: trace or TRACE_REPORT,
+        }
+
+    def baselines(self, tmp_path: Path, engine=None, trace=None):
+        paths = {}
+        for suite, report in (
+            ("engine", engine or ENGINE_REPORT),
+            ("trace", trace or TRACE_REPORT),
+        ):
+            path = tmp_path / f"baseline_{suite}.json"
+            path.write_text(json.dumps(report))
+            paths[suite] = path
+        return paths
+
+    def test_matching_baseline_has_zero_regressions(self, tmp_path):
+        result = run_gate(
+            baseline_paths=self.baselines(tmp_path),
+            collectors=self.collectors(),
+        )
+        assert result["regressions"] == 0
+        assert all(c["status"] == "ok" for c in result["comparisons"])
+        assert set(result["reports"]) == {"engine", "trace"}
+
+    def test_injected_throughput_regression_is_caught(self, tmp_path):
+        slow = perturbed(ENGINE_REPORT, scale=0.5)
+        result = run_gate(
+            suites=["engine"],
+            tolerance=0.30,
+            baseline_paths=self.baselines(tmp_path),
+            collectors=self.collectors(engine=slow),
+        )
+        assert result["regressions"] == 2  # scalar + vectorized rows
+
+    def test_injected_event_drift_is_caught(self, tmp_path):
+        drifted = perturbed(TRACE_REPORT, events_delta=3)
+        result = run_gate(
+            suites=["trace"],
+            baseline_paths=self.baselines(tmp_path),
+            collectors=self.collectors(trace=drifted),
+        )
+        assert result["regressions"] == 2
+        assert all("determinism" in c["note"] for c in result["comparisons"])
+
+    def test_missing_baseline_raises(self, tmp_path):
+        with pytest.raises(BenchGateError, match="no committed baseline"):
+            run_gate(
+                suites=["engine"],
+                baseline_paths={"engine": tmp_path / "missing.json"},
+                collectors=self.collectors(),
+            )
+
+    def test_unknown_suite_raises(self, tmp_path):
+        with pytest.raises(BenchGateError, match="unknown suite"):
+            run_gate(suites=["nope"], collectors=self.collectors())
+
+    def test_update_baselines_writes_reports(self, tmp_path):
+        paths = {
+            "engine": tmp_path / "sub" / "engine.json",
+            "trace": tmp_path / "sub" / "trace.json",
+        }
+        result = run_gate(
+            baseline_paths=paths,
+            collectors=self.collectors(),
+            update_baselines=True,
+        )
+        assert result["comparisons"] == []
+        assert json.loads(paths["engine"].read_text()) == ENGINE_REPORT
+        assert json.loads(paths["trace"].read_text()) == TRACE_REPORT
+
+    def test_default_baseline_paths(self):
+        assert default_baseline_path("engine", quick=False).name == (
+            "BENCH_engine.json"
+        )
+        assert default_baseline_path("trace", quick=True).parent.name == (
+            "baselines"
+        )
+        with pytest.raises(BenchGateError):
+            default_baseline_path("nope", quick=False)
+
+
+# ----------------------------------------------------------------------
+# CLI wiring: repro bench check
+# ----------------------------------------------------------------------
+class TestBenchCheckCli:
+    @pytest.fixture
+    def canned(self, monkeypatch, tmp_path):
+        """Patch the real collectors with canned reports; return baselines."""
+        reports = {
+            "engine": json.loads(json.dumps(ENGINE_REPORT)),
+            "trace": json.loads(json.dumps(TRACE_REPORT)),
+        }
+        monkeypatch.setitem(
+            bench_gate._COLLECTORS, "engine", lambda quick: reports["engine"]
+        )
+        monkeypatch.setitem(
+            bench_gate._COLLECTORS, "trace", lambda quick: reports["trace"]
+        )
+        engine_base = tmp_path / "engine.json"
+        trace_base = tmp_path / "trace.json"
+        engine_base.write_text(json.dumps(ENGINE_REPORT))
+        trace_base.write_text(json.dumps(TRACE_REPORT))
+        return reports, engine_base, trace_base
+
+    def base_args(self, engine_base, trace_base):
+        return [
+            "bench",
+            "check",
+            "--baseline-engine",
+            str(engine_base),
+            "--baseline-trace",
+            str(trace_base),
+        ]
+
+    def test_exits_zero_on_matching_baselines(self, canned, capsys):
+        from repro.cli import main
+
+        _, engine_base, trace_base = canned
+        assert main(self.base_args(engine_base, trace_base)) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and "within tolerance" in out
+
+    def test_exits_nonzero_on_injected_regression(self, canned, capsys):
+        from repro.cli import main
+
+        reports, engine_base, trace_base = canned
+        reports["engine"] = perturbed(ENGINE_REPORT, scale=0.4)
+        assert main(self.base_args(engine_base, trace_base)) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_no_fail_reports_but_exits_zero(self, canned, capsys):
+        from repro.cli import main
+
+        reports, engine_base, trace_base = canned
+        reports["trace"] = perturbed(TRACE_REPORT, events_delta=1)
+        args = self.base_args(engine_base, trace_base) + ["--no-fail"]
+        assert main(args) == 0
+        assert "regression" in capsys.readouterr().out
+
+    def test_single_suite_selection(self, canned, capsys):
+        from repro.cli import main
+
+        reports, engine_base, trace_base = canned
+        # Break the *other* suite: a trace regression must not fire when
+        # only the engine suite is selected.
+        reports["trace"] = perturbed(TRACE_REPORT, scale=0.1)
+        args = self.base_args(engine_base, trace_base) + ["--suite", "engine"]
+        assert main(args) == 0
+
+    def test_update_baselines_roundtrip(self, canned, tmp_path, capsys):
+        from repro.cli import main
+
+        _, engine_base, trace_base = canned
+        new_engine = tmp_path / "new" / "engine.json"
+        new_trace = tmp_path / "new" / "trace.json"
+        args = [
+            "bench",
+            "check",
+            "--baseline-engine",
+            str(new_engine),
+            "--baseline-trace",
+            str(new_trace),
+            "--update-baselines",
+        ]
+        assert main(args) == 0
+        assert main(self.base_args(new_engine, new_trace)) == 0
+
+    def test_missing_baseline_exits_two(self, canned, tmp_path, capsys):
+        from repro.cli import main
+
+        args = [
+            "bench",
+            "check",
+            "--baseline-engine",
+            str(tmp_path / "absent.json"),
+            "--suite",
+            "engine",
+        ]
+        assert main(args) == 2
+        assert "baseline" in capsys.readouterr().err

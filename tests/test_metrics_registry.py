@@ -1,0 +1,385 @@
+"""Tests for the live metrics registry (repro.obs.metrics + scrape).
+
+The central contract mirrors the tracer's: with the process-wide
+``REGISTRY`` enabled, the counters it accumulates must equal the run's
+in-process :class:`RunMetrics` totals exactly — on every engine substrate
+— and with it disabled (the default) nothing is recorded and nothing is
+perturbed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.core.metrics import RoundWork
+from repro.core.streaming import JetStreamEngine
+from repro.host import Accelerator
+from repro.obs import MetricsServer, log_buckets, render_prometheus
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.streams import StreamGenerator
+
+from conftest import make_graph_for
+
+SUBSTRATES = [
+    ("scalar", {}),
+    ("vectorized", {}),
+    ("sharded", {"num_engines": 4}),
+]
+
+
+@pytest.fixture
+def registry():
+    """The process-wide REGISTRY, enabled and clean; restored after."""
+    REGISTRY.enable().reset()
+    yield REGISTRY
+    REGISTRY.disable().reset()
+
+
+def run_stream(engine_mode: str, batches: int = 2, **kwargs):
+    algorithm = make_algorithm("sssp", source=0)
+    graph = make_graph_for(algorithm, n=40, m=160, seed=5)
+    engine = JetStreamEngine(graph, algorithm, engine=engine_mode, **kwargs)
+    stream = StreamGenerator(engine.graph, seed=6)
+    results = [engine.initial_compute()]
+    for _ in range(batches):
+        results.append(engine.apply_batch(stream.next_batch(10)))
+    return results
+
+
+def family_total(snapshot: dict, name: str) -> float:
+    """Sum a counter/gauge family's value across all label series."""
+    for family in snapshot["families"]:
+        if family["name"] == name:
+            return sum(entry["value"] for entry in family["series"])
+    return 0.0
+
+
+# ----------------------------------------------------------------------
+# Metric primitives
+# ----------------------------------------------------------------------
+class TestPrimitives:
+    def test_counter_only_goes_up(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        g = Gauge("x")
+        g.set(7)
+        g.inc(-3)
+        assert g.value == 4
+
+    def test_log_buckets_geometry(self):
+        bounds = log_buckets(1.0, 16.0, factor=2.0)
+        assert bounds == (1.0, 2.0, 4.0, 8.0, 16.0)
+        # The last bound always reaches hi, even when hi is not a power.
+        assert log_buckets(1.0, 5.0, factor=2.0)[-1] == 8.0
+        with pytest.raises(ValueError):
+            log_buckets(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_buckets(1.0, 2.0, factor=1.0)
+
+    def test_histogram_bucket_assignment(self):
+        h = Histogram("x", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 3.0, 100.0):
+            h.observe(value)
+        # le semantics: a value equal to a bound lands in that bucket.
+        assert h.counts == [2, 0, 1, 1]
+        assert h.cumulative() == [2, 2, 3, 4]
+        assert h.count == 4
+        assert h.sum == pytest.approx(104.5)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=())
+
+
+# ----------------------------------------------------------------------
+# Registry behaviour
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_get_or_create_returns_same_series(self):
+        reg = MetricsRegistry(enabled=True)
+        a = reg.counter("c", "help")
+        b = reg.counter("c")
+        assert a is b
+        assert reg.counter("c", kind="x") is not a  # distinct label set
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c")
+        with pytest.raises(ValueError):
+            reg.gauge("c", mode="other")
+
+    def test_value_and_get(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c").inc(3)
+        assert reg.value("c") == 3
+        assert reg.get("missing") is None
+        assert reg.value("missing") is None
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot()["families"] == []
+
+    def test_record_round_folds_work_vector(self):
+        clock = iter([0.0, 0.25]).__next__
+        reg = MetricsRegistry(enabled=True, clock=clock)
+        work = RoundWork(
+            events_processed=8,
+            events_generated=5,
+            queue_inserts=10,
+            coalesce_ops=5,
+            spill_bytes=256,
+        )
+        reg.record_round(work, dur_s=0.25, occupancy=3)
+        assert reg.value("repro_rounds_total") == 1
+        assert reg.value("repro_events_processed_total") == 8
+        assert reg.value("repro_queue_occupancy") == 3
+        latency = reg.get("repro_round_latency_seconds")
+        assert latency.count == 1 and latency.sum == pytest.approx(0.25)
+        ratio = reg.get("repro_round_coalesce_ratio")
+        assert ratio.count == 1 and ratio.sum == pytest.approx(0.5)
+        spill = reg.get("repro_round_spill_bytes")
+        assert spill.count == 1 and spill.sum == pytest.approx(256)
+
+    def test_round_scope_times_with_the_injected_clock(self):
+        clock = iter([1.0, 1.5]).__next__
+        reg = MetricsRegistry(enabled=True, clock=clock)
+        with reg.round_scope(RoundWork(events_processed=2)):
+            pass
+        assert reg.value("repro_rounds_total") == 1
+        assert reg.get("repro_round_latency_seconds").sum == pytest.approx(0.5)
+
+    def test_disabled_record_helpers_are_inert(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.record_round(RoundWork(events_processed=1), 0.1, occupancy=2)
+        reg.record_noc(1, 2, 3)
+        reg.record_transfer("graph_uploads", 64)
+        with reg.round_scope(RoundWork(events_processed=1)):
+            pass
+        assert reg.snapshot()["families"] == []
+
+
+# ----------------------------------------------------------------------
+# Prometheus rendering
+# ----------------------------------------------------------------------
+class TestPrometheusExport:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("repro_rounds_total", "Scheduler rounds.").inc(3)
+        reg.gauge("repro_queue_occupancy").set(7)
+        text = reg.to_prometheus()
+        assert "# HELP repro_rounds_total Scheduler rounds." in text
+        assert "# TYPE repro_rounds_total counter" in text
+        assert "repro_rounds_total 3" in text
+        assert "repro_queue_occupancy 7" in text
+        assert text.endswith("\n")
+
+    def test_labels_render_sorted(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c", zeta="z", alpha="a").inc()
+        assert 'c{alpha="a",zeta="z"} 1' in reg.to_prometheus()
+
+    def test_histogram_cumulative_buckets_and_inf(self):
+        reg = MetricsRegistry(enabled=True)
+        h = reg.histogram("h", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 99.0):
+            h.observe(value)
+        text = reg.to_prometheus()
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="2"} 2' in text
+        assert 'h_bucket{le="+Inf"} 3' in text
+        assert "h_sum 101" in text
+        assert "h_count 3" in text
+
+    def test_render_prometheus_round_trips_json_snapshot(self, tmp_path):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c").inc(2)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        path = tmp_path / "metrics.json"
+        reg.dump_json(str(path))
+        snapshot = json.loads(path.read_text())
+        assert snapshot["format"] == "repro-metrics"
+        assert render_prometheus(snapshot) == reg.to_prometheus()
+
+    def test_render_prometheus_rejects_foreign_json(self):
+        with pytest.raises(ValueError):
+            render_prometheus({"rows": []})
+
+
+# ----------------------------------------------------------------------
+# Instrumentation parity: registry counters == RunMetrics totals
+# ----------------------------------------------------------------------
+class TestInstrumentationParity:
+    @pytest.mark.parametrize(
+        "mode,kwargs", SUBSTRATES, ids=[m for m, _ in SUBSTRATES]
+    )
+    def test_counters_match_run_metrics(self, registry, mode, kwargs):
+        results = run_stream(mode, **kwargs)
+        snapshot = registry.snapshot()
+        metrics = [r.metrics for r in results]
+        assert family_total(
+            snapshot, "repro_events_processed_total"
+        ) == sum(m.total.events_processed for m in metrics)
+        assert family_total(snapshot, "repro_queue_inserts_total") == sum(
+            m.total.queue_inserts for m in metrics
+        )
+        assert family_total(snapshot, "repro_coalesce_ops_total") == sum(
+            m.total.coalesce_ops for m in metrics
+        )
+        assert family_total(snapshot, "repro_spill_bytes_total") == sum(
+            m.total.spill_bytes for m in metrics
+        )
+        assert family_total(snapshot, "repro_rounds_total") == sum(
+            p.num_rounds for m in metrics for p in m.phases
+        )
+        assert family_total(snapshot, "repro_phases_total") == sum(
+            len(m.phases) for m in metrics
+        )
+        # Run accounting: one "initial" plus one "batch" per applied batch.
+        assert registry.value("repro_runs_total", kind="initial") == 1
+        assert registry.value("repro_runs_total", kind="batch") == len(results) - 1
+        latency = registry.get("repro_round_latency_seconds")
+        assert latency.count == family_total(snapshot, "repro_rounds_total")
+
+    def test_noc_counters_match_summary(self, registry):
+        results = run_stream("sharded", num_engines=4)
+        combined = {"events_local": 0, "events_remote": 0, "flits": 0}
+        for result in results:
+            noc = result.metrics.noc_summary()
+            for key in combined:
+                combined[key] += noc[key]
+        assert (registry.value("repro_noc_events_local_total") or 0) == combined[
+            "events_local"
+        ]
+        assert (registry.value("repro_noc_events_remote_total") or 0) == combined[
+            "events_remote"
+        ]
+        assert (registry.value("repro_noc_flits_total") or 0) == combined["flits"]
+        fraction = registry.get("repro_noc_remote_fraction")
+        if combined["events_local"] + combined["events_remote"]:
+            assert fraction is not None and fraction.count > 0
+
+    def test_transfer_counters_match_transfer_stats(self, registry):
+        accel = Accelerator()
+        session = accel.load_graph(
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)], num_vertices=4
+        )
+        session.configure("sssp", source=0)
+        session.run()
+        session.push_updates(insertions=[(0, 3, 2.0)])
+        session.run()
+        session.read_results()
+        snapshot = registry.snapshot()
+        assert family_total(
+            snapshot, "repro_transfer_bytes_total"
+        ) == session.transfer_stats().total
+
+    def test_disabled_registry_records_nothing(self):
+        REGISTRY.disable().reset()
+        run_stream("vectorized")
+        assert REGISTRY.snapshot()["families"] == []
+
+    def test_enabled_registry_does_not_perturb_results(self, registry):
+        enabled_results = run_stream("vectorized")
+        registry.disable()
+        disabled_results = run_stream("vectorized")
+        for a, b in zip(enabled_results, disabled_results):
+            assert a.states.tobytes() == b.states.tobytes()
+            assert a.metrics.to_rows() == b.metrics.to_rows()
+
+
+# ----------------------------------------------------------------------
+# Live scrape endpoint
+# ----------------------------------------------------------------------
+class TestMetricsServer:
+    def scrape(self, url: str) -> str:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            assert response.status == 200
+            return response.read().decode("utf-8")
+
+    def parse_value(self, text: str, name: str) -> float:
+        for line in text.splitlines():
+            if line.startswith(name + " ") or line.startswith(name + "{"):
+                return float(line.rsplit(" ", 1)[1])
+        raise AssertionError(f"{name} not found in scrape:\n{text}")
+
+    def test_serves_strictly_increasing_counters_mid_run(self, registry):
+        algorithm = make_algorithm("sssp", source=0)
+        graph = make_graph_for(algorithm, n=40, m=160, seed=5)
+        engine = JetStreamEngine(graph, algorithm, engine="vectorized")
+        stream = StreamGenerator(engine.graph, seed=6)
+        with MetricsServer(registry, port=0) as server:
+            assert server.port != 0
+            readings = []
+            engine.initial_compute()
+            readings.append(
+                self.parse_value(
+                    self.scrape(server.url), "repro_events_processed_total"
+                )
+            )
+            for _ in range(2):
+                engine.apply_batch(stream.next_batch(10))
+                readings.append(
+                    self.parse_value(
+                        self.scrape(server.url), "repro_events_processed_total"
+                    )
+                )
+        assert all(b > a for a, b in zip(readings, readings[1:])), readings
+        assert readings[0] > 0
+
+    def test_serves_json_snapshot_and_404(self, registry):
+        registry.counter("repro_rounds_total").inc(2)
+        with MetricsServer(registry) as server:
+            base = f"http://{server.host}:{server.port}"
+            snapshot = json.loads(self.scrape(base + "/metrics.json"))
+            assert snapshot["format"] == "repro-metrics"
+            assert family_total(snapshot, "repro_rounds_total") == 2
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(base + "/nope", timeout=5)
+            assert err.value.code == 404
+
+    def test_content_type_is_prometheus_text(self, registry):
+        with MetricsServer(registry) as server:
+            with urllib.request.urlopen(server.url, timeout=5) as response:
+                assert response.headers["Content-Type"].startswith(
+                    "text/plain; version=0.0.4"
+                )
+
+    def test_stop_is_idempotent(self, registry):
+        server = MetricsServer(registry).start()
+        port = server.port
+        assert port > 0
+        server.stop()
+        server.stop()
+        # A fresh start binds again (possibly on a different free port).
+        server.start()
+        assert server.port > 0
+        server.stop()
+
+
+def test_histogram_inf_formatting_in_exposition():
+    reg = MetricsRegistry(enabled=True)
+    reg.histogram("h", buckets=(1.0,)).observe(math.inf)
+    text = reg.to_prometheus()
+    assert 'h_bucket{le="+Inf"} 1' in text

@@ -252,6 +252,10 @@ class TestShardedMetrics:
         assert noc["events_remote"] > 0
         assert noc["flits"] > 0
         assert noc["cycles"] > 0
+        # Discrete quantities come back as ints (JSON/metrics friendly);
+        # only the modeled cycle count is fractional.
+        for key in ("events_local", "events_remote", "flits"):
+            assert isinstance(noc[key], int)
 
     def test_single_engine_has_no_remote_traffic(self):
         algorithm = make_algorithm("sssp", source=0)
