@@ -85,3 +85,19 @@ class Adsorption(Algorithm):
     def seed_event_for_new_vertex(self, v: int) -> Optional[float]:
         mass = self.injections.get(v)
         return self.p_inject * mass if mass is not None else None
+
+    def propagate_ctx_arrays(self, values, weights, out_degrees, out_weight_sums):
+        # Same expression order as the scalar hook:
+        # ((p_continue * value) * weight) / out_weight_sum.
+        sums = np.asarray(out_weight_sums, dtype=np.float64)
+        out = np.zeros(len(values), dtype=np.float64)
+        np.divide(
+            (self.p_continue * values) * weights, sums, out=out, where=sums > 0.0
+        )
+        return out
+
+    def propagation_factor_arrays(self, out_degrees, out_weight_sums):
+        sums = np.asarray(out_weight_sums, dtype=np.float64)
+        out = np.zeros(len(sums), dtype=np.float64)
+        np.divide(self.p_continue, sums, out=out, where=sums > 0.0)
+        return out

@@ -208,6 +208,103 @@ class Algorithm(ABC):
         payloads = np.fromiter((p for _, p in events), dtype=np.float64, count=n)
         return targets, payloads
 
+    #: Whether :meth:`propagate_ctx_arrays` actually reads the
+    #: ``out_weight_sums`` column. The streaming seed pipeline computes
+    #: exact per-source weight sums with a per-run left fold (to stay
+    #: bit-identical with :meth:`SourceContext.of`); algorithms whose
+    #: context hooks ignore the sums clear this to skip that fold.
+    ctx_needs_weight_sums: bool = True
+
+    def propagate_ctx_arrays(
+        self,
+        values: np.ndarray,
+        weights: np.ndarray,
+        out_degrees: np.ndarray,
+        out_weight_sums: np.ndarray,
+    ) -> np.ndarray:
+        """Degree-aware vectorized ``propagate`` (streaming seed payloads).
+
+        ``values[i]``/``weights[i]`` are the propagating state and edge
+        weight, ``out_degrees[i]``/``out_weight_sums[i]`` the source's
+        context in the graph version the propagation is priced against.
+        Must match ``propagate(values[i], weights[i],
+        SourceContext(out_degrees[i], out_weight_sums[i]))`` bit for bit.
+
+        Selective algorithms ignore the context and reuse
+        :meth:`propagate_arrays`; context-dependent accumulative
+        algorithms (PageRank, Adsorption) override this, and the default
+        falls back to an element-wise scalar loop so every algorithm can
+        ride the array seed pipeline.
+        """
+        if (
+            self.kind is AlgorithmKind.SELECTIVE
+            and type(self).propagate_arrays is not Algorithm.propagate_arrays
+        ):
+            return self.propagate_arrays(values, weights)
+        out = np.empty(len(values), dtype=np.float64)
+        for i in range(len(values)):
+            out[i] = self.propagate(
+                float(values[i]),
+                float(weights[i]),
+                SourceContext(int(out_degrees[i]), float(out_weight_sums[i])),
+            )
+        return out
+
+    def propagation_factor_arrays(
+        self, out_degrees: np.ndarray, out_weight_sums: np.ndarray
+    ) -> np.ndarray:
+        """Per-vertex :meth:`propagation_factor` over context arrays.
+
+        Used by the engine to build its propagation-factor table in one
+        vectorized pass per graph bind; must match the scalar method
+        exactly. The default is the element-wise loop.
+        """
+        out = np.empty(len(out_degrees), dtype=np.float64)
+        for i in range(len(out_degrees)):
+            out[i] = self.propagation_factor(
+                SourceContext(int(out_degrees[i]), float(out_weight_sums[i]))
+            )
+        return out
+
+    def self_events_arrays(
+        self, vertices: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`self_event` over impacted vertices.
+
+        Returns ``(mask, payloads)``: ``mask[i]`` is True where
+        ``vertices[i]`` is owed a re-injected initial event, with its
+        payload in ``payloads[i]``. Must match the scalar hook exactly.
+        """
+        n = len(vertices)
+        mask = np.zeros(n, dtype=bool)
+        payloads = np.zeros(n, dtype=np.float64)
+        for i in range(n):
+            payload = self.self_event(int(vertices[i]))
+            if payload is not None:
+                mask[i] = True
+                payloads[i] = payload
+        return mask, payloads
+
+    def seed_events_for_new_vertices(
+        self, start: int, stop: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`seed_event_for_new_vertex` over an id range.
+
+        Returns ``(targets, payloads)`` for the vertices in
+        ``range(start, stop)`` that are owed an initial payload.
+        """
+        targets: List[int] = []
+        payloads: List[float] = []
+        for v in range(start, stop):
+            payload = self.seed_event_for_new_vertex(v)
+            if payload is not None:
+                targets.append(v)
+                payloads.append(payload)
+        return (
+            np.asarray(targets, dtype=np.int64),
+            np.asarray(payloads, dtype=np.float64),
+        )
+
     # ------------------------------------------------------------------
     # Result helpers
     # ------------------------------------------------------------------

@@ -62,3 +62,10 @@ class ConnectedComponents(Algorithm):
     def initial_events_arrays(self, graph):
         ids = np.arange(graph.num_vertices, dtype=np.int64)
         return ids, ids.astype(np.float64)
+
+    def self_events_arrays(self, vertices):
+        return np.ones(len(vertices), dtype=bool), vertices.astype(np.float64)
+
+    def seed_events_for_new_vertices(self, start, stop):
+        ids = np.arange(start, stop, dtype=np.int64)
+        return ids, ids.astype(np.float64)

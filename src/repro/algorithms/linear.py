@@ -49,6 +49,7 @@ class LinearSystemSolver(Algorithm):
     degree_dependent = False
     weight_scaled_propagation = True
     reduce_ufunc = np.add
+    ctx_needs_weight_sums = False
 
     def __init__(
         self,
@@ -70,6 +71,12 @@ class LinearSystemSolver(Algorithm):
 
     def propagation_factor(self, ctx: SourceContext) -> float:
         return 1.0
+
+    def propagate_ctx_arrays(self, values, weights, out_degrees, out_weight_sums):
+        return np.asarray(values, dtype=np.float64) * weights
+
+    def propagation_factor_arrays(self, out_degrees, out_weight_sums):
+        return np.ones(len(out_degrees), dtype=np.float64)
 
     def initial_events(self, graph) -> List[Tuple[int, float]]:
         if self.check_contraction:

@@ -38,6 +38,7 @@ class PageRank(Algorithm):
     identity = 0.0
     degree_dependent = True
     reduce_ufunc = np.add
+    ctx_needs_weight_sums = False
 
     def __init__(self, alpha: float = 0.85, tolerance: float = 1e-6):
         if not 0.0 < alpha < 1.0:
@@ -72,4 +73,23 @@ class PageRank(Algorithm):
         return (
             np.arange(n, dtype=np.int64),
             np.full(n, 1.0 - self.alpha, dtype=np.float64),
+        )
+
+    def propagate_ctx_arrays(self, values, weights, out_degrees, out_weight_sums):
+        # Same expression order as the scalar hook: (alpha * value) / degree.
+        degrees = np.asarray(out_degrees, dtype=np.float64)
+        out = np.zeros(len(values), dtype=np.float64)
+        np.divide(self.alpha * values, degrees, out=out, where=degrees > 0)
+        return out
+
+    def propagation_factor_arrays(self, out_degrees, out_weight_sums):
+        degrees = np.asarray(out_degrees, dtype=np.float64)
+        out = np.zeros(len(degrees), dtype=np.float64)
+        np.divide(self.alpha, degrees, out=out, where=degrees > 0)
+        return out
+
+    def seed_events_for_new_vertices(self, start, stop):
+        return (
+            np.arange(start, stop, dtype=np.int64),
+            np.full(stop - start, 1.0 - self.alpha, dtype=np.float64),
         )

@@ -53,3 +53,7 @@ class SSSP(Algorithm):
 
     def more_progressed_arrays(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return a < b
+
+    def self_events_arrays(self, vertices):
+        mask = vertices == self.source
+        return mask, np.where(mask, 0.0, 0.0)

@@ -55,3 +55,7 @@ class SSWP(Algorithm):
 
     def more_progressed_arrays(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         return a > b
+
+    def self_events_arrays(self, vertices):
+        mask = vertices == self.source
+        return mask, np.where(mask, math.inf, 0.0)

@@ -159,7 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_check.add_argument(
         "--suite",
-        choices=["engine", "trace", "all"],
+        choices=["engine", "trace", "stream", "all"],
         default="all",
         help="which benchmark suite(s) to run",
     )
@@ -175,6 +175,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_check.add_argument(
         "--baseline-trace", help="override the trace-suite baseline path"
+    )
+    bench_check.add_argument(
+        "--baseline-stream", help="override the stream-suite baseline path"
     )
     bench_check.add_argument(
         "--update-baselines",
@@ -485,12 +488,14 @@ def cmd_metrics(args) -> int:
 def cmd_bench(args) -> int:
     from repro.obs import bench_gate
 
-    suites = ["engine", "trace"] if args.suite == "all" else [args.suite]
+    suites = list(bench_gate.SUITES) if args.suite == "all" else [args.suite]
     baseline_paths = {}
     if args.baseline_engine:
         baseline_paths["engine"] = args.baseline_engine
     if args.baseline_trace:
         baseline_paths["trace"] = args.baseline_trace
+    if args.baseline_stream:
+        baseline_paths["stream"] = args.baseline_stream
     tolerance = (
         args.tolerance if args.tolerance is not None else bench_gate.DEFAULT_TOLERANCE
     )

@@ -179,15 +179,12 @@ class EngineCore:
                 cumulative = np.concatenate(([0.0], np.cumsum(csr.out_weights)))
                 sums = cumulative[offsets[1:]] - cumulative[offsets[:-1]]
             self._out_weight_sum = sums
-            # Hoisted per-source propagation factor (linear fast path).
-            self._prop_factor = np.array(
-                [
-                    self.algorithm.propagation_factor(
-                        SourceContext(int(self._out_degree[v]), float(sums[v]))
-                    )
-                    for v in range(csr.num_vertices)
-                ],
-                dtype=np.float64,
+            # Hoisted per-source propagation factor (linear fast path),
+            # built in one vectorized pass per bind — the scalar per-vertex
+            # loop was an O(V) Python cost on every CSR swap (twice per
+            # streaming batch).
+            self._prop_factor = self.algorithm.propagation_factor_arrays(
+                self._out_degree, sums
             )
         else:
             self._out_degree = None

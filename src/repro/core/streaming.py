@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.algorithms.base import AlgorithmKind, SourceContext
+from repro.algorithms.base import Algorithm, AlgorithmKind, SourceContext
 from repro.core.config import AcceleratorConfig
 from repro.core.engine import EngineCore
 from repro.core.events import NO_SOURCE, Event, EventBatch
@@ -39,6 +39,47 @@ from repro.obs.metrics import REGISTRY as METRICS
 from repro.streams import UpdateBatch
 
 Edge = Tuple[int, int, float]
+
+_EMPTY_I64 = np.zeros(0, dtype=np.int64)
+_EMPTY_F64 = np.zeros(0, dtype=np.float64)
+
+
+def _run_indices(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenated ``[start, start + length)`` index ranges.
+
+    Expands per-vertex CSR runs into one flat gather index without a Python
+    loop: equivalent to ``np.concatenate([np.arange(s, s + l) ...])``.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return _EMPTY_I64
+    exclusive = np.cumsum(lengths) - lengths
+    return np.repeat(starts - exclusive, lengths) + np.arange(total, dtype=np.int64)
+
+
+def _interleave_mirrors(
+    u: np.ndarray, v: np.ndarray, w: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Symmetric-graph expansion: each edge followed by its mirror.
+
+    Matches the scalar list construction exactly — original then reversed
+    edge, interleaved in batch order, self-loops not mirrored.
+    """
+    mirror = u != v
+    counts = mirror.astype(np.int64) + 1
+    total = int(counts.sum())
+    starts = np.cumsum(counts) - counts
+    ou = np.empty(total, dtype=np.int64)
+    ov = np.empty(total, dtype=np.int64)
+    ow = np.empty(total, dtype=np.float64)
+    ou[starts] = u
+    ov[starts] = v
+    ow[starts] = w
+    mirror_pos = starts[mirror] + 1
+    ou[mirror_pos] = v[mirror]
+    ov[mirror_pos] = u[mirror]
+    ow[mirror_pos] = w[mirror]
+    return ou, ov, ow
 
 
 class _SeedBuffer:
@@ -122,6 +163,16 @@ class JetStreamEngine:
     shard_workers:
         Thread-pool width for sharded execution (default: one per engine,
         capped at the CPU count; 1 forces serial shard execution).
+    seed_pipeline:
+        How streaming seed events (delete payloads, reapproximation
+        requests, insertion seeds, net corrections) are computed:
+        ``auto`` (default — batched array kernels whenever the algorithm
+        ships vectorized hooks), ``array`` (force the array pipeline; the
+        degree-aware hooks fall back to exact element-wise loops for
+        algorithms without vectorized forms), or ``scalar`` (the original
+        per-edge Python loop, kept verbatim as the equivalence oracle).
+        Both pipelines produce bit-identical events, coalescing outcomes,
+        and work counters.
     """
 
     def __init__(
@@ -135,6 +186,7 @@ class JetStreamEngine:
         num_engines: int = 8,
         shard_workers: Optional[int] = None,
         tracer=None,
+        seed_pipeline: str = "auto",
     ):
         if algorithm.needs_symmetric and not graph.symmetric:
             raise ValueError(
@@ -159,6 +211,26 @@ class JetStreamEngine:
         #: stand-in graph scale would swamp the incremental advantage the
         #: paper measures at 45M–1.46B-edge scale. See DESIGN.md §4.
         self.two_phase_accumulative = two_phase_accumulative
+        if seed_pipeline not in ("auto", "array", "scalar"):
+            raise ValueError(
+                f"unknown seed_pipeline {seed_pipeline!r}; "
+                "expected 'auto', 'array', or 'scalar'"
+            )
+        self.seed_pipeline = seed_pipeline
+        self._array_seeds = seed_pipeline == "array" or (
+            seed_pipeline == "auto" and algorithm.supports_vectorized
+        )
+        # Selective algorithms with a vectorized propagate ignore the source
+        # context entirely, so the seed pipeline can skip building it; the
+        # exact out-weight-sum fold is only needed when propagate_ctx_arrays
+        # actually reads that column.
+        self._selective_fast = (
+            algorithm.kind is AlgorithmKind.SELECTIVE
+            and type(algorithm).propagate_arrays is not Algorithm.propagate_arrays
+        )
+        self._needs_weight_sums = (
+            not self._selective_fast and algorithm.ctx_needs_weight_sums
+        )
         self.core = EngineCore(
             algorithm,
             config or AcceleratorConfig(),
@@ -283,8 +355,12 @@ class JetStreamEngine:
         old_csr = self.graph.snapshot()
         core.bind_graph(old_csr)
 
-        deletions = self._directed_deletions(batch)
-        insertions = self._directed_insertions(batch)
+        if self._array_seeds:
+            deletions = self._directed_deletions_arrays(batch)
+            insertions = self._directed_insertions_arrays(batch)
+        else:
+            deletions = self._directed_deletions(batch)
+            insertions = self._directed_insertions(batch)
 
         # Phase 1: ProcessDeletesSelective + ResetImpacted on the old graph.
         tracer = core.tracer
@@ -296,18 +372,21 @@ class JetStreamEngine:
             with tracer.round(seed_work, queue), METRICS.round_scope(
                 seed_work, queue
             ):
-                buf = _SeedBuffer()
-                for u, v, w in deletions:
-                    # The stream reader computes the payload from the previous
-                    # converged source state (§3.3); BASE events carry no value.
-                    if self.policy is DeletePolicy.BASE:
-                        payload = 0.0
-                    else:
-                        payload = algorithm.propagate(float(core.states[u]), w, SourceContext.of(old_csr, u))
-                    seed_work.vertex_reads += 1
-                    seed_work.events_generated += 1
-                    buf.add(v, payload, 1, u)
-                buf.flush(queue, seed_work)
+                if self._array_seeds:
+                    self._seed_deletes_array(queue, seed_work, old_csr, deletions)
+                else:
+                    buf = _SeedBuffer()
+                    for u, v, w in deletions:
+                        # The stream reader computes the payload from the previous
+                        # converged source state (§3.3); BASE events carry no value.
+                        if self.policy is DeletePolicy.BASE:
+                            payload = 0.0
+                        else:
+                            payload = algorithm.propagate(float(core.states[u]), w, SourceContext.of(old_csr, u))
+                        seed_work.vertex_reads += 1
+                        seed_work.events_generated += 1
+                        buf.add(v, payload, 1, u)
+                    buf.flush(queue, seed_work)
             impacted = core.run_delete(queue, delete_phase)
         if METRICS.enabled:
             METRICS.record_phase(delete_phase)
@@ -324,25 +403,30 @@ class JetStreamEngine:
         with tracer.phase(compute_phase):
             work = compute_phase.new_round()
             with tracer.round(work, queue), METRICS.round_scope(work, queue):
-                identity = algorithm.identity
-                buf = _SeedBuffer()
-                for i in impacted:
-                    self_payload = algorithm.self_event(i)
-                    if self_payload is not None:
-                        buf.add(i, self_payload, 0, NO_SOURCE)
+                if self._array_seeds:
+                    self._seed_reapprox_array(
+                        queue, work, compute_phase, new_csr, impacted, insertions
+                    )
+                else:
+                    identity = algorithm.identity
+                    buf = _SeedBuffer()
+                    for i in impacted:
+                        self_payload = algorithm.self_event(i)
+                        if self_payload is not None:
+                            buf.add(i, self_payload, 0, NO_SOURCE)
+                            work.events_generated += 1
+                        sources = new_csr.in_neighbors(i)
+                        for u in sources:
+                            buf.add(int(u), identity, 2, NO_SOURCE)
+                        n_req = int(sources.shape[0])
+                        work.events_generated += n_req
+                        compute_phase.request_events += n_req
+                    for u, v, w in insertions:
+                        payload = algorithm.propagate(float(core.states[u]), w, SourceContext.of(new_csr, u))
+                        work.vertex_reads += 1
                         work.events_generated += 1
-                    sources = new_csr.in_neighbors(i)
-                    for u in sources:
-                        buf.add(int(u), identity, 2, NO_SOURCE)
-                    n_req = int(sources.shape[0])
-                    work.events_generated += n_req
-                    compute_phase.request_events += n_req
-                for u, v, w in insertions:
-                    payload = algorithm.propagate(float(core.states[u]), w, SourceContext.of(new_csr, u))
-                    work.vertex_reads += 1
-                    work.events_generated += 1
-                    buf.add(v, payload, 0, u)
-                buf.flush(queue, work)
+                        buf.add(v, payload, 0, u)
+                    buf.flush(queue, work)
                 self._seed_new_vertices(queue, work, old_csr.num_vertices, new_csr.num_vertices)
             core.run_regular(queue, compute_phase)
         if METRICS.enabled:
@@ -370,6 +454,8 @@ class JetStreamEngine:
         net corrections then converge in a single computation phase on the
         new graph. Equivalent fixed point to Algorithm 6.
         """
+        if self._array_seeds:
+            return self._apply_accumulative_net_array(batch)
         core = self.core
         algorithm = self.algorithm
         metrics = RunMetrics()
@@ -442,6 +528,8 @@ class JetStreamEngine:
         )
 
     def _apply_accumulative_two_phase(self, batch: UpdateBatch) -> StreamingResult:
+        if self._array_seeds:
+            return self._apply_accumulative_two_phase_array(batch)
         core = self.core
         algorithm = self.algorithm
         metrics = RunMetrics()
@@ -529,6 +617,196 @@ class JetStreamEngine:
             queue_stats=queue.lifetime_stats(),
         )
 
+    def _apply_accumulative_net_array(self, batch: UpdateBatch) -> StreamingResult:
+        """Array-kernel variant of the net-correction flow.
+
+        Stale-contribution expansion, context gathering, and the per-target
+        correction fold all run as batched NumPy kernels; every event,
+        coalescing outcome, and work counter is bit-identical to the scalar
+        loop (``np.add.at`` applies updates sequentially in index order,
+        which matches the dict fold because both enumerate the same edges
+        in the same order).
+        """
+        core = self.core
+        algorithm = self.algorithm
+        metrics = RunMetrics()
+
+        du, dv, dw = self._directed_deletions_arrays(batch)
+        iu, iv, iw = self._directed_insertions_arrays(batch)
+        old_csr = self.graph.snapshot()
+        old_n = old_csr.num_vertices
+
+        tracer = core.tracer
+        phase = metrics.phase("reevaluation")
+        with tracer.phase(phase):
+            work = phase.new_round()
+            with tracer.round(work), METRICS.round_scope(work):
+                if algorithm.degree_dependent:
+                    modified = np.unique(np.concatenate([du, iu[iu < old_n]]))
+                    su, sv, sw = self._expand_out_edges(old_csr, modified)
+                    keep = ~self._edge_key_member(su, sv, du, dv, old_n)
+                    ru = np.concatenate([su[keep], iu])
+                    rv = np.concatenate([sv[keep], iv])
+                    rw = np.concatenate([sw[keep], iw])
+                else:
+                    su, sv, sw = du, dv, dw
+                    ru, rv, rw = iu, iv, iw
+
+                degrees, wsums = self._source_ctx(old_csr, su)
+                stale_delta = -algorithm.propagate_ctx_arrays(
+                    core.states[su], sw, degrees, wsums
+                )
+                work.vertex_reads += len(su)
+
+                # Mutate; replacements are priced against the new structure.
+                self._mutate_graph(batch)
+                new_csr = self.graph.snapshot()
+                core.grow(new_csr.num_vertices)
+                core.bind_graph(new_csr)
+                degrees, wsums = self._source_ctx(new_csr, ru)
+                repl_delta = algorithm.propagate_ctx_arrays(
+                    core.states[ru], rw, degrees, wsums
+                )
+                work.vertex_reads += len(ru)
+
+                corrections = np.zeros(new_csr.num_vertices, dtype=np.float64)
+                np.add.at(corrections, sv, stale_delta)
+                np.add.at(corrections, rv, repl_delta)
+                if type(algorithm).should_propagate is Algorithm.should_propagate:
+                    seeds = np.flatnonzero(
+                        np.abs(corrections) > algorithm.propagation_threshold
+                    )
+                else:
+                    # A custom predicate only ever sees touched targets in
+                    # the scalar flow; preserve that.
+                    touched = np.unique(np.concatenate([sv, rv]))
+                    flag = np.fromiter(
+                        (
+                            algorithm.should_propagate(float(corrections[v]))
+                            for v in touched
+                        ),
+                        dtype=bool,
+                        count=len(touched),
+                    )
+                    seeds = touched[flag]
+
+                queue = core.new_queue()
+                work.events_generated += len(seeds)
+                if len(seeds):
+                    queue.insert_batch(
+                        EventBatch.from_arrays(
+                            seeds, corrections[seeds], 0, NO_SOURCE
+                        ),
+                        work,
+                    )
+                self._seed_new_vertices(queue, work, old_n, new_csr.num_vertices)
+            core.run_regular(queue, phase)
+        if METRICS.enabled:
+            METRICS.record_phase(phase)
+
+        return StreamingResult(
+            states=core.states.copy(),
+            metrics=metrics,
+            graph_version=self.graph.version,
+            queue_stats=queue.lifetime_stats(),
+        )
+
+    def _apply_accumulative_two_phase_array(
+        self, batch: UpdateBatch
+    ) -> StreamingResult:
+        """Array-kernel variant of the two-phase Algorithm 6 flow."""
+        core = self.core
+        algorithm = self.algorithm
+        metrics = RunMetrics()
+
+        du, dv, dw = self._directed_deletions_arrays(batch)
+        iu, iv, iw = self._directed_insertions_arrays(batch)
+        old_csr = self.graph.snapshot()
+        old_n = old_csr.num_vertices
+
+        if algorithm.degree_dependent:
+            modified = np.unique(np.concatenate([du, iu[iu < old_n]]))
+            su, sv, sw = self._expand_out_edges(old_csr, modified)
+            keep = ~self._edge_key_member(su, sv, du, dv, old_n)
+            ru = np.concatenate([su[keep], iu])
+            rv = np.concatenate([sv[keep], iv])
+            rw = np.concatenate([sw[keep], iw])
+            intermediate_csr = self.graph.snapshot_with_sinks(modified)
+        else:
+            su, sv, sw = du, dv, dw
+            ru, rv, rw = iu, iv, iw
+            eu, ev, ew = self.graph.edge_arrays()
+            survives = ~self._edge_key_member(eu, ev, du, dv, old_n)
+            from repro.graph.csr import CSRGraph
+
+            intermediate_csr = CSRGraph.from_arrays(
+                old_n, eu[survives], ev[survives], ew[survives]
+            )
+
+        # Phase 1: negative events drain stale contributions (Algorithm 3)
+        # while the intermediate graph blocks cyclic re-propagation.
+        tracer = core.tracer
+        delete_phase = metrics.phase("delete-negation")
+        with tracer.phase(delete_phase):
+            seed_work = delete_phase.new_round()
+            with tracer.round(seed_work), METRICS.round_scope(seed_work):
+                degrees, wsums = self._source_ctx(old_csr, su)
+                deltas = -algorithm.propagate_ctx_arrays(
+                    core.states[su], sw, degrees, wsums
+                )
+                seed_work.vertex_reads += len(su)
+                sendable = self._should_propagate_mask(deltas)
+                core.bind_graph(intermediate_csr)
+                queue = core.new_queue()
+                seed_work.events_generated += int(sendable.sum())
+                queue.insert_batch(
+                    EventBatch.from_arrays(
+                        sv[sendable], deltas[sendable], 0, su[sendable]
+                    ),
+                    seed_work,
+                )
+            core.run_regular(queue, delete_phase)
+        if METRICS.enabled:
+            METRICS.record_phase(delete_phase)
+
+        # Mutate; switch to the new structure.
+        self._mutate_graph(batch)
+        new_csr = self.graph.snapshot()
+        core.grow(new_csr.num_vertices)
+        core.bind_graph(new_csr)
+
+        # Phase 2: re-add surviving + new edges at the new degrees.
+        compute_phase = metrics.phase("reevaluation")
+        with tracer.phase(compute_phase):
+            work = compute_phase.new_round()
+            with tracer.round(work, queue), METRICS.round_scope(work, queue):
+                degrees, wsums = self._source_ctx(new_csr, ru)
+                deltas = algorithm.propagate_ctx_arrays(
+                    core.states[ru], rw, degrees, wsums
+                )
+                work.vertex_reads += len(ru)
+                sendable = self._should_propagate_mask(deltas)
+                n_send = int(sendable.sum())
+                work.events_generated += n_send
+                if n_send:
+                    queue.insert_batch(
+                        EventBatch.from_arrays(
+                            rv[sendable], deltas[sendable], 0, ru[sendable]
+                        ),
+                        work,
+                    )
+                self._seed_new_vertices(queue, work, old_n, new_csr.num_vertices)
+            core.run_regular(queue, compute_phase)
+        if METRICS.enabled:
+            METRICS.record_phase(compute_phase)
+
+        return StreamingResult(
+            states=core.states.copy(),
+            metrics=metrics,
+            graph_version=self.graph.version,
+            queue_stats=queue.lifetime_stats(),
+        )
+
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
@@ -560,6 +838,190 @@ class JetStreamEngine:
                 out.append((edge.v, edge.u, edge.w))
         return out
 
+    def _directed_deletions_arrays(
+        self, batch: UpdateBatch
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Array form of :meth:`_directed_deletions` (same order)."""
+        dels = batch.deletions
+        m = len(dels)
+        u = np.fromiter((e.u for e in dels), dtype=np.int64, count=m)
+        v = np.fromiter((e.v for e in dels), dtype=np.int64, count=m)
+        w = np.fromiter(
+            (self.graph.edge_weight(e.u, e.v) for e in dels),
+            dtype=np.float64,
+            count=m,
+        )
+        if not self.graph.symmetric:
+            return u, v, w
+        return _interleave_mirrors(u, v, w)
+
+    def _directed_insertions_arrays(
+        self, batch: UpdateBatch
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Array form of :meth:`_directed_insertions` (same order)."""
+        ins = batch.insertions
+        m = len(ins)
+        u = np.fromiter((e.u for e in ins), dtype=np.int64, count=m)
+        v = np.fromiter((e.v for e in ins), dtype=np.int64, count=m)
+        w = np.fromiter((e.w for e in ins), dtype=np.float64, count=m)
+        if not self.graph.symmetric:
+            return u, v, w
+        return _interleave_mirrors(u, v, w)
+
+    @staticmethod
+    def _expand_out_edges(
+        csr, sources: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All out-edges of ``sources`` (ascending ids), in CSR edge order.
+
+        The degree-dependent delete flows expand each mutated source to its
+        full stale out-edge set; this gathers those runs in one shot.
+        """
+        offsets = csr.out_offsets
+        lengths = offsets[sources + 1] - offsets[sources]
+        edge_idx = _run_indices(offsets[sources], lengths)
+        return (
+            np.repeat(sources, lengths),
+            csr.out_targets[edge_idx].astype(np.int64, copy=False),
+            csr.out_weights[edge_idx],
+        )
+
+    @staticmethod
+    def _edge_key_member(
+        u: np.ndarray,
+        v: np.ndarray,
+        key_u: np.ndarray,
+        key_v: np.ndarray,
+        num_vertices: int,
+    ) -> np.ndarray:
+        """Boolean mask: is ``(u[i], v[i])`` in the ``(key_u, key_v)`` set?"""
+        if len(key_u) == 0 or len(u) == 0:
+            return np.zeros(len(u), dtype=bool)
+        stride = np.int64(max(num_vertices, 1))
+        keys = np.unique(key_u * stride + key_v)
+        probe = u * stride + v
+        pos = np.searchsorted(keys, probe)
+        pos_clipped = np.minimum(pos, len(keys) - 1)
+        return (pos < len(keys)) & (keys[pos_clipped] == probe)
+
+    def _source_ctx(
+        self, csr, sources: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-element ``(out_degree, out_weight_sum)`` context in ``csr``.
+
+        Degrees come from offset arithmetic. When the algorithm's context
+        hook reads the weight sums, they are reproduced **bit for bit**
+        with :meth:`SourceContext.of` — a per-source left fold over the
+        CSR-ordered out-edges. A prefix-sum difference or pairwise
+        ``reduceat`` would round differently, so the fold stays a Python
+        loop over the (few) distinct touched sources.
+        """
+        offsets = csr.out_offsets
+        degrees = offsets[sources + 1] - offsets[sources]
+        if not self._needs_weight_sums or len(sources) == 0:
+            return degrees, np.zeros(len(sources), dtype=np.float64)
+        uniq, inverse = np.unique(sources, return_inverse=True)
+        weights = csr.out_weights
+        sums = np.empty(len(uniq), dtype=np.float64)
+        for i, u in enumerate(uniq):
+            total = 0.0
+            for j in range(int(offsets[u]), int(offsets[u + 1])):
+                total += float(weights[j])
+            sums[i] = total
+        return degrees, sums[inverse]
+
+    def _should_propagate_mask(self, deltas: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`Algorithm.should_propagate` over seed deltas."""
+        algorithm = self.algorithm
+        if type(algorithm).should_propagate is Algorithm.should_propagate:
+            if algorithm.kind is AlgorithmKind.ACCUMULATIVE:
+                return np.abs(deltas) > algorithm.propagation_threshold
+            return np.ones(len(deltas), dtype=bool)
+        return np.fromiter(
+            (algorithm.should_propagate(float(d)) for d in deltas),
+            dtype=bool,
+            count=len(deltas),
+        )
+
+    def _seed_deletes_array(self, queue, work, old_csr, deletions) -> None:
+        """Array form of the selective delete-seed loop (same events)."""
+        du, dv, dw = deletions
+        m = len(du)
+        work.vertex_reads += m
+        work.events_generated += m
+        if m == 0:
+            return
+        if self.policy is DeletePolicy.BASE:
+            payloads = np.zeros(m, dtype=np.float64)
+        else:
+            degrees, wsums = self._source_ctx(old_csr, du)
+            payloads = self.algorithm.propagate_ctx_arrays(
+                self.core.states[du], dw, degrees, wsums
+            )
+        queue.insert_batch(EventBatch.from_arrays(dv, payloads, 1, du), work)
+
+    def _seed_reapprox_array(
+        self, queue, work, compute_phase, new_csr, impacted, insertions
+    ) -> None:
+        """Array form of the reapproximation + insertion seeding.
+
+        Per impacted vertex the scalar loop emits an optional self event
+        followed by one request event per in-neighbor; the array form
+        scatters the self events into the head slot of each vertex's run
+        and gathers the request targets straight from the in-CSR, so the
+        concatenated layout reproduces the scalar emission order exactly.
+        """
+        algorithm = self.algorithm
+        core = self.core
+        imp = np.asarray(impacted, dtype=np.int64)
+        self_mask, self_payloads = algorithm.self_events_arrays(imp)
+        in_offsets = new_csr.in_offsets
+        requests_per = in_offsets[imp + 1] - in_offsets[imp]
+        lengths = self_mask.astype(np.int64) + requests_per
+        total = int(lengths.sum())
+        starts = np.cumsum(lengths) - lengths
+
+        targets = np.empty(total, dtype=np.int64)
+        payloads = np.full(total, algorithm.identity, dtype=np.float64)
+        flags = np.full(total, 2, dtype=np.int64)
+        self_pos = starts[self_mask]
+        targets[self_pos] = imp[self_mask]
+        payloads[self_pos] = self_payloads[self_mask]
+        flags[self_pos] = 0
+        request_pos = np.ones(total, dtype=bool)
+        request_pos[self_pos] = False
+        edge_idx = _run_indices(in_offsets[imp], requests_per)
+        targets[request_pos] = new_csr.in_sources[edge_idx]
+
+        n_requests = int(requests_per.sum())
+        work.events_generated += int(self_mask.sum()) + n_requests
+        compute_phase.request_events += n_requests
+
+        iu, iv, iw = insertions
+        mi = len(iu)
+        work.vertex_reads += mi
+        work.events_generated += mi
+        if mi:
+            degrees, wsums = self._source_ctx(new_csr, iu)
+            ins_payloads = algorithm.propagate_ctx_arrays(
+                core.states[iu], iw, degrees, wsums
+            )
+        else:
+            ins_payloads = _EMPTY_F64
+
+        all_targets = np.concatenate([targets, iv])
+        if len(all_targets) == 0:
+            return
+        queue.insert_batch(
+            EventBatch.from_arrays(
+                all_targets,
+                np.concatenate([payloads, ins_payloads]),
+                np.concatenate([flags, np.zeros(mi, dtype=np.int64)]),
+                np.concatenate([np.full(total, NO_SOURCE, dtype=np.int64), iu]),
+            ),
+            work,
+        )
+
     def _mutate_graph(self, batch: UpdateBatch) -> None:
         self.graph.apply_batch(
             [(e.u, e.v, e.w) for e in batch.insertions],
@@ -568,6 +1030,18 @@ class JetStreamEngine:
 
     def _seed_new_vertices(self, queue, work, old_n: int, new_n: int) -> None:
         """Deliver owed initial events to vertices created by this batch."""
+        if new_n <= old_n:
+            return
+        if self._array_seeds:
+            targets, payloads = self.algorithm.seed_events_for_new_vertices(
+                old_n, new_n
+            )
+            work.events_generated += len(targets)
+            if len(targets):
+                queue.insert_batch(
+                    EventBatch.from_arrays(targets, payloads, 0, NO_SOURCE), work
+                )
+            return
         for v in range(old_n, new_n):
             payload = self.algorithm.seed_event_for_new_vertex(v)
             if payload is not None:

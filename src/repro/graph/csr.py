@@ -86,6 +86,65 @@ class CSRGraph:
                 num_vertices = max(num_vertices, u + 1, v + 1)
         return cls(num_vertices, edges)
 
+    @classmethod
+    def from_arrays(
+        cls, num_vertices: int, src: np.ndarray, dst: np.ndarray, wgt: np.ndarray
+    ) -> "CSRGraph":
+        """Build a graph from parallel ``(src, dst, weight)`` arrays.
+
+        The array-native equivalent of ``CSRGraph(num_vertices, edges)``:
+        same validation and the same deterministic ``(src, dst)`` ordering,
+        without materialising Python tuples.
+        """
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        wgt = np.asarray(wgt, dtype=np.float64)
+        if src.shape != dst.shape or src.shape != wgt.shape:
+            raise ValueError("src/dst/wgt arrays must have equal length")
+        if len(src) and (src.min() < 0 or dst.min() < 0):
+            raise ValueError("vertex ids must be non-negative")
+        if len(src) and (src.max() >= num_vertices or dst.max() >= num_vertices):
+            raise ValueError("edge endpoint out of range")
+        return cls._from_parts(
+            int(num_vertices),
+            len(src),
+            *_build_csr(num_vertices, src, dst, wgt),
+            *_build_csr(num_vertices, dst, src, wgt),
+        )
+
+    @classmethod
+    def _from_parts(
+        cls,
+        num_vertices: int,
+        num_edges: int,
+        out_offsets: np.ndarray,
+        out_targets: np.ndarray,
+        out_weights: np.ndarray,
+        in_offsets: np.ndarray,
+        in_sources: np.ndarray,
+        in_weights: np.ndarray,
+    ) -> "CSRGraph":
+        """Trusted constructor from prebuilt CSR arrays (no validation).
+
+        Used by the incremental :class:`~repro.graph.dynamic.DynamicGraph`
+        store, whose spliced arrays are maintained in exactly the
+        ``_build_csr`` order, and by :meth:`reversed`. Callers own the
+        invariants: offsets monotone, targets sorted per source, both
+        directions describing the same edge multiset.
+        """
+        graph = object.__new__(cls)
+        graph.num_vertices = int(num_vertices)
+        graph.num_edges = int(num_edges)
+        graph.out_offsets = out_offsets
+        graph.out_targets = out_targets
+        graph.out_weights = out_weights
+        graph.in_offsets = in_offsets
+        graph.in_sources = in_sources
+        graph.in_weights = in_weights
+        return graph
+
     # ------------------------------------------------------------------
     # Topology accessors
     # ------------------------------------------------------------------
@@ -118,16 +177,36 @@ class CSRGraph:
         return self.in_sources[self.in_offsets[v] : self.in_offsets[v + 1]]
 
     def has_edge(self, u: int, v: int) -> bool:
-        """True if a directed edge ``u -> v`` exists."""
-        return bool(np.any(self.out_neighbors(u) == v))
+        """True if a directed edge ``u -> v`` exists (binary search)."""
+        start, stop = self.out_offsets[u], self.out_offsets[u + 1]
+        i = start + np.searchsorted(self.out_targets[start:stop], v)
+        return bool(i < stop and self.out_targets[i] == v)
 
     def edge_weight(self, u: int, v: int) -> float:
-        """Weight of edge ``u -> v`` (first match); raises if absent."""
+        """Weight of edge ``u -> v`` (first match); raises if absent.
+
+        Targets are sorted per source by ``_build_csr``, so the leftmost
+        binary-search hit is the same "first match" the old linear scan
+        returned (parallel edges keep their lexsort order).
+        """
         start, stop = self.out_offsets[u], self.out_offsets[u + 1]
-        for i in range(start, stop):
-            if self.out_targets[i] == v:
-                return float(self.out_weights[i])
+        i = start + np.searchsorted(self.out_targets[start:stop], v)
+        if i < stop and self.out_targets[i] == v:
+            return float(self.out_weights[i])
         raise KeyError(f"no edge {u} -> {v}")
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The edge set as parallel ``(src, dst, weight)`` arrays.
+
+        Array-native replacement for :meth:`edges` on hot paths; rows are
+        in CSR order (sorted by source, then target). ``dst``/``weight``
+        are views of the CSR arrays — treat all three as read-only.
+        """
+        src = np.repeat(
+            np.arange(self.num_vertices, dtype=np.int64),
+            np.diff(self.out_offsets),
+        )
+        return src, self.out_targets, self.out_weights
 
     def edges(self) -> Iterator[Edge]:
         """Yield every edge as ``(src, dst, weight)`` in CSR order."""
@@ -137,18 +216,48 @@ class CSRGraph:
                 yield u, int(self.out_targets[i]), float(self.out_weights[i])
 
     def reversed(self) -> "CSRGraph":
-        """Graph with every edge direction flipped."""
-        return CSRGraph(self.num_vertices, [(v, u, w) for u, v, w in self.edges()])
+        """Graph with every edge direction flipped.
+
+        The reversed out-CSR *is* this graph's in-CSR (both are built by
+        the same ``_build_csr`` sort), so this is an O(1) view swap.
+        """
+        return CSRGraph._from_parts(
+            self.num_vertices,
+            self.num_edges,
+            self.in_offsets,
+            self.in_sources,
+            self.in_weights,
+            self.out_offsets,
+            self.out_targets,
+            self.out_weights,
+        )
 
     def symmetrized(self) -> "CSRGraph":
-        """Graph with each edge present in both directions (for CC)."""
-        out = {}
-        for u, v, w in self.edges():
-            out.setdefault((u, v), w)
-        for u, v, w in self.edges():
-            out.setdefault((v, u), w)  # mirror only when absent
-        return CSRGraph(
-            self.num_vertices, [(u, v, w) for (u, v), w in sorted(out.items())]
+        """Graph with each edge present in both directions (for CC).
+
+        Duplicate ``(u, v)`` rows collapse to the first occurrence and a
+        mirror is added only where absent, with the forward weight — the
+        same first-occurrence-wins semantics as the old dict construction,
+        computed with sorted-key membership instead of per-edge Python.
+        """
+        src, dst, wgt = self.edge_arrays()
+        n = max(self.num_vertices, 1)
+        key = src * n + dst  # sorted: edge_arrays yields CSR (src, dst) order
+        if len(key):
+            keep = np.ones(len(key), dtype=bool)
+            np.not_equal(key[1:], key[:-1], out=keep[1:])
+            src, dst, wgt, key = src[keep], dst[keep], wgt[keep], key[keep]
+        mirror_key = dst * n + src
+        pos = np.searchsorted(key, mirror_key)
+        present = np.zeros(len(mirror_key), dtype=bool)
+        in_range = pos < len(key)
+        present[in_range] = key[pos[in_range]] == mirror_key[in_range]
+        missing = ~present
+        return CSRGraph.from_arrays(
+            self.num_vertices,
+            np.concatenate([src, dst[missing]]),
+            np.concatenate([dst, src[missing]]),
+            np.concatenate([wgt, wgt[missing]]),
         )
 
     # ------------------------------------------------------------------

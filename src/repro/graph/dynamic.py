@@ -1,4 +1,4 @@
-"""Mutable, versioned graph — the host-side graph store.
+"""Mutable, versioned graph — the array-native host-side graph store.
 
 The paper (§4.7) leaves evolving-edge-list maintenance to a software graph
 versioning framework on the host (e.g. GraphOne / Version Traveler) and has
@@ -7,9 +7,33 @@ the host hand the accelerator a fresh CSR pointer after every batch.
 :class:`repro.streams.UpdateBatch` mutations, bumps a version counter, and
 emits immutable :class:`~repro.graph.csr.CSRGraph` snapshots.
 
+Storage is a structure of arrays in the GraphOne style: each direction
+keeps one globally sorted int64 *composite key* array (``src << shift |
+dst`` for the out-direction, ``dst << shift | src`` for the in-direction),
+a parallel weight array, and per-vertex offsets — i.e. the CSR arrays
+themselves, maintained incrementally. A Python dict keyed by ``(u, v)``
+mirrors the live edge set for O(1) membership/weight queries and mutation
+validation; single-edge mutations only touch the dict and are folded into
+the arrays lazily (copy-on-write splice) when a snapshot or adjacency
+query needs them. Splice cost scales with ``batch + E`` memcpy (one
+vectorized compress/insert pass) rather than the old ``O(E log E)``
+Python-iterate-and-lexsort rebuild, and the per-batch Python cost scales
+with the batch alone.
+
+Because the key arrays are kept in exactly the order
+:func:`repro.graph.csr._build_csr` produces (sorted by source then target,
+resp. target then source), a snapshot is a zero-sort view: the offsets and
+weights are handed to :meth:`CSRGraph._from_parts` directly and the
+target/source columns are recovered with one mask each. Snapshots are
+copy-on-write safe — every flush allocates fresh arrays — and cached per
+mutation state, so back-to-back ``snapshot()`` calls (the streaming
+orchestrator takes one before and one after each batch) cost nothing.
+
 Two snapshot flavours exist because accumulative deletion (§3.5, Fig. 5)
-needs an *intermediate* graph in which every mutated source vertex is turned
-into a sink (all its out-edges dropped) to break cyclic re-propagation.
+needs an *intermediate* graph in which every mutated source vertex is
+turned into a sink (all its out-edges dropped) to break cyclic
+re-propagation; :meth:`snapshot_with_sinks` builds it with boolean edge
+masks instead of a full Python-filtered rebuild.
 """
 
 from __future__ import annotations
@@ -17,7 +41,9 @@ from __future__ import annotations
 import warnings
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
-from repro.graph.csr import CSRGraph
+import numpy as np
+
+from repro.graph.csr import CSRGraph, _build_csr
 
 Edge = Tuple[int, int, float]
 
@@ -70,8 +96,94 @@ def build_symmetric_graph(
     return graph
 
 
+class _DirectedCSR:
+    """One direction of the incremental dual-CSR store.
+
+    ``keys`` is a globally sorted int64 array of ``major << shift | minor``
+    composite keys (major = the CSR grouping vertex), ``weights`` the
+    parallel edge weights, ``offsets`` the per-major CSR offsets. All
+    updates are copy-on-write: a splice allocates fresh arrays, so CSR
+    snapshots holding the previous arrays stay valid.
+    """
+
+    __slots__ = ("keys", "weights", "offsets")
+
+    def __init__(self, num_vertices: int):
+        self.keys = np.empty(0, dtype=np.int64)
+        self.weights = np.empty(0, dtype=np.float64)
+        self.offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+
+    def rebuild(
+        self,
+        shift: int,
+        majors: np.ndarray,
+        minors: np.ndarray,
+        weights: np.ndarray,
+        num_vertices: int,
+    ) -> None:
+        """Bulk (re)build from unsorted parallel arrays."""
+        keys = (majors.astype(np.int64) << shift) | minors.astype(np.int64)
+        order = np.argsort(keys, kind="stable")
+        self.keys = keys[order]
+        self.weights = np.asarray(weights, dtype=np.float64)[order]
+        counts = np.bincount(majors, minlength=num_vertices)
+        offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        self.offsets = offsets
+
+    def grow(self, num_vertices: int) -> None:
+        """Extend the offsets to cover newly created (isolated) vertices."""
+        missing = num_vertices + 1 - len(self.offsets)
+        if missing > 0:
+            tail = np.full(missing, self.offsets[-1], dtype=np.int64)
+            self.offsets = np.concatenate([self.offsets, tail])
+
+    def rekey(self, old_shift: int, new_shift: int) -> None:
+        """Widen the composite-key stride (vertex-capacity growth).
+
+        Keys stay sorted: the mapping is monotone in (major, minor).
+        """
+        majors = self.keys >> old_shift
+        minors = self.keys - (majors << old_shift)
+        self.keys = (majors << new_shift) | minors
+
+    def splice(
+        self,
+        shift: int,
+        del_keys: np.ndarray,
+        ins_keys: np.ndarray,
+        ins_weights: np.ndarray,
+    ) -> None:
+        """Remove ``del_keys`` and merge ``ins_keys`` (both sorted).
+
+        Every deleted key must be present and every inserted key absent
+        (the caller's dict index guarantees it). One vectorized
+        compress-plus-merge pass; the offsets are updated from the touched
+        majors' degree deltas, so the Python-level cost is O(batch) and
+        the array cost one memcpy of each direction.
+        """
+        keys, weights = self.keys, self.weights
+        if len(del_keys):
+            pos = np.searchsorted(keys, del_keys)
+            keep = np.ones(len(keys), dtype=bool)
+            keep[pos] = False
+            keys, weights = keys[keep], weights[keep]
+        if len(ins_keys):
+            pos = np.searchsorted(keys, ins_keys)
+            keys = np.insert(keys, pos, ins_keys)
+            weights = np.insert(weights, pos, ins_weights)
+        self.keys, self.weights = keys, weights
+
+        delta = np.zeros(len(self.offsets), dtype=np.int64)
+        if len(ins_keys):
+            np.add.at(delta, (ins_keys >> shift) + 1, 1)
+        if len(del_keys):
+            np.subtract.at(delta, (del_keys >> shift) + 1, 1)
+        self.offsets = self.offsets + np.cumsum(delta)
+
+
 class DynamicGraph:
-    """Adjacency-map graph supporting batched edge insertion and deletion.
+    """Array-native graph supporting batched edge insertion and deletion.
 
     Parameters
     ----------
@@ -83,15 +195,55 @@ class DynamicGraph:
         When true every mutation is mirrored, keeping the edge set
         symmetric. Used for Connected Components, whose tag/request
         propagation must travel both directions.
+    incremental_snapshots:
+        When true (default) ``snapshot()`` maintains the CSR arrays by
+        splicing the touched adjacency runs; when false every snapshot is
+        a from-scratch rebuild (:meth:`rebuild_snapshot`) — the
+        pre-incremental behaviour, kept as the benchmark comparator and
+        fuzz oracle.
     """
 
-    def __init__(self, num_vertices: int = 0, symmetric: bool = False):
+    def __init__(
+        self,
+        num_vertices: int = 0,
+        symmetric: bool = False,
+        incremental_snapshots: bool = True,
+    ):
         self.num_vertices = int(num_vertices)
         self.symmetric = bool(symmetric)
+        self.incremental_snapshots = bool(incremental_snapshots)
         self.version = 0
-        self._out: Dict[int, Dict[int, float]] = {}
-        self._in: Dict[int, Dict[int, float]] = {}
-        self._num_edges = 0
+        #: Live directed edge set: ``(u, v) -> weight``. The source of
+        #: truth for membership; the arrays lag behind until a flush.
+        self._index: Dict[Tuple[int, int], float] = {}
+        self._shift = self._shift_for(self.num_vertices)
+        self._out = _DirectedCSR(self.num_vertices)  # major=src, minor=dst
+        self._in = _DirectedCSR(self.num_vertices)  # major=dst, minor=src
+        #: Directed edges mutated since the last flush.
+        self._touched: Set[Tuple[int, int]] = set()
+        #: Monotone mutation stamp (version alone misses
+        #: ``_count_version=False`` edits); keys the snapshot cache.
+        self._mutations = 0
+        self._snapshot_cache: Optional[Tuple[int, CSRGraph]] = None
+        #: Host-side store instrumentation (exposed via
+        #: :meth:`store_stats` and the host session facade).
+        self._stats = {
+            "batches_applied": 0,
+            "edges_spliced": 0,
+            "flushes": 0,
+            "snapshot_builds": 0,
+            "snapshot_cache_hits": 0,
+            "full_rebuilds": 0,
+        }
+
+    @staticmethod
+    def _shift_for(num_vertices: int) -> int:
+        """Composite-key stride: smallest power of two >= num_vertices."""
+        return max(1, int(num_vertices - 1).bit_length()) if num_vertices > 1 else 1
+
+    @property
+    def _capacity(self) -> int:
+        return 1 << self._shift
 
     # ------------------------------------------------------------------
     # Construction
@@ -107,15 +259,63 @@ class DynamicGraph:
         return graph
 
     @classmethod
+    def from_arrays(
+        cls,
+        src: np.ndarray,
+        dst: np.ndarray,
+        wgt: np.ndarray,
+        num_vertices: int = 0,
+        symmetric: bool = False,
+    ) -> "DynamicGraph":
+        """Bulk-build from parallel arrays (no per-edge Python mutation).
+
+        Semantics match :meth:`from_edges`: duplicate directed edges (after
+        symmetric mirroring) raise :class:`GraphMutationError`, vertex
+        count grows to cover the largest referenced id.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        wgt = np.asarray(wgt, dtype=np.float64)
+        if len(src) and (src.min() < 0 or dst.min() < 0):
+            raise GraphMutationError("vertex ids must be non-negative")
+        n = int(num_vertices)
+        if len(src):
+            n = max(n, int(src.max()) + 1, int(dst.max()) + 1)
+        if symmetric and len(src):
+            mirror = src != dst  # self-loops are their own mirror
+            src = np.concatenate([src, dst[mirror]])
+            dst = np.concatenate([dst, src[: len(mirror)][mirror]])
+            wgt = np.concatenate([wgt, wgt[mirror]])
+        graph = cls(n, symmetric=symmetric)
+        shift = graph._shift
+        keys = (src << shift) | dst
+        if len(np.unique(keys)) != len(keys):
+            raise GraphMutationError(
+                "duplicate edge in bulk load; model weight change as "
+                "delete followed by insert (per paper §2.1)"
+            )
+        graph._out.rebuild(shift, src, dst, wgt, n)
+        graph._in.rebuild(shift, dst, src, wgt, n)
+        graph._index = {
+            (int(u), int(v)): float(w) for u, v, w in zip(src, dst, wgt)
+        }
+        return graph
+
+    @classmethod
     def from_csr(cls, csr: CSRGraph, symmetric: bool = False) -> "DynamicGraph":
         """Build a dynamic graph mirroring a CSR snapshot."""
-        return cls.from_edges(csr.edges(), csr.num_vertices, symmetric=symmetric)
+        src, dst, wgt = csr.edge_arrays()
+        return cls.from_arrays(
+            src, dst, wgt, csr.num_vertices, symmetric=symmetric
+        )
 
     # ------------------------------------------------------------------
     # Single-edge mutation
     # ------------------------------------------------------------------
     def add_edge(self, u: int, v: int, w: float = 1.0, _count_version: bool = True) -> None:
         """Insert directed edge ``u -> v`` (and mirror when symmetric)."""
+        if u < 0 or v < 0:
+            raise GraphMutationError("vertex ids must be non-negative")
         self._grow(max(u, v) + 1)
         self._insert_one(u, v, w)
         if self.symmetric and u != v:
@@ -133,28 +333,29 @@ class DynamicGraph:
         return w
 
     def _insert_one(self, u: int, v: int, w: float) -> None:
-        out_u = self._out.setdefault(u, {})
-        if v in out_u:
+        key = (u, v)
+        if key in self._index:
             raise GraphMutationError(
                 f"edge {u}->{v} already exists; model weight change as "
                 "delete followed by insert (per paper §2.1)"
             )
-        out_u[v] = float(w)
-        self._in.setdefault(v, {})[u] = float(w)
-        self._num_edges += 1
+        self._index[key] = float(w)
+        self._touched.add(key)
+        self._mutations += 1
 
     def _remove_one(self, u: int, v: int) -> float:
         try:
-            w = self._out[u].pop(v)
+            w = self._index.pop((u, v))
         except KeyError:
             raise GraphMutationError(f"cannot delete missing edge {u}->{v}") from None
-        del self._in[v][u]
-        self._num_edges -= 1
+        self._touched.add((u, v))
+        self._mutations += 1
         return w
 
     def _grow(self, n: int) -> None:
         if n > self.num_vertices:
             self.num_vertices = n
+            self._mutations += 1
 
     # ------------------------------------------------------------------
     # Batched mutation
@@ -171,50 +372,195 @@ class DynamicGraph:
         for u, v, w in insertions:
             self.add_edge(u, v, w, _count_version=False)
         self.version += 1
+        self._stats["batches_applied"] += 1
+
+    # ------------------------------------------------------------------
+    # Lazy flush: fold dict-level mutations into the CSR arrays
+    # ------------------------------------------------------------------
+    def _sync_capacity(self) -> None:
+        if self.num_vertices > self._capacity:
+            new_shift = self._shift_for(self.num_vertices)
+            self._out.rekey(self._shift, new_shift)
+            self._in.rekey(self._shift, new_shift)
+            self._shift = new_shift
+        self._out.grow(self.num_vertices)
+        self._in.grow(self.num_vertices)
+
+    def _flush(self) -> None:
+        """Splice all pending mutations into both CSR directions.
+
+        Pending edits are net-resolved against the base arrays: an edge
+        deleted and re-added with its old weight is a no-op, a weight
+        change is one delete plus one insert. Python cost is O(touched);
+        array cost is one compress/merge memcpy per direction.
+        """
+        self._sync_capacity()
+        if not self._touched:
+            return
+        shift = self._shift
+        t = len(self._touched)
+        t_u = np.empty(t, dtype=np.int64)
+        t_v = np.empty(t, dtype=np.int64)
+        cur_has = np.empty(t, dtype=bool)
+        cur_w = np.empty(t, dtype=np.float64)
+        index = self._index
+        for i, key in enumerate(self._touched):
+            t_u[i], t_v[i] = key
+            w = index.get(key)
+            cur_has[i] = w is not None
+            cur_w[i] = w if w is not None else 0.0
+
+        out_keys = (t_u << shift) | t_v
+        order = np.argsort(out_keys)
+        t_u, t_v = t_u[order], t_v[order]
+        out_keys, cur_has, cur_w = out_keys[order], cur_has[order], cur_w[order]
+
+        base_keys = self._out.keys
+        pos = np.searchsorted(base_keys, out_keys)
+        guarded = np.minimum(pos, max(len(base_keys) - 1, 0))
+        in_base = (
+            (pos < len(base_keys)) & (base_keys[guarded] == out_keys)
+            if len(base_keys)
+            else np.zeros(t, dtype=bool)
+        )
+        base_w = (
+            self._out.weights[guarded] if len(base_keys) else np.zeros(t)
+        )
+
+        changed = cur_w != base_w
+        dels = in_base & (~cur_has | changed)
+        ins = cur_has & (~in_base | changed)
+
+        out_del = out_keys[dels]
+        out_ins = out_keys[ins]
+        ins_w = cur_w[ins]
+        self._out.splice(shift, out_del, out_ins, ins_w)
+
+        in_del = (t_v[dels] << shift) | t_u[dels]
+        d_order = np.argsort(in_del)
+        in_ins = (t_v[ins] << shift) | t_u[ins]
+        i_order = np.argsort(in_ins)
+        self._in.splice(shift, in_del[d_order], in_ins[i_order], ins_w[i_order])
+
+        self._stats["flushes"] += 1
+        self._stats["edges_spliced"] += int(dels.sum() + ins.sum())
+        self._touched.clear()
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def has_edge(self, u: int, v: int) -> bool:
         """True if edge ``u -> v`` is present."""
-        return v in self._out.get(u, ())
+        return (u, v) in self._index
 
     def edge_weight(self, u: int, v: int) -> float:
         """Weight of ``u -> v``; raises ``KeyError`` if absent."""
-        return self._out[u][v]
+        return self._index[(u, v)]
 
     def out_degree(self, u: int) -> int:
         """Current out-degree of ``u``."""
-        return len(self._out.get(u, ()))
+        self._flush()
+        return int(self._out.offsets[u + 1] - self._out.offsets[u])
 
     def in_degree(self, v: int) -> int:
         """Current in-degree of ``v``."""
-        return len(self._in.get(v, ()))
+        self._flush()
+        return int(self._in.offsets[v + 1] - self._in.offsets[v])
 
     def out_edges(self, u: int) -> Iterator[Tuple[int, float]]:
-        """Yield ``(target, weight)`` pairs for ``u``'s out-edges."""
-        return iter(self._out.get(u, {}).items())
+        """Yield ``(target, weight)`` pairs for ``u``'s out-edges.
+
+        Pairs arrive in CSR order (sorted by target id).
+        """
+        self._flush()
+        start, stop = self._out.offsets[u], self._out.offsets[u + 1]
+        mask = self._capacity - 1
+        for i in range(start, stop):
+            yield int(self._out.keys[i] & mask), float(self._out.weights[i])
 
     def in_edges(self, v: int) -> Iterator[Tuple[int, float]]:
-        """Yield ``(source, weight)`` pairs for ``v``'s in-edges."""
-        return iter(self._in.get(v, {}).items())
+        """Yield ``(source, weight)`` pairs for ``v``'s in-edges.
+
+        Pairs arrive in CSR order (sorted by source id).
+        """
+        self._flush()
+        start, stop = self._in.offsets[v], self._in.offsets[v + 1]
+        mask = self._capacity - 1
+        for i in range(start, stop):
+            yield int(self._in.keys[i] & mask), float(self._in.weights[i])
 
     @property
     def num_edges(self) -> int:
         """Number of directed edges currently stored."""
-        return self._num_edges
+        return len(self._index)
 
     def edges(self) -> Iterator[Edge]:
-        """Yield every directed edge ``(u, v, w)``."""
-        for u, targets in self._out.items():
-            for v, w in targets.items():
-                yield u, v, w
+        """Yield every directed edge ``(u, v, w)`` in CSR order."""
+        self._flush()
+        keys, weights = self._out.keys, self._out.weights
+        shift, mask = self._shift, self._capacity - 1
+        for i in range(len(keys)):
+            key = int(keys[i])
+            yield key >> shift, key & mask, float(weights[i])
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The live edge set as parallel ``(src, dst, wgt)`` arrays.
+
+        Rows are in CSR (src, dst) order; the returned arrays are fresh
+        (safe to mutate).
+        """
+        self._flush()
+        src = self._out.keys >> self._shift
+        dst = self._out.keys & (self._capacity - 1)
+        return src, dst, self._out.weights.copy()
+
+    def store_stats(self) -> Dict[str, int]:
+        """Incremental-store instrumentation counters (copy)."""
+        return dict(self._stats)
 
     # ------------------------------------------------------------------
     # Snapshots for the accelerator
     # ------------------------------------------------------------------
     def snapshot(self) -> CSRGraph:
-        """Immutable CSR snapshot of the current version."""
+        """Immutable CSR snapshot of the current version.
+
+        Incremental mode splices the pending mutations into the persistent
+        key arrays and hands the offsets/weights to the snapshot directly
+        (every flush is copy-on-write, so older snapshots stay isolated);
+        repeated calls without intervening mutations hit a cache.
+        """
+        if not self.incremental_snapshots:
+            return self.rebuild_snapshot()
+        if (
+            self._snapshot_cache is not None
+            and self._snapshot_cache[0] == self._mutations
+        ):
+            self._stats["snapshot_cache_hits"] += 1
+            return self._snapshot_cache[1]
+        self._flush()
+        mask = self._capacity - 1
+        csr = CSRGraph._from_parts(
+            self.num_vertices,
+            len(self._index),
+            self._out.offsets,
+            self._out.keys & mask,
+            self._out.weights,
+            self._in.offsets,
+            self._in.keys & mask,
+            self._in.weights,
+        )
+        self._stats["snapshot_builds"] += 1
+        self._snapshot_cache = (self._mutations, csr)
+        return csr
+
+    def rebuild_snapshot(self) -> CSRGraph:
+        """From-scratch CSR rebuild (the pre-incremental snapshot path).
+
+        Kept as the property-test oracle and the benchmark comparator:
+        iterates every edge in Python and lets ``CSRGraph.__init__`` sort
+        the full edge list, exactly like the old dict-of-dicts store.
+        """
+        self._stats["full_rebuilds"] += 1
         return CSRGraph(self.num_vertices, self.edges())
 
     def snapshot_with_sinks(self, sink_vertices: Set[int]) -> CSRGraph:
@@ -223,10 +569,42 @@ class DynamicGraph:
         This is the *intermediate graph* of Fig. 5: mutated sources become
         complete sinks so their stale contributions can be drained without
         cyclic re-propagation. The paper notes this is cheap in hardware
-        (edge-pointer adjustment); here we materialize a filtered snapshot.
+        (edge-pointer adjustment); here it is two boolean edge masks over
+        the maintained arrays — no Python per-edge filtering.
         """
-        edges = [e for e in self.edges() if e[0] not in sink_vertices]
-        return CSRGraph(self.num_vertices, edges)
+        self._flush()
+        n = self.num_vertices
+        shift, mask = self._shift, self._capacity - 1
+        is_sink = np.zeros(n, dtype=bool)
+        sinks = [v for v in sink_vertices if 0 <= v < n]
+        if sinks:
+            is_sink[np.fromiter(sinks, dtype=np.int64, count=len(sinks))] = True
+
+        out_keep = ~is_sink[self._out.keys >> shift]
+        out_keys = self._out.keys[out_keep]
+        out_weights = self._out.weights[out_keep]
+        counts = np.diff(self._out.offsets).copy()
+        counts[is_sink] = 0
+        out_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=out_offsets[1:])
+
+        in_keep = ~is_sink[self._in.keys & mask]
+        in_keys = self._in.keys[in_keep]
+        in_weights = self._in.weights[in_keep]
+        in_counts = np.bincount(in_keys >> shift, minlength=n)
+        in_offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(in_counts, out=in_offsets[1:])
+
+        return CSRGraph._from_parts(
+            n,
+            len(out_keys),
+            out_offsets,
+            out_keys & mask,
+            out_weights,
+            in_offsets,
+            in_keys & mask,
+            in_weights,
+        )
 
 
 class DeltaVersionStore:
@@ -237,6 +615,10 @@ class DeltaVersionStore:
     memory-efficient end of the versioning spectrum, versus
     :class:`GraphVersionStore`'s full snapshots. §4.7 allows either: the
     accelerator only needs a CSR view of the requested version.
+
+    Reconstruction rolls forward from the last reconstructed version when
+    the requested one is newer, instead of replaying the full delta log
+    from base every time.
     """
 
     def __init__(self, graph: DynamicGraph):
@@ -246,6 +628,10 @@ class DeltaVersionStore:
         self._base_vertices = graph.num_vertices
         #: version -> (insertions, deletion keys), ordered.
         self._deltas: List[Tuple[int, List[Edge], List[Tuple[int, int]]]] = []
+        #: Last reconstructed state: (version, edge dict, num_vertices).
+        self._cursor: Optional[
+            Tuple[int, Dict[Tuple[int, int], float], int]
+        ] = None
 
     def record_batch(
         self, insertions: Iterable[Edge], deletions: Iterable[Tuple[int, int]]
@@ -263,25 +649,35 @@ class DeltaVersionStore:
         return [self._base_version] + [v for v, _, _ in self._deltas]
 
     def reconstruct(self, version: int) -> CSRGraph:
-        """Rebuild the CSR snapshot of ``version`` from base + deltas."""
+        """Rebuild the CSR snapshot of ``version`` from base + deltas.
+
+        Monotone access patterns (the common replay loop) are O(delta) per
+        call: the store keeps the edge dict of the last reconstructed
+        version and rolls forward from it when the requested version is
+        newer, falling back to a from-base replay otherwise.
+        """
         if version == self._base_version:
             return CSRGraph(self._base_vertices, self._base_edges)
-        edges: Dict[Tuple[int, int], float] = {
-            (u, v): w for u, v, w in self._base_edges
-        }
-        num_vertices = self._base_vertices
-        found = False
+        if version not in (v for v, _, _ in self._deltas):
+            raise KeyError(f"version {version} not recorded")
+        if self._cursor is not None and self._cursor[0] <= version:
+            start_version, edges, num_vertices = self._cursor
+            edges = dict(edges)
+        else:
+            start_version = self._base_version
+            edges = {(u, v): w for u, v, w in self._base_edges}
+            num_vertices = self._base_vertices
         for delta_version, insertions, deletions in self._deltas:
+            if delta_version <= start_version:
+                continue
+            if delta_version > version:
+                break
             for key in deletions:
                 edges.pop(key, None)
             for u, v, w in insertions:
                 edges[(u, v)] = w
                 num_vertices = max(num_vertices, u + 1, v + 1)
-            if delta_version == version:
-                found = True
-                break
-        if not found:
-            raise KeyError(f"version {version} not recorded")
+        self._cursor = (version, edges, num_vertices)
         return CSRGraph(
             num_vertices, [(u, v, w) for (u, v), w in sorted(edges.items())]
         )

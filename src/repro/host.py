@@ -180,6 +180,16 @@ class Session:
         """Cumulative host<->accelerator transfer volumes."""
         return self.transfers
 
+    def graph_store_stats(self) -> dict:
+        """Counters of the host-side dynamic graph store.
+
+        Exposes :meth:`repro.graph.dynamic.DynamicGraph.store_stats` —
+        batches applied, array splices, lazy flushes, snapshot builds and
+        cache hits, full rebuilds — so a driver can verify the incremental
+        snapshot path is actually engaged for its update pattern.
+        """
+        return self._graph.store_stats()
+
     @property
     def graph(self) -> DynamicGraph:
         """The session's evolving graph (host-side master copy)."""

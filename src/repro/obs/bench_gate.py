@@ -31,10 +31,12 @@ from typing import Callable, Dict, List, Optional
 __all__ = [
     "BenchGateError",
     "collect_engine",
+    "collect_stream",
     "collect_trace",
     "compare_rows",
     "default_baseline_path",
     "flatten_engine",
+    "flatten_stream",
     "flatten_trace",
     "render_table",
     "run_gate",
@@ -44,7 +46,7 @@ REPO_ROOT = Path(__file__).resolve().parents[3]
 BENCHMARKS_DIR = REPO_ROOT / "benchmarks"
 BASELINES_DIR = BENCHMARKS_DIR / "baselines"
 
-SUITES = ("engine", "trace")
+SUITES = ("engine", "trace", "stream")
 
 #: Default allowed relative drop in events_per_s before a row regresses.
 DEFAULT_TOLERANCE = 0.30
@@ -74,6 +76,11 @@ def collect_trace(quick: bool) -> dict:
     return _load_bench_module("bench_trace_overhead").collect(quick)
 
 
+def collect_stream(quick: bool) -> dict:
+    """Run the incremental-vs-rebuild streaming store grid."""
+    return _load_bench_module("bench_stream_pipeline").collect(quick)
+
+
 def default_baseline_path(suite: str, quick: bool) -> Path:
     """Where the committed baseline for ``suite`` lives."""
     if suite == "engine":
@@ -87,6 +94,12 @@ def default_baseline_path(suite: str, quick: bool) -> Path:
             BASELINES_DIR / "BENCH_trace.quick.json"
             if quick
             else REPO_ROOT / "BENCH_trace.json"
+        )
+    if suite == "stream":
+        return (
+            BASELINES_DIR / "BENCH_stream.quick.json"
+            if quick
+            else REPO_ROOT / "BENCH_stream.json"
         )
     raise BenchGateError(f"unknown suite {suite!r} (choose from {SUITES})")
 
@@ -128,14 +141,41 @@ def flatten_trace(report: dict) -> List[dict]:
     return rows
 
 
+def flatten_stream(report: dict) -> List[dict]:
+    """``BENCH_stream.json`` → one row per (batch size, store mode).
+
+    Throughput is batches/s (the unit the suite optimizes); the event
+    count is the summed ``events_processed`` across the stream, which is
+    deterministic and must match the baseline exactly — it doubles as a
+    cross-mode pipeline-parity check in CI.
+    """
+    rows = []
+    for entry in report.get("results", []):
+        for mode in ("incremental", "full_rebuild"):
+            sample = entry.get(mode)
+            if not sample:
+                continue
+            rows.append(
+                {
+                    "suite": "stream",
+                    "key": f"batch{entry['batch_size']}/{mode}",
+                    "events_per_s": float(sample["batches_per_s"]),
+                    "events": int(sample["events_processed"]),
+                }
+            )
+    return rows
+
+
 _FLATTENERS: Dict[str, Callable[[dict], List[dict]]] = {
     "engine": flatten_engine,
     "trace": flatten_trace,
+    "stream": flatten_stream,
 }
 
 _COLLECTORS: Dict[str, Callable[[bool], dict]] = {
     "engine": collect_engine,
     "trace": collect_trace,
+    "stream": collect_stream,
 }
 
 

@@ -42,14 +42,29 @@ TRACE_REPORT = {
     ]
 }
 
+STREAM_REPORT = {
+    "results": [
+        {
+            "batch_size": 1,
+            "incremental": {"batches_per_s": 600.0, "events_processed": 900},
+            "full_rebuild": {"batches_per_s": 5.0, "events_processed": 900},
+        }
+    ]
+}
+
 
 def perturbed(report: dict, scale: float = 1.0, events_delta: int = 0) -> dict:
     """Copy a canned report with scaled throughput / shifted event counts."""
     out = json.loads(json.dumps(report))
     for entry in out.get("results", []):
         for mode in ("scalar", "vectorized"):
-            entry[mode]["events_per_s"] *= scale
-            entry[mode]["events_processed"] += events_delta
+            if mode in entry:
+                entry[mode]["events_per_s"] *= scale
+                entry[mode]["events_processed"] += events_delta
+        for mode in ("incremental", "full_rebuild"):
+            if mode in entry:
+                entry[mode]["batches_per_s"] *= scale
+                entry[mode]["events_processed"] += events_delta
     for row in out.get("rows", []):
         row["events_per_s"] *= scale
         row["events"] += events_delta
@@ -73,6 +88,16 @@ class TestFlatten:
         rows = flatten_trace(TRACE_REPORT)
         assert [r["key"] for r in rows] == ["off", "metrics"]
         assert all(r["suite"] == "trace" for r in rows)
+
+    def test_stream_rows(self):
+        rows = bench_gate.flatten_stream(STREAM_REPORT)
+        assert [r["key"] for r in rows] == [
+            "batch1/incremental",
+            "batch1/full_rebuild",
+        ]
+        assert all(r["suite"] == "stream" for r in rows)
+        assert rows[0]["events_per_s"] == 600.0
+        assert rows[0]["events"] == 900
 
 
 class TestCompareRows:
@@ -133,17 +158,19 @@ class TestCompareRows:
 # run_gate with canned collectors
 # ----------------------------------------------------------------------
 class TestRunGate:
-    def collectors(self, engine=None, trace=None):
+    def collectors(self, engine=None, trace=None, stream=None):
         return {
             "engine": lambda quick: engine or ENGINE_REPORT,
             "trace": lambda quick: trace or TRACE_REPORT,
+            "stream": lambda quick: stream or STREAM_REPORT,
         }
 
-    def baselines(self, tmp_path: Path, engine=None, trace=None):
+    def baselines(self, tmp_path: Path, engine=None, trace=None, stream=None):
         paths = {}
         for suite, report in (
             ("engine", engine or ENGINE_REPORT),
             ("trace", trace or TRACE_REPORT),
+            ("stream", stream or STREAM_REPORT),
         ):
             path = tmp_path / f"baseline_{suite}.json"
             path.write_text(json.dumps(report))
@@ -157,7 +184,7 @@ class TestRunGate:
         )
         assert result["regressions"] == 0
         assert all(c["status"] == "ok" for c in result["comparisons"])
-        assert set(result["reports"]) == {"engine", "trace"}
+        assert set(result["reports"]) == {"engine", "trace", "stream"}
 
     def test_injected_throughput_regression_is_caught(self, tmp_path):
         slow = perturbed(ENGINE_REPORT, scale=0.5)
@@ -195,6 +222,7 @@ class TestRunGate:
         paths = {
             "engine": tmp_path / "sub" / "engine.json",
             "trace": tmp_path / "sub" / "trace.json",
+            "stream": tmp_path / "sub" / "stream.json",
         }
         result = run_gate(
             baseline_paths=paths,
@@ -204,12 +232,19 @@ class TestRunGate:
         assert result["comparisons"] == []
         assert json.loads(paths["engine"].read_text()) == ENGINE_REPORT
         assert json.loads(paths["trace"].read_text()) == TRACE_REPORT
+        assert json.loads(paths["stream"].read_text()) == STREAM_REPORT
 
     def test_default_baseline_paths(self):
         assert default_baseline_path("engine", quick=False).name == (
             "BENCH_engine.json"
         )
         assert default_baseline_path("trace", quick=True).parent.name == (
+            "baselines"
+        )
+        assert default_baseline_path("stream", quick=False).name == (
+            "BENCH_stream.json"
+        )
+        assert default_baseline_path("stream", quick=True).parent.name == (
             "baselines"
         )
         with pytest.raises(BenchGateError):
@@ -226,20 +261,23 @@ class TestBenchCheckCli:
         reports = {
             "engine": json.loads(json.dumps(ENGINE_REPORT)),
             "trace": json.loads(json.dumps(TRACE_REPORT)),
+            "stream": json.loads(json.dumps(STREAM_REPORT)),
         }
-        monkeypatch.setitem(
-            bench_gate._COLLECTORS, "engine", lambda quick: reports["engine"]
-        )
-        monkeypatch.setitem(
-            bench_gate._COLLECTORS, "trace", lambda quick: reports["trace"]
-        )
+        for suite in ("engine", "trace", "stream"):
+            monkeypatch.setitem(
+                bench_gate._COLLECTORS,
+                suite,
+                lambda quick, s=suite: reports[s],
+            )
         engine_base = tmp_path / "engine.json"
         trace_base = tmp_path / "trace.json"
+        stream_base = tmp_path / "stream.json"
         engine_base.write_text(json.dumps(ENGINE_REPORT))
         trace_base.write_text(json.dumps(TRACE_REPORT))
-        return reports, engine_base, trace_base
+        stream_base.write_text(json.dumps(STREAM_REPORT))
+        return reports, engine_base, trace_base, stream_base
 
-    def base_args(self, engine_base, trace_base):
+    def base_args(self, engine_base, trace_base, stream_base):
         return [
             "bench",
             "check",
@@ -247,49 +285,55 @@ class TestBenchCheckCli:
             str(engine_base),
             "--baseline-trace",
             str(trace_base),
+            "--baseline-stream",
+            str(stream_base),
         ]
 
     def test_exits_zero_on_matching_baselines(self, canned, capsys):
         from repro.cli import main
 
-        _, engine_base, trace_base = canned
-        assert main(self.base_args(engine_base, trace_base)) == 0
+        _, engine_base, trace_base, stream_base = canned
+        assert main(self.base_args(engine_base, trace_base, stream_base)) == 0
         out = capsys.readouterr().out
         assert "ok" in out and "within tolerance" in out
 
     def test_exits_nonzero_on_injected_regression(self, canned, capsys):
         from repro.cli import main
 
-        reports, engine_base, trace_base = canned
+        reports, engine_base, trace_base, stream_base = canned
         reports["engine"] = perturbed(ENGINE_REPORT, scale=0.4)
-        assert main(self.base_args(engine_base, trace_base)) == 1
+        assert main(self.base_args(engine_base, trace_base, stream_base)) == 1
         assert "regression" in capsys.readouterr().out
 
     def test_no_fail_reports_but_exits_zero(self, canned, capsys):
         from repro.cli import main
 
-        reports, engine_base, trace_base = canned
+        reports, engine_base, trace_base, stream_base = canned
         reports["trace"] = perturbed(TRACE_REPORT, events_delta=1)
-        args = self.base_args(engine_base, trace_base) + ["--no-fail"]
+        args = self.base_args(engine_base, trace_base, stream_base)
+        args += ["--no-fail"]
         assert main(args) == 0
         assert "regression" in capsys.readouterr().out
 
     def test_single_suite_selection(self, canned, capsys):
         from repro.cli import main
 
-        reports, engine_base, trace_base = canned
-        # Break the *other* suite: a trace regression must not fire when
-        # only the engine suite is selected.
+        reports, engine_base, trace_base, stream_base = canned
+        # Break the *other* suites: a trace or stream regression must not
+        # fire when only the engine suite is selected.
         reports["trace"] = perturbed(TRACE_REPORT, scale=0.1)
-        args = self.base_args(engine_base, trace_base) + ["--suite", "engine"]
+        reports["stream"] = perturbed(STREAM_REPORT, events_delta=5)
+        args = self.base_args(engine_base, trace_base, stream_base)
+        args += ["--suite", "engine"]
         assert main(args) == 0
 
     def test_update_baselines_roundtrip(self, canned, tmp_path, capsys):
         from repro.cli import main
 
-        _, engine_base, trace_base = canned
+        _, engine_base, trace_base, stream_base = canned
         new_engine = tmp_path / "new" / "engine.json"
         new_trace = tmp_path / "new" / "trace.json"
+        new_stream = tmp_path / "new" / "stream.json"
         args = [
             "bench",
             "check",
@@ -297,10 +341,12 @@ class TestBenchCheckCli:
             str(new_engine),
             "--baseline-trace",
             str(new_trace),
+            "--baseline-stream",
+            str(new_stream),
             "--update-baselines",
         ]
         assert main(args) == 0
-        assert main(self.base_args(new_engine, new_trace)) == 0
+        assert main(self.base_args(new_engine, new_trace, new_stream)) == 0
 
     def test_missing_baseline_exits_two(self, canned, tmp_path, capsys):
         from repro.cli import main

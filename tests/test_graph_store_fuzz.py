@@ -1,0 +1,258 @@
+"""Seeded property tests for the incremental array-native graph store.
+
+The :class:`DynamicGraph` store maintains both CSR directions by splicing
+only the touched adjacency runs. These tests drive randomized batch
+sequences — inserts, deletes, weight changes, vertex growth (including
+growth across the composite-key capacity boundary, which forces a rekey),
+symmetric mirroring — and assert the spliced arrays are *identical* (every
+offset, target, source, and weight) to a from-scratch :class:`CSRGraph`
+build over an independently tracked edge dict.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DeltaVersionStore, DynamicGraph
+
+INITIAL_VERTICES = 24
+INITIAL_EDGES = 70
+NUM_BATCHES = 12
+BATCH_SIZE = 14
+
+
+def assert_csr_identical(actual: CSRGraph, expected: CSRGraph) -> None:
+    assert actual.num_vertices == expected.num_vertices
+    assert actual.num_edges == expected.num_edges
+    np.testing.assert_array_equal(actual.out_offsets, expected.out_offsets)
+    np.testing.assert_array_equal(actual.out_targets, expected.out_targets)
+    np.testing.assert_array_equal(actual.out_weights, expected.out_weights)
+    np.testing.assert_array_equal(actual.in_offsets, expected.in_offsets)
+    np.testing.assert_array_equal(actual.in_sources, expected.in_sources)
+    np.testing.assert_array_equal(actual.in_weights, expected.in_weights)
+
+
+def oracle_csr(expected: dict, num_vertices: int) -> CSRGraph:
+    """From-scratch CSR over the independently tracked edge dict."""
+    return CSRGraph(
+        num_vertices, [(u, v, w) for (u, v), w in expected.items()]
+    )
+
+
+class _Model:
+    """Independent mirror of the expected edge set (the test's oracle)."""
+
+    def __init__(self, symmetric: bool):
+        self.symmetric = symmetric
+        self.edges: dict = {}
+
+    def insert(self, u: int, v: int, w: float) -> None:
+        self.edges[(u, v)] = w
+        if self.symmetric and u != v:
+            self.edges[(v, u)] = w
+
+    def delete(self, u: int, v: int) -> None:
+        del self.edges[(u, v)]
+        if self.symmetric and u != v:
+            del self.edges[(v, u)]
+
+    def contains(self, u: int, v: int) -> bool:
+        return (u, v) in self.edges or (
+            self.symmetric and (v, u) in self.edges
+        )
+
+
+def _random_batch(rng, model: _Model, max_vertex: int, grow: bool):
+    """A valid (insertions, deletions) pair against the model state."""
+    deletions = []
+    live = list(model.edges)
+    picked = set()
+    if live:
+        idx = rng.choice(len(live), size=min(BATCH_SIZE // 2, len(live)), replace=False)
+        for i in np.sort(idx):
+            u, v = live[int(i)]
+            if (u, v) in picked or (v, u) in picked:
+                continue
+            picked.add((u, v))
+            deletions.append((u, v))
+    insertions = []
+    staged = set()
+    for _ in range(BATCH_SIZE):
+        if grow and rng.random() < 0.3:
+            u = int(rng.integers(0, max_vertex + 9))
+            v = int(rng.integers(0, max_vertex + 9))
+        else:
+            u = int(rng.integers(0, max_vertex))
+            v = int(rng.integers(0, max_vertex))
+        if model.contains(u, v) and (u, v) not in picked and (v, u) not in picked:
+            continue  # duplicate insert (and not freed by a deletion)
+        if (u, v) in staged or (model.symmetric and (v, u) in staged):
+            continue
+        if model.contains(u, v):
+            # Freed by this batch's deletion: weight-change idiom.
+            if (u, v) not in picked and not (model.symmetric and (v, u) in picked):
+                continue
+        staged.add((u, v))
+        insertions.append((u, v, float(rng.integers(1, 12))))
+    return insertions, deletions
+
+
+def _apply_to_model(model: _Model, insertions, deletions) -> None:
+    for u, v in deletions:
+        model.delete(u, v)
+    for u, v, w in insertions:
+        model.insert(u, v, w)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("symmetric", [False, True], ids=["directed", "symmetric"])
+@pytest.mark.parametrize("grow", [False, True], ids=["fixed", "growing"])
+def test_incremental_store_matches_from_scratch_rebuild(seed, symmetric, grow):
+    rng = np.random.default_rng((seed, symmetric, grow, 99))
+    graph = DynamicGraph(INITIAL_VERTICES, symmetric=symmetric)
+    model = _Model(symmetric)
+    for _ in range(INITIAL_EDGES):
+        u = int(rng.integers(0, INITIAL_VERTICES))
+        v = int(rng.integers(0, INITIAL_VERTICES))
+        if model.contains(u, v):
+            continue
+        w = float(rng.integers(1, 12))
+        graph.add_edge(u, v, w)
+        model.insert(u, v, w)
+    assert_csr_identical(graph.snapshot(), oracle_csr(model.edges, graph.num_vertices))
+
+    for batch_i in range(NUM_BATCHES):
+        insertions, deletions = _random_batch(rng, model, graph.num_vertices, grow)
+        graph.apply_batch(insertions, deletions)
+        _apply_to_model(model, insertions, deletions)
+
+        # Occasionally interleave adjacency queries so the lazy flush is
+        # exercised at random points, not only from snapshot().
+        if batch_i % 3 == 1 and graph.num_vertices:
+            u = int(rng.integers(0, graph.num_vertices))
+            assert graph.out_degree(u) == sum(
+                1 for (a, _b) in model.edges if a == u
+            )
+
+        snap = graph.snapshot()
+        oracle = oracle_csr(model.edges, graph.num_vertices)
+        assert_csr_identical(snap, oracle)
+        # The in-tree comparator path must agree with the true oracle too.
+        assert_csr_identical(graph.rebuild_snapshot(), oracle)
+
+    if grow:
+        # Growth mode must have crossed the power-of-two capacity boundary
+        # at least once, exercising the key-stride rekey.
+        assert graph.num_vertices > 32
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_snapshot_with_sinks_matches_filtered_rebuild(seed):
+    rng = np.random.default_rng((seed, 17))
+    graph = DynamicGraph(INITIAL_VERTICES)
+    model = _Model(symmetric=False)
+    for _ in range(INITIAL_EDGES):
+        u = int(rng.integers(0, INITIAL_VERTICES))
+        v = int(rng.integers(0, INITIAL_VERTICES))
+        if model.contains(u, v):
+            continue
+        w = float(rng.integers(1, 12))
+        graph.add_edge(u, v, w)
+        model.insert(u, v, w)
+
+    for _ in range(6):
+        insertions, deletions = _random_batch(rng, model, graph.num_vertices, False)
+        graph.apply_batch(insertions, deletions)
+        _apply_to_model(model, insertions, deletions)
+        sinks = set(
+            int(s) for s in rng.choice(graph.num_vertices, size=5, replace=False)
+        )
+        filtered = {
+            (u, v): w for (u, v), w in model.edges.items() if u not in sinks
+        }
+        assert_csr_identical(
+            graph.snapshot_with_sinks(sinks),
+            oracle_csr(filtered, graph.num_vertices),
+        )
+
+
+def test_snapshot_cache_and_copy_on_write_isolation():
+    graph = DynamicGraph.from_edges([(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)])
+    first = graph.snapshot()
+    assert graph.snapshot() is first  # cache hit, no rebuild
+    stats = graph.store_stats()
+    assert stats["snapshot_cache_hits"] == 1
+    assert stats["snapshot_builds"] == 1
+
+    before = (first.out_targets.copy(), first.out_weights.copy(), first.out_offsets.copy())
+    graph.apply_batch([(0, 2, 9.0)], [(1, 2)])
+    second = graph.snapshot()
+    assert second is not first
+    # The old snapshot must be untouched by the splice (copy-on-write).
+    np.testing.assert_array_equal(first.out_targets, before[0])
+    np.testing.assert_array_equal(first.out_weights, before[1])
+    np.testing.assert_array_equal(first.out_offsets, before[2])
+    assert second.has_edge(0, 2) and not second.has_edge(1, 2)
+
+
+def test_non_incremental_mode_always_rebuilds():
+    graph = DynamicGraph(4, incremental_snapshots=False)
+    graph.add_edge(0, 1, 1.0)
+    a = graph.snapshot()
+    b = graph.snapshot()
+    assert a is not b
+    assert graph.store_stats()["full_rebuilds"] >= 2
+
+
+class TestDeltaVersionStore:
+    def _build(self, seed=5, num_batches=6):
+        rng = np.random.default_rng(seed)
+        graph = DynamicGraph(10)
+        model = _Model(symmetric=False)
+        for _ in range(25):
+            u = int(rng.integers(0, 10))
+            v = int(rng.integers(0, 10))
+            if model.contains(u, v):
+                continue
+            w = float(rng.integers(1, 9))
+            graph.add_edge(u, v, w, _count_version=False)
+            model.insert(u, v, w)
+        store = DeltaVersionStore(graph)
+        saved = [(graph.version, dict(model.edges), graph.num_vertices)]
+        for _ in range(num_batches):
+            insertions, deletions = _random_batch(rng, model, graph.num_vertices, True)
+            graph.apply_batch(insertions, deletions)
+            store.record_batch(insertions, deletions)
+            _apply_to_model(model, insertions, deletions)
+            saved.append((graph.version, dict(model.edges), graph.num_vertices))
+        return store, saved
+
+    def _check(self, store, version, edges, num_vertices):
+        assert_csr_identical(
+            store.reconstruct(version), oracle_csr(edges, num_vertices)
+        )
+
+    def test_monotone_replay_rolls_forward(self):
+        store, saved = self._build()
+        for version, edges, n in saved:
+            self._check(store, version, edges, n)
+
+    def test_repeated_and_backward_access(self):
+        store, saved = self._build()
+        last_version = saved[-1][0]
+        store.reconstruct(last_version)
+        # Same version again: must not replay past it (regression: the
+        # roll-forward cursor used to apply every later delta).
+        for version, edges, n in saved:
+            self._check(store, version, edges, n)
+            self._check(store, version, edges, n)  # repeat at cursor
+        # Backward jump after the cursor advanced to the end.
+        self._check(store, last_version, saved[-1][1], saved[-1][2])
+        self._check(store, saved[1][0], saved[1][1], saved[1][2])
+
+    def test_unknown_version_raises(self):
+        store, saved = self._build()
+        with pytest.raises(KeyError):
+            store.reconstruct(saved[-1][0] + 1000)
