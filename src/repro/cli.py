@@ -39,7 +39,7 @@ import numpy as np
 
 from repro.algorithms import make_algorithm
 from repro.algorithms.base import AlgorithmKind
-from repro.core.engine import ENGINE_MODES
+from repro.core.engine import ENGINE_MODES, SHARD_BACKENDS
 from repro.core.policies import DeletePolicy
 from repro.core.streaming import JetStreamEngine
 from repro.graph import datasets, io
@@ -159,7 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_check.add_argument(
         "--suite",
-        choices=["engine", "trace", "stream", "all"],
+        choices=["engine", "trace", "stream", "sharded", "all"],
         default="all",
         help="which benchmark suite(s) to run",
     )
@@ -178,6 +178,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_check.add_argument(
         "--baseline-stream", help="override the stream-suite baseline path"
+    )
+    bench_check.add_argument(
+        "--baseline-sharded", help="override the sharded-suite baseline path"
     )
     bench_check.add_argument(
         "--update-baselines",
@@ -216,6 +219,14 @@ def _add_graph_args(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=8,
         help="parallel engine count for --engine sharded (Table 1 default: 8)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=SHARD_BACKENDS,
+        default="thread",
+        help="--engine sharded execution backend: thread (persistent thread "
+        "pool over heap arrays) or process (worker processes over "
+        "shared-memory segments); results are bit-identical",
     )
 
 
@@ -324,12 +335,14 @@ def cmd_query(args) -> int:
         algorithm,
         engine=args.engine,
         num_engines=args.num_engines,
+        backend=args.backend,
         tracer=tracer,
     )
     started = time.time()
     try:
         result = engine.initial_compute()
     except BaseException:
+        engine.close()
         if tracer is not None:
             tracer.close()
         _finish_metrics(args, metrics_on, server)
@@ -356,6 +369,7 @@ def cmd_query(args) -> int:
         print(f"{args.top} most progressed vertices:")
         for v in order:
             print(f"  {int(v):>8}  {states[v]:.6g}")
+    engine.close()
     _finish_trace(tracer, memory, args)
     _finish_metrics(args, metrics_on, server)
     return 0
@@ -373,6 +387,7 @@ def cmd_stream(args) -> int:
         policy=policy,
         engine=args.engine,
         num_engines=args.num_engines,
+        backend=args.backend,
         tracer=tracer,
     )
     timing = AcceleratorTimingModel()
@@ -426,10 +441,12 @@ def cmd_stream(args) -> int:
                 line += f" {cold_us:>10.1f} {cold_us / max(1e-9, jet_us):>9.1f}x"
             print(line)
     except BaseException:
+        engine.close()
         if tracer is not None:
             tracer.close()
         _finish_metrics(args, metrics_on, server)
         raise
+    engine.close()
     _finish_trace(tracer, memory, args)
     _finish_metrics(args, metrics_on, server)
     return 0
@@ -496,6 +513,8 @@ def cmd_bench(args) -> int:
         baseline_paths["trace"] = args.baseline_trace
     if args.baseline_stream:
         baseline_paths["stream"] = args.baseline_stream
+    if args.baseline_sharded:
+        baseline_paths["sharded"] = args.baseline_sharded
     tolerance = (
         args.tolerance if args.tolerance is not None else bench_gate.DEFAULT_TOLERANCE
     )

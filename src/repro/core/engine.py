@@ -19,6 +19,7 @@ that the architectural timing model later converts to cycles.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -53,6 +54,25 @@ _LINE = 64  # cache-line bytes (fixed by the DRAM interface)
 #: graph slices (Table 1, §4.7) with deterministic merge.
 ENGINE_MODES = ("auto", "scalar", "vectorized", "sharded")
 
+#: Sharded execution backends: ``thread`` runs shard kernels on one
+#: persistent thread pool over the heap arrays; ``process`` runs one
+#: worker process per pool slot against shared-memory segments
+#: (:mod:`repro.core.shm`) — real CPU parallelism instead of GIL-limited
+#: threads, with bit-identical results (see repro.core.parallel).
+SHARD_BACKENDS = ("thread", "process")
+
+
+def _release_core_resources(cleanup: dict) -> None:
+    """GC finalizer for :class:`EngineCore` — must not reference the core."""
+    executor = cleanup.pop("executor", None)
+    if executor is not None:
+        from repro.core import parallel
+
+        parallel.release_shard_executor(executor)
+    arena = cleanup.pop("arena", None)
+    if arena is not None:
+        arena.close()
+
 
 class EngineCore:
     """Shared datapath state and event loops for all engine variants."""
@@ -66,6 +86,7 @@ class EngineCore:
         engine: str = "auto",
         num_engines: int = 8,
         shard_workers: Optional[int] = None,
+        backend: str = "thread",
         tracer=None,
     ):
         self.algorithm = algorithm
@@ -83,9 +104,30 @@ class EngineCore:
             )
         if num_engines < 1:
             raise ValueError("num_engines must be >= 1")
+        if backend not in SHARD_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {SHARD_BACKENDS}, got {backend!r}"
+            )
+        if backend == "process" and engine != "sharded":
+            raise ValueError("backend='process' requires engine='sharded'")
         self.engine_mode = engine
         self.num_engines = num_engines
         self.shard_workers = shard_workers
+        self.backend = backend
+        #: Shared-memory state (process backend): the arena owning every
+        #: segment, plus the live state/graph/queue segments. Cleanup runs
+        #: through ``close()`` — or, for abandoned cores, the GC finalizer
+        #: over ``_cleanup`` (which must never reference the core itself).
+        self._arena = None
+        self._state_segment = None
+        self._dependency_segment = None
+        self._graph_segments: Optional[dict] = None
+        self._queue_segments: list = []
+        self._shard_executor = None
+        self._cleanup: dict = {"arena": None, "executor": None}
+        self._finalizer = weakref.finalize(
+            self, _release_core_resources, self._cleanup
+        )
         self.event_bytes = (
             queue_event_bytes
             if queue_event_bytes is not None
@@ -107,8 +149,23 @@ class EngineCore:
     # ------------------------------------------------------------------
     def allocate(self, num_vertices: int) -> None:
         """(Re)initialize vertex state to Identity for ``num_vertices``."""
-        self.states = np.full(num_vertices, self.algorithm.identity, dtype=np.float64)
-        self.dependency = np.full(num_vertices, NO_SOURCE, dtype=np.int64)
+        if self.backend == "process":
+            arena = self._ensure_arena()
+            old_state = self._state_segment
+            old_dep = self._dependency_segment
+            self._state_segment = arena.full(
+                num_vertices, self.algorithm.identity, np.float64
+            )
+            self._dependency_segment = arena.full(num_vertices, NO_SOURCE, np.int64)
+            arena.release(old_state)
+            arena.release(old_dep)
+            self.states = self._state_segment.array
+            self.dependency = self._dependency_segment.array
+        else:
+            self.states = np.full(
+                num_vertices, self.algorithm.identity, dtype=np.float64
+            )
+            self.dependency = np.full(num_vertices, NO_SOURCE, dtype=np.int64)
         self._custom_slice_of = None
         self._shard_plan = None
         self._assign_slices(num_vertices)
@@ -127,12 +184,30 @@ class EngineCore:
         if num_vertices <= current:
             return
         extra = num_vertices - current
-        self.states = np.concatenate(
-            [self.states, np.full(extra, self.algorithm.identity, dtype=np.float64)]
-        )
-        self.dependency = np.concatenate(
-            [self.dependency, np.full(extra, NO_SOURCE, dtype=np.int64)]
-        )
+        if self.backend == "process":
+            # Reallocate into fresh segments; the old ones unlink as soon
+            # as the contents are copied out (workers re-attach at the
+            # next phase bind — segment names change, stale ones drop).
+            arena = self._ensure_arena()
+            old_state = self._state_segment
+            old_dep = self._dependency_segment
+            self._state_segment = arena.empty(num_vertices, np.float64)
+            self._state_segment.array[:current] = self.states
+            self._state_segment.array[current:] = self.algorithm.identity
+            self._dependency_segment = arena.empty(num_vertices, np.int64)
+            self._dependency_segment.array[:current] = self.dependency
+            self._dependency_segment.array[current:] = NO_SOURCE
+            arena.release(old_state)
+            arena.release(old_dep)
+            self.states = self._state_segment.array
+            self.dependency = self._dependency_segment.array
+        else:
+            self.states = np.concatenate(
+                [self.states, np.full(extra, self.algorithm.identity, dtype=np.float64)]
+            )
+            self.dependency = np.concatenate(
+                [self.dependency, np.full(extra, NO_SOURCE, dtype=np.int64)]
+            )
         if self._custom_slice_of is not None:
             self._custom_slice_of = extend_assignment(
                 self._custom_slice_of, num_vertices, self.num_slices
@@ -190,6 +265,126 @@ class EngineCore:
             self._out_degree = None
             self._out_weight_sum = None
             self._prop_factor = None
+        if self.backend == "process":
+            self._refresh_graph_segments(csr)
+
+    # ------------------------------------------------------------------
+    # Shared-memory lifecycle (backend="process")
+    # ------------------------------------------------------------------
+    def _ensure_arena(self):
+        if self._arena is None:
+            from repro.core.shm import SharedArena
+
+            self._arena = SharedArena(tag="engine")
+            self._cleanup["arena"] = self._arena
+        return self._arena
+
+    def _refresh_graph_segments(self, csr: CSRGraph) -> None:
+        """Mirror the bound CSR's out-arrays (+ hoisted propagation factors)
+        into fresh shared segments, unlinking the previous snapshot's."""
+        arena = self._ensure_arena()
+        old = self._graph_segments or {}
+        segments = csr.share_out_arrays(arena)
+        if self._prop_factor is not None:
+            segments["prop_factor"] = arena.from_array(self._prop_factor)
+        self._graph_segments = segments
+        for segment in old.values():
+            arena.release(segment)
+
+    def _queue_array_factory(self):
+        """Allocator placing queue cell arrays in shared segments (or None).
+
+        Called once per :meth:`new_queue`; the previous queue's segments
+        unlink here — the old queue is obsolete by construction, and an
+        unlinked mapping stays valid for any straggling reference.
+        """
+        if self.backend != "process":
+            return None
+        arena = self._ensure_arena()
+        for segment in self._queue_segments:
+            arena.release(segment)
+        self._queue_segments = []
+        segments = self._queue_segments
+
+        def factory(num: int, fill_value, dtype) -> np.ndarray:
+            segment = arena.full(int(num), fill_value, dtype)
+            segments.append(segment)
+            return segment.array
+
+        return factory
+
+    def _process_bind_payload(self) -> dict:
+        """Attach recipe + algorithm/policy shipped to worker processes at
+        the start of every sharded phase (keys match the kernel context)."""
+        segments = self._graph_segments or {}
+        prop = segments.get("prop_factor")
+        return {
+            "algorithm": self.algorithm,
+            "policy": self.policy,
+            "arrays": {
+                "states": self._state_segment.spec,
+                "dependency": self._dependency_segment.spec,
+                "prop_factor": None if prop is None else prop.spec,
+                "offsets": segments["offsets"].spec,
+                "out_targets": segments["out_targets"].spec,
+                "out_weights": segments["out_weights"].spec,
+            },
+        }
+
+    def shard_executor(self):
+        """The run's persistent shard executor (created on first use).
+
+        Thread backend: one pool for every round/phase/batch of the run.
+        Process backend: a warm worker-process pool, checked out of the
+        module cache and returned by :meth:`close`.
+        """
+        from repro.core import parallel
+
+        if self._shard_executor is None:
+            workers = (
+                self.shard_workers
+                if self.shard_workers is not None
+                else parallel._default_workers(self.num_engines)
+            )
+            self._shard_executor = parallel.acquire_shard_executor(
+                self.backend, workers
+            )
+            self._cleanup["executor"] = self._shard_executor
+        elif METRICS.enabled:
+            METRICS.record_shard_pool(
+                self.backend, "reuse", self._shard_executor.workers
+            )
+        return self._shard_executor
+
+    def close(self) -> None:
+        """Release the shard executor and unlink every shm segment.
+
+        Idempotent, and safe to call from any point — including exception
+        paths; a GC finalizer covers cores that are dropped without an
+        explicit close, so neither worker processes nor ``/dev/shm``
+        segments can outlive the engine.
+        """
+        from repro.core import parallel
+
+        executor = self._shard_executor
+        self._shard_executor = None
+        self._cleanup["executor"] = None
+        if executor is not None:
+            parallel.release_shard_executor(executor)
+        arena = self._arena
+        if arena is not None:
+            # Detach the engine-facing views to private copies so final
+            # states stay readable after the segments go away.
+            if self._state_segment is not None:
+                self.states = self.states.copy()
+                self.dependency = self.dependency.copy()
+            self._state_segment = None
+            self._dependency_segment = None
+            self._graph_segments = None
+            self._queue_segments = []
+            self._arena = None
+            self._cleanup["arena"] = None
+            arena.close()
 
     def source_context(self, v: int) -> SourceContext:
         """Out-edge context of ``v`` in the bound graph."""
@@ -236,6 +431,7 @@ class EngineCore:
                 shard_of=None if plan is None else plan.assignment,
                 num_engines=self.num_engines,
                 workers=self.shard_workers,
+                queue_array_factory=self._queue_array_factory(),
             )
         queue_cls = VectorQueue if self.uses_vectorized else CoalescingQueue
         return queue_cls(
@@ -829,8 +1025,13 @@ class GraphPulseEngine:
     num_engines:
         Parallel engine count for ``engine="sharded"`` (default 8, Table 1).
     shard_workers:
-        Thread-pool width for sharded execution (default: one per engine,
+        Worker-pool width for sharded execution (default: one per engine,
         capped at the CPU count; 1 forces serial shard execution).
+    backend:
+        Sharded execution backend: ``"thread"`` (persistent thread pool
+        over the heap arrays) or ``"process"`` (worker processes over
+        shared-memory segments — see repro.core.parallel). Results are
+        bit-identical across backends.
     tracer:
         A :class:`repro.obs.Tracer` for run observability (default: the
         no-op :data:`~repro.obs.NULL_TRACER`).
@@ -844,6 +1045,7 @@ class GraphPulseEngine:
         engine: str = "auto",
         num_engines: int = 8,
         shard_workers: Optional[int] = None,
+        backend: str = "thread",
         tracer=None,
     ):
         config = config or AcceleratorConfig()
@@ -856,6 +1058,7 @@ class GraphPulseEngine:
             engine=engine,
             num_engines=num_engines,
             shard_workers=shard_workers,
+            backend=backend,
             tracer=tracer,
         )
 
@@ -868,6 +1071,21 @@ class GraphPulseEngine:
     def tracer(self):
         """The observability hook shared with the core."""
         return self.core.tracer
+
+    def close(self) -> None:
+        """Release the worker pool and any shared-memory segments.
+
+        Safe to skip for throwaway engines — a GC finalizer does the same
+        cleanup — but explicit close (or the context-manager form) makes
+        teardown deterministic.
+        """
+        self.core.close()
+
+    def __enter__(self) -> "GraphPulseEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def compute(self, csr: CSRGraph) -> ComputeResult:
         """Evaluate the query on ``csr`` from scratch (cold start)."""

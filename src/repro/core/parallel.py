@@ -12,12 +12,31 @@ vectorized SoA substrate:
   interface the orchestration layers already use;
 * :class:`InterEngineChannel` — cross-engine event routing with NoC flit
   and contention accounting via :class:`repro.sim.noc.CrossbarModel`;
+* :func:`regular_shard_kernel` / :func:`delete_shard_kernel` — the pure
+  per-engine round kernels, shared by both execution backends;
 * :func:`run_regular_sharded` / :func:`run_delete_sharded` — the two
-  event-loop kernels with per-engine work running concurrently on a
-  thread pool (the NumPy kernels dominate and vertex sets are disjoint,
-  so shard tasks never touch the same state).
+  event-loop drivers, dispatching shard work to the engine core's
+  persistent executor.
 
-**Determinism contract.** The sharded backend is *bit-identical* to the
+**Execution backends.** ``backend="thread"`` (default) runs shard kernels
+on one persistent :class:`ThreadShardExecutor` per engine core — the
+NumPy kernels release or spend little time under the GIL, and shards
+write disjoint rows of the shared state arrays. ``backend="process"``
+runs one long-lived worker process per pool slot
+(:class:`ProcessShardExecutor`, ``spawn`` start method): the hot state —
+vertex states, the DAP dependency array, the CSR out-arrays, hoisted
+propagation factors, and the queue cell arrays — lives in
+``multiprocessing.shared_memory`` segments (:mod:`repro.core.shm`), so
+workers reduce and expand directly against the same physical memory the
+main process merges and drains. Round inputs (the merged drain batch and
+per-shard selections) and outputs (generated-event arrays plus the
+:class:`~repro.core.metrics.RoundWork` vector) travel over a pipe per
+worker; queue drains, canonical merges, and all accounting stay in the
+main process. Idle process pools are parked in a warm cache keyed by
+width and revived for the next engine core of the same shape
+(:func:`acquire_shard_executor` / :func:`release_shard_executor`).
+
+**Determinism contract.** Both backends are *bit-identical* to the
 single-engine vectorized path — final states, per-round
 :class:`~repro.core.metrics.RoundWork` vectors, phase extras, and queue
 lifetime statistics — for any shard assignment and any worker count. Each
@@ -28,21 +47,21 @@ order — the oracle's drain order), per-engine generated events are merged
 back in the producing vertex's drain position order (the oracle's
 generation order), and cross-shard deliveries coalesce into each
 destination queue in that fixed order regardless of which worker finished
-first. Because floating-point reduction order is preserved exactly,
-results do not drift by even one ulp (``tests/test_sharded_parity.py``).
-
-Parallelism is thread-based: the per-shard NumPy kernels release or spend
-little time under the GIL, and shards write disjoint rows of the shared
-state arrays (the "shared-memory state arrays" organization — a process
-pool over the same arrays is a possible future extension; the merge
-contract above is what makes either safe).
+first. Shard results are always reassembled by shard id — never by
+completion order — so the merge sees the same operand order on one
+thread, eight threads, or eight processes. Because floating-point
+reduction order is preserved exactly, results do not drift by even one
+ulp (``tests/test_sharded_parity.py`` sweeps both backends).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from contextlib import contextmanager
+import atexit
+import multiprocessing
 import os
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -61,19 +80,6 @@ from repro.algorithms.base import AlgorithmKind
 
 def _default_workers(num_engines: int) -> int:
     return max(1, min(num_engines, os.cpu_count() or 1))
-
-
-@contextmanager
-def _shard_pool(workers: int):
-    """A bounded thread pool for one kernel invocation (or None = serial)."""
-    if workers <= 1:
-        yield None
-        return
-    pool = ThreadPoolExecutor(max_workers=workers, thread_name_prefix="repro-shard")
-    try:
-        yield pool
-    finally:
-        pool.shutdown(wait=True)
 
 
 def _run_tasks(pool: Optional[ThreadPoolExecutor], tasks):
@@ -212,6 +218,7 @@ class ShardedQueueGroup:
         shard_of: Optional[np.ndarray] = None,
         num_engines: int = 8,
         workers: Optional[int] = None,
+        queue_array_factory=None,
     ):
         if num_engines < 1:
             raise ValueError("num_engines must be >= 1")
@@ -228,7 +235,13 @@ class ShardedQueueGroup:
             raise ValueError("shard assignment references an engine out of range")
         self.shard_of = shard_of
         self.queues = [
-            VectorQueue(algorithm, config, policy, num_vertices=num_vertices)
+            VectorQueue(
+                algorithm,
+                config,
+                policy,
+                num_vertices=num_vertices,
+                array_factory=queue_array_factory,
+            )
             for _ in range(num_engines)
         ]
         self.event_bytes = policy.event_bytes(config)
@@ -338,13 +351,15 @@ class ShardedQueueGroup:
     ) -> Tuple[EventBatch, np.ndarray]:
         """Drain every engine's queue and merge in canonical order.
 
-        Per-engine drains run concurrently on ``pool``; the merge is a
-        stable sort by target vertex id. Vertices are disjoint across
-        engines, so this reconstructs exactly the single queue's drain
-        order (cells first, then overflow events per target in arrival
-        order), and the returned row starts are the global row boundaries.
-        ``max_rows`` computes the allowed row window over the union of all
-        engines' pending targets — the same window the oracle drains.
+        Per-engine drains run concurrently on ``pool`` (serially when it is
+        ``None`` — the process backend drains in the main process); the
+        merge is a stable sort by target vertex id. Vertices are disjoint
+        across engines, so this reconstructs exactly the single queue's
+        drain order (cells first, then overflow events per target in
+        arrival order), and the returned row starts are the global row
+        boundaries. ``max_rows`` computes the allowed row window over the
+        union of all engines' pending targets — the same window the oracle
+        drains.
         """
         allowed: Optional[np.ndarray] = None
         row_width = self.config.queue_row_vertices
@@ -399,180 +414,628 @@ class ShardedQueueGroup:
 
 
 # ----------------------------------------------------------------------
-# Sharded event-loop kernels
+# Per-shard round kernels (shared by the thread and process backends)
+# ----------------------------------------------------------------------
+def _edge_indices(start: np.ndarray, deg: np.ndarray) -> np.ndarray:
+    """Indices into the CSR edge arrays for multiple ``[start, start+deg)``
+    ranges, concatenated in order — the vectorized frontier gather."""
+    total = int(deg.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    exclusive = np.cumsum(deg) - deg
+    return np.arange(total, dtype=np.int64) + np.repeat(start - exclusive, deg)
+
+
+def regular_shard_kernel(
+    ctx: dict,
+    sel: np.ndarray,
+    targets: np.ndarray,
+    payloads: np.ndarray,
+    flags: np.ndarray,
+    sources: np.ndarray,
+    sw: RoundWork,
+):
+    """One engine's computation-phase work over its rows of the round batch.
+
+    ``ctx`` carries the algorithm/policy plus the state, dependency,
+    propagation-factor, and CSR out-arrays — heap views on the thread
+    backend, shared-memory attachments inside worker processes; ``sel``
+    selects this shard's positions in the canonically merged drain batch.
+    Mirrors ``EngineCore._run_regular_vectorized`` operation for operation,
+    and returns the shard's generated events tagged with their producer's
+    drain position (``gen_pos``) for the canonical generation merge.
+    """
+    algorithm = ctx["algorithm"]
+    states = ctx["states"]
+    offsets = ctx["offsets"]
+    out_targets = ctx["out_targets"]
+    out_weights = ctx["out_weights"]
+    ts = targets[sel]
+    old = states[ts]
+    new = algorithm.reduce_ufunc(old, payloads[sel])
+    changed = new != old
+    tc = ts[changed]
+    states[tc] = new[changed]
+    if ctx["policy"].tracks_dependency:
+        ctx["dependency"][tc] = sources[sel][changed]
+    prop = changed | ((flags[sel] & 2) != 0)
+    start_all = offsets[ts]
+    deg_all = offsets[ts + 1] - start_all
+    nz = prop & (deg_all > 0)
+    idx = np.flatnonzero(nz)
+    v = ts[idx]
+    start = start_all[idx]
+    deg = deg_all[idx]
+    if algorithm.kind is AlgorithmKind.ACCUMULATIVE:
+        threshold = algorithm.propagation_threshold
+        base = (new[idx] - old[idx]) * ctx["prop_factor"][v]
+        if algorithm.weight_scaled_propagation:
+            eidx = _edge_indices(start, deg)
+            values = np.repeat(base, deg) * out_weights[eidx]
+            keep = (values > threshold) | (values < -threshold)
+            gen_t = out_targets[eidx][keep]
+            gen_p = values[keep]
+            gen_s = np.repeat(v, deg)[keep]
+            gen_pos = np.repeat(sel[idx], deg)[keep]
+        else:
+            keepv = (base > threshold) | (base < -threshold)
+            dg = deg[keepv]
+            eidx = _edge_indices(start[keepv], dg)
+            gen_t = out_targets[eidx]
+            gen_p = np.repeat(base[keepv], dg)
+            gen_s = np.repeat(v[keepv], dg)
+            gen_pos = np.repeat(sel[idx][keepv], dg)
+    else:
+        # Selective: propagation basis is the post-write state.
+        eidx = _edge_indices(start, deg)
+        gen_t = out_targets[eidx]
+        gen_p = algorithm.propagate_arrays(np.repeat(new[idx], deg), out_weights[eidx])
+        gen_s = np.repeat(v, deg)
+        gen_pos = np.repeat(sel[idx], deg)
+    sw.events_processed = int(sel.shape[0])
+    sw.vertex_reads = int(sel.shape[0])
+    sw.vertex_writes = int(tc.shape[0])
+    sw.edges_read = int(deg.sum())
+    sw.events_generated = int(gen_t.shape[0])
+    return sel[idx], gen_t, gen_p, gen_s, gen_pos
+
+
+_EMPTY_I = np.empty(0, dtype=np.int64)
+_EMPTY_F = np.empty(0, dtype=np.float64)
+
+
+def delete_shard_kernel(
+    ctx: dict,
+    sel: np.ndarray,
+    targets: np.ndarray,
+    payloads: np.ndarray,
+    flags: np.ndarray,
+    sources: np.ndarray,
+    sw: RoundWork,
+):
+    """One engine's recovery-phase work over its rows of the round batch.
+
+    Resolves duplicate target groups with the same first-qualifying-event
+    rule as the vectorized oracle (groups never span engines — a vertex
+    lives in exactly one shard), resets impacted vertices, and expands
+    delete propagation. Same context/selection conventions as
+    :func:`regular_shard_kernel`; returns
+    ``(win_global, discarded, gen_t, gen_p, gen_s, gen_pos)``.
+    """
+    n_local = int(sel.shape[0])
+    if n_local == 0:
+        return _EMPTY_I, 0, _EMPTY_I, _EMPTY_F, _EMPTY_I, _EMPTY_I
+    algorithm = ctx["algorithm"]
+    policy = ctx["policy"]
+    states = ctx["states"]
+    offsets = ctx["offsets"]
+    out_targets = ctx["out_targets"]
+    out_weights = ctx["out_weights"]
+    identity = algorithm.identity
+    dap = policy is DeletePolicy.DAP
+    ts = targets[sel]
+    st = states[ts]
+    cond = st != identity
+    if dap:
+        cond &= ctx["dependency"][ts] == sources[sel]
+    if policy is DeletePolicy.VAP:
+        cond &= ~algorithm.more_progressed_arrays(st, payloads[sel])
+    gfirst = np.empty(n_local, dtype=bool)
+    gfirst[0] = True
+    np.not_equal(ts[1:], ts[:-1], out=gfirst[1:])
+    gstarts = np.flatnonzero(gfirst)
+    pos = np.where(cond, np.arange(n_local), n_local)
+    win = np.minimum.reduceat(pos, gstarts)
+    win = win[win < np.append(gstarts[1:], n_local)]
+    n_win = int(win.shape[0])
+    v = ts[win]
+    pre = st[win]
+    # Reset (tag) the impacted vertices — Algorithm 4, line 11.
+    states[v] = identity
+    if dap:
+        ctx["dependency"][v] = NO_SOURCE
+    win_global = sel[win]
+    start_all = offsets[v]
+    deg_all = offsets[v + 1] - start_all
+    sub = np.flatnonzero(deg_all > 0)
+    vs = v[sub]
+    start = start_all[sub]
+    deg = deg_all[sub]
+    total = int(deg.sum())
+    eidx = _edge_indices(start, deg)
+    if policy is DeletePolicy.BASE:
+        # BASE carries no value (Algorithm 4 queues <v, 0>).
+        gen_p = np.zeros(total, dtype=np.float64)
+    else:
+        # VAP/DAP carry the contribution computed from the
+        # pre-reset state (§5.1, §5.2).
+        gen_p = algorithm.propagate_arrays(np.repeat(pre[sub], deg), out_weights[eidx])
+    gen_t = out_targets[eidx]
+    gen_s = np.repeat(vs, deg)
+    gen_pos = np.repeat(win_global[sub], deg)
+    sw.events_processed = n_local
+    sw.vertex_reads = n_local
+    sw.vertex_writes = n_win
+    sw.edges_read = total
+    sw.events_generated = total
+    return win_global, n_local - n_win, gen_t, gen_p, gen_s, gen_pos
+
+
+# ----------------------------------------------------------------------
+# Execution backends
+# ----------------------------------------------------------------------
+class ShardWorkerError(RuntimeError):
+    """A shard worker process failed or died mid-protocol."""
+
+
+class ThreadShardExecutor:
+    """Persistent shard thread pool (``backend="thread"``).
+
+    One pool per engine core, reused across every round, phase, and
+    streaming batch of the run — previously a ``ThreadPoolExecutor`` was
+    created and torn down per kernel invocation — and shut down
+    deterministically by ``EngineCore.close()`` (or its GC finalizer on
+    abandoned engines, covering exception paths).
+    """
+
+    backend = "thread"
+
+    def __init__(self, workers: int):
+        self.workers = max(1, int(workers))
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-shard"
+            )
+            if self.workers > 1
+            else None
+        )
+        self._closed = False
+
+    @property
+    def pool(self) -> Optional[ThreadPoolExecutor]:
+        """The raw pool (None = serial), also used for parallel drains."""
+        return self._pool
+
+    def run_tasks(self, tasks):
+        return _run_tasks(self._pool, tasks)
+
+    def alive(self) -> bool:
+        return not self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def _build_worker_context(payload: dict, cache) -> dict:
+    """Materialize a kernel context from a bind payload (worker side)."""
+    specs = payload["arrays"]
+    cache.retain(spec["name"] for spec in specs.values() if spec is not None)
+    arrays = {
+        key: (cache.attach(spec) if spec is not None else None)
+        for key, spec in specs.items()
+    }
+    return {"algorithm": payload["algorithm"], "policy": payload["policy"], **arrays}
+
+
+def _process_worker_main(conn) -> None:
+    """Entry point of one shard worker process (``spawn`` start method).
+
+    Serves a tiny request/reply protocol on its pipe: ``bind`` (attach the
+    shared arrays and cache the algorithm/policy), ``round`` (run the
+    kernel for each assigned shard), ``unbind`` (drop attachments when the
+    pool is parked in the warm cache), ``close``. Any kernel exception is
+    shipped back as a formatted traceback instead of killing the worker.
+    """
+    from repro.core.shm import AttachmentCache
+
+    cache = AttachmentCache()
+    ctx: Optional[dict] = None
+    clock = time.perf_counter
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = message[0]
+            if op == "close":
+                try:
+                    conn.send(("ok",))
+                except (BrokenPipeError, OSError):
+                    pass
+                break
+            try:
+                if op == "bind":
+                    ctx = _build_worker_context(message[1], cache)
+                    reply = ("ok",)
+                elif op == "unbind":
+                    ctx = None
+                    cache.close_all()
+                    reply = ("ok",)
+                elif op == "round":
+                    _, kind, jobs, batch_arrays, timed = message
+                    kernel = (
+                        regular_shard_kernel
+                        if kind == "regular"
+                        else delete_shard_kernel
+                    )
+                    out = []
+                    for shard_id, sel in jobs:
+                        sw = RoundWork()
+                        t0 = clock() if timed else 0.0
+                        result = kernel(ctx, sel, *batch_arrays, sw)
+                        t1 = clock() if timed else 0.0
+                        out.append((shard_id, result, sw, t0, t1))
+                    reply = ("ok", out)
+                else:
+                    reply = ("error", f"unknown worker op {op!r}")
+            except BaseException:
+                reply = ("error", traceback.format_exc())
+            try:
+                conn.send(reply)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        cache.close_all()
+        conn.close()
+
+
+class ProcessShardExecutor:
+    """Persistent worker-process pool (``backend="process"``).
+
+    Spawns ``workers`` long-lived processes, each holding attachments to
+    the engine's shared-memory arrays between rounds. Shard *s* of an
+    *n*-engine round runs on worker ``s % workers``; replies are
+    reassembled by shard id, so result order — and therefore the canonical
+    merges — is independent of worker scheduling. The executor never
+    creates or unlinks segments; a dead worker at most costs its pipe, and
+    segment cleanup stays entirely with the main process.
+    """
+
+    backend = "process"
+
+    def __init__(self, workers: int):
+        self.workers = max(1, int(workers))
+        ctx = multiprocessing.get_context("spawn")
+        self._procs = []
+        self._conns = []
+        self._closed = False
+        for index in range(self.workers):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_process_worker_main,
+                args=(child,),
+                name=f"repro-shard-{index}",
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._procs.append(proc)
+            self._conns.append(parent)
+
+    @property
+    def pool(self) -> None:
+        """Queue drains run in the main process on this backend."""
+        return None
+
+    def alive(self) -> bool:
+        return not self._closed and all(proc.is_alive() for proc in self._procs)
+
+    # ------------------------------------------------------------------
+    def _send(self, index: int, message) -> None:
+        try:
+            self._conns[index].send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardWorkerError(f"shard worker {index} died: {exc}") from exc
+
+    def _recv(self, index: int):
+        try:
+            reply = self._conns[index].recv()
+        except (EOFError, OSError) as exc:
+            raise ShardWorkerError(f"shard worker {index} died: {exc}") from exc
+        if reply[0] == "error":
+            raise ShardWorkerError(f"shard worker {index} failed:\n{reply[1]}")
+        return reply
+
+    def _broadcast(self, message) -> None:
+        for index in range(self.workers):
+            self._send(index, message)
+        for index in range(self.workers):
+            self._recv(index)
+
+    # ------------------------------------------------------------------
+    def bind(self, payload: dict) -> None:
+        """Ship the attach recipe + algorithm/policy to every worker."""
+        self._broadcast(("bind", payload))
+
+    def unbind(self) -> None:
+        """Drop worker attachments (before parking in the warm cache)."""
+        self._broadcast(("unbind",))
+
+    def run_round(self, kind: str, num_engines: int, sels, batch_arrays, timed: bool):
+        """Execute one round's shard kernels; results keyed by shard id."""
+        jobs: List[list] = [[] for _ in range(self.workers)]
+        for shard_id in range(num_engines):
+            jobs[shard_id % self.workers].append((shard_id, sels[shard_id]))
+        for index in range(self.workers):
+            self._send(index, ("round", kind, jobs[index], batch_arrays, timed))
+        results = [None] * num_engines
+        works = [None] * num_engines
+        times = [(0.0, 0.0)] * num_engines
+        for index in range(self.workers):
+            reply = self._recv(index)
+            for shard_id, result, sw, t0, t1 in reply[1]:
+                results[shard_id] = result
+                works[shard_id] = sw
+                times[shard_id] = (t0, t1)
+        return results, works, times
+
+    def close(self, timeout: float = 5.0) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for conn, proc in zip(self._conns, self._procs):
+            if proc.is_alive():
+                try:
+                    conn.send(("close",))
+                except (BrokenPipeError, OSError):
+                    pass
+        for proc in self._procs:
+            proc.join(timeout)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+# Warm pool cache: spawning a process pool costs interpreter startup per
+# worker, so idle pools are parked here (keyed by width) instead of torn
+# down, and revived for the next engine core of the same shape. Parked
+# pools hold no attachments (release_* unbinds first).
+_PROCESS_POOL_CACHE: Dict[int, List[ProcessShardExecutor]] = {}
+
+
+def acquire_shard_executor(backend: str, workers: int):
+    """Create (or revive from the warm cache) an executor for ``backend``."""
+    if backend == "process":
+        cached = _PROCESS_POOL_CACHE.get(workers)
+        while cached:
+            executor = cached.pop()
+            if executor.alive():
+                if METRICS.enabled:
+                    METRICS.record_shard_pool("process", "reuse", workers)
+                return executor
+            executor.close()
+        executor = ProcessShardExecutor(workers)
+        if METRICS.enabled:
+            METRICS.record_shard_pool("process", "spawn", executor.workers)
+        return executor
+    executor = ThreadShardExecutor(workers)
+    if METRICS.enabled:
+        METRICS.record_shard_pool("thread", "spawn", executor.workers)
+    return executor
+
+
+def release_shard_executor(executor) -> None:
+    """Return an executor at end of run: park process pools, close threads."""
+    if executor.backend != "process":
+        executor.close()
+        return
+    if not executor.alive():
+        executor.close()
+        return
+    try:
+        executor.unbind()
+    except ShardWorkerError:
+        executor.close()
+        return
+    _PROCESS_POOL_CACHE.setdefault(executor.workers, []).append(executor)
+
+
+def _shutdown_executor_cache() -> None:
+    for executors in _PROCESS_POOL_CACHE.values():
+        while executors:
+            executors.pop().close()
+
+
+atexit.register(_shutdown_executor_cache)
+
+
+def _run_shard_round(executor, kind, ctx, sels, batch, shard_works, timed, clock):
+    """Run one round's shard kernels on ``executor``; per-shard order out.
+
+    Thread backend: closures over the heap context run on the persistent
+    pool, kernels filling ``shard_works`` in place. Process backend: one
+    message per worker carries its shards' selections plus the round batch,
+    and each worker's returned work vectors merge into ``shard_works``.
+    Returns ``(results, task_times)`` indexed by shard id.
+    """
+    num_engines = len(sels)
+    batch_arrays = (batch.targets, batch.payloads, batch.flags, batch.sources)
+    if executor.backend == "process":
+        results, works, times = executor.run_round(
+            kind, num_engines, sels, batch_arrays, timed
+        )
+        for shard_id in range(num_engines):
+            shard_works[shard_id].merge(works[shard_id])
+        return results, times
+
+    kernel = regular_shard_kernel if kind == "regular" else delete_shard_kernel
+
+    def shard_task(sel, sw):
+        def run():
+            return kernel(ctx, sel, *batch_arrays, sw)
+
+        return run
+
+    tasks = [shard_task(sels[s], shard_works[s]) for s in range(num_engines)]
+    task_times = [[0.0, 0.0] for _ in range(num_engines)]
+    if timed:
+        tasks = [
+            _timed_task(task, slot, clock) for task, slot in zip(tasks, task_times)
+        ]
+    return executor.run_tasks(tasks), task_times
+
+
+def _thread_kernel_context(core) -> dict:
+    """Kernel context over the core's heap arrays (thread backend)."""
+    return {
+        "algorithm": core.algorithm,
+        "policy": core.policy,
+        "states": core.states,
+        "dependency": core.dependency,
+        "prop_factor": core._prop_factor,
+        "offsets": core.csr.out_offsets,
+        "out_targets": core.csr.out_targets,
+        "out_weights": core.csr.out_weights,
+    }
+
+
+# ----------------------------------------------------------------------
+# Sharded event-loop drivers
 # ----------------------------------------------------------------------
 def run_regular_sharded(core, group: ShardedQueueGroup, phase: PhaseStats) -> None:
     """Computation phase over parallel shards (Algorithm 1 on 8 engines).
 
     One round: each engine drains its queue; drains merge in canonical
     order; each engine reduces + expands its own vertices' frontier on the
-    thread pool (disjoint rows of the shared state arrays); generated
-    events merge back in producer drain-position order and route through
-    the inter-engine channel. Work accounting runs on the merged round so
-    the per-round vectors equal the single-engine vectorized kernel's.
+    core's persistent executor (disjoint rows of the shared state arrays —
+    heap-shared across threads or shm-shared across worker processes);
+    generated events merge back in producer drain-position order and route
+    through the inter-engine channel. Work accounting runs on the merged
+    round so the per-round vectors equal the single-engine vectorized
+    kernel's.
     """
     from repro.core.engine import MAX_ROUNDS
 
-    algorithm = core.algorithm
-    states = core.states
-    dependency = core.dependency
-    track_dep = core.policy.tracks_dependency
-    accumulative = algorithm.kind is AlgorithmKind.ACCUMULATIVE
-    threshold = algorithm.propagation_threshold
-    weight_scaled = algorithm.weight_scaled_propagation
-    prop_factor = core._prop_factor
     offsets = core.csr.out_offsets
-    out_targets = core.csr.out_targets
-    out_weights = core.csr.out_weights
     page_bytes = core.config.dram_page_bytes
     max_rows = core.config.scheduler_rows_per_round
-    edge_indices = core._edge_indices
     num_engines = group.num_engines
 
-    def shard_task(sel: np.ndarray, batch: EventBatch, sw: RoundWork):
-        def run():
-            ts = batch.targets[sel]
-            old = states[ts]
-            new = algorithm.reduce_ufunc(old, batch.payloads[sel])
-            changed = new != old
-            tc = ts[changed]
-            states[tc] = new[changed]
-            if track_dep:
-                dependency[tc] = batch.sources[sel][changed]
-            prop = changed | ((batch.flags[sel] & 2) != 0)
-            start_all = offsets[ts]
-            deg_all = offsets[ts + 1] - start_all
-            nz = prop & (deg_all > 0)
-            idx = np.flatnonzero(nz)
-            v = ts[idx]
-            start = start_all[idx]
-            deg = deg_all[idx]
-            if accumulative:
-                base = (new[idx] - old[idx]) * prop_factor[v]
-                if weight_scaled:
-                    eidx = edge_indices(start, deg)
-                    values = np.repeat(base, deg) * out_weights[eidx]
-                    keep = (values > threshold) | (values < -threshold)
-                    gen_t = out_targets[eidx][keep]
-                    gen_p = values[keep]
-                    gen_s = np.repeat(v, deg)[keep]
-                    gen_pos = np.repeat(sel[idx], deg)[keep]
-                else:
-                    keepv = (base > threshold) | (base < -threshold)
-                    dg = deg[keepv]
-                    eidx = edge_indices(start[keepv], dg)
-                    gen_t = out_targets[eidx]
-                    gen_p = np.repeat(base[keepv], dg)
-                    gen_s = np.repeat(v[keepv], dg)
-                    gen_pos = np.repeat(sel[idx][keepv], dg)
-            else:
-                # Selective: propagation basis is the post-write state.
-                eidx = edge_indices(start, deg)
-                gen_t = out_targets[eidx]
-                gen_p = algorithm.propagate_arrays(
-                    np.repeat(new[idx], deg), out_weights[eidx]
-                )
-                gen_s = np.repeat(v, deg)
-                gen_pos = np.repeat(sel[idx], deg)
-            sw.events_processed = int(sel.shape[0])
-            sw.vertex_reads = int(sel.shape[0])
-            sw.vertex_writes = int(tc.shape[0])
-            sw.edges_read = int(deg.sum())
-            sw.events_generated = int(gen_t.shape[0])
-            return sel[idx], gen_t, gen_p, gen_s, gen_pos
-
-        return run
+    executor = core.shard_executor()
+    if executor.backend == "process":
+        executor.bind(core._process_bind_payload())
+        ctx = None
+    else:
+        ctx = _thread_kernel_context(core)
+    pool = executor.pool
 
     tracer = core.tracer
     rounds = 0
-    with _shard_pool(group.workers) as pool:
-        while group.pending():
-            rounds += 1
-            if rounds > MAX_ROUNDS:
-                raise RuntimeError("engine exceeded MAX_ROUNDS; non-termination?")
-            work = phase.new_round()
-            shard_works = [RoundWork() for _ in range(num_engines)]
-            phase.shard_rounds.append(shard_works)
-            round_span = None
-            if tracer.enabled:
-                round_span = tracer.start(
-                    "round", occupancy_start=group.occupancy()
+    while group.pending():
+        rounds += 1
+        if rounds > MAX_ROUNDS:
+            raise RuntimeError("engine exceeded MAX_ROUNDS; non-termination?")
+        work = phase.new_round()
+        shard_works = [RoundWork() for _ in range(num_engines)]
+        phase.shard_rounds.append(shard_works)
+        round_span = None
+        if tracer.enabled:
+            round_span = tracer.start("round", occupancy_start=group.occupancy())
+            noc_before = _noc_snapshot(phase)
+        m_t0 = METRICS.clock() if METRICS.enabled else 0.0
+        try:
+            if not group.active_pending():
+                group.activate_next_slice(work)
+            batch, starts = group.drain_round_merged(max_rows, pool)
+            k = len(batch)
+            if k == 0:
+                continue
+            t = batch.targets
+            seg_start = np.zeros(k, dtype=bool)
+            seg_start[starts] = True
+            core._account_vertex_batch_arrays(t, seg_start, work, page_bytes)
+            work.events_processed += k
+            work.vertex_reads += k
+
+            owner = group.shard_of[t]
+            sels = [np.flatnonzero(owner == s) for s in range(num_engines)]
+            results, task_times = _run_shard_round(
+                executor,
+                "regular",
+                ctx,
+                sels,
+                batch,
+                shard_works,
+                timed=round_span is not None,
+                clock=getattr(tracer, "clock", None),
+            )
+            if round_span is not None:
+                for s in range(num_engines):
+                    tracer.emit(
+                        "engine",
+                        f"engine-{s}",
+                        task_times[s][0],
+                        task_times[s][1],
+                        parent=round_span,
+                        engine=s,
+                        **work_attrs(shard_works[s]),
+                    )
+            work.vertex_writes += sum(sw.vertex_writes for sw in shard_works)
+            work.edges_read += sum(sw.edges_read for sw in shard_works)
+
+            prop_pos = np.concatenate([r[0] for r in results])
+            if prop_pos.shape[0]:
+                gidx = np.sort(prop_pos)
+                v = t[gidx]
+                start = offsets[v]
+                deg = offsets[v + 1] - start
+                row_ids = np.searchsorted(starts, gidx, side="right")
+                core._account_edge_batches(start, start + deg, row_ids, work, page_bytes)
+
+            gen_pos = np.concatenate([r[4] for r in results])
+            n_gen = int(gen_pos.shape[0])
+            if n_gen:
+                order = np.argsort(gen_pos, kind="stable")
+                generated = EventBatch(
+                    np.concatenate([r[1] for r in results])[order],
+                    np.concatenate([r[2] for r in results])[order],
+                    np.zeros(n_gen, dtype=np.int64),
+                    np.concatenate([r[3] for r in results])[order],
                 )
-                noc_before = _noc_snapshot(phase)
-            m_t0 = METRICS.clock() if METRICS.enabled else 0.0
-            try:
-                if not group.active_pending():
-                    group.activate_next_slice(work)
-                batch, starts = group.drain_round_merged(max_rows, pool)
-                k = len(batch)
-                if k == 0:
-                    continue
-                t = batch.targets
-                seg_start = np.zeros(k, dtype=bool)
-                seg_start[starts] = True
-                core._account_vertex_batch_arrays(t, seg_start, work, page_bytes)
-                work.events_processed += k
-                work.vertex_reads += k
-
-                owner = group.shard_of[t]
-                tasks = [
-                    shard_task(np.flatnonzero(owner == s), batch, shard_works[s])
-                    for s in range(num_engines)
-                ]
-                if round_span is not None:
-                    task_times = [[0.0, 0.0] for _ in range(num_engines)]
-                    tasks = [
-                        _timed_task(task, slot, tracer.clock)
-                        for task, slot in zip(tasks, task_times)
-                    ]
-                results = _run_tasks(pool, tasks)
-                if round_span is not None:
-                    for s in range(num_engines):
-                        tracer.emit(
-                            "engine",
-                            f"engine-{s}",
-                            task_times[s][0],
-                            task_times[s][1],
-                            parent=round_span,
-                            engine=s,
-                            **work_attrs(shard_works[s]),
-                        )
-                work.vertex_writes += sum(sw.vertex_writes for sw in shard_works)
-                work.edges_read += sum(sw.edges_read for sw in shard_works)
-
-                prop_pos = np.concatenate([r[0] for r in results])
-                if prop_pos.shape[0]:
-                    gidx = np.sort(prop_pos)
-                    v = t[gidx]
-                    start = offsets[v]
-                    deg = offsets[v + 1] - start
-                    row_ids = np.searchsorted(starts, gidx, side="right")
-                    core._account_edge_batches(start, start + deg, row_ids, work, page_bytes)
-
-                gen_pos = np.concatenate([r[4] for r in results])
-                n_gen = int(gen_pos.shape[0])
-                if n_gen:
-                    order = np.argsort(gen_pos, kind="stable")
-                    generated = EventBatch(
-                        np.concatenate([r[1] for r in results])[order],
-                        np.concatenate([r[2] for r in results])[order],
-                        np.zeros(n_gen, dtype=np.int64),
-                        np.concatenate([r[3] for r in results])[order],
-                    )
-                    work.events_generated += n_gen
-                    group.route_generated(generated, work, phase)
-            finally:
-                if round_span is not None:
-                    tracer.end(
-                        round_span,
-                        **work_attrs(work),
-                        occupancy_end=group.occupancy(),
-                        **_noc_delta_attrs(phase, noc_before),
-                    )
-                if METRICS.enabled:
-                    METRICS.record_round(
-                        work, METRICS.clock() - m_t0, group.occupancy()
-                    )
+                work.events_generated += n_gen
+                group.route_generated(generated, work, phase)
+        finally:
+            if round_span is not None:
+                tracer.end(
+                    round_span,
+                    **work_attrs(work),
+                    occupancy_end=group.occupancy(),
+                    **_noc_delta_attrs(phase, noc_before),
+                )
+            if METRICS.enabled:
+                METRICS.record_round(work, METRICS.clock() - m_t0, group.occupancy())
+                METRICS.record_engine_work(shard_works)
 
 
 def run_delete_sharded(
@@ -580,188 +1043,120 @@ def run_delete_sharded(
 ) -> List[int]:
     """Recovery phase over parallel shards (Algorithm 4 on 8 engines).
 
-    Per-engine tasks resolve their own targets' duplicate groups with the
-    same first-qualifying-event rule as the vectorized oracle (groups never
-    span engines — a vertex lives in exactly one shard), reset impacted
-    vertices, and expand delete propagation; merging follows the same
-    canonical orders as the regular kernel. Returns the impacted list in
-    the oracle's order (ascending vertex id per round).
+    Per-engine tasks run :func:`delete_shard_kernel` on the core's
+    persistent executor; merging follows the same canonical orders as the
+    regular driver. Returns the impacted list in the oracle's order
+    (ascending vertex id per round).
     """
     from repro.core.engine import MAX_ROUNDS
 
-    algorithm = core.algorithm
-    states = core.states
-    dependency = core.dependency
-    policy = core.policy
-    identity = algorithm.identity
     offsets = core.csr.out_offsets
-    out_targets = core.csr.out_targets
-    out_weights = core.csr.out_weights
     page_bytes = core.config.dram_page_bytes
-    base_policy = policy is DeletePolicy.BASE
-    vap = policy is DeletePolicy.VAP
-    dap = policy is DeletePolicy.DAP
     max_rows = core.config.scheduler_rows_per_round
-    edge_indices = core._edge_indices
     num_engines = group.num_engines
 
-    empty_i = np.empty(0, dtype=np.int64)
-    empty_f = np.empty(0, dtype=np.float64)
-
-    def shard_task(sel: np.ndarray, batch: EventBatch, sw: RoundWork):
-        def run():
-            n_local = int(sel.shape[0])
-            if n_local == 0:
-                return empty_i, 0, empty_i, empty_f, empty_i, empty_i
-            ts = batch.targets[sel]
-            st = states[ts]
-            cond = st != identity
-            if dap:
-                cond &= dependency[ts] == batch.sources[sel]
-            if vap:
-                cond &= ~algorithm.more_progressed_arrays(st, batch.payloads[sel])
-            gfirst = np.empty(n_local, dtype=bool)
-            gfirst[0] = True
-            np.not_equal(ts[1:], ts[:-1], out=gfirst[1:])
-            gstarts = np.flatnonzero(gfirst)
-            pos = np.where(cond, np.arange(n_local), n_local)
-            win = np.minimum.reduceat(pos, gstarts)
-            win = win[win < np.append(gstarts[1:], n_local)]
-            n_win = int(win.shape[0])
-            v = ts[win]
-            pre = st[win]
-            # Reset (tag) the impacted vertices — Algorithm 4, line 11.
-            states[v] = identity
-            if dap:
-                dependency[v] = NO_SOURCE
-            win_global = sel[win]
-            start_all = offsets[v]
-            deg_all = offsets[v + 1] - start_all
-            sub = np.flatnonzero(deg_all > 0)
-            vs = v[sub]
-            start = start_all[sub]
-            deg = deg_all[sub]
-            total = int(deg.sum())
-            eidx = edge_indices(start, deg)
-            if base_policy:
-                # BASE carries no value (Algorithm 4 queues <v, 0>).
-                gen_p = np.zeros(total, dtype=np.float64)
-            else:
-                # VAP/DAP carry the contribution computed from the
-                # pre-reset state (§5.1, §5.2).
-                gen_p = algorithm.propagate_arrays(
-                    np.repeat(pre[sub], deg), out_weights[eidx]
-                )
-            gen_t = out_targets[eidx]
-            gen_s = np.repeat(vs, deg)
-            gen_pos = np.repeat(win_global[sub], deg)
-            sw.events_processed = n_local
-            sw.vertex_reads = n_local
-            sw.vertex_writes = n_win
-            sw.edges_read = total
-            sw.events_generated = total
-            return win_global, n_local - n_win, gen_t, gen_p, gen_s, gen_pos
-
-        return run
+    executor = core.shard_executor()
+    if executor.backend == "process":
+        executor.bind(core._process_bind_payload())
+        ctx = None
+    else:
+        ctx = _thread_kernel_context(core)
+    pool = executor.pool
 
     tracer = core.tracer
     impacted: List[int] = []
     rounds = 0
-    with _shard_pool(group.workers) as pool:
-        while group.pending():
-            rounds += 1
-            if rounds > MAX_ROUNDS:
-                raise RuntimeError("delete phase exceeded MAX_ROUNDS")
-            work = phase.new_round()
-            shard_works = [RoundWork() for _ in range(num_engines)]
-            phase.shard_rounds.append(shard_works)
-            round_span = None
-            if tracer.enabled:
-                round_span = tracer.start(
-                    "round", occupancy_start=group.occupancy()
+    while group.pending():
+        rounds += 1
+        if rounds > MAX_ROUNDS:
+            raise RuntimeError("delete phase exceeded MAX_ROUNDS")
+        work = phase.new_round()
+        shard_works = [RoundWork() for _ in range(num_engines)]
+        phase.shard_rounds.append(shard_works)
+        round_span = None
+        if tracer.enabled:
+            round_span = tracer.start("round", occupancy_start=group.occupancy())
+            noc_before = _noc_snapshot(phase)
+        m_t0 = METRICS.clock() if METRICS.enabled else 0.0
+        try:
+            if not group.active_pending():
+                group.activate_next_slice(work)
+            batch, starts = group.drain_round_merged(max_rows, pool)
+            k = len(batch)
+            if k == 0:
+                continue
+            t = batch.targets
+            seg_start = np.zeros(k, dtype=bool)
+            seg_start[starts] = True
+            core._account_vertex_batch_arrays(t, seg_start, work, page_bytes)
+            work.events_processed += k
+            work.vertex_reads += k
+
+            owner = group.shard_of[t]
+            sels = [np.flatnonzero(owner == s) for s in range(num_engines)]
+            results, task_times = _run_shard_round(
+                executor,
+                "delete",
+                ctx,
+                sels,
+                batch,
+                shard_works,
+                timed=round_span is not None,
+                clock=getattr(tracer, "clock", None),
+            )
+            if round_span is not None:
+                for s in range(num_engines):
+                    tracer.emit(
+                        "engine",
+                        f"engine-{s}",
+                        task_times[s][0],
+                        task_times[s][1],
+                        parent=round_span,
+                        engine=s,
+                        **work_attrs(shard_works[s]),
+                    )
+            phase.deletes_discarded += sum(r[1] for r in results)
+            win_all = np.concatenate([r[0] for r in results])
+            n_win = int(win_all.shape[0])
+            work.vertex_writes += n_win
+            phase.vertices_reset += n_win
+            work.edges_read += sum(sw.edges_read for sw in shard_works)
+            if n_win:
+                win_sorted = np.sort(win_all)
+                v = t[win_sorted]
+                impacted.extend(v.tolist())
+                start_all = offsets[v]
+                deg_all = offsets[v + 1] - start_all
+                sub = np.flatnonzero(deg_all > 0)
+                if sub.shape[0]:
+                    start = start_all[sub]
+                    deg = deg_all[sub]
+                    row_ids = np.searchsorted(starts, win_sorted[sub], side="right")
+                    core._account_edge_batches(
+                        start, start + deg, row_ids, work, page_bytes
+                    )
+
+            gen_pos = np.concatenate([r[5] for r in results])
+            n_gen = int(gen_pos.shape[0])
+            if n_gen:
+                order = np.argsort(gen_pos, kind="stable")
+                generated = EventBatch(
+                    np.concatenate([r[2] for r in results])[order],
+                    np.concatenate([r[3] for r in results])[order],
+                    np.ones(n_gen, dtype=np.int64),
+                    np.concatenate([r[4] for r in results])[order],
                 )
-                noc_before = _noc_snapshot(phase)
-            m_t0 = METRICS.clock() if METRICS.enabled else 0.0
-            try:
-                if not group.active_pending():
-                    group.activate_next_slice(work)
-                batch, starts = group.drain_round_merged(max_rows, pool)
-                k = len(batch)
-                if k == 0:
-                    continue
-                t = batch.targets
-                seg_start = np.zeros(k, dtype=bool)
-                seg_start[starts] = True
-                core._account_vertex_batch_arrays(t, seg_start, work, page_bytes)
-                work.events_processed += k
-                work.vertex_reads += k
-
-                owner = group.shard_of[t]
-                tasks = [
-                    shard_task(np.flatnonzero(owner == s), batch, shard_works[s])
-                    for s in range(num_engines)
-                ]
-                if round_span is not None:
-                    task_times = [[0.0, 0.0] for _ in range(num_engines)]
-                    tasks = [
-                        _timed_task(task, slot, tracer.clock)
-                        for task, slot in zip(tasks, task_times)
-                    ]
-                results = _run_tasks(pool, tasks)
-                if round_span is not None:
-                    for s in range(num_engines):
-                        tracer.emit(
-                            "engine",
-                            f"engine-{s}",
-                            task_times[s][0],
-                            task_times[s][1],
-                            parent=round_span,
-                            engine=s,
-                            **work_attrs(shard_works[s]),
-                        )
-                phase.deletes_discarded += sum(r[1] for r in results)
-                win_all = np.concatenate([r[0] for r in results])
-                n_win = int(win_all.shape[0])
-                work.vertex_writes += n_win
-                phase.vertices_reset += n_win
-                work.edges_read += sum(sw.edges_read for sw in shard_works)
-                if n_win:
-                    win_sorted = np.sort(win_all)
-                    v = t[win_sorted]
-                    impacted.extend(v.tolist())
-                    start_all = offsets[v]
-                    deg_all = offsets[v + 1] - start_all
-                    sub = np.flatnonzero(deg_all > 0)
-                    if sub.shape[0]:
-                        start = start_all[sub]
-                        deg = deg_all[sub]
-                        row_ids = np.searchsorted(starts, win_sorted[sub], side="right")
-                        core._account_edge_batches(
-                            start, start + deg, row_ids, work, page_bytes
-                        )
-
-                gen_pos = np.concatenate([r[5] for r in results])
-                n_gen = int(gen_pos.shape[0])
-                if n_gen:
-                    order = np.argsort(gen_pos, kind="stable")
-                    generated = EventBatch(
-                        np.concatenate([r[2] for r in results])[order],
-                        np.concatenate([r[3] for r in results])[order],
-                        np.ones(n_gen, dtype=np.int64),
-                        np.concatenate([r[4] for r in results])[order],
-                    )
-                    work.events_generated += n_gen
-                    group.route_generated(generated, work, phase)
-            finally:
-                if round_span is not None:
-                    tracer.end(
-                        round_span,
-                        **work_attrs(work),
-                        occupancy_end=group.occupancy(),
-                        **_noc_delta_attrs(phase, noc_before),
-                    )
-                if METRICS.enabled:
-                    METRICS.record_round(
-                        work, METRICS.clock() - m_t0, group.occupancy()
-                    )
+                work.events_generated += n_gen
+                group.route_generated(generated, work, phase)
+        finally:
+            if round_span is not None:
+                tracer.end(
+                    round_span,
+                    **work_attrs(work),
+                    occupancy_end=group.occupancy(),
+                    **_noc_delta_attrs(phase, noc_before),
+                )
+            if METRICS.enabled:
+                METRICS.record_round(work, METRICS.clock() - m_t0, group.occupancy())
+                METRICS.record_engine_work(shard_works)
     return impacted

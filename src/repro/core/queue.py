@@ -330,6 +330,7 @@ class VectorQueue:
         policy: DeletePolicy = DeletePolicy.DAP,
         num_vertices: int = 0,
         slice_of: Optional[np.ndarray] = None,
+        array_factory=None,
     ):
         if getattr(algorithm, "reduce_ufunc", None) is None:
             raise QueueError(
@@ -349,10 +350,17 @@ class VectorQueue:
             self.num_slices = 1
         self._slice_of = slice_of
         n = int(num_vertices)
-        self._payloads = np.zeros(n, dtype=np.float64)
-        self._flags = np.zeros(n, dtype=np.int64)
-        self._sources = np.full(n, NO_SOURCE, dtype=np.int64)
-        self._occupied = np.zeros(n, dtype=bool)
+        # ``array_factory(n, fill, dtype)`` lets the sharded process
+        # backend place the cell arrays in shared-memory segments; growth
+        # for vertices created mid-stream falls back to private arrays
+        # until the next queue build (see ``_grow``).
+        make = array_factory or (
+            lambda num, fill, dtype: np.full(num, fill, dtype=dtype)
+        )
+        self._payloads = make(n, 0.0, np.float64)
+        self._flags = make(n, 0, np.int64)
+        self._sources = make(n, NO_SOURCE, np.int64)
+        self._occupied = make(n, False, np.bool_)
         if slice_of is not None:
             self._slice_masks = [slice_of[:n] == s for s in range(self.num_slices)]
         else:

@@ -161,8 +161,13 @@ class JetStreamEngine:
     num_engines:
         Parallel engine count for ``engine="sharded"`` (default 8).
     shard_workers:
-        Thread-pool width for sharded execution (default: one per engine,
+        Worker-pool width for sharded execution (default: one per engine,
         capped at the CPU count; 1 forces serial shard execution).
+    backend:
+        Sharded execution backend: ``"thread"`` (persistent thread pool
+        over the heap arrays) or ``"process"`` (worker processes over
+        shared-memory segments — see repro.core.parallel). Results are
+        bit-identical across backends.
     seed_pipeline:
         How streaming seed events (delete payloads, reapproximation
         requests, insertion seeds, net corrections) are computed:
@@ -185,6 +190,7 @@ class JetStreamEngine:
         engine: str = "auto",
         num_engines: int = 8,
         shard_workers: Optional[int] = None,
+        backend: str = "thread",
         tracer=None,
         seed_pipeline: str = "auto",
     ):
@@ -238,10 +244,26 @@ class JetStreamEngine:
             engine=engine,
             num_engines=num_engines,
             shard_workers=shard_workers,
+            backend=backend,
             tracer=tracer,
         )
         self._initialized = False
         self.history: List[StreamingResult] = []
+
+    def close(self) -> None:
+        """Release the worker pool and any shared-memory segments.
+
+        Safe to skip for throwaway engines — a GC finalizer does the same
+        cleanup — but explicit close (or the context-manager form) makes
+        teardown deterministic.
+        """
+        self.core.close()
+
+    def __enter__(self) -> "JetStreamEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Queries

@@ -93,6 +93,7 @@ class Session:
         policy: DeletePolicy = DeletePolicy.DAP,
         engine: str = "auto",
         num_engines: int = 8,
+        backend: str = "thread",
         **algorithm_kwargs,
     ) -> "Session":
         """Bind the application (Reduce/Propagate pair) to the session.
@@ -102,7 +103,10 @@ class Session:
         forces the boxed-event reference path, ``vectorized`` requires the
         array hooks and raises otherwise, and ``sharded`` runs
         ``num_engines`` parallel engines over graph slices (Table 1, §4.7)
-        with results bit-identical to ``vectorized``.
+        with results bit-identical to ``vectorized``. With
+        ``engine="sharded"``, ``backend`` picks the execution substrate:
+        ``"thread"`` (default) or ``"process"`` (one worker process per
+        pool slot over shared-memory state arrays).
 
         Reconfiguring an already-run session starts a fresh query: the next
         :meth:`run` is an initial evaluation on the current graph, and
@@ -120,6 +124,8 @@ class Session:
                 f"{algorithm} needs a symmetric graph; pass symmetric=True "
                 "to Accelerator.load_graph"
             )
+        if self._engine is not None:
+            self._engine.close()
         self._engine = JetStreamEngine(
             self._graph,
             algo,
@@ -127,6 +133,7 @@ class Session:
             policy=policy,
             engine=engine,
             num_engines=num_engines,
+            backend=backend,
             tracer=self._accelerator.tracer,
         )
         # A new engine has no results: drop the previous query's state so
@@ -200,6 +207,17 @@ class Session:
         """The most recent run's result record."""
         return self._last_result
 
+    def close(self) -> None:
+        """Release the session's engine resources (worker pools, shm)."""
+        if self._engine is not None:
+            self._engine.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
 
 class Accelerator:
     """The co-processor as the host driver sees it.
@@ -228,3 +246,14 @@ class Accelerator:
         session = Session(self, graph)
         self.sessions.append(session)
         return session
+
+    def close(self) -> None:
+        """Release every session's engine resources."""
+        for session in self.sessions:
+            session.close()
+
+    def __enter__(self) -> "Accelerator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -31,11 +31,13 @@ from typing import Callable, Dict, List, Optional
 __all__ = [
     "BenchGateError",
     "collect_engine",
+    "collect_sharded",
     "collect_stream",
     "collect_trace",
     "compare_rows",
     "default_baseline_path",
     "flatten_engine",
+    "flatten_sharded",
     "flatten_stream",
     "flatten_trace",
     "render_table",
@@ -46,7 +48,7 @@ REPO_ROOT = Path(__file__).resolve().parents[3]
 BENCHMARKS_DIR = REPO_ROOT / "benchmarks"
 BASELINES_DIR = BENCHMARKS_DIR / "baselines"
 
-SUITES = ("engine", "trace", "stream")
+SUITES = ("engine", "trace", "stream", "sharded")
 
 #: Default allowed relative drop in events_per_s before a row regresses.
 DEFAULT_TOLERANCE = 0.30
@@ -81,6 +83,11 @@ def collect_stream(quick: bool) -> dict:
     return _load_bench_module("bench_stream_pipeline").collect(quick)
 
 
+def collect_sharded(quick: bool) -> dict:
+    """Run the threads-vs-processes sharded backend grid."""
+    return _load_bench_module("bench_sharded_engine").run_grid(quick)
+
+
 def default_baseline_path(suite: str, quick: bool) -> Path:
     """Where the committed baseline for ``suite`` lives."""
     if suite == "engine":
@@ -100,6 +107,12 @@ def default_baseline_path(suite: str, quick: bool) -> Path:
             BASELINES_DIR / "BENCH_stream.quick.json"
             if quick
             else REPO_ROOT / "BENCH_stream.json"
+        )
+    if suite == "sharded":
+        return (
+            BASELINES_DIR / "BENCH_sharded.quick.json"
+            if quick
+            else REPO_ROOT / "BENCH_sharded.json"
         )
     raise BenchGateError(f"unknown suite {suite!r} (choose from {SUITES})")
 
@@ -166,16 +179,41 @@ def flatten_stream(report: dict) -> List[dict]:
     return rows
 
 
+def flatten_sharded(report: dict) -> List[dict]:
+    """``BENCH_sharded.json`` → one row per (graph, algorithm, backend, engines).
+
+    The report may be the standalone sharded suite file or the combined
+    ``BENCH_engine.json`` carrying the grid under a ``"sharded"`` key.
+    """
+    report = report.get("sharded", report)
+    rows = []
+    for entry in report.get("results", []):
+        rows.append(
+            {
+                "suite": "sharded",
+                "key": (
+                    f"{entry['graph']}/{entry['algorithm']}/"
+                    f"{entry['backend']}/e{entry['num_engines']}"
+                ),
+                "events_per_s": float(entry["events_per_s"]),
+                "events": int(entry["events_processed"]),
+            }
+        )
+    return rows
+
+
 _FLATTENERS: Dict[str, Callable[[dict], List[dict]]] = {
     "engine": flatten_engine,
     "trace": flatten_trace,
     "stream": flatten_stream,
+    "sharded": flatten_sharded,
 }
 
 _COLLECTORS: Dict[str, Callable[[bool], dict]] = {
     "engine": collect_engine,
     "trace": collect_trace,
     "stream": collect_stream,
+    "sharded": collect_sharded,
 }
 
 

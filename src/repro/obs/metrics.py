@@ -335,6 +335,52 @@ class MetricsRegistry:
             if num_edges is not None:
                 self._gauge_nolock("repro_graph_edges").set(num_edges)
 
+    def record_engine_work(self, shard_works) -> None:
+        """Fold one sharded round's per-engine work (utilization counters).
+
+        ``shard_works`` is the sequence of per-shard :class:`RoundWork`
+        records indexed by engine id. The per-engine series mirror the
+        in-process ``RunMetrics.per_engine_totals`` breakdown, so
+        ``repro_engine_events_processed_total{engine=...}`` sums to the
+        unlabelled ``repro_events_processed_total`` family.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            for engine_id, work in enumerate(shard_works):
+                if work.events_processed:
+                    self._counter_nolock(
+                        "repro_engine_events_processed_total",
+                        engine=str(engine_id),
+                    ).inc(work.events_processed)
+                if work.events_generated:
+                    self._counter_nolock(
+                        "repro_engine_events_generated_total",
+                        engine=str(engine_id),
+                    ).inc(work.events_generated)
+
+    def record_shard_pool(self, backend: str, event: str, workers: int) -> None:
+        """Fold one shard-executor lifecycle event (sharded substrate).
+
+        ``event`` is ``"spawn"`` (a fresh pool was built) or ``"reuse"``
+        (a warm pool was rebound — process-cache hit or a per-phase reuse
+        of the core's live executor).
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            if event == "spawn":
+                self._counter_nolock(
+                    "repro_shard_pool_spawns_total", backend=backend
+                ).inc()
+            else:
+                self._counter_nolock(
+                    "repro_shard_pool_reuse_total", backend=backend
+                ).inc()
+            self._gauge_nolock(
+                "repro_shard_pool_workers", backend=backend
+            ).set(workers)
+
     def record_transfer(self, direction: str, nbytes: int) -> None:
         """Fold one host<->accelerator DMA transfer (:mod:`repro.host`)."""
         if not self.enabled:
@@ -545,6 +591,11 @@ _HELP = {
     "repro_graph_vertices": "Vertices in the bound graph snapshot.",
     "repro_graph_edges": "Edges in the bound graph snapshot.",
     "repro_transfer_bytes_total": "Host<->accelerator DMA bytes, by direction.",
+    "repro_engine_events_processed_total": "Events processed, by engine shard.",
+    "repro_engine_events_generated_total": "Events generated, by engine shard.",
+    "repro_shard_pool_spawns_total": "Shard worker pools built, by backend.",
+    "repro_shard_pool_reuse_total": "Warm shard worker pools reused, by backend.",
+    "repro_shard_pool_workers": "Worker slots in the live shard pool, by backend.",
 }
 
 #: The process-wide registry every substrate publishes into. Disabled by

@@ -52,6 +52,27 @@ STREAM_REPORT = {
     ]
 }
 
+SHARDED_REPORT = {
+    "results": [
+        {
+            "graph": "rmat-2k",
+            "algorithm": "sssp",
+            "backend": "thread",
+            "num_engines": 8,
+            "events_per_s": 3000.0,
+            "events_processed": 500,
+        },
+        {
+            "graph": "rmat-2k",
+            "algorithm": "sssp",
+            "backend": "process",
+            "num_engines": 8,
+            "events_per_s": 2500.0,
+            "events_processed": 500,
+        },
+    ]
+}
+
 
 def perturbed(report: dict, scale: float = 1.0, events_delta: int = 0) -> dict:
     """Copy a canned report with scaled throughput / shifted event counts."""
@@ -65,6 +86,10 @@ def perturbed(report: dict, scale: float = 1.0, events_delta: int = 0) -> dict:
             if mode in entry:
                 entry[mode]["batches_per_s"] *= scale
                 entry[mode]["events_processed"] += events_delta
+    for entry in out.get("results", []):
+        if "backend" in entry:
+            entry["events_per_s"] *= scale
+            entry["events_processed"] += events_delta
     for row in out.get("rows", []):
         row["events_per_s"] *= scale
         row["events"] += events_delta
@@ -98,6 +123,21 @@ class TestFlatten:
         assert all(r["suite"] == "stream" for r in rows)
         assert rows[0]["events_per_s"] == 600.0
         assert rows[0]["events"] == 900
+
+    def test_sharded_rows(self):
+        rows = bench_gate.flatten_sharded(SHARDED_REPORT)
+        assert [r["key"] for r in rows] == [
+            "rmat-2k/sssp/thread/e8",
+            "rmat-2k/sssp/process/e8",
+        ]
+        assert all(r["suite"] == "sharded" for r in rows)
+        assert rows[0]["events"] == 500
+
+    def test_sharded_rows_from_combined_engine_report(self):
+        # BENCH_engine.json carries the grid under a "sharded" key.
+        combined = {"results": [], "sharded": SHARDED_REPORT}
+        rows = bench_gate.flatten_sharded(combined)
+        assert len(rows) == 2
 
 
 class TestCompareRows:
@@ -158,19 +198,23 @@ class TestCompareRows:
 # run_gate with canned collectors
 # ----------------------------------------------------------------------
 class TestRunGate:
-    def collectors(self, engine=None, trace=None, stream=None):
+    def collectors(self, engine=None, trace=None, stream=None, sharded=None):
         return {
             "engine": lambda quick: engine or ENGINE_REPORT,
             "trace": lambda quick: trace or TRACE_REPORT,
             "stream": lambda quick: stream or STREAM_REPORT,
+            "sharded": lambda quick: sharded or SHARDED_REPORT,
         }
 
-    def baselines(self, tmp_path: Path, engine=None, trace=None, stream=None):
+    def baselines(
+        self, tmp_path: Path, engine=None, trace=None, stream=None, sharded=None
+    ):
         paths = {}
         for suite, report in (
             ("engine", engine or ENGINE_REPORT),
             ("trace", trace or TRACE_REPORT),
             ("stream", stream or STREAM_REPORT),
+            ("sharded", sharded or SHARDED_REPORT),
         ):
             path = tmp_path / f"baseline_{suite}.json"
             path.write_text(json.dumps(report))
@@ -184,7 +228,7 @@ class TestRunGate:
         )
         assert result["regressions"] == 0
         assert all(c["status"] == "ok" for c in result["comparisons"])
-        assert set(result["reports"]) == {"engine", "trace", "stream"}
+        assert set(result["reports"]) == {"engine", "trace", "stream", "sharded"}
 
     def test_injected_throughput_regression_is_caught(self, tmp_path):
         slow = perturbed(ENGINE_REPORT, scale=0.5)
@@ -223,6 +267,7 @@ class TestRunGate:
             "engine": tmp_path / "sub" / "engine.json",
             "trace": tmp_path / "sub" / "trace.json",
             "stream": tmp_path / "sub" / "stream.json",
+            "sharded": tmp_path / "sub" / "sharded.json",
         }
         result = run_gate(
             baseline_paths=paths,
@@ -233,6 +278,7 @@ class TestRunGate:
         assert json.loads(paths["engine"].read_text()) == ENGINE_REPORT
         assert json.loads(paths["trace"].read_text()) == TRACE_REPORT
         assert json.loads(paths["stream"].read_text()) == STREAM_REPORT
+        assert json.loads(paths["sharded"].read_text()) == SHARDED_REPORT
 
     def test_default_baseline_paths(self):
         assert default_baseline_path("engine", quick=False).name == (
@@ -245,6 +291,12 @@ class TestRunGate:
             "BENCH_stream.json"
         )
         assert default_baseline_path("stream", quick=True).parent.name == (
+            "baselines"
+        )
+        assert default_baseline_path("sharded", quick=False).name == (
+            "BENCH_sharded.json"
+        )
+        assert default_baseline_path("sharded", quick=True).parent.name == (
             "baselines"
         )
         with pytest.raises(BenchGateError):
@@ -262,55 +314,53 @@ class TestBenchCheckCli:
             "engine": json.loads(json.dumps(ENGINE_REPORT)),
             "trace": json.loads(json.dumps(TRACE_REPORT)),
             "stream": json.loads(json.dumps(STREAM_REPORT)),
+            "sharded": json.loads(json.dumps(SHARDED_REPORT)),
         }
-        for suite in ("engine", "trace", "stream"):
+        for suite in ("engine", "trace", "stream", "sharded"):
             monkeypatch.setitem(
                 bench_gate._COLLECTORS,
                 suite,
                 lambda quick, s=suite: reports[s],
             )
-        engine_base = tmp_path / "engine.json"
-        trace_base = tmp_path / "trace.json"
-        stream_base = tmp_path / "stream.json"
-        engine_base.write_text(json.dumps(ENGINE_REPORT))
-        trace_base.write_text(json.dumps(TRACE_REPORT))
-        stream_base.write_text(json.dumps(STREAM_REPORT))
-        return reports, engine_base, trace_base, stream_base
+        bases = {}
+        for suite, report in (
+            ("engine", ENGINE_REPORT),
+            ("trace", TRACE_REPORT),
+            ("stream", STREAM_REPORT),
+            ("sharded", SHARDED_REPORT),
+        ):
+            bases[suite] = tmp_path / f"{suite}.json"
+            bases[suite].write_text(json.dumps(report))
+        return reports, bases
 
-    def base_args(self, engine_base, trace_base, stream_base):
-        return [
-            "bench",
-            "check",
-            "--baseline-engine",
-            str(engine_base),
-            "--baseline-trace",
-            str(trace_base),
-            "--baseline-stream",
-            str(stream_base),
-        ]
+    def base_args(self, bases):
+        args = ["bench", "check"]
+        for suite, path in bases.items():
+            args += [f"--baseline-{suite}", str(path)]
+        return args
 
     def test_exits_zero_on_matching_baselines(self, canned, capsys):
         from repro.cli import main
 
-        _, engine_base, trace_base, stream_base = canned
-        assert main(self.base_args(engine_base, trace_base, stream_base)) == 0
+        _, bases = canned
+        assert main(self.base_args(bases)) == 0
         out = capsys.readouterr().out
         assert "ok" in out and "within tolerance" in out
 
     def test_exits_nonzero_on_injected_regression(self, canned, capsys):
         from repro.cli import main
 
-        reports, engine_base, trace_base, stream_base = canned
+        reports, bases = canned
         reports["engine"] = perturbed(ENGINE_REPORT, scale=0.4)
-        assert main(self.base_args(engine_base, trace_base, stream_base)) == 1
+        assert main(self.base_args(bases)) == 1
         assert "regression" in capsys.readouterr().out
 
     def test_no_fail_reports_but_exits_zero(self, canned, capsys):
         from repro.cli import main
 
-        reports, engine_base, trace_base, stream_base = canned
+        reports, bases = canned
         reports["trace"] = perturbed(TRACE_REPORT, events_delta=1)
-        args = self.base_args(engine_base, trace_base, stream_base)
+        args = self.base_args(bases)
         args += ["--no-fail"]
         assert main(args) == 0
         assert "regression" in capsys.readouterr().out
@@ -318,35 +368,27 @@ class TestBenchCheckCli:
     def test_single_suite_selection(self, canned, capsys):
         from repro.cli import main
 
-        reports, engine_base, trace_base, stream_base = canned
-        # Break the *other* suites: a trace or stream regression must not
-        # fire when only the engine suite is selected.
+        reports, bases = canned
+        # Break the *other* suites: a trace, stream, or sharded regression
+        # must not fire when only the engine suite is selected.
         reports["trace"] = perturbed(TRACE_REPORT, scale=0.1)
         reports["stream"] = perturbed(STREAM_REPORT, events_delta=5)
-        args = self.base_args(engine_base, trace_base, stream_base)
+        reports["sharded"] = perturbed(SHARDED_REPORT, scale=0.1)
+        args = self.base_args(bases)
         args += ["--suite", "engine"]
         assert main(args) == 0
 
     def test_update_baselines_roundtrip(self, canned, tmp_path, capsys):
         from repro.cli import main
 
-        _, engine_base, trace_base, stream_base = canned
-        new_engine = tmp_path / "new" / "engine.json"
-        new_trace = tmp_path / "new" / "trace.json"
-        new_stream = tmp_path / "new" / "stream.json"
-        args = [
-            "bench",
-            "check",
-            "--baseline-engine",
-            str(new_engine),
-            "--baseline-trace",
-            str(new_trace),
-            "--baseline-stream",
-            str(new_stream),
-            "--update-baselines",
-        ]
+        _, _ = canned
+        new_bases = {
+            suite: tmp_path / "new" / f"{suite}.json"
+            for suite in ("engine", "trace", "stream", "sharded")
+        }
+        args = self.base_args(new_bases) + ["--update-baselines"]
         assert main(args) == 0
-        assert main(self.base_args(new_engine, new_trace, new_stream)) == 0
+        assert main(self.base_args(new_bases)) == 0
 
     def test_missing_baseline_exits_two(self, canned, tmp_path, capsys):
         from repro.cli import main

@@ -17,7 +17,7 @@ import urllib.request
 import pytest
 
 from repro.algorithms import make_algorithm
-from repro.core.metrics import RoundWork
+from repro.core.metrics import RoundWork, RunMetrics
 from repro.core.streaming import JetStreamEngine
 from repro.host import Accelerator
 from repro.obs import MetricsServer, log_buckets, render_prometheus
@@ -307,6 +307,80 @@ class TestInstrumentationParity:
         for a, b in zip(enabled_results, disabled_results):
             assert a.states.tobytes() == b.states.tobytes()
             assert a.metrics.to_rows() == b.metrics.to_rows()
+
+
+# ----------------------------------------------------------------------
+# Sharded substrate: per-engine utilization + worker-pool lifecycle
+# ----------------------------------------------------------------------
+class TestShardedPoolMetrics:
+    def test_per_engine_counters_match_utilization(self, registry):
+        results = run_stream("sharded", num_engines=4)
+        metrics = [r.metrics for r in results]
+        expected = [RoundWork() for _ in range(4)]
+        for m in metrics:
+            for engine_id, work in enumerate(m.per_engine_totals()):
+                expected[engine_id].merge(work)
+        for engine_id, work in enumerate(expected):
+            assert (
+                registry.value(
+                    "repro_engine_events_processed_total", engine=str(engine_id)
+                )
+                or 0
+            ) == work.events_processed
+            assert (
+                registry.value(
+                    "repro_engine_events_generated_total", engine=str(engine_id)
+                )
+                or 0
+            ) == work.events_generated
+        # The labelled series partition the unlabelled totals exactly...
+        snapshot = registry.snapshot()
+        assert family_total(
+            snapshot, "repro_engine_events_processed_total"
+        ) == family_total(snapshot, "repro_events_processed_total")
+        # ...so per-engine fractions equal RunMetrics.engine_utilization.
+        processed = sum(w.events_processed for w in expected)
+        fractions = [
+            (
+                registry.value(
+                    "repro_engine_events_processed_total", engine=str(i)
+                )
+                or 0
+            )
+            / processed
+            for i in range(4)
+        ]
+        combined = RunMetrics(phases=[p for m in metrics for p in m.phases])
+        assert fractions == pytest.approx(combined.engine_utilization())
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_pool_spawn_and_reuse_counters(self, registry, backend):
+        from repro.core import parallel
+
+        # Drain warm pools parked by earlier tests so spawn counts are
+        # deterministic.
+        for pools in parallel._PROCESS_POOL_CACHE.values():
+            while pools:
+                pools.pop().close()
+        run_stream("sharded", num_engines=4, backend=backend)
+        run_stream("sharded", num_engines=4, backend=backend)
+        spawns = registry.value(
+            "repro_shard_pool_spawns_total", backend=backend
+        )
+        reuses = registry.value(
+            "repro_shard_pool_reuse_total", backend=backend
+        )
+        if backend == "thread":
+            # One persistent pool per engine instance; each later phase of
+            # a run rebinds it rather than building a new one.
+            assert spawns == 2
+        else:
+            # The warm cache revives the first engine's pool for the
+            # second — exactly one set of worker processes is ever built.
+            assert spawns == 1
+        assert (reuses or 0) >= 1
+        workers = registry.value("repro_shard_pool_workers", backend=backend)
+        assert workers is not None and workers >= 1
 
 
 # ----------------------------------------------------------------------

@@ -28,6 +28,7 @@ from conftest import make_graph_for
 ALGORITHMS = ["sssp", "bfs", "cc", "sswp", "pagerank", "adsorption"]
 POLICIES = [DeletePolicy.BASE, DeletePolicy.VAP, DeletePolicy.DAP]
 ENGINE_COUNTS = [1, 2, 8]
+BACKENDS = ["thread", "process"]
 
 
 def assert_run_parity(oracle, sharded, context: str = "") -> None:
@@ -55,18 +56,24 @@ def run_static_pair(
     n: int = 60,
     m: int = 240,
     seed: int = 7,
+    backend: str = "thread",
 ):
     algorithm = make_algorithm(name, source=0)
     graph = make_graph_for(algorithm, n=n, m=m, seed=seed)
     oracle = GraphPulseEngine(
         make_algorithm(name, source=0), config, engine="vectorized"
     ).compute(graph.snapshot())
-    sharded = GraphPulseEngine(
+    engine = GraphPulseEngine(
         make_algorithm(name, source=0),
         config,
         engine="sharded",
         num_engines=num_engines,
-    ).compute(graph.snapshot())
+        backend=backend,
+    )
+    try:
+        sharded = engine.compute(graph.snapshot())
+    finally:
+        engine.close()
     return oracle, sharded
 
 
@@ -80,6 +87,7 @@ def run_stream_pair(
     seed: int = 11,
     num_batches: int = 3,
     batch_size: int = 12,
+    backend: str = "thread",
     **engine_kwargs,
 ):
     results = []
@@ -89,31 +97,39 @@ def run_stream_pair(
         kwargs = dict(engine_kwargs)
         if engine_mode == "sharded":
             kwargs["num_engines"] = num_engines
+            kwargs["backend"] = backend
         engine = JetStreamEngine(
             graph, algorithm, config, policy=policy, engine=engine_mode, **kwargs
         )
-        stream = StreamGenerator(graph, seed=seed + 1)
-        runs = [engine.initial_compute()]
-        for _ in range(num_batches):
-            runs.append(engine.apply_batch(stream.next_batch(batch_size)))
+        try:
+            stream = StreamGenerator(graph, seed=seed + 1)
+            runs = [engine.initial_compute()]
+            for _ in range(num_batches):
+                runs.append(engine.apply_batch(stream.next_batch(batch_size)))
+        finally:
+            engine.close()
         results.append(runs)
     return results
 
 
 class TestStaticShardedParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("num_engines", ENGINE_COUNTS)
     @pytest.mark.parametrize("name", ALGORITHMS)
-    def test_static_compute(self, name, num_engines):
-        oracle, sharded = run_static_pair(name, num_engines)
-        assert_run_parity(oracle, sharded, f"static/{name}/e{num_engines}")
+    def test_static_compute(self, name, num_engines, backend):
+        oracle, sharded = run_static_pair(name, num_engines, backend=backend)
+        assert_run_parity(
+            oracle, sharded, f"static/{name}/e{num_engines}/{backend}"
+        )
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("name", ["sssp", "pagerank"])
-    def test_static_partial_drain(self, name):
+    def test_static_partial_drain(self, name, backend):
         # The scheduler's bounded row window must be computed over the
         # union of every engine's pending rows.
         config = AcceleratorConfig(scheduler_rows_per_round=2)
-        oracle, sharded = run_static_pair(name, 8, config, seed=33)
-        assert_run_parity(oracle, sharded, f"static-partial/{name}")
+        oracle, sharded = run_static_pair(name, 8, config, seed=33, backend=backend)
+        assert_run_parity(oracle, sharded, f"static-partial/{name}/{backend}")
 
     def test_serial_workers_identical(self):
         # workers=1 (serial shard execution) is the same computation as the
@@ -155,26 +171,37 @@ class TestStaticShardedParity:
 
 
 class TestStreamingShardedParity:
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("num_engines", ENGINE_COUNTS)
     @pytest.mark.parametrize("policy", POLICIES)
     @pytest.mark.parametrize("name", ALGORITHMS)
-    def test_streaming(self, name, policy, num_engines):
-        oracle_runs, sharded_runs = run_stream_pair(name, policy, num_engines)
+    def test_streaming(self, name, policy, num_engines, backend):
+        oracle_runs, sharded_runs = run_stream_pair(
+            name, policy, num_engines, backend=backend
+        )
         for index, (oracle, sharded) in enumerate(zip(oracle_runs, sharded_runs)):
-            context = f"stream/{name}/{policy.name}/e{num_engines}/batch{index}"
+            context = (
+                f"stream/{name}/{policy.name}/e{num_engines}/{backend}/"
+                f"batch{index}"
+            )
             assert oracle.impacted == sharded.impacted, (
                 f"{context}: impacted diverge"
             )
             assert_run_parity(oracle, sharded, context)
 
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("policy", POLICIES)
-    def test_streaming_partial_drain(self, policy):
+    def test_streaming_partial_drain(self, policy, backend):
         config = AcceleratorConfig(scheduler_rows_per_round=2)
-        oracle_runs, sharded_runs = run_stream_pair("sssp", policy, 8, config, seed=51)
+        oracle_runs, sharded_runs = run_stream_pair(
+            "sssp", policy, 8, config, seed=51, backend=backend
+        )
         for index, (oracle, sharded) in enumerate(zip(oracle_runs, sharded_runs)):
             assert oracle.impacted == sharded.impacted
             assert_run_parity(
-                oracle, sharded, f"stream-partial/{policy.name}/batch{index}"
+                oracle,
+                sharded,
+                f"stream-partial/{policy.name}/{backend}/batch{index}",
             )
 
     def test_streaming_two_phase_accumulative(self):
@@ -190,33 +217,41 @@ class TestStreamingShardedParity:
         for index, (oracle, sharded) in enumerate(zip(oracle_runs, sharded_runs)):
             assert_run_parity(oracle, sharded, f"two-phase/batch{index}")
 
-    def test_streaming_grows_vertices(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_streaming_grows_vertices(self, backend):
         # Streams that create brand-new vertices exercise the deterministic
-        # partition-growth rule on both the engine plan and the queue group.
+        # partition-growth rule on both the engine plan and the queue group
+        # (and, on the process backend, shm state-array reallocation).
         algorithm = make_algorithm("sssp", source=0)
         graph = make_graph_for(algorithm, n=30, m=100, seed=71)
         runs = []
         for engine_mode in ("vectorized", "sharded"):
             g = make_graph_for(algorithm, n=30, m=100, seed=71)
+            kwargs = {"backend": backend} if engine_mode == "sharded" else {}
             engine = JetStreamEngine(
-                g, make_algorithm("sssp", source=0), engine=engine_mode
+                g, make_algorithm("sssp", source=0), engine=engine_mode, **kwargs
             )
-            engine.initial_compute()
-            out = []
-            next_vertex = g.num_vertices
-            for step in range(3):
-                from repro.streams import Edge, UpdateBatch
+            try:
+                engine.initial_compute()
+                out = []
+                next_vertex = g.num_vertices
+                for step in range(3):
+                    from repro.streams import Edge, UpdateBatch
 
-                insertions = [
-                    Edge(step, next_vertex, 1.0),
-                    Edge(next_vertex, next_vertex + 1, 2.0),
-                ]
-                next_vertex += 2
-                out.append(engine.apply_batch(UpdateBatch(insertions=insertions)))
+                    insertions = [
+                        Edge(step, next_vertex, 1.0),
+                        Edge(next_vertex, next_vertex + 1, 2.0),
+                    ]
+                    next_vertex += 2
+                    out.append(
+                        engine.apply_batch(UpdateBatch(insertions=insertions))
+                    )
+            finally:
+                engine.close()
             runs.append(out)
         for index, (oracle, sharded) in enumerate(zip(*runs)):
             assert oracle.impacted == sharded.impacted
-            assert_run_parity(oracle, sharded, f"grow/batch{index}")
+            assert_run_parity(oracle, sharded, f"grow/{backend}/batch{index}")
 
 
 class TestShardedMetrics:

@@ -1,0 +1,296 @@
+"""Shared-memory arena and process-backend lifecycle tests.
+
+The hard invariant: **no leaked ``/dev/shm`` segments** — after normal
+runs, after exceptions, and after worker crashes. The main process is the
+only segment owner (:class:`repro.core.shm.SharedArena`); workers only
+attach, so whatever happens to a worker the owner's ``close()``/finalizer
+removes every name it created. :func:`leaked_system_segments` is the
+system-level probe these tests (and CI) pin that on.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.core import parallel
+from repro.core.engine import GraphPulseEngine
+from repro.core.parallel import (
+    ProcessShardExecutor,
+    ShardWorkerError,
+    acquire_shard_executor,
+    release_shard_executor,
+)
+from repro.core.policies import DeletePolicy
+from repro.core.shm import (
+    AttachmentCache,
+    SharedArena,
+    attach,
+    leaked_system_segments,
+    live_segment_names,
+)
+from repro.core.streaming import JetStreamEngine
+from repro.streams import StreamGenerator
+
+from conftest import make_graph_for
+
+
+def assert_no_leaks(context: str = "") -> None:
+    __tracebackhide__ = True
+    leaks = leaked_system_segments()
+    assert not leaks, f"{context}: leaked shared-memory segments {leaks}"
+
+
+class TestSharedArena:
+    def test_roundtrip_and_unlink(self):
+        arena = SharedArena(tag="test")
+        filled = arena.full(8, 3.5, np.float64)
+        assert filled.array.shape == (8,)
+        assert np.all(filled.array == 3.5)
+        source = np.arange(6, dtype=np.int64)
+        copied = arena.from_array(source)
+        assert np.array_equal(copied.array, source)
+        empty = arena.empty((2, 3), np.float64)
+        assert empty.array.shape == (2, 3)
+        names = arena.live_names()
+        assert len(names) == 3
+        assert set(names) <= set(live_segment_names())
+        arena.close()
+        assert arena.live_names() == []
+        assert_no_leaks("arena close")
+
+    def test_close_is_idempotent_and_create_after_close_fails(self):
+        from repro.core.shm import ShmError
+
+        arena = SharedArena()
+        arena.full(4, 0, np.int64)
+        arena.close()
+        arena.close()
+        with pytest.raises(ShmError):
+            arena.empty(4, np.int64)
+        assert_no_leaks("idempotent close")
+
+    def test_zero_sized_segments(self):
+        # Empty graphs/queues produce zero-element arrays; POSIX shm
+        # refuses zero-byte segments, so the arena must round up.
+        arena = SharedArena()
+        segment = arena.empty(0, np.float64)
+        assert segment.array.shape == (0,)
+        arena.close()
+        assert_no_leaks("zero-size")
+
+    def test_release_unlinks_one_segment(self):
+        arena = SharedArena()
+        first = arena.full(4, 1, np.int64)
+        second = arena.full(4, 2, np.int64)
+        arena.release(first)
+        assert arena.live_names() == [second.name]
+        arena.close()
+        assert_no_leaks("single release")
+
+    def test_attach_sees_owner_writes(self):
+        arena = SharedArena()
+        segment = arena.from_array(np.arange(5, dtype=np.float64))
+        array, handle = attach(segment.spec)
+        try:
+            assert np.array_equal(array, segment.array)
+            segment.array[2] = 99.0
+            assert array[2] == 99.0
+            array[3] = -1.0
+            assert segment.array[3] == -1.0
+        finally:
+            del array
+            handle.close()
+            arena.close()
+        assert_no_leaks("attach")
+
+    def test_attachment_cache_retains_only_named(self):
+        arena = SharedArena()
+        keep = arena.full(4, 1, np.int64)
+        drop = arena.full(4, 2, np.int64)
+        cache = AttachmentCache()
+        kept = cache.attach(keep.spec)
+        cache.attach(drop.spec)
+        cache.retain([keep.name])
+        # The kept mapping stays valid; re-attach of the kept name is a
+        # cache hit (same array object).
+        assert cache.attach(keep.spec) is kept
+        cache.close_all()
+        arena.close()
+        assert_no_leaks("cache retain")
+
+
+class TestEngineLifecycle:
+    def test_normal_run_unlinks_on_close(self):
+        algorithm = make_algorithm("pagerank")
+        graph = make_graph_for(algorithm, n=60, m=240, seed=7)
+        engine = GraphPulseEngine(
+            make_algorithm("pagerank"),
+            engine="sharded",
+            num_engines=4,
+            backend="process",
+        )
+        result = engine.compute(graph.snapshot())
+        assert live_segment_names(), "process backend should own live segments"
+        engine.close()
+        # Results stay readable after close (states copied off-shm).
+        assert np.isfinite(result.states).all()
+        assert_no_leaks("normal run")
+
+    def test_streaming_run_with_deletes_unlinks_on_close(self):
+        algorithm = make_algorithm("sssp", source=0)
+        graph = make_graph_for(algorithm, n=50, m=200, seed=11)
+        with JetStreamEngine(
+            graph,
+            algorithm,
+            policy=DeletePolicy.DAP,
+            engine="sharded",
+            num_engines=4,
+            backend="process",
+        ) as engine:
+            engine.initial_compute()
+            stream = StreamGenerator(graph, seed=12)
+            for _ in range(2):
+                engine.apply_batch(stream.next_batch(10))
+        assert_no_leaks("streaming run")
+
+    def test_thread_backend_owns_no_segments(self):
+        algorithm = make_algorithm("pagerank")
+        graph = make_graph_for(algorithm, n=40, m=160, seed=3)
+        engine = GraphPulseEngine(
+            make_algorithm("pagerank"), engine="sharded", num_engines=4
+        )
+        engine.compute(graph.snapshot())
+        assert live_segment_names() == []
+        engine.close()
+        assert_no_leaks("thread backend")
+
+    def test_worker_crash_raises_and_cleans(self):
+        algorithm = make_algorithm("sssp", source=0)
+        graph = make_graph_for(algorithm, n=50, m=200, seed=21)
+        engine = JetStreamEngine(
+            graph,
+            algorithm,
+            engine="sharded",
+            num_engines=4,
+            backend="process",
+        )
+        try:
+            engine.initial_compute()
+            executor = engine.core._shard_executor
+            assert executor is not None and executor.alive()
+            for proc in executor._procs:
+                os.kill(proc.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while any(p.is_alive() for p in executor._procs):
+                assert time.monotonic() < deadline, "workers did not die"
+                time.sleep(0.01)
+            stream = StreamGenerator(graph, seed=22)
+            with pytest.raises(ShardWorkerError):
+                engine.apply_batch(stream.next_batch(10))
+        finally:
+            engine.close()
+        assert_no_leaks("worker crash")
+
+    def test_worker_exception_surfaces_and_cleans(self):
+        # A bind referencing a nonexistent segment makes the worker raise;
+        # the error crosses the pipe as ShardWorkerError and the worker
+        # stays alive for the next request (it never owns segments).
+        executor = ProcessShardExecutor(workers=1)
+        try:
+            payload = {
+                "algorithm": make_algorithm("sssp", source=0),
+                "policy": DeletePolicy.BASE,
+                "arrays": {
+                    "states": {
+                        "name": "repro-shm-does-not-exist",
+                        "shape": (4,),
+                        "dtype": "<f8",
+                    }
+                },
+            }
+            with pytest.raises(ShardWorkerError):
+                executor.bind(payload)
+            assert executor.alive()
+        finally:
+            executor.close()
+        assert_no_leaks("worker exception")
+
+
+class TestWarmPoolCache:
+    def test_process_pool_parked_and_revived(self):
+        first = acquire_shard_executor("process", 1)
+        try:
+            release_shard_executor(first)
+            second = acquire_shard_executor("process", 1)
+            assert second is first, "warm pool should be revived, not respawned"
+        finally:
+            release_shard_executor(first)
+
+    def test_dead_parked_pool_is_not_revived(self):
+        first = acquire_shard_executor("process", 1)
+        release_shard_executor(first)
+        for proc in first._procs:
+            os.kill(proc.pid, signal.SIGKILL)
+        deadline = time.monotonic() + 10.0
+        while any(p.is_alive() for p in first._procs):
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        second = acquire_shard_executor("process", 1)
+        try:
+            assert second is not first
+            assert second.alive()
+        finally:
+            release_shard_executor(second)
+
+    def test_thread_executor_closes_on_release(self):
+        executor = acquire_shard_executor("thread", 2)
+        assert executor.backend == "thread"
+        release_shard_executor(executor)
+        assert not executor.alive()
+
+    def test_engine_reuses_warm_pool_across_instances(self):
+        algorithm = make_algorithm("pagerank")
+        graph = make_graph_for(algorithm, n=40, m=160, seed=3)
+        first = GraphPulseEngine(
+            make_algorithm("pagerank"),
+            engine="sharded",
+            num_engines=4,
+            backend="process",
+        )
+        first.compute(graph.snapshot())
+        executor = first.core._shard_executor
+        first.close()
+        second = GraphPulseEngine(
+            make_algorithm("pagerank"),
+            engine="sharded",
+            num_engines=4,
+            backend="process",
+        )
+        second.compute(graph.snapshot())
+        assert second.core._shard_executor is executor
+        second.close()
+        assert_no_leaks("warm reuse")
+
+
+class TestBackendValidation:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            GraphPulseEngine(
+                make_algorithm("sssp", source=0),
+                engine="sharded",
+                backend="fiber",
+            )
+
+    def test_process_backend_requires_sharded_engine(self):
+        with pytest.raises(ValueError):
+            GraphPulseEngine(
+                make_algorithm("sssp", source=0),
+                engine="vectorized",
+                backend="process",
+            )

@@ -67,7 +67,12 @@ def _mismatches(algorithm, states, csr) -> List[int]:
     ]
 
 
-def _replay(name: str, seed: int, batches: List[UpdateBatch]) -> Optional[int]:
+def _replay(
+    name: str,
+    seed: int,
+    batches: List[UpdateBatch],
+    backend: str = "thread",
+) -> Optional[int]:
     """Run the scenario prefix incrementally on the sharded backend.
 
     Returns the smallest prefix length after which the incremental states
@@ -77,20 +82,31 @@ def _replay(name: str, seed: int, batches: List[UpdateBatch]) -> Optional[int]:
     algorithm = make_algorithm(name, source=0)
     graph = _build_graph(algorithm, seed)
     engine = JetStreamEngine(
-        graph, algorithm, engine="sharded", num_engines=NUM_ENGINES
+        graph,
+        algorithm,
+        engine="sharded",
+        num_engines=NUM_ENGINES,
+        backend=backend,
     )
-    engine.initial_compute()
-    if _mismatches(algorithm, engine.query_result(), graph.snapshot()):
-        return 0
-    for index, batch in enumerate(batches):
-        engine.apply_batch(batch)
+    try:
+        engine.initial_compute()
         if _mismatches(algorithm, engine.query_result(), graph.snapshot()):
-            return index + 1
+            return 0
+        for index, batch in enumerate(batches):
+            engine.apply_batch(batch)
+            if _mismatches(algorithm, engine.query_result(), graph.snapshot()):
+                return index + 1
+    finally:
+        engine.close()
     return None
 
 
 def _minimal_failing_prefix(
-    name: str, seed: int, batches: List[UpdateBatch], failing_len: int
+    name: str,
+    seed: int,
+    batches: List[UpdateBatch],
+    failing_len: int,
+    backend: str = "thread",
 ) -> int:
     """Bisect the batch list down to the shortest prefix that still fails."""
     if failing_len == 0:
@@ -98,7 +114,7 @@ def _minimal_failing_prefix(
     lo, hi = 1, failing_len
     while lo < hi:
         mid = (lo + hi) // 2
-        if _replay(name, seed, batches[:mid]) is not None:
+        if _replay(name, seed, batches[:mid], backend=backend) is not None:
             hi = mid
         else:
             lo = mid + 1
@@ -128,6 +144,31 @@ def test_incremental_sharded_matches_cold_start(name, seed):
         f"{minimal} batch(es). Minimal failing stream prefix "
         f"(RMAT n={NUM_VERTICES} m={NUM_EDGES} seed={seed}, stream seed="
         f"{seed + 1000}):\n" + _format_prefix(batches[:minimal])
+    )
+
+
+#: Process-backend subset: the full matrix would re-pay worker spawns for
+#: little extra coverage — backends are bit-identical by the parity suite,
+#: so three seeds per algorithm exercise the shm transport end to end.
+PROCESS_SEEDS = list(range(3))
+
+
+@pytest.mark.parametrize("seed", PROCESS_SEEDS)
+@pytest.mark.parametrize("name", FUZZ_ALGORITHMS)
+def test_incremental_process_backend_matches_cold_start(name, seed):
+    batches = _make_batches(name, seed)
+    failing = _replay(name, seed, batches, backend="process")
+    if failing is None:
+        return
+    minimal = _minimal_failing_prefix(
+        name, seed, batches, failing, backend="process"
+    )
+    pytest.fail(
+        f"scenario {name}/seed={seed}: incremental(sharded, "
+        f"{NUM_ENGINES} engines, process backend) diverged from "
+        f"cold_start(reference) after {minimal} batch(es). Minimal failing "
+        f"stream prefix (RMAT n={NUM_VERTICES} m={NUM_EDGES} seed={seed}, "
+        f"stream seed={seed + 1000}):\n" + _format_prefix(batches[:minimal])
     )
 
 
