@@ -28,6 +28,211 @@ from typing import Iterable, List, Optional, Tuple
 import numpy as np
 
 
+#: Sentinel dependency for a vertex supported by its own initial/self
+#: event rather than an in-edge. Matches ``repro.core.events.NO_SOURCE``
+#: numerically but is defined here so the algorithm layer stays free of
+#: core imports.
+SELF_SUPPORT = -1
+
+
+@dataclass(frozen=True)
+class UpdateClassification:
+    """Verdict of :meth:`Algorithm.classify_update` on one edge update.
+
+    ``safe`` means the update provably cannot invalidate the converged
+    state beyond the recorded ``new_state`` write, so the express lane may
+    apply it with an O(degree) array touch; unsafe updates fall through to
+    the full incremental engine. RisGraph-style classification (PAPERS.md).
+    """
+
+    safe: bool
+    #: Short machine-readable tag naming the rule that fired (pinned by
+    #: the fastpath goldens so refactors can't silently reclassify).
+    reason: str
+    #: The single ``(vertex, value)`` state write a safe improving insert
+    #: performs; ``None`` when the converged state is untouched.
+    new_state: Optional[Tuple[int, float]] = None
+    #: ``(vertex, source)`` dependency-tree rewrites (DAP coherence).
+    #: ``source == SELF_SUPPORT`` records support by the vertex's own
+    #: initial event.
+    dependency_updates: Tuple[Tuple[int, int], ...] = ()
+    #: Adjacency entries examined while classifying (the O(degree) work).
+    edges_scanned: int = 0
+    #: Vertex-state reads performed while classifying.
+    state_reads: int = 0
+
+
+def classify_monotonic_update(algorithm, view, u, v, w, op) -> UpdateClassification:
+    """Shared safe/unsafe classifier for selective (monotonic) algorithms.
+
+    ``view`` provides the converged picture the decision is made against:
+    ``num_vertices``, ``symmetric``, ``state(x)``, ``dependency(x)`` (or
+    ``None`` when the policy does not track dependencies), ``out_edges(x)``
+    and ``in_edges(x)`` iterators, and for deletes the directed edge set
+    being removed.
+
+    The rules (proofs sketched per case; ``mp`` is the strict progression
+    order, ``prop`` the context-free propagate):
+
+    * **insert, no improvement** — ``prop(state(u), w)`` does not beat
+      ``state(v)`` in any mirrored direction: the converged state is
+      already a fixed point of the larger graph. Safe, no write.
+    * **insert, local improvement** — exactly one direction improves its
+      target ``v`` to ``nv``, and no out-edge of ``v`` (including the
+      mirror edge) improves *its* target under ``nv``: the improvement is
+      absorbed in one write. Safe, writes ``state(v) = nv`` and
+      ``dependency(v) = u``.
+    * **delete, identity state** — the target never progressed; removing
+      an in-edge cannot regress the bottom value. Safe.
+    * **delete, non-support** — ``state(v)`` is strictly more progressed
+      than the deleted edge's contribution, so the edge was not load
+      bearing. Safe.
+    * **delete, alternative strict support** — the contribution equals
+      ``state(v)`` but the vertex keeps a witness: its own self event, or
+      another in-edge ``(s, v)`` whose contribution equals ``state(v)``
+      with ``state(s)`` *strictly* more progressed. Strictness is what
+      rules out plateau cycles sustaining a spurious fixed point (e.g.
+      an SSWP capacity loop feeding itself); an equal-value supporter is
+      NOT accepted. Safe, rewrites ``dependency(v)`` to the witness.
+
+    Everything else — cascading inserts, vertex growth, unsupported
+    deletes, state inconsistencies — is unsafe and takes the engine path.
+    """
+    mp = algorithm.more_progressed
+    prop = algorithm.propagate
+    n = view.num_vertices
+    reads = 0
+    scanned = 0
+
+    if u >= n or v >= n or u < 0 or v < 0:
+        return UpdateClassification(False, "vertex-growth")
+
+    mirrored = view.symmetric and u != v
+    directed = [(u, v), (v, u)] if mirrored else [(u, v)]
+
+    if op == "insert":
+        improving = []
+        cands = {}
+        for a, b in directed:
+            cand = prop(view.state(a), w, NULL_CONTEXT)
+            reads += 2
+            cands[(a, b)] = cand
+            if mp(cand, view.state(b)):
+                improving.append((a, b))
+            elif mp(view.state(b), cand) or cand == view.state(b):
+                pass
+            else:
+                # Incomparable values (NaN-like): leave it to the engine.
+                return UpdateClassification(
+                    False, "insert-incomparable", state_reads=reads
+                )
+        if not improving:
+            return UpdateClassification(
+                True, "insert-no-improvement", state_reads=reads
+            )
+        if len(improving) > 1:
+            # Impossible at a genuine fixed point with sane weights;
+            # defensively routed to the engine rather than reasoned about.
+            return UpdateClassification(
+                False, "insert-improves-both-endpoints", state_reads=reads
+            )
+        a, b = improving[0]
+        nv = cands[(a, b)]
+        # Would the improved value cascade past b? Scan b's out-edges in
+        # the post-insert graph (the mirror edge joins them when symmetric).
+        out = list(view.out_edges(b))
+        if mirrored:
+            out.append((a, w))
+        for t, wt in out:
+            scanned += 1
+            out_cand = prop(nv, wt, NULL_CONTEXT)
+            basis = nv if t == b else view.state(t)
+            reads += 0 if t == b else 1
+            if mp(out_cand, basis):
+                return UpdateClassification(
+                    False,
+                    "insert-cascades",
+                    edges_scanned=scanned,
+                    state_reads=reads,
+                )
+        return UpdateClassification(
+            True,
+            "insert-local-improvement",
+            new_state=(b, nv),
+            dependency_updates=((b, a),),
+            edges_scanned=scanned,
+            state_reads=reads,
+        )
+
+    if op != "delete":
+        raise ValueError(f"unknown update op {op!r}")
+
+    removed = set(directed)
+    dep_updates = []
+    reason = "delete-non-support"
+    for a, b in directed:
+        state_b = view.state(b)
+        reads += 1
+        if state_b == algorithm.identity:
+            # Never progressed: nothing for the delete to invalidate. A
+            # stale dependency on the deleted edge is impossible (resets
+            # clear it), so no defensive check is needed.
+            continue
+        cand = prop(view.state(a), w, NULL_CONTEXT)
+        reads += 1
+        if mp(cand, state_b):
+            # The converged state is not a fixed point of the current
+            # graph — never the lane's job to repair.
+            return UpdateClassification(
+                False, "delete-state-inconsistent", state_reads=reads
+            )
+        if mp(state_b, cand):
+            dep = view.dependency(b)
+            if dep is not None and dep == a:
+                # A non-supporting edge recorded as the dependency means
+                # the dependency tree is stale; let the engine re-derive.
+                return UpdateClassification(
+                    False, "delete-stale-dependency", state_reads=reads
+                )
+            continue
+        # Equal contribution: the edge may be b's witness. Re-anchor on
+        # the self event or another *strictly* more progressed in-edge.
+        self_payload = algorithm.self_event(b)
+        if self_payload is not None and self_payload == state_b:
+            dep_updates.append((b, SELF_SUPPORT))
+            reason = "delete-self-supported"
+            continue
+        witness = None
+        for s, ws in view.in_edges(b):
+            if (s, b) in removed:
+                continue
+            scanned += 1
+            state_s = view.state(s)
+            reads += 1
+            if (
+                prop(state_s, ws, NULL_CONTEXT) == state_b
+                and mp(state_s, state_b)
+            ):
+                witness = s
+                break
+        if witness is None:
+            return UpdateClassification(
+                False,
+                "delete-unsupported",
+                edges_scanned=scanned,
+                state_reads=reads,
+            )
+        dep_updates.append((b, witness))
+        reason = "delete-rewitnessed"
+    return UpdateClassification(
+        True,
+        reason,
+        dependency_updates=tuple(dep_updates),
+        edges_scanned=scanned,
+        state_reads=reads,
+    )
+
+
 class AlgorithmKind(enum.Enum):
     """The two algorithm families JetStream serves (§2.2, §3.5)."""
 
@@ -128,6 +333,18 @@ class Algorithm(ABC):
         """Initial payload owed to a vertex created mid-stream (e.g. the
         PageRank teleport mass). ``None`` when nothing is owed."""
         return None
+
+    def classify_update(self, view, u: int, v: int, w: float, op: str) -> UpdateClassification:
+        """Safe/unsafe verdict for a single edge update (express lane).
+
+        The default is maximally conservative: every update is unsafe and
+        takes the full engine path. Selective (monotonic) algorithms
+        override this with :func:`classify_monotonic_update`; accumulative
+        algorithms (PageRank, Adsorption) keep the default because a
+        single edge shifts mass globally — no single-write application
+        exists.
+        """
+        return UpdateClassification(False, "unclassified-algorithm")
 
     def more_progressed(self, a: float, b: float) -> bool:
         """True when ``a`` is *strictly* closer to convergence than ``b``.

@@ -97,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run cold-start GraphPulse on the same stream",
     )
+    stream.add_argument(
+        "--express",
+        action="store_true",
+        help="apply the stream as single updates through the express lane "
+        "(safe/unsafe classification; batches x batch-size updates total)",
+    )
 
     data = sub.add_parser("datasets", help="describe the dataset stand-ins")
     data.add_argument("--seed", type=int, default=0)
@@ -159,7 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_check.add_argument(
         "--suite",
-        choices=["engine", "trace", "stream", "sharded", "all"],
+        choices=["engine", "trace", "stream", "sharded", "latency", "all"],
         default="all",
         help="which benchmark suite(s) to run",
     )
@@ -181,6 +187,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_check.add_argument(
         "--baseline-sharded", help="override the sharded-suite baseline path"
+    )
+    bench_check.add_argument(
+        "--baseline-latency", help="override the latency-suite baseline path"
     )
     bench_check.add_argument(
         "--update-baselines",
@@ -409,6 +418,13 @@ def cmd_stream(args) -> int:
             f"{timing.run_time(initial.metrics).time_us:.1f} us"
         )
 
+        if args.express:
+            _run_express_stream(args, engine)
+            engine.close()
+            _finish_trace(tracer, memory, args)
+            _finish_metrics(args, metrics_on, server)
+            return 0
+
         if args.updates:
             batches = io.read_update_stream(args.updates)[: args.batches]
         else:
@@ -450,6 +466,75 @@ def cmd_stream(args) -> int:
     _finish_trace(tracer, memory, args)
     _finish_metrics(args, metrics_on, server)
     return 0
+
+
+def _run_express_stream(args, engine) -> None:
+    """``repro stream --express``: the stream as classified single updates.
+
+    Applies ``batches x batch-size`` single-edge updates through the
+    express lane, printing per-chunk latency percentiles and the
+    safe/unsafe split; unsafe updates transparently run as one-edge
+    engine batches.
+    """
+    import statistics
+
+    from repro.core.fastpath import ExpressLane
+
+    lane = ExpressLane(engine)
+    singles = None
+    if args.updates:
+        singles = []
+        for batch in io.read_update_stream(args.updates):
+            for edge in batch.deletions:
+                singles.append((edge.u, edge.v, edge.w, "delete"))
+            for edge in batch.insertions:
+                singles.append((edge.u, edge.v, edge.w, "insert"))
+    else:
+        generator = StreamGenerator(
+            engine.graph, seed=args.seed, insertion_ratio=args.insertion_ratio
+        )
+        rng = np.random.default_rng(args.seed)
+
+    print(f"{'updates':>8} {'safe':>6} {'unsafe':>7} {'p50 us':>9} {'max us':>9}")
+    applied = 0
+    for _ in range(args.batches):
+        latencies: List[float] = []
+        safe = 0
+        for _ in range(args.batch_size):
+            if singles is not None:
+                if applied >= len(singles):
+                    break
+                u, v, w, op = singles[applied]
+            else:
+                # Batch composition rounds 0.7 to "always insert" at size 1;
+                # draw the op per update instead to keep the stream mixed.
+                want_insert = rng.random() < args.insertion_ratio
+                single = generator.next_batch(
+                    1, insertion_ratio=1.0 if want_insert else 0.0
+                )
+                if single.insertions:
+                    edge, op = single.insertions[0], "insert"
+                else:
+                    edge, op = single.deletions[0], "delete"
+                u, v, w = edge.u, edge.v, edge.w
+            result = lane.apply(u, v, w, op)
+            latencies.append(result.latency_s)
+            safe += int(result.safe)
+            applied += 1
+        if not latencies:
+            break
+        print(
+            f"{len(latencies):>8} {safe:>6} {len(latencies) - safe:>7} "
+            f"{statistics.median(latencies) * 1e6:>9.1f} "
+            f"{max(latencies) * 1e6:>9.1f}"
+        )
+    stats = lane.stats
+    ratio = stats["safe_applied"] / applied if applied else 0.0
+    print(
+        f"express lane: {stats['safe_applied']} safe / "
+        f"{stats['engine_fallthroughs']} engine fallthroughs "
+        f"({ratio:.0%} safe)"
+    )
 
 
 def cmd_datasets(args) -> int:
@@ -515,6 +600,8 @@ def cmd_bench(args) -> int:
         baseline_paths["stream"] = args.baseline_stream
     if args.baseline_sharded:
         baseline_paths["sharded"] = args.baseline_sharded
+    if args.baseline_latency:
+        baseline_paths["latency"] = args.baseline_latency
     tolerance = (
         args.tolerance if args.tolerance is not None else bench_gate.DEFAULT_TOLERANCE
     )

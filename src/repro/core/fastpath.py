@@ -1,0 +1,294 @@
+"""Express lane: sub-millisecond single-update application (RisGraph-style).
+
+The streaming engine (:mod:`repro.core.streaming`) re-converges after every
+batch — correct for any update, but its fixed per-batch orchestration cost
+(snapshot, phase setup, scheduler rounds) dominates when the batch is a
+single edge. RisGraph observes that on a *converged* state most single-edge
+updates are provably absorbable with an O(degree) check: an insert that
+improves nothing, or improves exactly one endpoint without cascading; a
+delete whose edge was not load bearing, or whose target keeps another
+strict witness. :class:`ExpressLane` applies those *safe* updates with one
+state write and a dict-level graph mutation, and falls through to the full
+engine path for everything else.
+
+The classification itself lives next to the algorithms
+(:func:`repro.algorithms.base.classify_monotonic_update`); this module
+supplies the converged *view* the classifier reads — base CSR snapshot plus
+an adjacency overlay of the lane's own mutations — and the apply kernel
+that keeps the :class:`~repro.graph.dynamic.DynamicGraph` store, the engine
+state arrays, and the DAP dependency tree coherent.
+
+Why an overlay: every :class:`DynamicGraph` adjacency query folds pending
+mutations into the CSR arrays first (``_flush``, an O(E) splice), which
+would put the engine's full-batch cost back on the express path. The lane
+instead snapshots once, tracks its own directed inserts/deletes in
+per-vertex dicts, and re-synchronizes only when the store's mutation stamp
+shows someone else (the engine fallthrough, or external code) touched the
+graph. After an engine batch the resync snapshot is a cache hit — the
+engine just built it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.algorithms.base import SELF_SUPPORT, UpdateClassification
+from repro.core.events import NO_SOURCE
+from repro.core.streaming import JetStreamEngine, StreamingResult
+from repro.obs.metrics import REGISTRY as METRICS
+from repro.streams import Edge, UpdateBatch
+
+
+@dataclass(frozen=True)
+class ExpressResult:
+    """Outcome of one :meth:`ExpressLane.apply` call."""
+
+    op: str
+    u: int
+    v: int
+    w: float
+    #: True when the update was absorbed on the express path; False when
+    #: it fell through to the engine.
+    safe: bool
+    #: Classification rule that fired (see ``classify_monotonic_update``).
+    reason: str
+    latency_s: float
+    #: Adjacency entries examined while classifying.
+    edges_scanned: int
+    #: Vertex-state reads performed while classifying.
+    state_reads: int
+    #: The single state write a safe improving insert performed.
+    new_state: Optional[Tuple[int, float]] = None
+    #: Full engine result when the update took the fallthrough path.
+    engine_result: Optional[StreamingResult] = None
+
+
+class _ConvergedView:
+    """What the classifier sees: converged states over the live edge set.
+
+    States and dependencies read through ``engine.core`` on every call —
+    the core replaces its arrays on allocate/grow (heap concat or fresh
+    shared-memory segments), so caching a reference would go stale.
+    Adjacency reads the lane's base CSR filtered/extended by the overlay.
+    """
+
+    __slots__ = ("_lane",)
+
+    def __init__(self, lane: "ExpressLane"):
+        self._lane = lane
+
+    @property
+    def num_vertices(self) -> int:
+        return self._lane.engine.graph.num_vertices
+
+    @property
+    def symmetric(self) -> bool:
+        return self._lane.engine.graph.symmetric
+
+    def state(self, x: int) -> float:
+        return float(self._lane.engine.core.states[x])
+
+    def dependency(self, x: int) -> Optional[int]:
+        lane = self._lane
+        if not lane.tracks_dependency:
+            return None
+        return int(lane.engine.core.dependency[x])
+
+    def out_edges(self, x: int) -> Iterator[Tuple[int, float]]:
+        lane = self._lane
+        csr = lane._csr
+        start, stop = int(csr.out_offsets[x]), int(csr.out_offsets[x + 1])
+        ov = lane._ov_out.get(x)
+        if ov is None:
+            for i in range(start, stop):
+                yield int(csr.out_targets[i]), float(csr.out_weights[i])
+            return
+        for i in range(start, stop):
+            t = int(csr.out_targets[i])
+            if t in ov:
+                continue  # deleted or weight-changed by the lane
+            yield t, float(csr.out_weights[i])
+        for t, w in ov.items():
+            if w is not None:
+                yield t, w
+
+    def in_edges(self, x: int) -> Iterator[Tuple[int, float]]:
+        lane = self._lane
+        csr = lane._csr
+        start, stop = int(csr.in_offsets[x]), int(csr.in_offsets[x + 1])
+        ov = lane._ov_in.get(x)
+        if ov is None:
+            for i in range(start, stop):
+                yield int(csr.in_sources[i]), float(csr.in_weights[i])
+            return
+        for i in range(start, stop):
+            s = int(csr.in_sources[i])
+            if s in ov:
+                continue
+            yield s, float(csr.in_weights[i])
+        for s, w in ov.items():
+            if w is not None:
+                yield s, w
+
+
+class ExpressLane:
+    """Single-update fast path over a converged :class:`JetStreamEngine`.
+
+    The engine must have completed its initial evaluation (the lane
+    classifies against a *converged* state; there is nothing to classify
+    against before one exists).
+    """
+
+    def __init__(self, engine: JetStreamEngine):
+        if not engine._initialized:
+            raise RuntimeError(
+                "ExpressLane needs a converged state; run initial_compute() "
+                "before applying express updates"
+            )
+        self.engine = engine
+        self.tracks_dependency = engine.policy.tracks_dependency
+        self._view = _ConvergedView(self)
+        #: Per-vertex overlay deltas relative to ``_csr``: target/source ->
+        #: weight for a lane-inserted edge, ``None`` for a lane-deleted one.
+        self._ov_out: Dict[int, Dict[int, Optional[float]]] = {}
+        self._ov_in: Dict[int, Dict[int, Optional[float]]] = {}
+        self.stats = {
+            "safe_applied": 0,
+            "engine_fallthroughs": 0,
+            "resyncs": 0,
+        }
+        self._resync()
+
+    # ------------------------------------------------------------------
+    def _resync(self) -> None:
+        """Rebase the view on a fresh snapshot of the store.
+
+        Called at construction, after every engine fallthrough, and
+        whenever the store's mutation stamp shows a mutation the lane did
+        not perform itself. The post-fallthrough snapshot is a cache hit
+        (the engine snapshots the same mutation state at the end of its
+        batch), so resync is only O(E) when third-party code mutated the
+        graph behind the lane's back.
+        """
+        graph = self.engine.graph
+        self._csr = graph.snapshot()
+        self._stamp = graph.mutation_stamp
+        self._ov_out.clear()
+        self._ov_in.clear()
+        self.stats["resyncs"] += 1
+
+    def _overlay_set(self, a: int, b: int, w: Optional[float]) -> None:
+        self._ov_out.setdefault(a, {})[b] = w
+        self._ov_in.setdefault(b, {})[a] = w
+
+    # ------------------------------------------------------------------
+    def classify(self, u: int, v: int, w: float, op: str) -> UpdateClassification:
+        """Classify one update against the converged view (no mutation)."""
+        if self.engine.graph.mutation_stamp != self._stamp:
+            self._resync()
+        return self.engine.algorithm.classify_update(self._view, u, v, w, op)
+
+    def apply(self, u: int, v: int, w: float = 1.0, op: str = "insert") -> ExpressResult:
+        """Classify-and-apply one edge update.
+
+        Safe updates mutate the store (dict-level, no CSR splice) and the
+        engine's state/dependency arrays in one pass; unsafe updates are
+        wrapped in a single-edge :class:`UpdateBatch` and handed to
+        :meth:`JetStreamEngine.apply_batch`. Either way the converged
+        invariant holds again when this returns.
+        """
+        if op not in ("insert", "delete"):
+            raise ValueError(f"unknown update op {op!r}")
+        u, v = int(u), int(v)
+        if u < 0 or v < 0:
+            raise ValueError("vertex ids must be non-negative")
+        graph = self.engine.graph
+        t0 = perf_counter()
+        if op == "insert":
+            if graph.has_edge(u, v):
+                raise ValueError(
+                    f"edge {u}->{v} already exists; model a weight change "
+                    "as delete followed by insert"
+                )
+            w = float(w)
+        else:
+            if not graph.has_edge(u, v):
+                raise ValueError(f"cannot delete missing edge {u}->{v}")
+            w = graph.edge_weight(u, v)
+
+        cls = self.classify(u, v, w, op)
+        if cls.safe:
+            self._apply_safe(u, v, w, op, cls)
+            result = ExpressResult(
+                op=op,
+                u=u,
+                v=v,
+                w=w,
+                safe=True,
+                reason=cls.reason,
+                latency_s=perf_counter() - t0,
+                edges_scanned=cls.edges_scanned,
+                state_reads=cls.state_reads,
+                new_state=cls.new_state,
+            )
+        else:
+            engine_result = self._apply_engine(u, v, w, op)
+            result = ExpressResult(
+                op=op,
+                u=u,
+                v=v,
+                w=w,
+                safe=False,
+                reason=cls.reason,
+                latency_s=perf_counter() - t0,
+                edges_scanned=cls.edges_scanned,
+                state_reads=cls.state_reads,
+                engine_result=engine_result,
+            )
+        if METRICS.enabled:
+            METRICS.record_express_update(
+                op,
+                "safe" if result.safe else "unsafe",
+                result.reason,
+                result.latency_s,
+                result.edges_scanned,
+                result.state_reads,
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    def _apply_safe(
+        self, u: int, v: int, w: float, op: str, cls: UpdateClassification
+    ) -> None:
+        graph = self.engine.graph
+        core = self.engine.core
+        if cls.new_state is not None:
+            b, nv = cls.new_state
+            core.states[b] = nv
+        if self.tracks_dependency:
+            for vtx, src in cls.dependency_updates:
+                core.dependency[vtx] = NO_SOURCE if src == SELF_SUPPORT else src
+        if op == "insert":
+            graph.add_edge(u, v, w)
+            self._overlay_set(u, v, w)
+            if graph.symmetric and u != v:
+                self._overlay_set(v, u, w)
+        else:
+            graph.remove_edge(u, v)
+            self._overlay_set(u, v, None)
+            if graph.symmetric and u != v:
+                self._overlay_set(v, u, None)
+        self._stamp = graph.mutation_stamp
+        self.stats["safe_applied"] += 1
+
+    def _apply_engine(self, u: int, v: int, w: float, op: str) -> StreamingResult:
+        if op == "insert":
+            batch = UpdateBatch(insertions=[Edge(u, v, w)])
+        else:
+            batch = UpdateBatch(deletions=[Edge(u, v)])
+        result = self.engine.apply_batch(batch)
+        self.stats["engine_fallthroughs"] += 1
+        self._resync()
+        return result

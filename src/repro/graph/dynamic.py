@@ -490,6 +490,16 @@ class DynamicGraph:
             yield int(self._in.keys[i] & mask), float(self._in.weights[i])
 
     @property
+    def mutation_stamp(self) -> int:
+        """Monotone counter bumped by every mutation (incl. vertex growth).
+
+        Unlike :attr:`version` it also moves for ``_count_version=False``
+        edits, so external caches (snapshots, the express lane's adjacency
+        overlay) can key staleness on it exactly.
+        """
+        return self._mutations
+
+    @property
     def num_edges(self) -> int:
         """Number of directed edges currently stored."""
         return len(self._index)

@@ -30,6 +30,7 @@ import numpy as np
 from repro.algorithms import make_algorithm
 from repro.core.config import AcceleratorConfig
 from repro.core.policies import DeletePolicy
+from repro.core.fastpath import ExpressLane, ExpressResult
 from repro.core.streaming import JetStreamEngine, StreamingResult
 from repro.graph.csr import EDGE_ENTRY_BYTES, VERTEX_STATE_BYTES
 from repro.graph.dynamic import DynamicGraph, build_symmetric_graph
@@ -66,6 +67,7 @@ class Session:
         self._engine: Optional[JetStreamEngine] = None
         self._pending: Optional[UpdateBatch] = None
         self._last_result: Optional[StreamingResult] = None
+        self._express: Optional[ExpressLane] = None
         self.transfers = TransferStats()
         # Initial CSR upload: out + in structures plus vertex states.
         upload = 2 * graph.num_edges * EDGE_ENTRY_BYTES
@@ -140,6 +142,7 @@ class Session:
         # run() performs the initial evaluation instead of demanding a
         # batch for an engine that never ran initial_compute().
         self._last_result = None
+        self._express = None
         return self
 
     def push_updates(
@@ -174,6 +177,46 @@ class Session:
             # The host swaps a fresh CSR pointer after each batch (§4.7).
             self._record_transfer("graph_uploads", 2 * batch.size * EDGE_ENTRY_BYTES)
         return self._last_result
+
+    def apply_update(
+        self, u: int, v: int, w: float = 1.0, op: str = "insert"
+    ) -> ExpressResult:
+        """Apply one edge update on the express lane (sub-batch latency).
+
+        Classifies the insert/delete against the converged state: safe
+        updates are absorbed with an O(degree) check and at most one state
+        write; unsafe ones transparently run as a single-edge batch on the
+        engine. Requires a converged state — :meth:`configure` *and* an
+        initial :meth:`run` must have happened — and refuses to overtake a
+        staged batch (the stream order would silently invert).
+        """
+        if self._engine is None:
+            raise HostApiError("configure() the session before apply_update()")
+        if self._last_result is None:
+            raise HostApiError(
+                "apply_update() needs a converged state to classify "
+                "against; run() the initial evaluation first"
+            )
+        if self._pending is not None:
+            raise HostApiError(
+                "a batch is staged; run() it before apply_update() "
+                "(the single update would overtake the batch in the stream)"
+            )
+        if self._express is None:
+            self._express = ExpressLane(self._engine)
+        self._record_transfer(
+            "update_records", self._accelerator.config.stream_record_bytes
+        )
+        result = self._express.apply(u, v, w, op)
+        if result.engine_result is not None:
+            self._last_result = result.engine_result
+        return result
+
+    def express_stats(self) -> dict:
+        """Express-lane counters: safe applies, fallthroughs, resyncs."""
+        if self._express is None:
+            return {"safe_applied": 0, "engine_fallthroughs": 0, "resyncs": 0}
+        return dict(self._express.stats)
 
     def read_results(self) -> np.ndarray:
         """DMA the converged vertex states back to the host."""

@@ -31,12 +31,14 @@ from typing import Callable, Dict, List, Optional
 __all__ = [
     "BenchGateError",
     "collect_engine",
+    "collect_latency",
     "collect_sharded",
     "collect_stream",
     "collect_trace",
     "compare_rows",
     "default_baseline_path",
     "flatten_engine",
+    "flatten_latency",
     "flatten_sharded",
     "flatten_stream",
     "flatten_trace",
@@ -48,7 +50,7 @@ REPO_ROOT = Path(__file__).resolve().parents[3]
 BENCHMARKS_DIR = REPO_ROOT / "benchmarks"
 BASELINES_DIR = BENCHMARKS_DIR / "baselines"
 
-SUITES = ("engine", "trace", "stream", "sharded")
+SUITES = ("engine", "trace", "stream", "sharded", "latency")
 
 #: Default allowed relative drop in events_per_s before a row regresses.
 DEFAULT_TOLERANCE = 0.30
@@ -88,6 +90,11 @@ def collect_sharded(quick: bool) -> dict:
     return _load_bench_module("bench_sharded_engine").run_grid(quick)
 
 
+def collect_latency(quick: bool) -> dict:
+    """Run the express-lane vs engine single-update latency grid."""
+    return _load_bench_module("bench_update_latency").collect(quick)
+
+
 def default_baseline_path(suite: str, quick: bool) -> Path:
     """Where the committed baseline for ``suite`` lives."""
     if suite == "engine":
@@ -113,6 +120,12 @@ def default_baseline_path(suite: str, quick: bool) -> Path:
             BASELINES_DIR / "BENCH_sharded.quick.json"
             if quick
             else REPO_ROOT / "BENCH_sharded.json"
+        )
+    if suite == "latency":
+        return (
+            BASELINES_DIR / "BENCH_latency.quick.json"
+            if quick
+            else REPO_ROOT / "BENCH_latency.json"
         )
     raise BenchGateError(f"unknown suite {suite!r} (choose from {SUITES})")
 
@@ -202,11 +215,44 @@ def flatten_sharded(report: dict) -> List[dict]:
     return rows
 
 
+def flatten_latency(report: dict) -> List[dict]:
+    """``BENCH_latency.json`` → one row per single-update workload.
+
+    Throughput is updates/s. The event column is the deterministic work
+    measure of each workload — classification scan entries for the
+    express rows (plus fallthrough engine events for the mixed stream),
+    engine events processed for the batch-1 comparator — so any drift in
+    classification decisions or engine behaviour fails the gate exactly.
+    """
+    results = report.get("results", {})
+    rows = []
+    for key, events_field in (
+        ("safe_insert", "work_entries"),
+        ("mixed", "work_entries"),
+        ("engine_batch1", "events_processed"),
+    ):
+        sample = results.get(key)
+        if not sample:
+            continue
+        prefix = "engine" if key == "engine_batch1" else "express"
+        name = "batch1" if key == "engine_batch1" else key
+        rows.append(
+            {
+                "suite": "latency",
+                "key": f"{prefix}/{name}",
+                "events_per_s": float(sample["updates_per_s"]),
+                "events": int(sample[events_field]),
+            }
+        )
+    return rows
+
+
 _FLATTENERS: Dict[str, Callable[[dict], List[dict]]] = {
     "engine": flatten_engine,
     "trace": flatten_trace,
     "stream": flatten_stream,
     "sharded": flatten_sharded,
+    "latency": flatten_latency,
 }
 
 _COLLECTORS: Dict[str, Callable[[bool], dict]] = {
@@ -214,6 +260,7 @@ _COLLECTORS: Dict[str, Callable[[bool], dict]] = {
     "trace": collect_trace,
     "stream": collect_stream,
     "sharded": collect_sharded,
+    "latency": collect_latency,
 }
 
 

@@ -158,6 +158,8 @@ BATCH_EVENTS_BUCKETS = log_buckets(1.0, 4.0**10, factor=4.0)  # 1 .. ~1M events
 RATIO_BUCKETS = log_buckets(1.0 / 1024, 1.0, factor=2.0)  # 2^-10 .. 1
 SPILL_BYTES_BUCKETS = log_buckets(64.0, 4.0**15, factor=4.0)  # 64 B .. ~1 GiB
 RUN_LATENCY_BUCKETS = log_buckets(1e-4, 128.0, factor=2.0)  # 100 µs .. ~2 min
+EXPRESS_LATENCY_BUCKETS = log_buckets(1e-7, 2.0, factor=2.0)  # 100 ns .. 2 s
+EXPRESS_SCAN_BUCKETS = log_buckets(1.0, 4096.0, factor=2.0)  # 1 .. 4K entries
 
 
 class MetricsRegistry:
@@ -381,6 +383,47 @@ class MetricsRegistry:
                 "repro_shard_pool_workers", backend=backend
             ).set(workers)
 
+    def record_express_update(
+        self,
+        op: str,
+        outcome: str,
+        reason: str,
+        dur_s: float,
+        edges_scanned: int,
+        state_reads: int,
+    ) -> None:
+        """Fold one express-lane update (:mod:`repro.core.fastpath`).
+
+        ``outcome`` is ``"safe"`` (absorbed on the express path) or
+        ``"unsafe"`` (fell through to the engine). The scan histogram
+        observes the classification work — adjacency entries plus state
+        reads — which is deterministic for a given update sequence, unlike
+        the wall-clock latency histogram.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counter_nolock(
+                "repro_express_updates_total", op=op, outcome=outcome
+            ).inc()
+            self._counter_nolock("repro_express_reasons_total", reason=reason).inc()
+            self._histogram_nolock(
+                "repro_express_latency_seconds", EXPRESS_LATENCY_BUCKETS,
+                outcome=outcome,
+            ).observe(dur_s)
+            self._histogram_nolock(
+                "repro_express_scan_entries", EXPRESS_SCAN_BUCKETS
+            ).observe(edges_scanned + state_reads)
+            total = safe = 0.0
+            for (name, labels), metric in self._metrics.items():
+                if name == "repro_express_updates_total":
+                    total += metric.value
+                    if ("outcome", "safe") in labels:
+                        safe += metric.value
+            self._gauge_nolock("repro_express_safe_ratio").set(
+                safe / total if total else 0.0
+            )
+
     def record_transfer(self, direction: str, nbytes: int) -> None:
         """Fold one host<->accelerator DMA transfer (:mod:`repro.host`)."""
         if not self.enabled:
@@ -591,6 +634,11 @@ _HELP = {
     "repro_graph_vertices": "Vertices in the bound graph snapshot.",
     "repro_graph_edges": "Edges in the bound graph snapshot.",
     "repro_transfer_bytes_total": "Host<->accelerator DMA bytes, by direction.",
+    "repro_express_updates_total": "Express-lane updates, by op and safe/unsafe outcome.",
+    "repro_express_reasons_total": "Express-lane classification verdicts, by rule.",
+    "repro_express_latency_seconds": "Per-update express-lane latency, by outcome.",
+    "repro_express_scan_entries": "Classification work per express update (edges + state reads).",
+    "repro_express_safe_ratio": "Lifetime fraction of express updates classified safe.",
     "repro_engine_events_processed_total": "Events processed, by engine shard.",
     "repro_engine_events_generated_total": "Events generated, by engine shard.",
     "repro_shard_pool_spawns_total": "Shard worker pools built, by backend.",

@@ -74,6 +74,15 @@ SHARDED_REPORT = {
 }
 
 
+LATENCY_REPORT = {
+    "results": {
+        "safe_insert": {"updates_per_s": 200000.0, "work_entries": 1200},
+        "mixed": {"updates_per_s": 40000.0, "work_entries": 2600},
+        "engine_batch1": {"updates_per_s": 700.0, "events_processed": 300},
+    }
+}
+
+
 def perturbed(report: dict, scale: float = 1.0, events_delta: int = 0) -> dict:
     """Copy a canned report with scaled throughput / shifted event counts."""
     out = json.loads(json.dumps(report))
@@ -93,6 +102,12 @@ def perturbed(report: dict, scale: float = 1.0, events_delta: int = 0) -> dict:
     for row in out.get("rows", []):
         row["events_per_s"] *= scale
         row["events"] += events_delta
+    if isinstance(out.get("results"), dict):  # latency report shape
+        for sample in out["results"].values():
+            sample["updates_per_s"] *= scale
+            for field in ("work_entries", "events_processed"):
+                if field in sample:
+                    sample[field] += events_delta
     return out
 
 
@@ -198,16 +213,25 @@ class TestCompareRows:
 # run_gate with canned collectors
 # ----------------------------------------------------------------------
 class TestRunGate:
-    def collectors(self, engine=None, trace=None, stream=None, sharded=None):
+    def collectors(
+        self, engine=None, trace=None, stream=None, sharded=None, latency=None
+    ):
         return {
             "engine": lambda quick: engine or ENGINE_REPORT,
             "trace": lambda quick: trace or TRACE_REPORT,
             "stream": lambda quick: stream or STREAM_REPORT,
             "sharded": lambda quick: sharded or SHARDED_REPORT,
+            "latency": lambda quick: latency or LATENCY_REPORT,
         }
 
     def baselines(
-        self, tmp_path: Path, engine=None, trace=None, stream=None, sharded=None
+        self,
+        tmp_path: Path,
+        engine=None,
+        trace=None,
+        stream=None,
+        sharded=None,
+        latency=None,
     ):
         paths = {}
         for suite, report in (
@@ -215,6 +239,7 @@ class TestRunGate:
             ("trace", trace or TRACE_REPORT),
             ("stream", stream or STREAM_REPORT),
             ("sharded", sharded or SHARDED_REPORT),
+            ("latency", latency or LATENCY_REPORT),
         ):
             path = tmp_path / f"baseline_{suite}.json"
             path.write_text(json.dumps(report))
@@ -228,7 +253,13 @@ class TestRunGate:
         )
         assert result["regressions"] == 0
         assert all(c["status"] == "ok" for c in result["comparisons"])
-        assert set(result["reports"]) == {"engine", "trace", "stream", "sharded"}
+        assert set(result["reports"]) == {
+            "engine",
+            "trace",
+            "stream",
+            "sharded",
+            "latency",
+        }
 
     def test_injected_throughput_regression_is_caught(self, tmp_path):
         slow = perturbed(ENGINE_REPORT, scale=0.5)
@@ -315,8 +346,9 @@ class TestBenchCheckCli:
             "trace": json.loads(json.dumps(TRACE_REPORT)),
             "stream": json.loads(json.dumps(STREAM_REPORT)),
             "sharded": json.loads(json.dumps(SHARDED_REPORT)),
+            "latency": json.loads(json.dumps(LATENCY_REPORT)),
         }
-        for suite in ("engine", "trace", "stream", "sharded"):
+        for suite in ("engine", "trace", "stream", "sharded", "latency"):
             monkeypatch.setitem(
                 bench_gate._COLLECTORS,
                 suite,
@@ -328,6 +360,7 @@ class TestBenchCheckCli:
             ("trace", TRACE_REPORT),
             ("stream", STREAM_REPORT),
             ("sharded", SHARDED_REPORT),
+            ("latency", LATENCY_REPORT),
         ):
             bases[suite] = tmp_path / f"{suite}.json"
             bases[suite].write_text(json.dumps(report))
@@ -384,7 +417,7 @@ class TestBenchCheckCli:
         _, _ = canned
         new_bases = {
             suite: tmp_path / "new" / f"{suite}.json"
-            for suite in ("engine", "trace", "stream", "sharded")
+            for suite in ("engine", "trace", "stream", "sharded", "latency")
         }
         args = self.base_args(new_bases) + ["--update-baselines"]
         assert main(args) == 0

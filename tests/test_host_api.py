@@ -116,6 +116,83 @@ class TestSessionLifecycle:
         assert session.graph.version == 1
 
 
+class TestExpressLaneProtocol:
+    def test_apply_update_before_configure_rejected(self):
+        session = Accelerator().load_graph(EDGES)
+        with pytest.raises(HostApiError, match="configure"):
+            session.apply_update(0, 3, 1.0)
+
+    def test_apply_update_before_initial_run_rejected(self):
+        """Regression: the lane classifies against a *converged* state, so
+        a configured-but-never-run session must refuse with a clear error
+        instead of reading uninitialized state arrays."""
+        session = Accelerator().load_graph(EDGES)
+        session.configure("sssp", source=0)
+        with pytest.raises(HostApiError, match="run\\(\\) the initial evaluation"):
+            session.apply_update(0, 3, 1.0)
+        # The refusal left the protocol intact: run() still works.
+        session.run()
+        assert list(session.read_results()) == [0.0, 2.0, 5.0, 6.0]
+
+    def test_apply_update_cannot_overtake_staged_batch(self):
+        session = Accelerator().load_graph(EDGES)
+        session.configure("sssp", source=0)
+        session.run()
+        session.push_updates(insertions=[(3, 0, 1.0)])
+        with pytest.raises(HostApiError, match="staged"):
+            session.apply_update(0, 3, 1.0)
+
+    def test_safe_update_applies_without_engine_run(self):
+        session = Accelerator().load_graph(EDGES)
+        session.configure("sssp", source=0)
+        session.run()
+        result = session.apply_update(1, 3, 0.5, "insert")
+        assert result.safe and result.reason == "insert-local-improvement"
+        assert result.new_state == (3, 2.5)
+        assert list(session.read_results()) == [0.0, 2.0, 5.0, 2.5]
+        assert session.express_stats()["safe_applied"] == 1
+        assert session.express_stats()["engine_fallthroughs"] == 0
+        # Express states match a full incremental run's answer.
+        expected = reference.sssp(session.graph.snapshot(), 0)
+        assert np.array_equal(session.read_results(), expected)
+
+    def test_unsafe_update_falls_through_to_engine(self):
+        session = Accelerator().load_graph(EDGES)
+        session.configure("sssp", source=0)
+        session.run()
+        result = session.apply_update(0, 1, op="delete")
+        assert not result.safe
+        assert result.engine_result is not None
+        assert session.last_result is result.engine_result
+        assert session.express_stats()["engine_fallthroughs"] == 1
+        expected = reference.sssp(session.graph.snapshot(), 0)
+        assert np.array_equal(session.read_results(), expected)
+
+    def test_reconfigure_drops_the_lane(self):
+        session = Accelerator().load_graph(EDGES)
+        session.configure("sssp", source=0)
+        session.run()
+        session.apply_update(1, 3, 0.5, "insert")
+        session.configure("bfs", source=0)
+        assert session.express_stats() == {
+            "safe_applied": 0,
+            "engine_fallthroughs": 0,
+            "resyncs": 0,
+        }
+        with pytest.raises(HostApiError, match="run\\(\\) the initial evaluation"):
+            session.apply_update(0, 3, 1.0)
+
+    def test_express_updates_counted_as_transfers(self):
+        config = AcceleratorConfig()
+        session = Accelerator(config).load_graph(EDGES)
+        session.configure("sssp", source=0)
+        session.run()
+        session.apply_update(1, 3, 0.5, "insert")
+        session.apply_update(0, 3, 9.0, "insert")
+        stats = session.transfer_stats()
+        assert stats.update_records == 2 * config.stream_record_bytes
+
+
 class TestTransferAccounting:
     def test_upload_counted(self):
         session = Accelerator().load_graph(EDGES)

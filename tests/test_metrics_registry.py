@@ -175,6 +175,7 @@ class TestRegistry:
         reg.record_round(RoundWork(events_processed=1), 0.1, occupancy=2)
         reg.record_noc(1, 2, 3)
         reg.record_transfer("graph_uploads", 64)
+        reg.record_express_update("insert", "safe", "insert-no-improvement", 1e-6, 3, 4)
         with reg.round_scope(RoundWork(events_processed=1)):
             pass
         assert reg.snapshot()["families"] == []
@@ -307,6 +308,115 @@ class TestInstrumentationParity:
         for a, b in zip(enabled_results, disabled_results):
             assert a.states.tobytes() == b.states.tobytes()
             assert a.metrics.to_rows() == b.metrics.to_rows()
+
+
+# ----------------------------------------------------------------------
+# Express lane: per-update counters and deterministic scan histogram
+# ----------------------------------------------------------------------
+def run_express(count: int = 24, seed: int = 9):
+    """Drive ``count`` seeded single updates through the express lane."""
+    import numpy as np
+
+    from repro.core.fastpath import ExpressLane
+    from repro.core.policies import DeletePolicy
+
+    algorithm = make_algorithm("sssp", source=0)
+    graph = make_graph_for(algorithm, n=40, m=160, seed=5)
+    engine = JetStreamEngine(graph, algorithm, policy=DeletePolicy.DAP)
+    engine.initial_compute()
+    lane = ExpressLane(engine)
+    generator = StreamGenerator(engine.graph, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    results = []
+    # The generator samples from the live edge set of the engine's graph,
+    # which lane.apply mutates — the stream stays consistent by itself.
+    for _ in range(count):
+        ratio = 0.0 if rng.random() < 0.3 else 1.0
+        batch = generator.next_batch(1, insertion_ratio=ratio)
+        if batch.insertions:
+            e = batch.insertions[0]
+            results.append(lane.apply(e.u, e.v, e.w, "insert"))
+        else:
+            e = batch.deletions[0]
+            results.append(lane.apply(e.u, e.v, e.w, "delete"))
+    stats = dict(lane.stats)
+    engine.close()
+    return results, stats
+
+
+class TestExpressLaneMetrics:
+    COUNT = 24
+
+    def test_counter_totals_match_update_count(self, registry):
+        results, stats = run_express(count=self.COUNT)
+        snapshot = registry.snapshot()
+        # Every update is counted exactly once, in every express family.
+        assert family_total(
+            snapshot, "repro_express_updates_total"
+        ) == self.COUNT
+        assert family_total(
+            snapshot, "repro_express_reasons_total"
+        ) == self.COUNT
+        scan = registry.get("repro_express_scan_entries")
+        assert scan is not None and scan.count == self.COUNT
+        lat_count = 0
+        for outcome in ("safe", "unsafe"):
+            hist = registry.get(
+                "repro_express_latency_seconds", outcome=outcome
+            )
+            if hist is not None:
+                lat_count += hist.count
+        assert lat_count == self.COUNT
+        # Per-(op, outcome) series partition the total and match the lane.
+        safe = sum(1 for r in results if r.safe)
+        assert safe == stats["safe_applied"]
+        for op in ("insert", "delete"):
+            for outcome in ("safe", "unsafe"):
+                expected = sum(
+                    1
+                    for r in results
+                    if r.op == op and r.safe == (outcome == "safe")
+                )
+                actual = (
+                    registry.value(
+                        "repro_express_updates_total", op=op, outcome=outcome
+                    )
+                    or 0
+                )
+                assert actual == expected, (op, outcome)
+        ratio = registry.value("repro_express_safe_ratio")
+        assert ratio == pytest.approx(safe / self.COUNT)
+
+    def test_scan_histogram_buckets_exactly_deterministic(self, registry):
+        """Same seed, same graph -> bit-equal scan-work bucket vector.
+
+        The scan histogram observes deterministic work counters (adjacency
+        entries + state reads), never wall clock, so two identical runs
+        must land every observation in the same bucket.
+        """
+        run_express(count=self.COUNT, seed=9)
+        scan = registry.get("repro_express_scan_entries")
+        first_counts = list(scan.counts)
+        first_sum = scan.sum
+        first_reasons = {
+            tuple(sorted(entry["labels"].items())): entry["value"]
+            for family in registry.snapshot()["families"]
+            if family["name"] == "repro_express_reasons_total"
+            for entry in family["series"]
+        }
+        registry.reset()
+        run_express(count=self.COUNT, seed=9)
+        scan = registry.get("repro_express_scan_entries")
+        assert list(scan.counts) == first_counts
+        assert scan.sum == first_sum
+        second_reasons = {
+            tuple(sorted(entry["labels"].items())): entry["value"]
+            for family in registry.snapshot()["families"]
+            if family["name"] == "repro_express_reasons_total"
+            for entry in family["series"]
+        }
+        assert second_reasons == first_reasons
+        assert sum(first_counts) == self.COUNT
 
 
 # ----------------------------------------------------------------------
