@@ -1,0 +1,297 @@
+"""Many-client load test of the ``repro serve`` streaming service.
+
+Drives a real :class:`~repro.serve.ServeServer` (loopback HTTP, one
+session, SSSP/DAP on an RMAT graph) with the three traffic shapes the
+service interleaves, and records the sustained rates the ROADMAP's
+"millions of users" direction is tracked by:
+
+* **serve/mixed_ingest** — several ingest clients stream pre-generated
+  insert batches through ``POST /ingest`` *while* read clients hammer
+  ``GET /read``. Throughput is sustained batches/s across all clients;
+  the read side of the same phase reports p50/p99 latency, served from
+  published immutable snapshots (reads never wait on an applying batch).
+* **serve/express** — one client streams single-edge heavy-weight
+  inserts through ``POST /update`` (always classified safe): sustained
+  update ops/s including HTTP + queue overhead.
+* **serve/read** — the mixed phase's read side as its own gated row:
+  reads/s across the read clients.
+
+The regression-gate ``events`` column uses exact request counts (update
+records applied, express updates, reads served) — all fixed by the
+workload configuration, never by timing — so the determinism check
+stays meaningful even though client interleaving varies run to run.
+
+Usable two ways:
+
+* ``python benchmarks/bench_serve.py`` — standalone, writes
+  ``BENCH_serve.json`` at the repo root. ``REPRO_BENCH_QUICK=1`` shrinks
+  the graph and request counts for CI smoke runs.
+* ``repro bench check --suite serve`` — re-runs :func:`collect` and
+  gates rates and exact request counts against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import urllib.request
+
+import numpy as np
+
+from repro.graph import generators
+from repro.serve import ServeApp, ServeServer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_serve.json"
+
+ALGORITHM = "sssp"
+SEED = 29
+#: Far above any converged SSSP distance: inserts classify safe and
+#: batches converge in O(batch) work, keeping the load shape stable.
+HEAVY_WEIGHT = 1.0e9
+
+
+def quick_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def config(quick: bool) -> dict:
+    if quick:
+        return {
+            "graph": "rmat-2k",
+            "num_vertices": 2_048,
+            "num_edges": 12_288,
+            "ingest_clients": 2,
+            "batches_per_client": 10,
+            "batch_size": 20,
+            "read_clients": 2,
+            "reads_per_client": 50,
+            "express_updates": 100,
+        }
+    return {
+        "graph": "rmat-131k",
+        "num_vertices": 16_384,
+        "num_edges": 131_072,
+        "ingest_clients": 4,
+        "batches_per_client": 25,
+        "batch_size": 50,
+        "read_clients": 4,
+        "reads_per_client": 300,
+        "express_updates": 1_000,
+    }
+
+
+def build_edges(cfg: dict):
+    return generators.ensure_reachable_core(
+        generators.rmat(cfg["num_vertices"], cfg["num_edges"], seed=17),
+        cfg["num_vertices"],
+        seed=18,
+    )
+
+
+def fresh_edge_batches(cfg: dict, base_edges, client: int, count: int, size: int):
+    """Deterministic per-client insert batches of globally fresh edges.
+
+    Client ``c`` draws source vertices ``u ≡ c (mod clients)`` so no two
+    clients can generate the same ``(u, v)`` pair, and each client tracks
+    what it already produced — every generated edge is fresh for the
+    whole run regardless of apply interleaving.
+    """
+    existing = {(int(u), int(v)) for u, v, _ in base_edges}
+    rng = np.random.default_rng(SEED + client)
+    n, clients = cfg["num_vertices"], cfg["ingest_clients"]
+    batches = []
+    for _ in range(count):
+        batch = []
+        while len(batch) < size:
+            u = int(rng.integers(0, n // clients)) * clients + client
+            if u >= n:
+                continue
+            v = int(rng.integers(0, n))
+            if u == v or (u, v) in existing:
+                continue
+            existing.add((u, v))
+            batch.append([u, v, HEAVY_WEIGHT])
+        batches.append(batch)
+    return batches
+
+
+def fresh_single_updates(cfg: dict, base_edges, count: int):
+    """Fresh heavy single-edge inserts for the express workload."""
+    existing = {(int(u), int(v)) for u, v, _ in base_edges}
+    rng = np.random.default_rng(SEED + 1000)
+    n = cfg["num_vertices"]
+    updates = []
+    while len(updates) < count:
+        u = int(rng.integers(0, n))
+        v = int(rng.integers(0, n))
+        if u == v or (u, v) in existing:
+            continue
+        existing.add((u, v))
+        updates.append({"u": u, "v": v, "w": HEAVY_WEIGHT, "op": "insert"})
+    return updates
+
+
+class Client:
+    """Minimal JSON-over-HTTP client against the loopback server."""
+
+    def __init__(self, base_url: str):
+        self.base = base_url
+
+    def post(self, path: str, body: dict) -> dict:
+        data = json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(self.base + path, data=data, method="POST")
+        request.add_header("Content-Type", "application/json")
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    def get(self, path: str) -> dict:
+        with urllib.request.urlopen(self.base + path, timeout=120) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+
+def run_mixed_phase(base_url: str, cfg: dict, batches_by_client) -> dict:
+    """Concurrent ingest + read clients; returns both sides' rates."""
+    read_latencies = [[] for _ in range(cfg["read_clients"])]
+    errors = []
+
+    def ingest_worker(client_id: int):
+        client = Client(base_url)
+        try:
+            for batch in batches_by_client[client_id]:
+                client.post("/sessions/bench/ingest", {"insertions": batch})
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(repr(exc))
+
+    def read_worker(client_id: int):
+        client = Client(base_url)
+        try:
+            for _ in range(cfg["reads_per_client"]):
+                t0 = time.perf_counter()
+                client.get("/sessions/bench/read?vertices=0")
+                read_latencies[client_id].append(time.perf_counter() - t0)
+        except Exception as exc:  # pragma: no cover
+            errors.append(repr(exc))
+
+    threads = [
+        threading.Thread(target=ingest_worker, args=(c,))
+        for c in range(cfg["ingest_clients"])
+    ] + [
+        threading.Thread(target=read_worker, args=(c,))
+        for c in range(cfg["read_clients"])
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - t0
+    if errors:
+        raise RuntimeError(f"load clients failed: {errors[:3]}")
+
+    total_batches = cfg["ingest_clients"] * cfg["batches_per_client"]
+    total_records = total_batches * cfg["batch_size"]
+    latencies = sorted(lat for per in read_latencies for lat in per)
+    reads_total = len(latencies)
+    return {
+        "elapsed_s": elapsed,
+        "batches": total_batches,
+        "records_applied": total_records,
+        "batches_per_s": total_batches / elapsed,
+        "reads_total": reads_total,
+        "reads_per_s": reads_total / elapsed,
+        "read_p50_us": statistics.median(latencies) * 1e6,
+        "read_p99_us": latencies[int(0.99 * (reads_total - 1))] * 1e6,
+        "read_max_us": latencies[-1] * 1e6,
+    }
+
+
+def run_express_phase(base_url: str, updates) -> dict:
+    client = Client(base_url)
+    safe = 0
+    t0 = time.perf_counter()
+    for update in updates:
+        reply = client.post("/sessions/bench/update", update)
+        safe += int(reply["safe"])
+    elapsed = time.perf_counter() - t0
+    return {
+        "elapsed_s": elapsed,
+        "updates": len(updates),
+        "updates_per_s": len(updates) / elapsed,
+        "safe": safe,
+    }
+
+
+def collect(quick: bool) -> dict:
+    cfg = config(quick)
+    base_edges = build_edges(cfg)
+    app = ServeApp(queue_bound=256)
+    server = ServeServer(app, port=0).start()
+    try:
+        app.create_session(
+            [(int(u), int(v), float(w)) for u, v, w in base_edges],
+            ALGORITHM,
+            name="bench",
+            source=0,
+        )
+        batches_by_client = [
+            fresh_edge_batches(
+                cfg, base_edges, c, cfg["batches_per_client"], cfg["batch_size"]
+            )
+            for c in range(cfg["ingest_clients"])
+        ]
+        mixed = run_mixed_phase(server.url, cfg, batches_by_client)
+        express = run_express_phase(
+            server.url,
+            fresh_single_updates(cfg, base_edges, cfg["express_updates"]),
+        )
+        stats = Client(server.url).get("/sessions/bench/stats")
+    finally:
+        server.stop()
+    return {
+        "format": "repro-serve-bench",
+        "version": 1,
+        "quick": quick,
+        "config": cfg,
+        "results": {"mixed": mixed, "express": express},
+        "final_stats": stats,
+    }
+
+
+def render(report: dict) -> str:
+    mixed = report["results"]["mixed"]
+    express = report["results"]["express"]
+    cfg = report["config"]
+    lines = [
+        f"serve load test — {cfg['graph']}, {cfg['ingest_clients']} ingest + "
+        f"{cfg['read_clients']} read clients",
+        f"  mixed ingest : {mixed['batches_per_s']:>8.1f} batches/s "
+        f"({mixed['records_applied']} records in {mixed['elapsed_s']:.2f} s)",
+        f"  mixed reads  : {mixed['reads_per_s']:>8.1f} reads/s   "
+        f"p50 {mixed['read_p50_us']:.0f} us  p99 {mixed['read_p99_us']:.0f} us",
+        f"  express      : {express['updates_per_s']:>8.1f} updates/s "
+        f"({express['safe']}/{express['updates']} safe)",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> int:
+    quick = quick_mode()
+    report = collect(quick)
+    print(render(report))
+    if not quick:
+        OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nreport written to {OUTPUT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

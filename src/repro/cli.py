@@ -104,6 +104,43 @@ def build_parser() -> argparse.ArgumentParser:
         "(safe/unsafe classification; batches x batch-size updates total)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="long-running streaming service (JSON over HTTP)",
+        description="Serve interleaved ingest batches, express updates, and "
+        "snapshot-isolated reads to many concurrent clients; /metrics is "
+        "mounted on the same port. POST /shutdown (or Ctrl-C) drains "
+        "in-flight batches and exits.",
+    )
+    serve.add_argument("--port", type=int, default=8800, help="0 picks a free port")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--queue-bound",
+        type=int,
+        default=64,
+        help="per-session ingest queue bound; writes past it get 429 QUEUE_FULL",
+    )
+    serve.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="leave the metrics registry disabled (scrape routes stay mounted)",
+    )
+    preload = serve.add_mutually_exclusive_group()
+    preload.add_argument("--edges", help="preload session 'default' from an edge list")
+    preload.add_argument(
+        "--dataset", choices=datasets.ORDER, help="preload from a Table 2 stand-in"
+    )
+    serve.add_argument("--algorithm", choices=ALGORITHM_CHOICES, default="sssp")
+    serve.add_argument("--source", type=int, default=0)
+    serve.add_argument(
+        "--policy",
+        choices=[p.value for p in DeletePolicy],
+        default=DeletePolicy.DAP.value,
+    )
+    serve.add_argument("--engine", choices=ENGINE_MODES, default="auto")
+    serve.add_argument("--num-engines", type=int, default=8)
+    serve.add_argument("--backend", choices=SHARD_BACKENDS, default="thread")
+
     data = sub.add_parser("datasets", help="describe the dataset stand-ins")
     data.add_argument("--seed", type=int, default=0)
 
@@ -165,7 +202,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_check.add_argument(
         "--suite",
-        choices=["engine", "trace", "stream", "sharded", "latency", "all"],
+        choices=["engine", "trace", "stream", "sharded", "latency", "serve", "all"],
         default="all",
         help="which benchmark suite(s) to run",
     )
@@ -190,6 +227,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_check.add_argument(
         "--baseline-latency", help="override the latency-suite baseline path"
+    )
+    bench_check.add_argument(
+        "--baseline-serve", help="override the serve-suite baseline path"
     )
     bench_check.add_argument(
         "--update-baselines",
@@ -537,6 +577,55 @@ def _run_express_stream(args, engine) -> None:
     )
 
 
+def cmd_serve(args) -> int:
+    """``repro serve``: run the long-running streaming service."""
+    from repro.serve import ServeApp, ServeServer
+
+    if not args.no_metrics:
+        REGISTRY.enable().reset()
+    app = ServeApp(queue_bound=args.queue_bound)
+    if args.edges or args.dataset:
+        if args.dataset:
+            graph = datasets.load(
+                args.dataset,
+                symmetric=make_algorithm(
+                    args.algorithm, source=args.source
+                ).needs_symmetric,
+            )
+            edges = [
+                (int(u), int(v), float(w))
+                for u, v, w in zip(*graph.edge_arrays())
+            ]
+        else:
+            edges = io.read_edge_list(args.edges)
+        session = app.create_session(
+            edges,
+            args.algorithm,
+            name="default",
+            source=args.source,
+            policy=args.policy,
+            engine=args.engine,
+            num_engines=args.num_engines,
+            backend=args.backend,
+            symmetric=make_algorithm(
+                args.algorithm, source=args.source
+            ).needs_symmetric,
+        )
+        print(
+            f"[serve] session 'default': {args.algorithm} on "
+            f"{session.stats()['num_vertices']} vertices",
+            file=sys.stderr,
+        )
+    server = ServeServer(app, port=args.port, host=args.host).start()
+    print(f"[serve] listening on {server.url}", file=sys.stderr)
+    print(f"[serve] metrics at {server.url}/metrics", file=sys.stderr)
+    server.serve_until_shutdown()
+    print("[serve] drained and stopped", file=sys.stderr)
+    if not args.no_metrics:
+        REGISTRY.disable().reset()
+    return 0
+
+
 def cmd_datasets(args) -> int:
     from repro.experiments import table2
 
@@ -602,6 +691,8 @@ def cmd_bench(args) -> int:
         baseline_paths["sharded"] = args.baseline_sharded
     if args.baseline_latency:
         baseline_paths["latency"] = args.baseline_latency
+    if args.baseline_serve:
+        baseline_paths["serve"] = args.baseline_serve
     tolerance = (
         args.tolerance if args.tolerance is not None else bench_gate.DEFAULT_TOLERANCE
     )
@@ -641,6 +732,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handler = {
         "query": cmd_query,
         "stream": cmd_stream,
+        "serve": cmd_serve,
         "datasets": cmd_datasets,
         "experiments": cmd_experiments,
         "trace": cmd_trace,

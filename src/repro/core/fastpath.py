@@ -41,6 +41,12 @@ from repro.obs.metrics import REGISTRY as METRICS
 from repro.streams import Edge, UpdateBatch
 
 
+#: Counter keys of :attr:`ExpressLane.stats`. :meth:`Session.express_stats`
+#: derives its lane-less zero shape from this tuple, so the two can never
+#: drift apart when a counter is added.
+EXPRESS_STAT_KEYS = ("safe_applied", "engine_fallthroughs", "resyncs")
+
+
 @dataclass(frozen=True)
 class ExpressResult:
     """Outcome of one :meth:`ExpressLane.apply` call."""
@@ -154,11 +160,7 @@ class ExpressLane:
         #: weight for a lane-inserted edge, ``None`` for a lane-deleted one.
         self._ov_out: Dict[int, Dict[int, Optional[float]]] = {}
         self._ov_in: Dict[int, Dict[int, Optional[float]]] = {}
-        self.stats = {
-            "safe_applied": 0,
-            "engine_fallthroughs": 0,
-            "resyncs": 0,
-        }
+        self.stats = {key: 0 for key in EXPRESS_STAT_KEYS}
         self._resync()
 
     # ------------------------------------------------------------------

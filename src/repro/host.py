@@ -30,7 +30,7 @@ import numpy as np
 from repro.algorithms import make_algorithm
 from repro.core.config import AcceleratorConfig
 from repro.core.policies import DeletePolicy
-from repro.core.fastpath import ExpressLane, ExpressResult
+from repro.core.fastpath import EXPRESS_STAT_KEYS, ExpressLane, ExpressResult
 from repro.core.streaming import JetStreamEngine, StreamingResult
 from repro.graph.csr import EDGE_ENTRY_BYTES, VERTEX_STATE_BYTES
 from repro.graph.dynamic import DynamicGraph, build_symmetric_graph
@@ -68,6 +68,7 @@ class Session:
         self._pending: Optional[UpdateBatch] = None
         self._last_result: Optional[StreamingResult] = None
         self._express: Optional[ExpressLane] = None
+        self._closed = False
         self.transfers = TransferStats()
         # Initial CSR upload: out + in structures plus vertex states.
         upload = 2 * graph.num_edges * EDGE_ENTRY_BYTES
@@ -115,6 +116,10 @@ class Session:
         :meth:`read_results` is refused until it happens. A staged
         (un-run) batch blocks reconfiguration — run or it would be lost.
         """
+        if self._closed:
+            raise HostApiError(
+                "session is closed; open a new one with load_graph()"
+            )
         if self._pending is not None:
             raise HostApiError(
                 "cannot reconfigure with a staged update batch; run() it "
@@ -210,12 +215,17 @@ class Session:
         result = self._express.apply(u, v, w, op)
         if result.engine_result is not None:
             self._last_result = result.engine_result
+            # The fallthrough ran as a one-edge batch on the engine, which
+            # swaps a fresh CSR pointer exactly like run() does — mirror its
+            # per-batch upload record so transfer accounting stays identical
+            # between the two paths for the same update.
+            self._record_transfer("graph_uploads", 2 * EDGE_ENTRY_BYTES)
         return result
 
     def express_stats(self) -> dict:
         """Express-lane counters: safe applies, fallthroughs, resyncs."""
         if self._express is None:
-            return {"safe_applied": 0, "engine_fallthroughs": 0, "resyncs": 0}
+            return {key: 0 for key in EXPRESS_STAT_KEYS}
         return dict(self._express.stats)
 
     def read_results(self) -> np.ndarray:
@@ -250,10 +260,28 @@ class Session:
         """The most recent run's result record."""
         return self._last_result
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has released the session."""
+        return self._closed
+
     def close(self) -> None:
-        """Release the session's engine resources (worker pools, shm)."""
+        """Release the session and deregister it from the accelerator.
+
+        Idempotent. A long-running host opens and closes many sessions
+        over its lifetime; deregistering here is what keeps
+        ``Accelerator.sessions`` from leaking every engine/graph ever
+        opened. A closed session refuses further protocol calls the same
+        way an unconfigured one does.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self._engine is not None:
             self._engine.close()
+            self._engine = None
+        self._express = None
+        self._accelerator._deregister(self)
 
     def __enter__(self) -> "Session":
         return self
@@ -290,9 +318,16 @@ class Accelerator:
         self.sessions.append(session)
         return session
 
+    def _deregister(self, session: Session) -> None:
+        """Drop a closed session from the registry (close() calls this)."""
+        try:
+            self.sessions.remove(session)
+        except ValueError:
+            pass  # already deregistered (double close, or external removal)
+
     def close(self) -> None:
-        """Release every session's engine resources."""
-        for session in self.sessions:
+        """Release every open session (tolerates already-closed ones)."""
+        for session in list(self.sessions):
             session.close()
 
     def __enter__(self) -> "Accelerator":

@@ -38,7 +38,7 @@ from repro.obs.metrics import (
     log_buckets,
     render_prometheus,
 )
-from repro.obs.scrape import MetricsServer
+from repro.obs.scrape import MetricsServer, metrics_payload, send_payload
 from repro.obs.sinks import (
     TRACE_FORMAT,
     TRACE_VERSION,
@@ -72,6 +72,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "MetricsServer",
+    "metrics_payload",
+    "send_payload",
     "log_buckets",
     "render_prometheus",
     "chrome_trace",

@@ -32,6 +32,7 @@ __all__ = [
     "BenchGateError",
     "collect_engine",
     "collect_latency",
+    "collect_serve",
     "collect_sharded",
     "collect_stream",
     "collect_trace",
@@ -39,6 +40,7 @@ __all__ = [
     "default_baseline_path",
     "flatten_engine",
     "flatten_latency",
+    "flatten_serve",
     "flatten_sharded",
     "flatten_stream",
     "flatten_trace",
@@ -50,7 +52,7 @@ REPO_ROOT = Path(__file__).resolve().parents[3]
 BENCHMARKS_DIR = REPO_ROOT / "benchmarks"
 BASELINES_DIR = BENCHMARKS_DIR / "baselines"
 
-SUITES = ("engine", "trace", "stream", "sharded", "latency")
+SUITES = ("engine", "trace", "stream", "sharded", "latency", "serve")
 
 #: Default allowed relative drop in events_per_s before a row regresses.
 DEFAULT_TOLERANCE = 0.30
@@ -95,6 +97,11 @@ def collect_latency(quick: bool) -> dict:
     return _load_bench_module("bench_update_latency").collect(quick)
 
 
+def collect_serve(quick: bool) -> dict:
+    """Run the many-client serve load test and return its report."""
+    return _load_bench_module("bench_serve").collect(quick)
+
+
 def default_baseline_path(suite: str, quick: bool) -> Path:
     """Where the committed baseline for ``suite`` lives."""
     if suite == "engine":
@@ -126,6 +133,12 @@ def default_baseline_path(suite: str, quick: bool) -> Path:
             BASELINES_DIR / "BENCH_latency.quick.json"
             if quick
             else REPO_ROOT / "BENCH_latency.json"
+        )
+    if suite == "serve":
+        return (
+            BASELINES_DIR / "BENCH_serve.quick.json"
+            if quick
+            else REPO_ROOT / "BENCH_serve.json"
         )
     raise BenchGateError(f"unknown suite {suite!r} (choose from {SUITES})")
 
@@ -247,12 +260,55 @@ def flatten_latency(report: dict) -> List[dict]:
     return rows
 
 
+def flatten_serve(report: dict) -> List[dict]:
+    """``BENCH_serve.json`` → one row per serve traffic shape.
+
+    Throughput is batches/s (mixed ingest), reads/s (the same phase's
+    read side), and updates/s (express singles). The event counts are the
+    exact request totals the workload configuration fixes — records
+    applied, reads served, updates applied — so the determinism check
+    survives the nondeterministic client interleaving wall-clock brings.
+    """
+    results = report.get("results", {})
+    rows = []
+    mixed = results.get("mixed")
+    if mixed:
+        rows.append(
+            {
+                "suite": "serve",
+                "key": "mixed_ingest",
+                "events_per_s": float(mixed["batches_per_s"]),
+                "events": int(mixed["records_applied"]),
+            }
+        )
+        rows.append(
+            {
+                "suite": "serve",
+                "key": "mixed_read",
+                "events_per_s": float(mixed["reads_per_s"]),
+                "events": int(mixed["reads_total"]),
+            }
+        )
+    express = results.get("express")
+    if express:
+        rows.append(
+            {
+                "suite": "serve",
+                "key": "express",
+                "events_per_s": float(express["updates_per_s"]),
+                "events": int(express["updates"]),
+            }
+        )
+    return rows
+
+
 _FLATTENERS: Dict[str, Callable[[dict], List[dict]]] = {
     "engine": flatten_engine,
     "trace": flatten_trace,
     "stream": flatten_stream,
     "sharded": flatten_sharded,
     "latency": flatten_latency,
+    "serve": flatten_serve,
 }
 
 _COLLECTORS: Dict[str, Callable[[bool], dict]] = {
@@ -261,6 +317,7 @@ _COLLECTORS: Dict[str, Callable[[bool], dict]] = {
     "stream": collect_stream,
     "sharded": collect_sharded,
     "latency": collect_latency,
+    "serve": collect_serve,
 }
 
 

@@ -160,6 +160,8 @@ SPILL_BYTES_BUCKETS = log_buckets(64.0, 4.0**15, factor=4.0)  # 64 B .. ~1 GiB
 RUN_LATENCY_BUCKETS = log_buckets(1e-4, 128.0, factor=2.0)  # 100 µs .. ~2 min
 EXPRESS_LATENCY_BUCKETS = log_buckets(1e-7, 2.0, factor=2.0)  # 100 ns .. 2 s
 EXPRESS_SCAN_BUCKETS = log_buckets(1.0, 4096.0, factor=2.0)  # 1 .. 4K entries
+SERVE_LATENCY_BUCKETS = log_buckets(1e-5, 32.0, factor=2.0)  # 10 µs .. 32 s
+SERVE_READS_BUCKETS = log_buckets(1.0, 65536.0, factor=4.0)  # 1 .. 64K reads
 
 
 class MetricsRegistry:
@@ -424,6 +426,87 @@ class MetricsRegistry:
                 safe / total if total else 0.0
             )
 
+    def record_serve_request(self, route: str, status: int, dur_s: float) -> None:
+        """Fold one handled ``repro serve`` HTTP request (:mod:`repro.serve`).
+
+        ``route`` is the logical route name (``ingest``, ``update``,
+        ``read``, ``session``, ...), not the raw path — label cardinality
+        must stay bounded no matter how many sessions a host opens.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counter_nolock(
+                "repro_serve_requests_total", route=route, status=str(status)
+            ).inc()
+            self._histogram_nolock(
+                "repro_serve_request_latency_seconds",
+                SERVE_LATENCY_BUCKETS,
+                route=route,
+            ).observe(dur_s)
+
+    def record_serve_ingest(
+        self, kind: str, dur_s: float, queue_depth: int
+    ) -> None:
+        """Fold one applied write op: queue wait + apply, and queue depth.
+
+        ``kind`` is ``"batch"`` (an ingest batch through ``Session.run``)
+        or ``"update"`` (a single-edge express update). ``queue_depth`` is
+        the ingest queue occupancy right after the op was dequeued — the
+        backpressure signal a dashboard alerts on.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counter_nolock(
+                "repro_serve_writes_applied_total", kind=kind
+            ).inc()
+            self._histogram_nolock(
+                "repro_serve_ingest_latency_seconds",
+                SERVE_LATENCY_BUCKETS,
+                kind=kind,
+            ).observe(dur_s)
+            self._gauge_nolock("repro_serve_queue_depth").set(queue_depth)
+
+    def record_serve_rejection(self, kind: str) -> None:
+        """Fold one backpressure rejection (bounded ingest queue full)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counter_nolock(
+                "repro_serve_rejected_total", kind=kind
+            ).inc()
+
+    def record_serve_read(self) -> None:
+        """Fold one read served from the published immutable snapshot."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counter_nolock("repro_serve_reads_total").inc()
+
+    def record_serve_snapshot(self, reads_served: int) -> None:
+        """Fold one snapshot rotation (a write published a fresh one).
+
+        ``reads_served`` is how many reads the *retired* snapshot served
+        over its lifetime; the histogram shows read/write amortization —
+        high values mean many queries rode one converged state.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counter_nolock("repro_serve_snapshots_total").inc()
+            if reads_served:
+                self._histogram_nolock(
+                    "repro_serve_reads_per_snapshot", SERVE_READS_BUCKETS
+                ).observe(reads_served)
+
+    def record_serve_sessions(self, count: int) -> None:
+        """Sample the number of open serve sessions."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauge_nolock("repro_serve_sessions").set(count)
+
     def record_transfer(self, direction: str, nbytes: int) -> None:
         """Fold one host<->accelerator DMA transfer (:mod:`repro.host`)."""
         if not self.enabled:
@@ -644,6 +727,16 @@ _HELP = {
     "repro_shard_pool_spawns_total": "Shard worker pools built, by backend.",
     "repro_shard_pool_reuse_total": "Warm shard worker pools reused, by backend.",
     "repro_shard_pool_workers": "Worker slots in the live shard pool, by backend.",
+    "repro_serve_requests_total": "Serve HTTP requests handled, by route and status.",
+    "repro_serve_request_latency_seconds": "Serve HTTP request latency, by route.",
+    "repro_serve_writes_applied_total": "Serve write ops applied, by kind (batch | update).",
+    "repro_serve_ingest_latency_seconds": "Queue wait + apply latency of serve write ops, by kind.",
+    "repro_serve_queue_depth": "Ingest queue occupancy sampled after each dequeue.",
+    "repro_serve_rejected_total": "Write ops rejected by ingest backpressure, by kind.",
+    "repro_serve_reads_total": "Reads served from published immutable snapshots.",
+    "repro_serve_snapshots_total": "Converged snapshots published by serve write ops.",
+    "repro_serve_reads_per_snapshot": "Reads served by each retired snapshot.",
+    "repro_serve_sessions": "Serve sessions currently open.",
 }
 
 #: The process-wide registry every substrate publishes into. Disabled by

@@ -11,41 +11,89 @@ thread, so scrapes never block the engines — each request takes the
 registry lock only long enough to copy a snapshot. Activated by
 ``repro query|stream --metrics-port N`` (port 0 picks a free port;
 :attr:`MetricsServer.port` reports the bound one).
+
+The route table and the disconnect-tolerant response writer are exposed
+as :func:`metrics_payload` and :func:`send_payload` so other stdlib HTTP
+hosts (the ``repro serve`` service) can mount the same ``/metrics``
+endpoints on their own server instead of running a second one.
 """
 
 from __future__ import annotations
 
+import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
 
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["MetricsServer"]
+__all__ = ["MetricsServer", "metrics_payload", "send_payload"]
+
+PROMETHEUS_CTYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def metrics_payload(
+    registry: MetricsRegistry, path: str
+) -> Optional[Tuple[str, bytes]]:
+    """Resolve a metrics route to ``(content_type, body)``.
+
+    Returns ``None`` for paths the metrics endpoint does not own, so a
+    host server can fall through to its own routes.
+    """
+    if path in ("/metrics", "/"):
+        return PROMETHEUS_CTYPE, registry.to_prometheus().encode("utf-8")
+    if path == "/metrics.json":
+        body = json.dumps(registry.snapshot(), indent=2) + "\n"
+        return "application/json", body.encode("utf-8")
+    return None
+
+
+def send_payload(
+    handler: BaseHTTPRequestHandler,
+    status: int,
+    ctype: str,
+    body: bytes,
+    head_only: bool = False,
+) -> bool:
+    """Write one complete HTTP response, tolerating client disconnects.
+
+    Scrapers and load balancers routinely drop the connection mid-write
+    (timeouts, shutdown races); with a plain handler that surfaces as an
+    unhandled ``BrokenPipeError``/``ConnectionResetError`` traceback per
+    request on a long-running host. Returns ``False`` when the client
+    went away, ``True`` on a complete write.
+    """
+    try:
+        handler.send_response(status)
+        handler.send_header("Content-Type", ctype)
+        handler.send_header("Content-Length", str(len(body)))
+        handler.end_headers()
+        if not head_only:
+            handler.wfile.write(body)
+    except (BrokenPipeError, ConnectionResetError, TimeoutError):
+        handler.close_connection = True
+        return False
+    return True
 
 
 class _Handler(BaseHTTPRequestHandler):
     registry: MetricsRegistry  # set on the per-server subclass
 
-    def do_GET(self):  # noqa: N802 (http.server API)
+    def _respond(self, head_only: bool) -> None:
         path = self.path.split("?", 1)[0]
-        if path in ("/metrics", "/"):
-            body = self.registry.to_prometheus().encode("utf-8")
-            ctype = "text/plain; version=0.0.4; charset=utf-8"
-        elif path == "/metrics.json":
-            import json
-
-            body = (
-                json.dumps(self.registry.snapshot(), indent=2) + "\n"
-            ).encode("utf-8")
-            ctype = "application/json"
-        else:
-            self.send_error(404, "unknown path (try /metrics)")
+        payload = metrics_payload(self.registry, path)
+        if payload is None:
+            body = b"unknown path (try /metrics)\n"
+            send_payload(self, 404, "text/plain", body, head_only)
             return
-        self.send_response(200)
-        self.send_header("Content-Type", ctype)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        ctype, body = payload
+        send_payload(self, 200, ctype, body, head_only)
+
+    def do_GET(self):  # noqa: N802 (http.server API)
+        self._respond(head_only=False)
+
+    def do_HEAD(self):  # noqa: N802 (http.server API)
+        self._respond(head_only=True)
 
     def log_message(self, fmt, *args):  # silence per-request stderr noise
         pass
@@ -73,15 +121,24 @@ class MetricsServer:
         self.registry = registry
         self.host = host
         self._requested_port = port
+        self._bound_port: Optional[int] = None
         self._server: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
 
     @property
     def port(self) -> int:
-        """The actually bound port (resolves ``port=0`` after start)."""
-        if self._server is None:
-            return self._requested_port
-        return self._server.server_address[1]
+        """The bound port (resolves ``port=0``; survives :meth:`stop`).
+
+        Before the first :meth:`start` this is the requested port; after
+        a start it is the actually bound one, and it stays valid after
+        ``stop()`` so late log lines / test assertions don't read a stale
+        ``0`` back.
+        """
+        if self._server is not None:
+            return self._server.server_address[1]
+        if self._bound_port is not None:
+            return self._bound_port
+        return self._requested_port
 
     @property
     def url(self) -> str:
@@ -95,6 +152,7 @@ class MetricsServer:
         self._server = ThreadingHTTPServer(
             (self.host, self._requested_port), handler
         )
+        self._bound_port = self._server.server_address[1]
         self._server.daemon_threads = True
         self._thread = threading.Thread(
             target=self._server.serve_forever,

@@ -1,0 +1,737 @@
+"""Long-running streaming service: ``repro serve`` (§4.1 as a host daemon).
+
+The paper's programming model assumes a host that keeps feeding the
+accelerator interleaved update batches and queries for as long as the
+deployment lives; every other entry point in this repo is a one-shot CLI
+run. This module is that host: a stdlib-only JSON-over-HTTP server (the
+same ``ThreadingHTTPServer`` substrate as :mod:`repro.obs.scrape`) that
+accepts ingest batches, single-edge express updates, and read queries
+from many concurrent clients over named sessions.
+
+Concurrency model
+-----------------
+*Writes are serialized, reads are snapshot-isolated.* Each session owns
+one writer thread draining a **bounded** ingest queue; every write op
+(batch or express update) goes through the existing
+:meth:`repro.host.Session.run` / :meth:`~repro.host.Session.apply_update`
+machinery on that thread, so the engine never sees concurrent mutation.
+When the queue is full the request is rejected immediately with HTTP 429
+``QUEUE_FULL`` — backpressure, not unbounded buffering.
+
+After each applied write the writer publishes a :class:`ReadSnapshot`:
+an immutable (write-protected) copy of the converged vertex states keyed
+by the store's ``mutation_stamp`` — the same stamp the express lane
+rebases its overlay on. Reads grab the current snapshot reference with a
+single atomic attribute load and serve from it **lock-free**: a query
+never waits on an in-flight batch, and can never observe a torn,
+mid-convergence state. A client that completed a write is guaranteed to
+see a snapshot at least as new as its own write on a subsequent read
+(writes respond only after publishing).
+
+Shutdown drains: the server stops accepting new work, each writer thread
+finishes every op already queued (their clients get real responses), and
+only then are engines/sessions closed.
+
+The ``/metrics`` and ``/metrics.json`` scrape routes of
+:mod:`repro.obs.scrape` are mounted on the same server, alongside the
+serve-specific families (queue depth, ingest latency, reads per
+snapshot) in :class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import queue
+import threading
+from functools import cached_property
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.policies import DeletePolicy
+from repro.host import Accelerator, HostApiError, Session
+from repro.obs.metrics import REGISTRY as METRICS
+from repro.obs.scrape import metrics_payload, send_payload
+
+__all__ = [
+    "DEFAULT_QUEUE_BOUND",
+    "ReadSnapshot",
+    "ServeApp",
+    "ServeError",
+    "ServeServer",
+    "ServeSession",
+]
+
+#: Default bound of each session's ingest queue (write ops, not bytes).
+DEFAULT_QUEUE_BOUND = 64
+
+
+class ServeError(Exception):
+    """Protocol-level error carrying the HTTP status and error code."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+@dataclass(frozen=True)
+class ReadSnapshot:
+    """One published converged state: what every read is served from.
+
+    ``seq`` is the number of write ops applied when it was published
+    (0 = the initial evaluation), ``stamp`` the graph store's
+    ``mutation_stamp`` — reads report both so clients (and the torn-read
+    checker in the test suite) can order what they observed.
+    """
+
+    seq: int
+    stamp: int
+    graph_version: int
+    states: np.ndarray  # write-protected copy
+
+    @cached_property
+    def digest(self) -> str:
+        """Content hash of the states array (torn-read verification).
+
+        Computed once per snapshot, not per read — every reader of this
+        (immutable) snapshot shares the cached value.
+        """
+        return hashlib.sha1(self.states.tobytes()).hexdigest()
+
+
+@dataclass
+class _WriteOp:
+    """One queued write: an ingest batch or a single express update."""
+
+    kind: str  # "batch" | "update"
+    payload: dict
+    enqueued_at: float
+    done: threading.Event = field(default_factory=threading.Event)
+    result: Optional[dict] = None
+    error: Optional[ServeError] = None
+
+
+class ServeSession:
+    """One served query session: bounded write queue + snapshot publisher.
+
+    Wraps a :class:`repro.host.Session` whose initial evaluation has
+    already run. All writes go through :meth:`submit` and are applied by
+    the session's single writer thread; reads go through
+    :meth:`read_snapshot` and never touch the engine.
+    """
+
+    def __init__(self, name: str, session: Session, queue_bound: int):
+        self.name = name
+        self.session = session
+        self.queue_bound = queue_bound
+        self._queue: "queue.Queue[Optional[_WriteOp]]" = queue.Queue(
+            maxsize=max(1, queue_bound)
+        )
+        self._applied_seq = 0
+        self._reads_on_snapshot = 0
+        #: Applied-write log (kind + payload, in apply order) so clients
+        #: can audit/replay exactly what the session executed.
+        self._log: List[dict] = []
+        self._log_lock = threading.Lock()
+        self._closing = False
+        self._snapshot = self._build_snapshot()
+        self._thread = threading.Thread(
+            target=self._writer_loop,
+            name=f"repro-serve-writer-{name}",
+            daemon=True,
+        )
+        # Test/ops hook: when cleared, the writer parks *between* ops
+        # (never mid-apply), letting tests fill the queue deterministically.
+        self._gate = threading.Event()
+        self._gate.set()
+        self._thread.start()
+
+    # -- snapshot publication ------------------------------------------
+    def _build_snapshot(self) -> ReadSnapshot:
+        states = self.session.read_results()
+        states = np.array(states, copy=True)
+        states.setflags(write=False)
+        return ReadSnapshot(
+            seq=self._applied_seq,
+            stamp=self.session.graph.mutation_stamp,
+            graph_version=self.session.graph.version,
+            states=states,
+        )
+
+    def _publish(self) -> None:
+        retired_reads = self._reads_on_snapshot
+        self._reads_on_snapshot = 0
+        self._snapshot = self._build_snapshot()
+        if METRICS.enabled:
+            METRICS.record_serve_snapshot(retired_reads)
+
+    def read_snapshot(self) -> ReadSnapshot:
+        """The latest published converged snapshot (lock-free)."""
+        snapshot = self._snapshot  # single atomic attribute load
+        self._reads_on_snapshot += 1  # stats-only; benign race
+        if METRICS.enabled:
+            METRICS.record_serve_read()
+        return snapshot
+
+    # -- write path ----------------------------------------------------
+    def submit(self, kind: str, payload: dict) -> dict:
+        """Enqueue one write op and wait for the writer to apply it.
+
+        Raises :class:`ServeError` 429 immediately when the bounded queue
+        is full (backpressure) and 409 when the session is draining.
+        """
+        if self._closing:
+            raise ServeError(409, "CLOSING", "session is shutting down")
+        op = _WriteOp(kind=kind, payload=payload, enqueued_at=perf_counter())
+        try:
+            self._queue.put_nowait(op)
+        except queue.Full:
+            if METRICS.enabled:
+                METRICS.record_serve_rejection(kind)
+            raise ServeError(
+                429,
+                "QUEUE_FULL",
+                f"ingest queue at bound ({self.queue_bound}); retry later",
+            )
+        op.done.wait()
+        if op.error is not None:
+            raise op.error
+        assert op.result is not None
+        return op.result
+
+    def _writer_loop(self) -> None:
+        while True:
+            op = self._queue.get()
+            if op is None:  # drain sentinel: queue is empty past here
+                return
+            self._gate.wait()
+            try:
+                op.result = self._apply(op)
+            except ServeError as exc:
+                op.error = exc
+            except (HostApiError, ValueError) as exc:
+                op.error = ServeError(409, "REJECTED", str(exc))
+            except Exception as exc:  # engine invariant violation: surface
+                op.error = ServeError(500, "INTERNAL", repr(exc))
+            finally:
+                op.done.set()
+
+    def _apply(self, op: _WriteOp) -> dict:
+        session = self.session
+        if op.kind == "batch":
+            insertions = [
+                (int(u), int(v), float(w))
+                for u, v, w in op.payload.get("insertions", [])
+            ]
+            deletions = [
+                (int(u), int(v)) for u, v in op.payload.get("deletions", [])
+            ]
+            session.push_updates(insertions=insertions, deletions=deletions)
+            result = session.run()
+            applied: dict = {
+                "kind": "batch",
+                "insertions": len(insertions),
+                "deletions": len(deletions),
+                "events_processed": int(result.metrics.events_processed),
+            }
+        elif op.kind == "update":
+            express = session.apply_update(
+                int(op.payload["u"]),
+                int(op.payload["v"]),
+                float(op.payload.get("w", 1.0)),
+                op=op.payload.get("op", "insert"),
+            )
+            applied = {
+                "kind": "update",
+                "op": express.op,
+                "safe": express.safe,
+                "reason": express.reason,
+                "express_latency_s": express.latency_s,
+            }
+        else:  # pragma: no cover - submit() only produces the two kinds
+            raise ServeError(400, "BAD_KIND", f"unknown write kind {op.kind!r}")
+        self._applied_seq += 1
+        self._publish()
+        snapshot = self._snapshot
+        applied.update(seq=snapshot.seq, stamp=snapshot.stamp)
+        with self._log_lock:
+            self._log.append(
+                {"kind": op.kind, "payload": op.payload, "seq": snapshot.seq}
+            )
+        if METRICS.enabled:
+            METRICS.record_serve_ingest(
+                op.kind, perf_counter() - op.enqueued_at, self._queue.qsize()
+            )
+        return applied
+
+    # -- introspection -------------------------------------------------
+    def queue_depth(self) -> int:
+        """Write ops currently queued (not counting the in-flight one)."""
+        return self._queue.qsize()
+
+    def applied_log(self) -> List[dict]:
+        """Copy of the applied-write log, in apply order."""
+        with self._log_lock:
+            return list(self._log)
+
+    def stats(self) -> dict:
+        snapshot = self._snapshot
+        transfers = self.session.transfer_stats()
+        return {
+            "session": self.name,
+            "algorithm": self.session._engine.algorithm.name
+            if self.session._engine is not None
+            else None,
+            "queue_depth": self.queue_depth(),
+            "queue_bound": self.queue_bound,
+            "applied_seq": snapshot.seq,
+            "snapshot_stamp": snapshot.stamp,
+            "graph_version": snapshot.graph_version,
+            "num_vertices": self.session.graph.num_vertices,
+            "num_edges": self.session.graph.num_edges,
+            "express": self.session.express_stats(),
+            "transfers": {
+                "graph_uploads": transfers.graph_uploads,
+                "update_records": transfers.update_records,
+                "results_read": transfers.results_read,
+            },
+            "store": self.session.graph_store_stats(),
+        }
+
+    # -- lifecycle / test hooks ----------------------------------------
+    def pause_writer(self) -> None:
+        """Park the writer between ops (deterministic backpressure tests)."""
+        self._gate.clear()
+
+    def resume_writer(self) -> None:
+        self._gate.set()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the writer and release the session.
+
+        ``drain=True`` (the default, and what shutdown uses) lets every
+        already-queued op apply and answer its client before the session
+        is torn down; ``drain=False`` abandons queued ops with a 409.
+        """
+        if self._closing:
+            return
+        self._closing = True
+        self._gate.set()
+        if not drain:
+            # Fail queued ops fast, then let the sentinel end the loop.
+            try:
+                while True:
+                    op = self._queue.get_nowait()
+                    if op is not None:
+                        op.error = ServeError(
+                            409, "CLOSING", "session closed before apply"
+                        )
+                        op.done.set()
+            except queue.Empty:
+                pass
+        # The sentinel queues *behind* any in-flight drain work; put()
+        # blocks if the queue is momentarily full of real ops.
+        self._queue.put(None)
+        self._thread.join(timeout=60.0)
+        self.session.close()
+
+
+class ServeApp:
+    """Session registry + request router (transport-independent core).
+
+    The HTTP layer (:class:`ServeServer`) is a thin translation onto this
+    object; tests can drive it directly without sockets.
+    """
+
+    def __init__(
+        self,
+        accelerator: Optional[Accelerator] = None,
+        queue_bound: int = DEFAULT_QUEUE_BOUND,
+    ):
+        self.accelerator = accelerator or Accelerator()
+        self.queue_bound = queue_bound
+        self.sessions: Dict[str, ServeSession] = {}
+        self._lock = threading.Lock()  # registry mutation only
+        self._names = itertools.count()
+        self._closed = False
+
+    # -- session lifecycle ---------------------------------------------
+    def create_session(
+        self,
+        edges: List[Tuple[int, int, float]],
+        algorithm: str,
+        name: Optional[str] = None,
+        source: int = 0,
+        policy: str = DeletePolicy.DAP.value,
+        engine: str = "auto",
+        num_engines: int = 8,
+        backend: str = "thread",
+        symmetric: bool = False,
+        num_vertices: int = 0,
+        queue_bound: Optional[int] = None,
+    ) -> ServeSession:
+        """Load a graph, run the initial evaluation, register the session."""
+        if self._closed:
+            raise ServeError(409, "CLOSING", "server is shutting down")
+        try:
+            session = self.accelerator.load_graph(
+                [(int(u), int(v), float(w)) for u, v, w in edges],
+                num_vertices=num_vertices,
+                symmetric=symmetric,
+            )
+            session.configure(
+                algorithm,
+                source=source,
+                policy=DeletePolicy(policy),
+                engine=engine,
+                num_engines=num_engines,
+                backend=backend,
+            )
+            session.run()  # initial evaluation: serve needs a converged state
+        except (HostApiError, ValueError, KeyError) as exc:
+            raise ServeError(400, "BAD_SESSION", str(exc))
+        with self._lock:
+            if name is None:
+                name = f"s{next(self._names)}"
+            if name in self.sessions:
+                session.close()
+                raise ServeError(409, "EXISTS", f"session {name!r} already open")
+            served = ServeSession(
+                name,
+                session,
+                queue_bound if queue_bound is not None else self.queue_bound,
+            )
+            self.sessions[name] = served
+        if METRICS.enabled:
+            METRICS.record_serve_sessions(len(self.sessions))
+        return served
+
+    def get_session(self, name: str) -> ServeSession:
+        served = self.sessions.get(name)
+        if served is None:
+            raise ServeError(404, "NO_SESSION", f"no session {name!r}")
+        return served
+
+    def close_session(self, name: str, drain: bool = True) -> None:
+        with self._lock:
+            served = self.sessions.pop(name, None)
+        if served is None:
+            raise ServeError(404, "NO_SESSION", f"no session {name!r}")
+        served.close(drain=drain)
+        if METRICS.enabled:
+            METRICS.record_serve_sessions(len(self.sessions))
+
+    def close(self, drain: bool = True) -> None:
+        """Drain and close every session, then the accelerator."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            sessions = list(self.sessions.values())
+            self.sessions.clear()
+        for served in sessions:
+            served.close(drain=drain)
+        self.accelerator.close()
+
+    # -- request handlers ----------------------------------------------
+    def handle_read(
+        self, name: str, vertices: Optional[List[int]] = None
+    ) -> dict:
+        """Serve a read from the latest published snapshot (lock-free)."""
+        served = self.get_session(name)
+        snapshot = served.read_snapshot()
+        reply: dict = {
+            "session": name,
+            "seq": snapshot.seq,
+            "stamp": snapshot.stamp,
+            "graph_version": snapshot.graph_version,
+            "num_vertices": int(snapshot.states.shape[0]),
+            "digest": snapshot.digest,
+        }
+        if vertices is not None:
+            n = snapshot.states.shape[0]
+            values = {}
+            for v in vertices:
+                v = int(v)
+                if not 0 <= v < n:
+                    raise ServeError(
+                        400, "BAD_VERTEX", f"vertex {v} out of range [0, {n})"
+                    )
+                values[str(v)] = float(snapshot.states[v])
+            reply["values"] = values
+        return reply
+
+    def handle_ingest(self, name: str, payload: dict) -> dict:
+        return self.get_session(name).submit("batch", payload)
+
+    def handle_update(self, name: str, payload: dict) -> dict:
+        for key in ("u", "v"):
+            if key not in payload:
+                raise ServeError(400, "BAD_UPDATE", f"missing field {key!r}")
+        if payload.get("op", "insert") not in ("insert", "delete"):
+            raise ServeError(400, "BAD_UPDATE", "op must be insert|delete")
+        return self.get_session(name).submit("update", payload)
+
+    def healthz(self) -> dict:
+        return {
+            "status": "draining" if self._closed else "ok",
+            "sessions": sorted(self.sessions),
+        }
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    """Routes: the JSON-over-HTTP protocol (see docs/architecture.md).
+
+    ======  ==============================  =====================================
+    method  path                            action
+    ======  ==============================  =====================================
+    GET     /healthz                        liveness + open session names
+    GET     /metrics, /metrics.json         shared scrape routes (registry)
+    POST    /sessions                       create session (graph + algorithm)
+    GET     /sessions/<s>/read[?vertices=]  snapshot read (never blocks on writes)
+    GET     /sessions/<s>/stats             queue depth, transfers, express stats
+    GET     /sessions/<s>/log               applied-write log (apply order)
+    POST    /sessions/<s>/ingest            update batch (429 when queue full)
+    POST    /sessions/<s>/update            single express update (429 when full)
+    POST    /sessions/<s>/close             drain + close one session
+    POST    /shutdown                       drain all sessions, stop the server
+    ======  ==============================  =====================================
+    """
+
+    app: ServeApp  # set on the per-server subclass
+    server_ref: "ServeServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, fmt, *args):  # silence per-request stderr noise
+        pass
+
+    def _reply(self, status: int, payload: dict, head_only: bool = False) -> None:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        send_payload(self, status, "application/json", body, head_only)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(400, "BAD_JSON", f"request body is not JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ServeError(400, "BAD_JSON", "request body must be an object")
+        return payload
+
+    def _route(self, method: str, head_only: bool = False) -> None:
+        t0 = perf_counter()
+        path, _, query = self.path.partition("?")
+        if method == "GET" and path in ("/metrics", "/metrics.json"):
+            # Shared scrape routes, mounted on the serving port.
+            ctype, body = metrics_payload(METRICS, path)
+            send_payload(self, 200, ctype, body, head_only)
+            if METRICS.enabled:
+                METRICS.record_serve_request(
+                    "metrics", 200, perf_counter() - t0
+                )
+            return
+        parts = [p for p in path.split("/") if p]
+        route = "unknown"
+        status = 200
+        try:
+            route, status, payload = self._dispatch(method, path, parts, query)
+            self._reply(status, payload, head_only)
+        except ServeError as exc:
+            status = exc.status
+            self._reply(exc.status, {"error": exc.code, "message": exc.message})
+        except (BrokenPipeError, ConnectionResetError):
+            status = 499  # client went away mid-request
+            self.close_connection = True
+        finally:
+            if METRICS.enabled:
+                METRICS.record_serve_request(route, status, perf_counter() - t0)
+
+    def _dispatch(
+        self, method: str, path: str, parts: List[str], query: str
+    ) -> Tuple[str, int, dict]:
+        app = self.app
+        if method == "GET":
+            if path in ("/healthz", "/"):
+                return "healthz", 200, app.healthz()
+            if len(parts) == 3 and parts[0] == "sessions":
+                name, action = parts[1], parts[2]
+                if action == "read":
+                    return "read", 200, app.handle_read(
+                        name, _parse_vertices(query)
+                    )
+                if action == "stats":
+                    return "stats", 200, app.get_session(name).stats()
+                if action == "log":
+                    return "log", 200, {
+                        "session": name,
+                        "log": app.get_session(name).applied_log(),
+                    }
+        elif method == "POST":
+            if path == "/sessions":
+                body = self._read_json()
+                if "edges" not in body or "algorithm" not in body:
+                    raise ServeError(
+                        400, "BAD_SESSION", "need 'edges' and 'algorithm'"
+                    )
+                served = app.create_session(
+                    body["edges"],
+                    body["algorithm"],
+                    name=body.get("name"),
+                    source=int(body.get("source", 0)),
+                    policy=body.get("policy", DeletePolicy.DAP.value),
+                    engine=body.get("engine", "auto"),
+                    num_engines=int(body.get("num_engines", 8)),
+                    backend=body.get("backend", "thread"),
+                    symmetric=bool(body.get("symmetric", False)),
+                    num_vertices=int(body.get("num_vertices", 0)),
+                    queue_bound=body.get("queue_bound"),
+                )
+                stats = served.stats()
+                return "session", 201, {
+                    "session": served.name,
+                    "num_vertices": stats["num_vertices"],
+                    "num_edges": stats["num_edges"],
+                    "seq": stats["applied_seq"],
+                }
+            if path == "/shutdown":
+                self.server_ref.request_shutdown()
+                return "shutdown", 200, {"status": "draining"}
+            if len(parts) == 3 and parts[0] == "sessions":
+                name, action = parts[1], parts[2]
+                if action == "ingest":
+                    return "ingest", 200, app.handle_ingest(
+                        name, self._read_json()
+                    )
+                if action == "update":
+                    return "update", 200, app.handle_update(
+                        name, self._read_json()
+                    )
+                if action == "close":
+                    app.close_session(name)
+                    return "session", 200, {"session": name, "closed": True}
+        raise ServeError(404, "NO_ROUTE", f"no route {method} {path}")
+
+    def do_GET(self):  # noqa: N802 (http.server API)
+        self._route("GET")
+
+    def do_HEAD(self):  # noqa: N802
+        self._route("GET", head_only=True)
+
+    def do_POST(self):  # noqa: N802
+        self._route("POST")
+
+
+def _parse_vertices(query: str) -> Optional[List[int]]:
+    for part in query.split("&"):
+        if part.startswith("vertices="):
+            raw = part[len("vertices="):]
+            if not raw:
+                return []
+            try:
+                return [int(v) for v in raw.split(",")]
+            except ValueError:
+                raise ServeError(
+                    400, "BAD_VERTEX", "vertices must be comma-separated ints"
+                )
+    return None
+
+
+class ServeServer:
+    """The HTTP front end: ``ThreadingHTTPServer`` over a :class:`ServeApp`.
+
+    Usage (also what ``repro serve`` does)::
+
+        app = ServeApp(queue_bound=64)
+        with ServeServer(app, port=8800) as server:
+            server.serve_until_shutdown()   # Ctrl-C or POST /shutdown
+
+    Requests are handled on per-connection threads; write handlers block
+    on the per-session writer (bounded queue), read handlers return
+    immediately from the published snapshot.
+    """
+
+    def __init__(self, app: ServeApp, port: int = 0, host: str = "127.0.0.1"):
+        self.app = app
+        self.host = host
+        self._requested_port = port
+        self._bound_port: Optional[int] = None
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._shutdown_requested = threading.Event()
+
+    @property
+    def port(self) -> int:
+        if self._server is not None:
+            return self._server.server_address[1]
+        if self._bound_port is not None:
+            return self._bound_port
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ServeServer":
+        if self._server is not None:
+            return self
+        handler = type(
+            "_BoundServeHandler",
+            (_ServeHandler,),
+            {"app": self.app, "server_ref": self},
+        )
+        self._server = ThreadingHTTPServer(
+            (self.host, self._requested_port), handler
+        )
+        self._bound_port = self._server.server_address[1]
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-serve-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def request_shutdown(self) -> None:
+        """Signal :meth:`serve_until_shutdown` to drain and stop."""
+        self._shutdown_requested.set()
+
+    def serve_until_shutdown(self, poll_s: float = 0.2) -> None:
+        """Block until ``POST /shutdown`` or KeyboardInterrupt, then drain."""
+        try:
+            while not self._shutdown_requested.wait(poll_s):
+                pass
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Graceful stop: close the listener, then drain every session."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._server = None
+        self._thread = None
+        self.app.close(drain=True)
+
+    def __enter__(self) -> "ServeServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

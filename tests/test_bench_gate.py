@@ -83,6 +83,19 @@ LATENCY_REPORT = {
 }
 
 
+SERVE_REPORT = {
+    "results": {
+        "mixed": {
+            "batches_per_s": 90.0,
+            "records_applied": 5000,
+            "reads_per_s": 1000.0,
+            "reads_total": 1200,
+        },
+        "express": {"updates_per_s": 1200.0, "updates": 1000},
+    }
+}
+
+
 def perturbed(report: dict, scale: float = 1.0, events_delta: int = 0) -> dict:
     """Copy a canned report with scaled throughput / shifted event counts."""
     out = json.loads(json.dumps(report))
@@ -102,10 +115,18 @@ def perturbed(report: dict, scale: float = 1.0, events_delta: int = 0) -> dict:
     for row in out.get("rows", []):
         row["events_per_s"] *= scale
         row["events"] += events_delta
-    if isinstance(out.get("results"), dict):  # latency report shape
+    if isinstance(out.get("results"), dict):  # latency / serve report shapes
         for sample in out["results"].values():
-            sample["updates_per_s"] *= scale
-            for field in ("work_entries", "events_processed"):
+            for rate in ("updates_per_s", "batches_per_s", "reads_per_s"):
+                if rate in sample:
+                    sample[rate] *= scale
+            for field in (
+                "work_entries",
+                "events_processed",
+                "records_applied",
+                "reads_total",
+                "updates",
+            ):
                 if field in sample:
                     sample[field] += events_delta
     return out
@@ -153,6 +174,19 @@ class TestFlatten:
         combined = {"results": [], "sharded": SHARDED_REPORT}
         rows = bench_gate.flatten_sharded(combined)
         assert len(rows) == 2
+
+    def test_serve_rows(self):
+        rows = bench_gate.flatten_serve(SERVE_REPORT)
+        assert [r["key"] for r in rows] == [
+            "mixed_ingest",
+            "mixed_read",
+            "express",
+        ]
+        assert all(r["suite"] == "serve" for r in rows)
+        # Events are the exact request totals (determinism column).
+        assert [r["events"] for r in rows] == [5000, 1200, 1000]
+        assert rows[0]["events_per_s"] == 90.0
+        assert rows[1]["events_per_s"] == 1000.0
 
 
 class TestCompareRows:
@@ -214,7 +248,13 @@ class TestCompareRows:
 # ----------------------------------------------------------------------
 class TestRunGate:
     def collectors(
-        self, engine=None, trace=None, stream=None, sharded=None, latency=None
+        self,
+        engine=None,
+        trace=None,
+        stream=None,
+        sharded=None,
+        latency=None,
+        serve=None,
     ):
         return {
             "engine": lambda quick: engine or ENGINE_REPORT,
@@ -222,6 +262,7 @@ class TestRunGate:
             "stream": lambda quick: stream or STREAM_REPORT,
             "sharded": lambda quick: sharded or SHARDED_REPORT,
             "latency": lambda quick: latency or LATENCY_REPORT,
+            "serve": lambda quick: serve or SERVE_REPORT,
         }
 
     def baselines(
@@ -232,6 +273,7 @@ class TestRunGate:
         stream=None,
         sharded=None,
         latency=None,
+        serve=None,
     ):
         paths = {}
         for suite, report in (
@@ -240,6 +282,7 @@ class TestRunGate:
             ("stream", stream or STREAM_REPORT),
             ("sharded", sharded or SHARDED_REPORT),
             ("latency", latency or LATENCY_REPORT),
+            ("serve", serve or SERVE_REPORT),
         ):
             path = tmp_path / f"baseline_{suite}.json"
             path.write_text(json.dumps(report))
@@ -259,6 +302,7 @@ class TestRunGate:
             "stream",
             "sharded",
             "latency",
+            "serve",
         }
 
     def test_injected_throughput_regression_is_caught(self, tmp_path):
@@ -294,11 +338,13 @@ class TestRunGate:
             run_gate(suites=["nope"], collectors=self.collectors())
 
     def test_update_baselines_writes_reports(self, tmp_path):
+        # Every suite needs an explicit path: a missing entry falls back
+        # to default_baseline_path, i.e. the real committed baseline —
+        # an earlier version of this test silently overwrote
+        # BENCH_latency.json with the canned report that way.
         paths = {
-            "engine": tmp_path / "sub" / "engine.json",
-            "trace": tmp_path / "sub" / "trace.json",
-            "stream": tmp_path / "sub" / "stream.json",
-            "sharded": tmp_path / "sub" / "sharded.json",
+            suite: tmp_path / "sub" / f"{suite}.json"
+            for suite in bench_gate.SUITES
         }
         result = run_gate(
             baseline_paths=paths,
@@ -310,6 +356,7 @@ class TestRunGate:
         assert json.loads(paths["trace"].read_text()) == TRACE_REPORT
         assert json.loads(paths["stream"].read_text()) == STREAM_REPORT
         assert json.loads(paths["sharded"].read_text()) == SHARDED_REPORT
+        assert json.loads(paths["serve"].read_text()) == SERVE_REPORT
 
     def test_default_baseline_paths(self):
         assert default_baseline_path("engine", quick=False).name == (
@@ -330,6 +377,12 @@ class TestRunGate:
         assert default_baseline_path("sharded", quick=True).parent.name == (
             "baselines"
         )
+        assert default_baseline_path("serve", quick=False).name == (
+            "BENCH_serve.json"
+        )
+        assert default_baseline_path("serve", quick=True).name == (
+            "BENCH_serve.quick.json"
+        )
         with pytest.raises(BenchGateError):
             default_baseline_path("nope", quick=False)
 
@@ -347,8 +400,9 @@ class TestBenchCheckCli:
             "stream": json.loads(json.dumps(STREAM_REPORT)),
             "sharded": json.loads(json.dumps(SHARDED_REPORT)),
             "latency": json.loads(json.dumps(LATENCY_REPORT)),
+            "serve": json.loads(json.dumps(SERVE_REPORT)),
         }
-        for suite in ("engine", "trace", "stream", "sharded", "latency"):
+        for suite in reports:
             monkeypatch.setitem(
                 bench_gate._COLLECTORS,
                 suite,
@@ -361,6 +415,7 @@ class TestBenchCheckCli:
             ("stream", STREAM_REPORT),
             ("sharded", SHARDED_REPORT),
             ("latency", LATENCY_REPORT),
+            ("serve", SERVE_REPORT),
         ):
             bases[suite] = tmp_path / f"{suite}.json"
             bases[suite].write_text(json.dumps(report))
@@ -407,6 +462,7 @@ class TestBenchCheckCli:
         reports["trace"] = perturbed(TRACE_REPORT, scale=0.1)
         reports["stream"] = perturbed(STREAM_REPORT, events_delta=5)
         reports["sharded"] = perturbed(SHARDED_REPORT, scale=0.1)
+        reports["serve"] = perturbed(SERVE_REPORT, scale=0.1)
         args = self.base_args(bases)
         args += ["--suite", "engine"]
         assert main(args) == 0
@@ -417,7 +473,7 @@ class TestBenchCheckCli:
         _, _ = canned
         new_bases = {
             suite: tmp_path / "new" / f"{suite}.json"
-            for suite in ("engine", "trace", "stream", "sharded", "latency")
+            for suite in ("engine", "trace", "stream", "sharded", "latency", "serve")
         }
         args = self.base_args(new_bases) + ["--update-baselines"]
         assert main(args) == 0

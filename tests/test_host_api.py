@@ -182,6 +182,31 @@ class TestExpressLaneProtocol:
         with pytest.raises(HostApiError, match="run\\(\\) the initial evaluation"):
             session.apply_update(0, 3, 1.0)
 
+    def test_fallthrough_transfers_match_batch_path(self):
+        """Regression: the engine fallthrough swaps a fresh CSR exactly
+        like run() but used to skip run()'s per-batch ``graph_uploads``
+        record, so the same update was accounted differently depending on
+        which path executed it."""
+        from repro.graph.csr import EDGE_ENTRY_BYTES
+
+        express = Accelerator().load_graph(EDGES)
+        express.configure("sssp", source=0)
+        express.run()
+        batch = Accelerator().load_graph(EDGES)
+        batch.configure("sssp", source=0)
+        batch.run()
+
+        before_express = express.transfer_stats().graph_uploads
+        before_batch = batch.transfer_stats().graph_uploads
+        result = express.apply_update(0, 1, op="delete")  # load-bearing
+        assert not result.safe and result.engine_result is not None
+        batch.push_updates(deletions=[(0, 1)])
+        batch.run()
+
+        delta_express = express.transfer_stats().graph_uploads - before_express
+        delta_batch = batch.transfer_stats().graph_uploads - before_batch
+        assert delta_express == delta_batch == 2 * EDGE_ENTRY_BYTES
+
     def test_express_updates_counted_as_transfers(self):
         config = AcceleratorConfig()
         session = Accelerator(config).load_graph(EDGES)
@@ -191,6 +216,56 @@ class TestExpressLaneProtocol:
         session.apply_update(0, 3, 9.0, "insert")
         stats = session.transfer_stats()
         assert stats.update_records == 2 * config.stream_record_bytes
+
+
+class TestSessionClose:
+    def test_close_deregisters_from_accelerator(self):
+        """Regression: close() used to leave the session in
+        ``Accelerator.sessions`` forever — a leak for any long-running
+        host that opens and closes many sessions."""
+        accelerator = Accelerator()
+        session = accelerator.load_graph(EDGES)
+        assert accelerator.sessions == [session]
+        session.close()
+        assert accelerator.sessions == []
+        assert session.closed
+
+    def test_close_is_idempotent(self):
+        session = Accelerator().load_graph(EDGES)
+        session.close()
+        session.close()  # second close is a no-op, not an error
+        assert session.closed
+
+    def test_accelerator_close_tolerates_already_closed_sessions(self):
+        accelerator = Accelerator()
+        first = accelerator.load_graph(EDGES)
+        second = accelerator.load_graph(EDGES)
+        first.close()
+        accelerator.close()  # must not trip over the deregistered session
+        assert second.closed
+        assert accelerator.sessions == []
+
+    def test_closed_session_refuses_configure(self):
+        session = Accelerator().load_graph(EDGES)
+        session.close()
+        with pytest.raises(HostApiError, match="closed"):
+            session.configure("sssp", source=0)
+
+
+class TestExpressStatsShape:
+    def test_laneless_stats_match_lane_keys(self):
+        """Regression: the lane-less zero dict was hardcoded and could
+        silently drift from ``ExpressLane.stats`` when a counter is
+        added; both now derive from ``EXPRESS_STAT_KEYS``."""
+        from repro.core.fastpath import EXPRESS_STAT_KEYS
+
+        session = Accelerator().load_graph(EDGES)
+        session.configure("sssp", source=0)
+        assert set(session.express_stats()) == set(EXPRESS_STAT_KEYS)
+        session.run()
+        session.apply_update(1, 3, 0.5, "insert")  # instantiates the lane
+        assert set(session.express_stats()) == set(EXPRESS_STAT_KEYS)
+        assert set(session._express.stats) == set(EXPRESS_STAT_KEYS)
 
 
 class TestTransferAccounting:

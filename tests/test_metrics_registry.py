@@ -20,7 +20,13 @@ from repro.algorithms import make_algorithm
 from repro.core.metrics import RoundWork, RunMetrics
 from repro.core.streaming import JetStreamEngine
 from repro.host import Accelerator
-from repro.obs import MetricsServer, log_buckets, render_prometheus
+from repro.obs import (
+    MetricsServer,
+    log_buckets,
+    metrics_payload,
+    render_prometheus,
+    send_payload,
+)
 from repro.obs.metrics import (
     REGISTRY,
     Counter,
@@ -560,6 +566,95 @@ class TestMetricsServer:
         server.start()
         assert server.port > 0
         server.stop()
+
+    def test_port_survives_stop(self, registry):
+        """Regression: after stop() the ``port`` property used to fall
+        back to the *requested* port — a stale ``0`` for auto-bind — so
+        late log lines and test assertions read a meaningless address."""
+        server = MetricsServer(registry, port=0).start()
+        bound = server.port
+        assert bound > 0
+        server.stop()
+        assert server.port == bound
+
+    def test_head_request_sends_headers_without_body(self, registry):
+        registry.counter("repro_rounds_total").inc(1)
+        with MetricsServer(registry) as server:
+            request = urllib.request.Request(server.url, method="HEAD")
+            with urllib.request.urlopen(request, timeout=5) as response:
+                assert response.status == 200
+                assert int(response.headers["Content-Length"]) > 0
+                assert response.read() == b""
+
+
+class TestSendPayloadHardening:
+    """Regression: a client dropping the connection mid-write used to
+    kill the handler with an unhandled BrokenPipeError traceback."""
+
+    class _FakeHandler:
+        """Just enough of BaseHTTPRequestHandler for send_payload."""
+
+        def __init__(self, fail_with=None):
+            self.close_connection = False
+            self.headers_sent = []
+            self.body = b""
+            self._fail_with = fail_with
+            handler = self
+
+            class _WFile:
+                def write(self, data):
+                    if handler._fail_with is not None:
+                        raise handler._fail_with
+                    handler.body += data
+
+            self.wfile = _WFile()
+
+        def send_response(self, status):
+            self.status = status
+
+        def send_header(self, key, value):
+            self.headers_sent.append((key, value))
+
+        def end_headers(self):
+            pass
+
+    @pytest.mark.parametrize(
+        "exc", [BrokenPipeError(), ConnectionResetError(), TimeoutError()]
+    )
+    def test_client_disconnect_is_swallowed(self, exc):
+        handler = self._FakeHandler(fail_with=exc)
+        ok = send_payload(handler, 200, "text/plain", b"hello")
+        assert ok is False
+        assert handler.close_connection is True
+
+    def test_complete_write_returns_true(self):
+        handler = self._FakeHandler()
+        ok = send_payload(handler, 200, "text/plain", b"hello")
+        assert ok is True
+        assert handler.body == b"hello"
+        assert ("Content-Length", "5") in handler.headers_sent
+        assert handler.close_connection is False
+
+    def test_head_only_skips_the_body_write(self):
+        # head_only must not touch wfile at all — a HEAD response to a
+        # gone client would otherwise still raise.
+        handler = self._FakeHandler(fail_with=BrokenPipeError())
+        ok = send_payload(handler, 200, "text/plain", b"hello", head_only=True)
+        assert ok is True
+        assert ("Content-Length", "5") in handler.headers_sent
+
+
+class TestMetricsPayloadRouting:
+    def test_routes_and_fallthrough(self, registry):
+        registry.counter("repro_rounds_total").inc(3)
+        ctype, body = metrics_payload(registry, "/metrics")
+        assert ctype.startswith("text/plain; version=0.0.4")
+        assert b"repro_rounds_total 3" in body
+        ctype, body = metrics_payload(registry, "/metrics.json")
+        assert ctype == "application/json"
+        assert json.loads(body)["format"] == "repro-metrics"
+        # Paths the metrics endpoint does not own fall through to the host.
+        assert metrics_payload(registry, "/healthz") is None
 
 
 def test_histogram_inf_formatting_in_exposition():

@@ -1,0 +1,728 @@
+"""Tests for the ``repro serve`` streaming service (host daemon).
+
+Covers the serving contract end to end:
+
+* snapshot-isolated reads — the torn-read checker replays the service's
+  applied-write log through an oracle :class:`~repro.host.Session` and
+  requires every ``(seq, digest)`` a concurrent reader observed to match
+  the oracle's digest at that seq;
+* bounded-queue backpressure — 429 ``QUEUE_FULL`` exactly at the
+  configured bound, driven deterministically via the writer gate;
+* graceful shutdown — queued ops drain and answer their clients before
+  the session is torn down;
+* the HTTP protocol surface (routes, error codes, metrics mount).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.graph import generators
+from repro.host import Accelerator
+from repro.obs.metrics import REGISTRY
+from repro.serve import (
+    DEFAULT_QUEUE_BOUND,
+    ReadSnapshot,
+    ServeApp,
+    ServeError,
+    ServeServer,
+)
+
+EDGES = [(0, 1, 2.0), (1, 2, 3.0), (0, 2, 9.0), (2, 3, 1.0)]
+
+
+def state_digest(states) -> str:
+    """Same content hash :class:`ReadSnapshot` publishes."""
+    return hashlib.sha1(np.array(states, copy=True).tobytes()).hexdigest()
+
+
+def wait_until(predicate, timeout_s: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError("condition not reached within timeout")
+        time.sleep(0.001)
+
+
+@pytest.fixture
+def app():
+    app = ServeApp()
+    yield app
+    app.close()
+
+
+def make_session(app, name="s", queue_bound=None, edges=EDGES, algorithm="sssp"):
+    return app.create_session(
+        edges, algorithm, name=name, source=0, queue_bound=queue_bound
+    )
+
+
+class TestServeSessionCore:
+    def test_initial_snapshot_is_converged_seq_zero(self, app):
+        served = make_session(app)
+        snapshot = served.read_snapshot()
+        assert snapshot.seq == 0
+        assert list(snapshot.states) == [0.0, 2.0, 5.0, 6.0]
+        assert snapshot.digest == state_digest(snapshot.states)
+
+    def test_snapshot_states_are_write_protected(self, app):
+        snapshot = make_session(app).read_snapshot()
+        with pytest.raises(ValueError):
+            snapshot.states[0] = 123.0
+
+    def test_batch_write_bumps_seq_and_is_read_your_writes(self, app):
+        served = make_session(app)
+        reply = served.submit("batch", {"insertions": [[1, 3, 0.5]]})
+        assert reply["kind"] == "batch"
+        assert reply["seq"] == 1
+        snapshot = served.read_snapshot()
+        assert snapshot.seq >= reply["seq"]
+        assert snapshot.states[3] == 2.5
+
+    def test_express_update_goes_through_the_lane(self, app):
+        served = make_session(app)
+        reply = served.submit("update", {"u": 1, "v": 3, "w": 0.5})
+        assert reply["kind"] == "update"
+        assert reply["safe"] is True
+        assert served.read_snapshot().states[3] == 2.5
+        assert served.session.express_stats()["safe_applied"] == 1
+
+    def test_applied_log_records_ops_in_order(self, app):
+        served = make_session(app)
+        served.submit("batch", {"insertions": [[1, 3, 0.5]]})
+        served.submit("update", {"u": 0, "v": 3, "w": 9.0, "op": "insert"})
+        log = served.applied_log()
+        assert [entry["kind"] for entry in log] == ["batch", "update"]
+        assert [entry["seq"] for entry in log] == [1, 2]
+
+    def test_writer_error_is_rethrown_in_the_submitter(self, app):
+        served = make_session(app)
+        # Deleting a non-existent edge is rejected by the store.
+        with pytest.raises(ServeError) as exc:
+            served.submit("update", {"u": 3, "v": 0, "op": "delete"})
+        assert exc.value.status == 409
+        assert exc.value.code == "REJECTED"
+        # The writer survived: the next op still applies.
+        assert served.submit("update", {"u": 1, "v": 3, "w": 0.5})["safe"]
+
+    def test_stats_shape(self, app):
+        served = make_session(app)
+        stats = served.stats()
+        assert stats["algorithm"] == "sssp"
+        assert stats["queue_bound"] == DEFAULT_QUEUE_BOUND
+        assert stats["applied_seq"] == 0
+        assert stats["num_vertices"] == 4
+        assert set(stats["express"]) == {
+            "safe_applied",
+            "engine_fallthroughs",
+            "resyncs",
+        }
+        assert stats["transfers"]["graph_uploads"] > 0
+
+
+class TestBackpressure:
+    def _park_writer_with_inflight_op(self, served, results, errors):
+        """Writer parked at the gate holding op A; queue empty again."""
+        served.pause_writer()
+
+        def submitter(payload):
+            try:
+                results.append(served.submit("batch", payload))
+            except ServeError as exc:
+                errors.append(exc)
+
+        t1 = threading.Thread(target=submitter, args=({"insertions": [[1, 3, 0.5]]},))
+        t1.start()
+        # unfinished_tasks counts put() calls (no task_done anywhere), so
+        # "1 put ever AND queue empty" == the writer dequeued A and is
+        # parked at the gate — deterministic, no sleeps.
+        wait_until(
+            lambda: served._queue.unfinished_tasks == 1
+            and served._queue.qsize() == 0
+        )
+        return t1, submitter
+
+    def test_queue_full_rejects_with_429(self, app):
+        served = make_session(app, queue_bound=1)
+        results, errors = [], []
+        t1, submitter = self._park_writer_with_inflight_op(served, results, errors)
+        # Fill the single queue slot with op B.
+        t2 = threading.Thread(target=submitter, args=({"insertions": [[0, 3, 9.0]]},))
+        t2.start()
+        wait_until(lambda: served.queue_depth() == 1)
+
+        with pytest.raises(ServeError) as exc:
+            served.submit("batch", {"insertions": [[2, 1, 1.0]]})
+        assert exc.value.status == 429
+        assert exc.value.code == "QUEUE_FULL"
+
+        served.resume_writer()
+        t1.join(timeout=10)
+        t2.join(timeout=10)
+        assert not errors
+        # Both queued ops applied, in order; the rejected one did not.
+        assert sorted(r["seq"] for r in results) == [1, 2]
+        assert served.read_snapshot().seq == 2
+
+    def test_rejection_is_immediate_not_blocking(self, app):
+        served = make_session(app, queue_bound=1)
+        results, errors = [], []
+        t1, submitter = self._park_writer_with_inflight_op(served, results, errors)
+        t2 = threading.Thread(target=submitter, args=({"insertions": [[0, 3, 9.0]]},))
+        t2.start()
+        wait_until(lambda: served.queue_depth() == 1)
+
+        t0 = time.perf_counter()
+        with pytest.raises(ServeError):
+            served.submit("update", {"u": 2, "v": 1, "w": 1.0})
+        rejected_in = time.perf_counter() - t0
+        # put_nowait: the writer is parked, yet the reject returned at once.
+        assert rejected_in < 1.0
+
+        served.resume_writer()
+        t1.join(timeout=10)
+        t2.join(timeout=10)
+        assert not errors
+
+
+class TestGracefulShutdown:
+    def test_drain_answers_queued_clients_before_teardown(self, app):
+        served = make_session(app, name="drain", queue_bound=4)
+        served.pause_writer()
+        results, errors = [], []
+
+        def submitter(u, v):
+            try:
+                results.append(served.submit("batch", {"insertions": [[u, v, 0.5]]}))
+            except ServeError as exc:
+                errors.append(exc)
+
+        t1 = threading.Thread(target=submitter, args=(1, 3))
+        t1.start()
+        wait_until(
+            lambda: served._queue.unfinished_tasks == 1
+            and served._queue.qsize() == 0
+        )
+        t2 = threading.Thread(target=submitter, args=(0, 3))
+        t2.start()
+        wait_until(lambda: served.queue_depth() == 1)
+
+        # close_session drains: both clients get real responses.
+        app.close_session("drain")
+        t1.join(timeout=10)
+        t2.join(timeout=10)
+        assert not errors
+        assert sorted(r["seq"] for r in results) == [1, 2]
+        assert served.session.closed
+
+    def test_abandon_fails_queued_ops_but_finishes_inflight(self, app):
+        served = make_session(app, name="abort", queue_bound=4)
+        served.pause_writer()
+        results, errors = [], []
+
+        def submitter(u, v):
+            try:
+                results.append(served.submit("batch", {"insertions": [[u, v, 0.5]]}))
+            except ServeError as exc:
+                errors.append(exc)
+
+        t1 = threading.Thread(target=submitter, args=(1, 3))
+        t1.start()
+        wait_until(
+            lambda: served._queue.unfinished_tasks == 1
+            and served._queue.qsize() == 0
+        )
+        t2 = threading.Thread(target=submitter, args=(0, 3))
+        t2.start()
+        wait_until(lambda: served.queue_depth() == 1)
+
+        app.sessions.pop("abort")
+        served.close(drain=False)
+        t1.join(timeout=10)
+        t2.join(timeout=10)
+        # The in-flight op (held by the writer) completes; the queued one
+        # is failed fast with 409 CLOSING.
+        assert [r["seq"] for r in results] == [1]
+        assert len(errors) == 1 and errors[0].code == "CLOSING"
+
+    def test_submit_after_close_rejected(self, app):
+        served = make_session(app, name="gone")
+        app.close_session("gone")
+        with pytest.raises(ServeError) as exc:
+            served.submit("batch", {"insertions": [[1, 3, 0.5]]})
+        assert exc.value.status == 409 and exc.value.code == "CLOSING"
+
+    def test_app_close_closes_accelerator_and_sessions(self):
+        app = ServeApp()
+        served = make_session(app)
+        app.close()
+        assert served.session.closed
+        assert app.accelerator.sessions == []
+        # Idempotent, and new sessions are refused while closed.
+        app.close()
+        with pytest.raises(ServeError):
+            make_session(app, name="late")
+
+
+class TestAppRouting:
+    def test_read_with_vertices(self, app):
+        make_session(app)
+        reply = app.handle_read("s", [0, 3])
+        assert reply["values"] == {"0": 0.0, "3": 6.0}
+        assert reply["seq"] == 0
+        assert reply["digest"] == state_digest([0.0, 2.0, 5.0, 6.0])
+
+    def test_read_vertex_out_of_range(self, app):
+        make_session(app)
+        with pytest.raises(ServeError) as exc:
+            app.handle_read("s", [99])
+        assert exc.value.status == 400 and exc.value.code == "BAD_VERTEX"
+
+    def test_unknown_session_404(self, app):
+        with pytest.raises(ServeError) as exc:
+            app.handle_read("nope")
+        assert exc.value.status == 404 and exc.value.code == "NO_SESSION"
+
+    def test_duplicate_name_409_and_no_leak(self, app):
+        make_session(app, name="dup")
+        before = len(app.accelerator.sessions)
+        with pytest.raises(ServeError) as exc:
+            make_session(app, name="dup")
+        assert exc.value.status == 409 and exc.value.code == "EXISTS"
+        # The orphaned host session was closed and deregistered.
+        assert len(app.accelerator.sessions) == before
+
+    def test_bad_algorithm_400(self, app):
+        with pytest.raises(ServeError) as exc:
+            make_session(app, algorithm="not-an-algorithm")
+        assert exc.value.status == 400 and exc.value.code == "BAD_SESSION"
+
+    def test_update_validation(self, app):
+        make_session(app)
+        with pytest.raises(ServeError, match="missing field"):
+            app.handle_update("s", {"u": 0})
+        with pytest.raises(ServeError, match="insert|delete"):
+            app.handle_update("s", {"u": 0, "v": 1, "op": "upsert"})
+
+
+# ---------------------------------------------------------------------------
+# HTTP layer
+# ---------------------------------------------------------------------------
+
+
+class HttpClient:
+    """urllib wrapper returning ``(status, parsed_json)`` even on errors."""
+
+    def __init__(self, base_url: str):
+        self.base = base_url
+
+    def request(self, method, path, body=None, head=False):
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.base + path, data=data, method=method
+        )
+        if data is not None:
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(request, timeout=60) as response:
+                raw = response.read()
+                if head or not raw:
+                    return response.status, raw
+                return response.status, json.loads(raw.decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+            return exc.code, payload
+
+    def get(self, path):
+        return self.request("GET", path)
+
+    def post(self, path, body=None):
+        return self.request("POST", path, body=body)
+
+
+@pytest.fixture
+def server():
+    server = ServeServer(ServeApp(), port=0).start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture
+def client(server):
+    return HttpClient(server.url)
+
+
+def create_http_session(client, name="s", edges=EDGES, **extra):
+    body = {"edges": [list(e) for e in edges], "algorithm": "sssp", "name": name}
+    body.update(extra)
+    return client.post("/sessions", body)
+
+
+class TestHttpProtocol:
+    def test_healthz(self, client):
+        status, payload = client.get("/healthz")
+        assert status == 200
+        assert payload == {"status": "ok", "sessions": []}
+
+    def test_session_create_read_update_close(self, client):
+        status, created = create_http_session(client)
+        assert status == 201
+        assert created == {
+            "session": "s",
+            "num_vertices": 4,
+            "num_edges": 4,
+            "seq": 0,
+        }
+
+        status, read = client.get("/sessions/s/read?vertices=0,3")
+        assert status == 200
+        assert read["values"] == {"0": 0.0, "3": 6.0}
+
+        status, ingest = client.post(
+            "/sessions/s/ingest", {"insertions": [[1, 3, 0.5]]}
+        )
+        assert status == 200 and ingest["seq"] == 1
+
+        status, update = client.post(
+            "/sessions/s/update", {"u": 0, "v": 3, "w": 0.1}
+        )
+        assert status == 200 and update["seq"] == 2 and update["safe"]
+
+        # Read-your-writes: the published snapshot includes both writes.
+        status, read = client.get("/sessions/s/read?vertices=3")
+        assert read["seq"] == 2 and read["values"]["3"] == 0.1
+
+        status, log = client.get("/sessions/s/log")
+        assert [e["kind"] for e in log["log"]] == ["batch", "update"]
+
+        status, closed = client.post("/sessions/s/close")
+        assert status == 200 and closed["closed"] is True
+        status, _ = client.get("/sessions/s/read")
+        assert status == 404
+
+    def test_error_statuses(self, client):
+        status, payload = client.get("/sessions/nope/read")
+        assert status == 404 and payload["error"] == "NO_SESSION"
+
+        status, payload = client.get("/no/such/route")
+        assert status == 404 and payload["error"] == "NO_ROUTE"
+
+        status, payload = client.post("/sessions", {"algorithm": "sssp"})
+        assert status == 400 and payload["error"] == "BAD_SESSION"
+
+        create_http_session(client)
+        status, payload = client.get("/sessions/s/read?vertices=abc")
+        assert status == 400 and payload["error"] == "BAD_VERTEX"
+        status, payload = client.post("/sessions/s/update", {"u": 0})
+        assert status == 400 and payload["error"] == "BAD_UPDATE"
+
+    def test_bad_json_body(self, server, client):
+        create_http_session(client)
+        request = urllib.request.Request(
+            server.url + "/sessions/s/ingest",
+            data=b"this is not json",
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(request, timeout=60)
+        assert exc.value.code == 400
+        assert json.loads(exc.value.read())["error"] == "BAD_JSON"
+
+    def test_queue_full_over_http(self, server, client):
+        create_http_session(client, name="bp", queue_bound=1)
+        served = server.app.get_session("bp")
+        served.pause_writer()
+        statuses = []
+
+        def submit(u, v):
+            status, _ = client.post(
+                "/sessions/bp/ingest", {"insertions": [[u, v, 0.5]]}
+            )
+            statuses.append(status)
+
+        t1 = threading.Thread(target=submit, args=(1, 3))
+        t1.start()
+        wait_until(
+            lambda: served._queue.unfinished_tasks == 1
+            and served._queue.qsize() == 0
+        )
+        t2 = threading.Thread(target=submit, args=(2, 0))
+        t2.start()
+        wait_until(lambda: served.queue_depth() == 1)
+
+        status, payload = client.post(
+            "/sessions/bp/ingest", {"insertions": [[3, 1, 9.0]]}
+        )
+        assert status == 429 and payload["error"] == "QUEUE_FULL"
+
+        served.resume_writer()
+        t1.join(timeout=10)
+        t2.join(timeout=10)
+        assert statuses == [200, 200]
+
+    def test_shutdown_route_drains_and_stops(self):
+        server = ServeServer(ServeApp(), port=0).start()
+        client = HttpClient(server.url)
+        create_http_session(client)
+        status, payload = client.post("/shutdown")
+        assert status == 200 and payload["status"] == "draining"
+        # serve_until_shutdown returns promptly and drains everything.
+        server.serve_until_shutdown(poll_s=0.01)
+        assert server.app._closed
+        assert server.app.accelerator.sessions == []
+        # The bound port is still reported after stop (not the stale 0).
+        assert server.port > 0
+
+    def test_metrics_routes_mounted(self, server, client):
+        REGISTRY.enable().reset()
+        try:
+            create_http_session(client)
+            client.get("/sessions/s/read")
+            client.post("/sessions/s/ingest", {"insertions": [[1, 3, 0.5]]})
+
+            request = urllib.request.Request(server.url + "/metrics")
+            with urllib.request.urlopen(request, timeout=60) as response:
+                text = response.read().decode("utf-8")
+                ctype = response.headers["Content-Type"]
+            assert "version=0.0.4" in ctype
+            assert "repro_serve_reads_total" in text
+            assert "repro_serve_queue_depth" in text
+            assert 'repro_serve_requests_total{route="read",status="200"}' in text
+
+            status, snapshot = client.get("/metrics.json")
+            assert status == 200 and snapshot["format"] == "repro-metrics"
+
+            # HEAD works on the mounted scrape route too.
+            request = urllib.request.Request(
+                server.url + "/metrics", method="HEAD"
+            )
+            with urllib.request.urlopen(request, timeout=60) as response:
+                assert response.read() == b""
+                assert int(response.headers["Content-Length"]) > 0
+        finally:
+            REGISTRY.disable().reset()
+
+    def test_serve_metrics_families_recorded(self, server, client):
+        REGISTRY.enable().reset()
+        try:
+            create_http_session(client, name="m", queue_bound=1)
+            client.post("/sessions/m/ingest", {"insertions": [[1, 3, 0.5]]})
+            client.post("/sessions/m/update", {"u": 0, "v": 3, "w": 0.1})
+            client.get("/sessions/m/read")
+
+            assert REGISTRY.value("repro_serve_sessions") == 1
+            assert (
+                REGISTRY.value("repro_serve_writes_applied_total", kind="batch")
+                == 1
+            )
+            assert (
+                REGISTRY.value("repro_serve_writes_applied_total", kind="update")
+                == 1
+            )
+            assert REGISTRY.value("repro_serve_reads_total") == 1
+
+            served = server.app.get_session("m")
+            served.pause_writer()
+            statuses = []
+
+            def submit(u, v):
+                status, _ = client.post(
+                    "/sessions/m/ingest", {"insertions": [[u, v, 5.0]]}
+                )
+                statuses.append(status)
+
+            t1 = threading.Thread(target=submit, args=(2, 0))
+            t1.start()
+            wait_until(
+                lambda: served._queue.unfinished_tasks == 3
+                and served._queue.qsize() == 0
+            )
+            t2 = threading.Thread(target=submit, args=(3, 0))
+            t2.start()
+            wait_until(lambda: served.queue_depth() == 1)
+            status, _ = client.post(
+                "/sessions/m/ingest", {"insertions": [[3, 1, 5.0]]}
+            )
+            assert status == 429
+            assert (
+                REGISTRY.value("repro_serve_rejected_total", kind="batch") == 1
+            )
+            served.resume_writer()
+            t1.join(timeout=10)
+            t2.join(timeout=10)
+        finally:
+            REGISTRY.disable().reset()
+
+
+# ---------------------------------------------------------------------------
+# Torn-read checker: the serving consistency contract under concurrency
+# ---------------------------------------------------------------------------
+
+
+class TestTornReads:
+    """Concurrent readers must only ever observe converged snapshots.
+
+    Ingest/update clients race each other and the readers; afterwards the
+    applied-write log is replayed through an oracle host session and every
+    ``(seq, digest)`` pair any reader observed must equal the oracle's
+    digest at that seq. A torn read (mid-convergence state, partial numpy
+    copy, wrong snapshot swap order) cannot produce a digest that matches
+    the converged state for its seq.
+    """
+
+    N = 48
+    INGEST_CLIENTS = 2
+    BATCHES = 5
+    BATCH_SIZE = 3
+    UPDATES = 6
+    READS = 40
+    HEAVY = 1.0e9
+
+    def _base_edges(self):
+        return [
+            (int(u), int(v), float(w))
+            for u, v, w in generators.ensure_reachable_core(
+                generators.erdos_renyi(self.N, 4 * self.N, seed=5), self.N, seed=6
+            )
+        ]
+
+    def _fresh_edges(self, base, lane, count):
+        """Globally fresh edges with sources ``u ≡ lane (mod 3)``."""
+        existing = {(u, v) for u, v, _ in base}
+        rng = np.random.default_rng(100 + lane)
+        out = []
+        while len(out) < count:
+            u = int(rng.integers(0, self.N // 3)) * 3 + lane
+            v = int(rng.integers(0, self.N))
+            if u >= self.N or u == v or (u, v) in existing:
+                continue
+            existing.add((u, v))
+            out.append((u, v, self.HEAVY))
+        return out
+
+    def test_concurrent_reads_never_torn(self):
+        base = self._base_edges()
+        app = ServeApp()
+        server = ServeServer(app, port=0).start()
+        observed = []  # (seq, digest) from every read client
+        errors = []
+        try:
+            client = HttpClient(server.url)
+            status, _ = create_http_session(client, name="t", edges=base)
+            assert status == 201
+
+            def ingest_worker(lane):
+                http = HttpClient(server.url)
+                edges = self._fresh_edges(
+                    base, lane, self.BATCHES * self.BATCH_SIZE
+                )
+                try:
+                    for i in range(self.BATCHES):
+                        batch = edges[
+                            i * self.BATCH_SIZE : (i + 1) * self.BATCH_SIZE
+                        ]
+                        status, _ = http.post(
+                            "/sessions/t/ingest",
+                            {"insertions": [list(e) for e in batch]},
+                        )
+                        assert status == 200
+                except Exception as exc:
+                    errors.append(repr(exc))
+
+            def update_worker():
+                http = HttpClient(server.url)
+                try:
+                    for u, v, w in self._fresh_edges(base, 2, self.UPDATES):
+                        status, _ = http.post(
+                            "/sessions/t/update", {"u": u, "v": v, "w": w}
+                        )
+                        assert status == 200
+                except Exception as exc:
+                    errors.append(repr(exc))
+
+            def read_worker():
+                http = HttpClient(server.url)
+                try:
+                    for _ in range(self.READS):
+                        status, reply = http.get("/sessions/t/read")
+                        assert status == 200
+                        observed.append((reply["seq"], reply["digest"]))
+                except Exception as exc:
+                    errors.append(repr(exc))
+
+            threads = (
+                [
+                    threading.Thread(target=ingest_worker, args=(lane,))
+                    for lane in range(self.INGEST_CLIENTS)
+                ]
+                + [threading.Thread(target=update_worker)]
+                + [threading.Thread(target=read_worker) for _ in range(2)]
+            )
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert not errors, errors
+
+            status, log = client.get("/sessions/t/log")
+            assert status == 200
+            applied = log["log"]
+            total_ops = self.INGEST_CLIENTS * self.BATCHES + self.UPDATES
+            assert [e["seq"] for e in applied] == list(range(1, total_ops + 1))
+        finally:
+            server.stop()
+
+        # Oracle replay: the same writes in the same order through a plain
+        # host session give the only digests any reader may have seen.
+        oracle = Accelerator().load_graph(base)
+        oracle.configure("sssp", source=0)
+        oracle.run()
+        digests = {0: state_digest(oracle.read_results())}
+        for entry in applied:
+            payload = entry["payload"]
+            if entry["kind"] == "batch":
+                oracle.push_updates(
+                    insertions=[
+                        (int(u), int(v), float(w))
+                        for u, v, w in payload.get("insertions", [])
+                    ],
+                    deletions=[
+                        (int(u), int(v)) for u, v in payload.get("deletions", [])
+                    ],
+                )
+                oracle.run()
+            else:
+                oracle.apply_update(
+                    int(payload["u"]),
+                    int(payload["v"]),
+                    float(payload.get("w", 1.0)),
+                    op=payload.get("op", "insert"),
+                )
+            digests[entry["seq"]] = state_digest(oracle.read_results())
+        oracle.close()
+
+        assert observed, "read clients observed nothing"
+        for seq, digest in observed:
+            assert seq in digests, f"read observed unknown seq {seq}"
+            assert digest == digests[seq], (
+                f"TORN READ at seq {seq}: digest {digest} does not match "
+                f"the converged state for that seq"
+            )
+
+
+class TestReadSnapshotDigest:
+    def test_digest_cached_per_snapshot(self):
+        states = np.array([1.0, 2.0], dtype=np.float64)
+        states.setflags(write=False)
+        snapshot = ReadSnapshot(seq=0, stamp=0, graph_version=0, states=states)
+        assert snapshot.digest == state_digest(states)
+        assert snapshot.digest is snapshot.digest  # cached, not recomputed
