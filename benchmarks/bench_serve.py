@@ -15,6 +15,12 @@ service interleaves, and records the sustained rates the ROADMAP's
   update ops/s including HTTP + queue overhead.
 * **serve/read** — the mixed phase's read side as its own gated row:
   reads/s across the read clients.
+* **serve/mixed_traced** — the mixed phase again with request tracing
+  armed (access log + stage marks on every request): the gated row is
+  the traced ingest rate, so a tracing-overhead regression trips the
+  gate like any other slowdown. The phase also feeds its access log
+  through the ``repro trace requests`` analyzer and records the
+  slow-decile stage-attribution share and the server-side read p99.
 
 The regression-gate ``events`` column uses exact request counts (update
 records applied, express updates, reads served) — all fixed by the
@@ -158,16 +164,21 @@ class Client:
             return json.loads(response.read().decode("utf-8"))
 
 
-def run_mixed_phase(base_url: str, cfg: dict, batches_by_client) -> dict:
+def run_mixed_phase(
+    base_url: str, cfg: dict, batches_by_client, session: str = "bench"
+) -> dict:
     """Concurrent ingest + read clients; returns both sides' rates."""
     read_latencies = [[] for _ in range(cfg["read_clients"])]
+    ingest_latencies = [[] for _ in range(cfg["ingest_clients"])]
     errors = []
 
     def ingest_worker(client_id: int):
         client = Client(base_url)
         try:
             for batch in batches_by_client[client_id]:
-                client.post("/sessions/bench/ingest", {"insertions": batch})
+                t0 = time.perf_counter()
+                client.post(f"/sessions/{session}/ingest", {"insertions": batch})
+                ingest_latencies[client_id].append(time.perf_counter() - t0)
         except Exception as exc:  # pragma: no cover - surfaced below
             errors.append(repr(exc))
 
@@ -176,7 +187,7 @@ def run_mixed_phase(base_url: str, cfg: dict, batches_by_client) -> dict:
         try:
             for _ in range(cfg["reads_per_client"]):
                 t0 = time.perf_counter()
-                client.get("/sessions/bench/read?vertices=0")
+                client.get(f"/sessions/{session}/read?vertices=0")
                 read_latencies[client_id].append(time.perf_counter() - t0)
         except Exception as exc:  # pragma: no cover
             errors.append(repr(exc))
@@ -200,6 +211,7 @@ def run_mixed_phase(base_url: str, cfg: dict, batches_by_client) -> dict:
     total_batches = cfg["ingest_clients"] * cfg["batches_per_client"]
     total_records = total_batches * cfg["batch_size"]
     latencies = sorted(lat for per in read_latencies for lat in per)
+    ingests = sorted(lat for per in ingest_latencies for lat in per)
     reads_total = len(latencies)
     return {
         "elapsed_s": elapsed,
@@ -211,6 +223,8 @@ def run_mixed_phase(base_url: str, cfg: dict, batches_by_client) -> dict:
         "read_p50_us": statistics.median(latencies) * 1e6,
         "read_p99_us": latencies[int(0.99 * (reads_total - 1))] * 1e6,
         "read_max_us": latencies[-1] * 1e6,
+        "ingest_p50_us": statistics.median(ingests) * 1e6,
+        "ingest_p99_us": ingests[int(0.99 * (len(ingests) - 1))] * 1e6,
     }
 
 
@@ -230,18 +244,85 @@ def run_express_phase(base_url: str, updates) -> dict:
     }
 
 
+def run_traced_phase(server, cfg: dict, base_edges, untraced: dict) -> dict:
+    """The mixed workload again with request tracing armed.
+
+    Runs on its own session (fresh edge pools) with the process-wide
+    :data:`REQUEST_LOG` writing a real access log, then feeds that log
+    through the ``repro trace requests`` analyzer. Reports the tracing
+    overhead vs the untraced mixed phase and how closely the analyzer's
+    server-side read p99 reproduces the client-observed one — the two
+    acceptance numbers of the request-tracing layer.
+    """
+    from repro.obs.correlate import analyze_requests
+    from repro.obs.reqtrace import REQUEST_LOG
+
+    access_path = REPO_ROOT / "BENCH_serve.access.jsonl.tmp"
+    REQUEST_LOG.configure(path=str(access_path), slow_threshold_s=0.050)
+    try:
+        batches_by_client = [
+            fresh_edge_batches(
+                cfg, base_edges, c, cfg["batches_per_client"], cfg["batch_size"]
+            )
+            for c in range(cfg["ingest_clients"])
+        ]
+        traced = run_mixed_phase(
+            server.url, cfg, batches_by_client, session="bench-traced"
+        )
+        # finish() runs after the response bytes go out: wait for every
+        # client-acknowledged request to land in the log before closing.
+        expected = (
+            cfg["ingest_clients"] * cfg["batches_per_client"]
+            + cfg["read_clients"] * cfg["reads_per_client"]
+        )
+        deadline = time.monotonic() + 5.0
+        while (
+            REQUEST_LOG.debug_payload()["requests_total"] < expected
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.005)
+    finally:
+        REQUEST_LOG.reset()  # closes (and flushes) the access log
+    analysis = analyze_requests(str(access_path))
+    access_path.unlink()
+
+    def route_p99_us(route: str) -> float:
+        rows = [r for r in analysis["routes"] if r["route"] == route]
+        return rows[0]["p99_ms"] * 1e3 if rows else 0.0
+
+    def ratio(server_us: float, client_us: float) -> float:
+        return server_us / client_us if client_us > 0 else 0.0
+
+    server_read_p99 = route_p99_us("read")
+    server_ingest_p99 = route_p99_us("ingest")
+    traced.update(
+        overhead=1.0 - traced["batches_per_s"] / untraced["batches_per_s"],
+        analyzer={
+            "requests": analysis["requests"],
+            "schema_errors": len(analysis["errors"]),
+            "attribution": analysis["attribution"],
+            "routes": analysis["routes"],
+        },
+        # Analyzer-reconstructed p99s (server recv→respond) over the
+        # client-observed ones. The gap is loopback HTTP + client stack:
+        # negligible for multi-ms ingest batches (the acceptance ratio),
+        # dominant for microsecond snapshot reads.
+        server_read_p99_us=server_read_p99,
+        read_p99_ratio=ratio(server_read_p99, traced["read_p99_us"]),
+        server_ingest_p99_us=server_ingest_p99,
+        ingest_p99_ratio=ratio(server_ingest_p99, traced["ingest_p99_us"]),
+    )
+    return traced
+
+
 def collect(quick: bool) -> dict:
     cfg = config(quick)
     base_edges = build_edges(cfg)
     app = ServeApp(queue_bound=256)
     server = ServeServer(app, port=0).start()
     try:
-        app.create_session(
-            [(int(u), int(v), float(w)) for u, v, w in base_edges],
-            ALGORITHM,
-            name="bench",
-            source=0,
-        )
+        edges = [(int(u), int(v), float(w)) for u, v, w in base_edges]
+        app.create_session(edges, ALGORITHM, name="bench", source=0)
         batches_by_client = [
             fresh_edge_batches(
                 cfg, base_edges, c, cfg["batches_per_client"], cfg["batch_size"]
@@ -249,6 +330,11 @@ def collect(quick: bool) -> dict:
             for c in range(cfg["ingest_clients"])
         ]
         mixed = run_mixed_phase(server.url, cfg, batches_by_client)
+        # Back-to-back with the untraced phase (and before the express
+        # load perturbs the process) so the overhead number is a fair
+        # tracing-on vs tracing-off comparison.
+        app.create_session(edges, ALGORITHM, name="bench-traced", source=0)
+        traced = run_traced_phase(server, cfg, base_edges, mixed)
         express = run_express_phase(
             server.url,
             fresh_single_updates(cfg, base_edges, cfg["express_updates"]),
@@ -261,7 +347,7 @@ def collect(quick: bool) -> dict:
         "version": 1,
         "quick": quick,
         "config": cfg,
-        "results": {"mixed": mixed, "express": express},
+        "results": {"mixed": mixed, "express": express, "mixed_traced": traced},
         "final_stats": stats,
     }
 
@@ -280,6 +366,22 @@ def render(report: dict) -> str:
         f"  express      : {express['updates_per_s']:>8.1f} updates/s "
         f"({express['safe']}/{express['updates']} safe)",
     ]
+    traced = report["results"].get("mixed_traced")
+    if traced:
+        attribution = traced["analyzer"]["attribution"]
+        lines.append(
+            f"  traced ingest: {traced['batches_per_s']:>8.1f} batches/s "
+            f"({traced['overhead'] * 100:+.1f}% vs untraced), "
+            f"{traced['analyzer']['requests']} requests logged, "
+            f"slow-decile attribution {attribution['min_share'] * 100:.1f}% min"
+        )
+        lines.append(
+            f"  traced p99   : ingest server {traced['server_ingest_p99_us']:.0f} "
+            f"vs client {traced['ingest_p99_us']:.0f} us "
+            f"(ratio {traced['ingest_p99_ratio']:.2f}); read server "
+            f"{traced['server_read_p99_us']:.0f} vs client "
+            f"{traced['read_p99_us']:.0f} us (ratio {traced['read_p99_ratio']:.2f})"
+        )
     return "\n".join(lines)
 
 

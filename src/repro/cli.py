@@ -46,16 +46,19 @@ from repro.graph import datasets, io
 from repro.graph.dynamic import DynamicGraph, build_symmetric_graph
 from repro.obs import (
     REGISTRY,
+    REQUEST_LOG,
     JsonlSink,
     MemorySink,
     MetricsServer,
     ProgressSink,
     TraceData,
     Tracer,
+    analyze_requests,
     correlate,
     read_trace,
     render_correlation,
     render_prometheus,
+    render_request_table,
     summarize,
     validate_trace,
     write_chrome_trace,
@@ -125,6 +128,41 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="leave the metrics registry disabled (scrape routes stay mounted)",
     )
+    serve.add_argument(
+        "--access-log",
+        metavar="PATH",
+        help="write one JSONL record per request with the full stage "
+        "breakdown (see `repro trace requests`)",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=50.0,
+        help="requests at or above this latency enter the /debug/requests "
+        "slow ring (default 50 ms)",
+    )
+    serve.add_argument(
+        "--request-ring",
+        type=int,
+        default=64,
+        help="slow-request ring capacity (oldest evicted first)",
+    )
+    serve.add_argument(
+        "--log-bound",
+        type=int,
+        default=None,
+        help="bound each session's applied-write log to the newest N "
+        "entries (default: keep all; /sessions/<s>/log reports the "
+        "dropped-prefix count)",
+    )
+    serve.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write engine run spans to a JSONL trace with request_id "
+        "span links (joinable via `repro trace requests --trace`); "
+        "intended for single-session serving — the span stack is not "
+        "isolated between concurrently-writing sessions",
+    )
     preload = serve.add_mutually_exclusive_group()
     preload.add_argument("--edges", help="preload session 'default' from an edge list")
     preload.add_argument(
@@ -174,6 +212,22 @@ def build_parser() -> argparse.ArgumentParser:
         "-o",
         "--output",
         help="output path (default: trace path with .chrome.json suffix)",
+    )
+    trace_req = trace_sub.add_parser(
+        "requests",
+        help="tail-latency attribution from a serve access log "
+        "(repro serve --access-log)",
+    )
+    trace_req.add_argument("path", help="JSONL access log written by serve")
+    trace_req.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="engine trace JSONL to join request_id span links against",
+    )
+    trace_req.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw analysis as JSON instead of tables",
     )
 
     metrics = sub.add_parser("metrics", help="work with metrics snapshots")
@@ -579,11 +633,27 @@ def _run_express_stream(args, engine) -> None:
 
 def cmd_serve(args) -> int:
     """``repro serve``: run the long-running streaming service."""
+    from repro.host import Accelerator
     from repro.serve import ServeApp, ServeServer
 
     if not args.no_metrics:
         REGISTRY.enable().reset()
-    app = ServeApp(queue_bound=args.queue_bound)
+    # Request tracing is always armed for the daemon (it powers
+    # /debug/requests); the JSONL access log only flows when requested.
+    REQUEST_LOG.configure(
+        path=args.access_log,
+        ring_size=args.request_ring,
+        slow_threshold_s=args.slow_ms / 1e3,
+    )
+    tracer = None
+    if args.trace:
+        tracer = Tracer([JsonlSink(args.trace)])
+        print(f"[serve] engine trace at {args.trace}", file=sys.stderr)
+    app = ServeApp(
+        accelerator=Accelerator(tracer=tracer) if tracer is not None else None,
+        queue_bound=args.queue_bound,
+        log_bound=args.log_bound,
+    )
     if args.edges or args.dataset:
         if args.dataset:
             graph = datasets.load(
@@ -621,6 +691,9 @@ def cmd_serve(args) -> int:
     print(f"[serve] metrics at {server.url}/metrics", file=sys.stderr)
     server.serve_until_shutdown()
     print("[serve] drained and stopped", file=sys.stderr)
+    REQUEST_LOG.reset()
+    if tracer is not None:
+        tracer.close()
     if not args.no_metrics:
         REGISTRY.disable().reset()
     return 0
@@ -643,6 +716,16 @@ def cmd_experiments(args) -> int:
 
 
 def cmd_trace(args) -> int:
+    if args.action == "requests":
+        import json
+
+        analysis = analyze_requests(args.path, trace_path=args.trace)
+        if args.json:
+            print(json.dumps(analysis, indent=2))
+        else:
+            print(render_request_table(analysis))
+        # Schema/monotonicity violations are the CI gate: non-zero exit.
+        return 1 if analysis["errors"] else 0
     if args.action == "validate":
         errors = validate_trace(args.path)
         if errors:

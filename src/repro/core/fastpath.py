@@ -61,6 +61,11 @@ class ExpressResult:
     #: Classification rule that fired (see ``classify_monotonic_update``).
     reason: str
     latency_s: float
+    #: Time spent in classification alone (the prefix of ``latency_s``);
+    #: the remainder is the safe apply or the engine fallthrough. Request
+    #: tracing uses the split to carve a ``classify`` stage out of the
+    #: apply window.
+    classify_s: float
     #: Adjacency entries examined while classifying.
     edges_scanned: int
     #: Vertex-state reads performed while classifying.
@@ -221,6 +226,7 @@ class ExpressLane:
             w = graph.edge_weight(u, v)
 
         cls = self.classify(u, v, w, op)
+        classify_s = perf_counter() - t0
         if cls.safe:
             self._apply_safe(u, v, w, op, cls)
             result = ExpressResult(
@@ -231,6 +237,7 @@ class ExpressLane:
                 safe=True,
                 reason=cls.reason,
                 latency_s=perf_counter() - t0,
+                classify_s=classify_s,
                 edges_scanned=cls.edges_scanned,
                 state_reads=cls.state_reads,
                 new_state=cls.new_state,
@@ -245,6 +252,7 @@ class ExpressLane:
                 safe=False,
                 reason=cls.reason,
                 latency_s=perf_counter() - t0,
+                classify_s=classify_s,
                 edges_scanned=cls.edges_scanned,
                 state_reads=cls.state_reads,
                 engine_result=engine_result,

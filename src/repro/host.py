@@ -213,6 +213,19 @@ class Session:
             "update_records", self._accelerator.config.stream_record_bytes
         )
         result = self._express.apply(u, v, w, op)
+        tracer = self._accelerator.tracer
+        if tracer.enabled:
+            # Safe updates produce no run span; this event is their trace
+            # footprint (and, at root level, it picks up any active span
+            # links such as the serving request id).
+            tracer.event(
+                "express",
+                op=result.op,
+                safe=result.safe,
+                reason=result.reason,
+                latency_s=result.latency_s,
+                classify_s=result.classify_s,
+            )
         if result.engine_result is not None:
             self._last_result = result.engine_result
             # The fallthrough ran as a one-edge batch on the engine, which

@@ -14,7 +14,11 @@ Public surface:
 * :func:`chrome_trace` / :func:`write_chrome_trace` — Chrome/Perfetto
   trace-event export;
 * :func:`correlate` / :func:`summarize` — join trace wall-clock against
-  :class:`~repro.sim.timing.AcceleratorTimingModel` cycles.
+  :class:`~repro.sim.timing.AcceleratorTimingModel` cycles;
+* :data:`REQUEST_LOG` / :class:`RequestContext` — request-scoped tracing
+  for ``repro serve`` (access log, slow-request ring, stage histograms);
+* :func:`analyze_requests` / :func:`render_request_table` — the
+  ``repro trace requests`` tail-latency attribution analyzer.
 
 (The benchmark regression gate lives in :mod:`repro.obs.bench_gate`; it
 is not re-exported here because it imports the ``benchmarks/`` scripts.)
@@ -23,11 +27,21 @@ is not re-exported here because it imports the ``benchmarks/`` scripts.)
 from repro.obs.chrome import chrome_trace, write_chrome_trace
 from repro.obs.correlate import (
     PhaseCorrelation,
+    analyze_requests,
     correlate,
     correlate_run,
+    read_access_log,
     rebuild_run_metrics,
     render_correlation,
+    render_request_table,
     summarize,
+)
+from repro.obs.reqtrace import (
+    ACCESS_LOG_FORMAT,
+    ACCESS_LOG_VERSION,
+    REQUEST_LOG,
+    RequestContext,
+    RequestLog,
 )
 from repro.obs.metrics import (
     REGISTRY,
@@ -103,4 +117,12 @@ __all__ = [
     "rebuild_run_metrics",
     "render_correlation",
     "summarize",
+    "ACCESS_LOG_FORMAT",
+    "ACCESS_LOG_VERSION",
+    "REQUEST_LOG",
+    "RequestContext",
+    "RequestLog",
+    "analyze_requests",
+    "read_access_log",
+    "render_request_table",
 ]

@@ -299,6 +299,18 @@ def flatten_serve(report: dict) -> List[dict]:
                 "events": int(express["updates"]),
             }
         )
+    traced = results.get("mixed_traced")
+    if traced:
+        # The tracing-overhead gate: this row regressing while
+        # mixed_ingest holds means request tracing itself got slower.
+        rows.append(
+            {
+                "suite": "serve",
+                "key": "mixed_ingest_traced",
+                "events_per_s": float(traced["batches_per_s"]),
+                "events": int(traced["records_applied"]),
+            }
+        )
     return rows
 
 

@@ -121,9 +121,17 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed log-bucket histogram with Prometheus cumulative semantics."""
+    """Fixed log-bucket histogram with Prometheus cumulative semantics.
 
-    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+    Buckets can carry an *exemplar* — the id of one observation that
+    landed in them (last write wins), in the spirit of OpenMetrics
+    exemplars. The serve layer attaches request ids, so a latency bucket
+    in a scrape points at a concrete request to look up in the access
+    log. Exemplars appear in the JSON snapshot only; the 0.0.4 Prometheus
+    text format has no syntax for them.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count", "exemplars")
 
     kind = "histogram"
 
@@ -136,11 +144,15 @@ class Histogram:
         self.counts = [0] * (len(self.buckets) + 1)  # last = +Inf overflow
         self.sum: float = 0.0
         self.count: int = 0
+        self.exemplars: Dict[int, Dict[str, object]] = {}
 
-    def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.buckets, value)] += 1
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
+        index = bisect_left(self.buckets, value)
+        self.counts[index] += 1
         self.sum += value
         self.count += 1
+        if exemplar is not None:
+            self.exemplars[index] = {"id": exemplar, "value": value}
 
     def cumulative(self) -> List[int]:
         """Cumulative per-bucket counts (Prometheus ``le`` semantics)."""
@@ -426,12 +438,20 @@ class MetricsRegistry:
                 safe / total if total else 0.0
             )
 
-    def record_serve_request(self, route: str, status: int, dur_s: float) -> None:
+    def record_serve_request(
+        self,
+        route: str,
+        status: int,
+        dur_s: float,
+        request_id: Optional[str] = None,
+    ) -> None:
         """Fold one handled ``repro serve`` HTTP request (:mod:`repro.serve`).
 
         ``route`` is the logical route name (``ingest``, ``update``,
         ``read``, ``session``, ...), not the raw path — label cardinality
         must stay bounded no matter how many sessions a host opens.
+        ``request_id`` (when request tracing is on) becomes the latency
+        bucket's exemplar, so a scrape points at a concrete slow request.
         """
         if not self.enabled:
             return
@@ -443,7 +463,41 @@ class MetricsRegistry:
                 "repro_serve_request_latency_seconds",
                 SERVE_LATENCY_BUCKETS,
                 route=route,
-            ).observe(dur_s)
+            ).observe(dur_s, exemplar=request_id)
+
+    def record_serve_stage(
+        self,
+        route: str,
+        stage: str,
+        dur_s: float,
+        request_id: Optional[str] = None,
+    ) -> None:
+        """Fold one request-stage latency (:mod:`repro.obs.reqtrace`).
+
+        One observation per named stage of each traced request (``parse``,
+        ``queued``, ``apply``, ... plus the explicit ``unaccounted``
+        residual), labelled by route and stage.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self._histogram_nolock(
+                "repro_serve_stage_latency_seconds",
+                SERVE_LATENCY_BUCKETS,
+                route=route,
+                stage=stage,
+            ).observe(dur_s, exemplar=request_id)
+
+    def record_serve_queue_depth(self, depth: int) -> None:
+        """Sample the ingest queue occupancy (at enqueue *and* dequeue).
+
+        Observed from both sides of the queue so the gauge reflects live
+        backpressure between scrapes instead of only post-drain values.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauge_nolock("repro_serve_queue_depth").set(depth)
 
     def record_serve_ingest(
         self, kind: str, dur_s: float, queue_depth: int
@@ -575,6 +629,13 @@ class MetricsRegistry:
                         entry["counts"] = list(metric.counts)
                         entry["sum"] = metric.sum
                         entry["count"] = metric.count
+                        if metric.exemplars:
+                            entry["exemplars"] = {
+                                str(index): dict(exemplar)
+                                for index, exemplar in sorted(
+                                    metric.exemplars.items()
+                                )
+                            }
                     else:
                         entry["value"] = metric.value
                     series.append(entry)
@@ -729,9 +790,10 @@ _HELP = {
     "repro_shard_pool_workers": "Worker slots in the live shard pool, by backend.",
     "repro_serve_requests_total": "Serve HTTP requests handled, by route and status.",
     "repro_serve_request_latency_seconds": "Serve HTTP request latency, by route.",
+    "repro_serve_stage_latency_seconds": "Traced request stage latency, by route and stage.",
     "repro_serve_writes_applied_total": "Serve write ops applied, by kind (batch | update).",
     "repro_serve_ingest_latency_seconds": "Queue wait + apply latency of serve write ops, by kind.",
-    "repro_serve_queue_depth": "Ingest queue occupancy sampled after each dequeue.",
+    "repro_serve_queue_depth": "Ingest queue occupancy, observed at enqueue and dequeue.",
     "repro_serve_rejected_total": "Write ops rejected by ingest backpressure, by kind.",
     "repro_serve_reads_total": "Reads served from published immutable snapshots.",
     "repro_serve_snapshots_total": "Converged snapshots published by serve write ops.",

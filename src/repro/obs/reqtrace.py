@@ -1,0 +1,291 @@
+"""Request-scoped tracing for ``repro serve``: tail-latency attribution.
+
+The serve metrics (:mod:`repro.obs.metrics`) say *how many* requests were
+slow; this module says *where* each one spent its time. Every HTTP request
+gets a :class:`RequestContext` carrying a request id and a sequence of
+monotonic stage marks (``parse → queued → classify → apply → publish →
+respond`` for writes; ``parse → snapshot → respond`` for reads). Each mark
+records the *end* of its named stage, so consecutive-mark differences
+partition the request's wall time — the ``unaccounted`` residual is
+whatever happened after the last mark (response flush, metric folds) and
+is reported explicitly rather than silently absorbed.
+
+The process-wide :data:`REQUEST_LOG` mirrors the ``REGISTRY`` /
+``NULL_TRACER`` pattern: disabled by default, one ``enabled`` attribute
+check at the request entry point, all mutation behind a lock. When enabled
+it exposes the same data three ways:
+
+* a JSONL **access log** (one record per request, full stage breakdown,
+  header line carrying the wall-clock↔``perf_counter`` anchor) consumed
+  offline by ``repro trace requests``;
+* a bounded in-memory **slow-request ring** (oldest evicted first) served
+  live by ``GET /debug/requests``;
+* per-stage latency **histograms** folded into the metrics registry
+  (``repro_serve_stage_latency_seconds``) with the slowest request ids
+  attached as bucket exemplars.
+
+Writer-thread handoff needs no extra locking: a context is only ever
+touched by one thread at a time (handler → writer → handler), with the
+write op's ``done`` event ordering the transitions.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "ACCESS_LOG_FORMAT",
+    "ACCESS_LOG_VERSION",
+    "DEFAULT_RING_SIZE",
+    "DEFAULT_SLOW_THRESHOLD_S",
+    "READ_STAGES",
+    "REQUEST_LOG",
+    "RequestContext",
+    "RequestLog",
+    "WRITE_STAGES",
+]
+
+#: Format marker of the access log's JSONL header line.
+ACCESS_LOG_FORMAT = "repro-access-log"
+ACCESS_LOG_VERSION = 1
+
+#: Stage names a write request marks, in pipeline order. ``queued`` covers
+#: the bounded-queue wait (including any writer-gate pause), ``classify``
+#: the express-lane classification (updates only), ``apply`` the engine /
+#: safe-apply work, ``publish`` snapshot publication + log append.
+WRITE_STAGES = ("parse", "queued", "classify", "apply", "publish", "respond")
+
+#: Stage names a snapshot read marks. ``snapshot`` is the lock-free
+#: snapshot fetch plus value extraction.
+READ_STAGES = ("parse", "snapshot", "respond")
+
+#: Default slow-request ring capacity.
+DEFAULT_RING_SIZE = 64
+
+#: Default slow threshold: requests at or above it enter the ring.
+DEFAULT_SLOW_THRESHOLD_S = 0.050
+
+
+class RequestContext:
+    """One request's id plus its monotonic stage marks.
+
+    ``marks`` is an append-only list of ``(stage, perf_counter)`` pairs;
+    each entry timestamps the *end* of the named stage, so stage durations
+    are differences of consecutive marks (anchored at ``t_recv``).
+    """
+
+    __slots__ = ("request_id", "method", "path", "t_recv", "wall_recv", "marks", "attrs")
+
+    def __init__(self, request_id: str, method: str, path: str):
+        self.request_id = request_id
+        self.method = method
+        self.path = path
+        self.t_recv = perf_counter()
+        self.wall_recv = time.time()
+        self.marks: List[Tuple[str, float]] = []
+        self.attrs: Dict[str, object] = {}
+
+    def mark(self, stage: str, t: Optional[float] = None) -> None:
+        """Record the end of ``stage`` (now, or at an explicit clock value).
+
+        The explicit form lets a caller split an already-timed interval —
+        e.g. the express lane's ``classify_s`` carving a classify stage
+        out of the apply window — without re-reading the clock.
+        """
+        self.marks.append((stage, perf_counter() if t is None else t))
+
+    def stages(self, t_end: Optional[float] = None) -> Tuple[Dict[str, float], float]:
+        """``(stage → seconds, unaccounted)`` partition of the wall time.
+
+        ``unaccounted`` is the residual between the last mark and
+        ``t_end`` (now by default) — time the instrumentation did not
+        attribute to a named stage.
+        """
+        if t_end is None:
+            t_end = perf_counter()
+        stages: Dict[str, float] = {}
+        prev = self.t_recv
+        for stage, t in self.marks:
+            stages[stage] = stages.get(stage, 0.0) + max(0.0, t - prev)
+            prev = max(prev, t)
+        return stages, max(0.0, t_end - prev)
+
+
+class RequestLog:
+    """Process-wide request sink: access log + slow ring + stage metrics.
+
+    Disabled by default; the serve handler checks :attr:`enabled` once per
+    request. :meth:`configure` arms it (optionally with a JSONL access-log
+    path), :meth:`reset` closes the file and returns to the off state.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self.ring_size = DEFAULT_RING_SIZE
+        self.slow_threshold_s = DEFAULT_SLOW_THRESHOLD_S
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._handle = None
+        self._path: Optional[str] = None
+        self._ring: deque = deque(maxlen=DEFAULT_RING_SIZE)
+        self._requests = 0
+        self._slow = 0
+        #: Wall-clock ↔ perf_counter anchor, re-stamped by configure().
+        self.epoch_s = time.time()
+        self.perf_origin = perf_counter()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def configure(
+        self,
+        path: Optional[str] = None,
+        ring_size: int = DEFAULT_RING_SIZE,
+        slow_threshold_s: float = DEFAULT_SLOW_THRESHOLD_S,
+    ) -> "RequestLog":
+        """Arm the log (and open the JSONL access log when ``path`` given)."""
+        if ring_size < 1:
+            raise ValueError("ring_size must be >= 1")
+        with self._lock:
+            self._close_handle()
+            self.ring_size = ring_size
+            self.slow_threshold_s = float(slow_threshold_s)
+            self._ring = deque(maxlen=ring_size)
+            self._requests = 0
+            self._slow = 0
+            self._ids = itertools.count(1)
+            self.epoch_s = time.time()
+            self.perf_origin = perf_counter()
+            self._path = path
+            if path is not None:
+                self._handle = open(path, "w", encoding="utf-8")
+                self._write_nolock(
+                    {
+                        "type": "header",
+                        "format": ACCESS_LOG_FORMAT,
+                        "version": ACCESS_LOG_VERSION,
+                        "epoch_s": self.epoch_s,
+                        "perf_counter": self.perf_origin,
+                    }
+                )
+        self.enabled = True
+        return self
+
+    def reset(self) -> "RequestLog":
+        """Disable, close the access log, and drop all in-memory state."""
+        self.enabled = False
+        with self._lock:
+            self._close_handle()
+            self._ring = deque(maxlen=self.ring_size)
+            self._requests = 0
+            self._slow = 0
+        return self
+
+    def _close_handle(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.flush()
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+        self._path = None
+
+    def _write_nolock(self, record: dict) -> None:
+        if self._handle is not None:
+            self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def open_request(self, method: str, path: str) -> RequestContext:
+        """A fresh context with a process-unique request id."""
+        return RequestContext(f"r{next(self._ids):06d}", method, path)
+
+    def finish(
+        self, ctx: RequestContext, route: str, status: int, registry=None
+    ) -> dict:
+        """Close out one request: build, persist, and fold its record.
+
+        ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`) gets
+        the per-stage histograms and exemplars when it is enabled.
+        """
+        t_end = perf_counter()
+        stages, unaccounted = ctx.stages(t_end)
+        dur_s = t_end - ctx.t_recv
+        record: Dict[str, object] = {
+            "type": "request",
+            "id": ctx.request_id,
+            "route": route,
+            "method": ctx.method,
+            "path": ctx.path,
+            "status": int(status),
+            "wall_recv": ctx.wall_recv,
+            "t_recv": ctx.t_recv,
+            "dur_s": dur_s,
+            "stages": stages,
+            "unaccounted": unaccounted,
+        }
+        if ctx.attrs:
+            record["attrs"] = dict(ctx.attrs)
+        slow = dur_s >= self.slow_threshold_s
+        with self._lock:
+            self._requests += 1
+            if slow:
+                self._slow += 1
+                self._ring.append(record)
+            self._write_nolock(record)
+        if registry is not None and registry.enabled:
+            for stage, stage_s in stages.items():
+                registry.record_serve_stage(
+                    route, stage, stage_s, request_id=ctx.request_id
+                )
+            if unaccounted > 0.0:
+                registry.record_serve_stage(route, "unaccounted", unaccounted)
+        return record
+
+    def flush(self) -> None:
+        """Flush the access-log file (tests, pre-scrape sync points)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
+
+    # ------------------------------------------------------------------
+    # Introspection (GET /debug/requests)
+    # ------------------------------------------------------------------
+    def debug_payload(self, registry=None) -> dict:
+        """The ``/debug/requests`` reply: ring + live stage histograms."""
+        with self._lock:
+            payload: Dict[str, object] = {
+                "enabled": self.enabled,
+                "requests_total": self._requests,
+                "slow_total": self._slow,
+                "slow_threshold_s": self.slow_threshold_s,
+                "ring_size": self.ring_size,
+                "access_log": self._path,
+                "epoch_s": self.epoch_s,
+                "perf_counter": self.perf_origin,
+                "ring": list(self._ring),
+            }
+        if registry is not None and registry.enabled:
+            wanted = (
+                "repro_serve_stage_latency_seconds",
+                "repro_serve_request_latency_seconds",
+            )
+            payload["histograms"] = [
+                family
+                for family in registry.snapshot()["families"]
+                if family["name"] in wanted
+            ]
+        return payload
+
+
+#: The process-wide request log. Disabled by default; ``repro serve``
+#: arms it (one attribute check per request when off).
+REQUEST_LOG = RequestLog(enabled=False)

@@ -25,6 +25,10 @@ TRACE_VERSION = 1
 class Sink:
     """Base sink: all callbacks optional."""
 
+    def on_anchor(self, epoch_s: float, clock_origin: float) -> None:
+        """Wall-clock anchor, delivered once at tracer construction."""
+        pass
+
     def on_span_start(self, span: Span) -> None:
         pass
 
@@ -32,6 +36,9 @@ class Sink:
         pass
 
     def on_event(self, event: TraceEvent) -> None:
+        pass
+
+    def flush(self) -> None:
         pass
 
     def close(self) -> None:
@@ -44,6 +51,10 @@ class MemorySink(Sink):
     def __init__(self):
         self.spans: List[Span] = []
         self.events: List[TraceEvent] = []
+        self.anchor: Optional[dict] = None
+
+    def on_anchor(self, epoch_s: float, clock_origin: float) -> None:
+        self.anchor = {"epoch_s": epoch_s, "perf_counter": clock_origin}
 
     def on_span_end(self, span: Span) -> None:
         self.spans.append(span)
@@ -78,11 +89,22 @@ class JsonlSink(Sink):
     def _write(self, record: dict) -> None:
         self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
 
+    def on_anchor(self, epoch_s: float, clock_origin: float) -> None:
+        # Written right after the header line: the wall-clock anchor that
+        # lets offline joins align span clocks with epoch timestamps.
+        self._write(
+            {"type": "anchor", "epoch_s": epoch_s, "perf_counter": clock_origin}
+        )
+
     def on_span_end(self, span: Span) -> None:
         self._write(span.to_record())
 
     def on_event(self, event: TraceEvent) -> None:
         self._write(event.to_record())
+
+    def flush(self) -> None:
+        if not getattr(self._handle, "closed", False):
+            self._handle.flush()
 
     def close(self) -> None:
         if getattr(self._handle, "closed", False):

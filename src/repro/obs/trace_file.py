@@ -18,6 +18,13 @@ Every subsequent line is a ``span`` or ``event`` record (see
 ``event``
     ``name``, ``t``, ``parent``, ``attrs``.
 
+``anchor``
+    ``epoch_s`` (``time.time`` at tracer construction) and
+    ``perf_counter`` (the span clock read at the same instant) — the
+    wall-clock anchor that lets offline tools join span timestamps with
+    wall-clock sources such as serve access logs. Written immediately
+    after the header by the JSONL sink.
+
 Spans are written when they *end*, so children precede parents on disk;
 :func:`read_trace` reassembles the tree from the ``parent`` pointers.
 """
@@ -46,6 +53,9 @@ class TraceData:
     header: Dict[str, object]
     spans: List[Dict[str, object]] = field(default_factory=list)
     events: List[Dict[str, object]] = field(default_factory=list)
+    #: Wall-clock anchor record ({"epoch_s", "perf_counter"}), or None
+    #: for traces written before the anchor existed.
+    anchor: Optional[Dict[str, object]] = None
 
     def by_id(self) -> Dict[int, Dict[str, object]]:
         return {s["id"]: s for s in self.spans}
@@ -90,6 +100,8 @@ def read_trace(path: PathLike) -> TraceData:
             record = json.loads(line)
             if record["type"] == "header":
                 data.header.update(record)
+            elif record["type"] == "anchor":
+                data.anchor = record
             elif record["type"] == "span":
                 data.spans.append(record)
             else:
@@ -205,6 +217,10 @@ def validate_trace(path: PathLike, max_errors: int = 50) -> List[str]:
                 errors.extend(_validate_event(record, where))
                 if isinstance(record.get("parent"), int):
                     parent_refs.append((lineno, record["parent"]))
+            elif kind == "anchor":
+                for key in ("epoch_s", "perf_counter"):
+                    if not _is_num(record.get(key)):
+                        errors.append(f"{where}: anchor {key} must be a number")
             elif kind == "header":
                 errors.append(f"{where}: duplicate header record")
             else:

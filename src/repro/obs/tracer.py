@@ -156,6 +156,15 @@ class Tracer:
         self.clock = clock
         self._stack: List[Span] = []
         self._ids = itertools.count(1)
+        self._links: List[Dict[str, object]] = []
+        #: Wall-clock anchor: ``epoch_s`` (time.time) and the span clock
+        #: read at the same instant. Offline tools use the pair to align
+        #: perf_counter span timestamps with wall-clock sources (serve
+        #: access logs).
+        self.epoch_s = time.time()
+        self.clock_origin = self.clock()
+        for sink in self.sinks:
+            sink.on_anchor(self.epoch_s, self.clock_origin)
 
     # ------------------------------------------------------------------
     # Core emission
@@ -165,8 +174,15 @@ class Tracer:
         return self._stack[-1] if self._stack else None
 
     def start(self, kind: str, name: str = "", **attrs) -> Span:
-        """Open a span nested under the current one."""
+        """Open a span nested under the current one.
+
+        Root spans (no open parent) absorb any active :meth:`linked`
+        attributes, so e.g. an engine run span started while serving a
+        request carries that request's id.
+        """
         parent = self._stack[-1].span_id if self._stack else None
+        if parent is None and self._links:
+            attrs = self._merge_links(attrs)
         span = Span(kind, name or kind, next(self._ids), parent, self.clock(), attrs)
         self._stack.append(span)
         for sink in self.sinks:
@@ -212,12 +228,40 @@ class Tracer:
         return span
 
     def event(self, name: str, **attrs) -> TraceEvent:
-        """Emit a point event under the current span."""
+        """Emit a point event under the current span.
+
+        Root-level events (no open span) absorb :meth:`linked` attributes
+        the same way root spans do.
+        """
         parent = self._stack[-1].span_id if self._stack else None
+        if parent is None and self._links:
+            attrs = self._merge_links(attrs)
         event = TraceEvent(name, self.clock(), parent, attrs)
         for sink in self.sinks:
             sink.on_event(event)
         return event
+
+    def _merge_links(self, attrs: Dict[str, object]) -> Dict[str, object]:
+        merged: Dict[str, object] = {}
+        for link in self._links:
+            merged.update(link)
+        merged.update(attrs)
+        return merged
+
+    @contextmanager
+    def linked(self, **attrs):
+        """Attach ``attrs`` to every *root* span/event started inside.
+
+        This is the span-link mechanism request tracing uses: the serve
+        writer wraps each applied op in ``tracer.linked(request_id=...)``
+        so the engine run spans it triggers carry the originating request
+        id without threading a context through every engine layer.
+        """
+        self._links.append(dict(attrs))
+        try:
+            yield
+        finally:
+            self._links.pop()
 
     # ------------------------------------------------------------------
     # Context-manager helpers (orchestration-layer use)
@@ -262,6 +306,11 @@ class Tracer:
             self.end(span, **end_attrs)
 
     # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Flush every sink (a long-running host's pre-analysis sync)."""
+        for sink in self.sinks:
+            sink.flush()
+
     def close(self) -> None:
         """Close any open spans (innermost first), then the sinks."""
         while self._stack:
@@ -327,6 +376,12 @@ class NullTracer:
 
     def round(self, *args, **kwargs):
         return _NULL_CTX
+
+    def linked(self, *args, **kwargs):
+        return _NULL_CTX
+
+    def flush(self) -> None:
+        pass
 
     def close(self) -> None:
         pass

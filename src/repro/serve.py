@@ -45,6 +45,7 @@ import itertools
 import json
 import queue
 import threading
+from collections import deque
 from functools import cached_property
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -56,6 +57,7 @@ import numpy as np
 from repro.core.policies import DeletePolicy
 from repro.host import Accelerator, HostApiError, Session
 from repro.obs.metrics import REGISTRY as METRICS
+from repro.obs.reqtrace import REQUEST_LOG, RequestContext
 from repro.obs.scrape import metrics_payload, send_payload
 
 __all__ = [
@@ -116,6 +118,9 @@ class _WriteOp:
     done: threading.Event = field(default_factory=threading.Event)
     result: Optional[dict] = None
     error: Optional[ServeError] = None
+    #: Originating request context when request tracing is enabled; the
+    #: writer thread marks the queued/apply/publish stages on it.
+    ctx: Optional[RequestContext] = None
 
 
 class ServeSession:
@@ -127,18 +132,30 @@ class ServeSession:
     :meth:`read_snapshot` and never touch the engine.
     """
 
-    def __init__(self, name: str, session: Session, queue_bound: int):
+    def __init__(
+        self,
+        name: str,
+        session: Session,
+        queue_bound: int,
+        log_bound: Optional[int] = None,
+    ):
         self.name = name
         self.session = session
         self.queue_bound = queue_bound
+        if log_bound is not None and log_bound < 1:
+            raise ValueError("log_bound must be >= 1 (or None for keep-all)")
+        self.log_bound = log_bound
         self._queue: "queue.Queue[Optional[_WriteOp]]" = queue.Queue(
             maxsize=max(1, queue_bound)
         )
         self._applied_seq = 0
         self._reads_on_snapshot = 0
         #: Applied-write log (kind + payload, in apply order) so clients
-        #: can audit/replay exactly what the session executed.
-        self._log: List[dict] = []
+        #: can audit/replay exactly what the session executed. With a
+        #: log_bound it becomes a ring: the oldest prefix is dropped and
+        #: counted so auditors can still anchor on seq numbers.
+        self._log: deque = deque()
+        self._log_dropped = 0
         self._log_lock = threading.Lock()
         self._closing = False
         self._snapshot = self._build_snapshot()
@@ -181,7 +198,9 @@ class ServeSession:
         return snapshot
 
     # -- write path ----------------------------------------------------
-    def submit(self, kind: str, payload: dict) -> dict:
+    def submit(
+        self, kind: str, payload: dict, ctx: Optional[RequestContext] = None
+    ) -> dict:
         """Enqueue one write op and wait for the writer to apply it.
 
         Raises :class:`ServeError` 429 immediately when the bounded queue
@@ -189,7 +208,9 @@ class ServeSession:
         """
         if self._closing:
             raise ServeError(409, "CLOSING", "session is shutting down")
-        op = _WriteOp(kind=kind, payload=payload, enqueued_at=perf_counter())
+        op = _WriteOp(
+            kind=kind, payload=payload, enqueued_at=perf_counter(), ctx=ctx
+        )
         try:
             self._queue.put_nowait(op)
         except queue.Full:
@@ -200,6 +221,10 @@ class ServeSession:
                 "QUEUE_FULL",
                 f"ingest queue at bound ({self.queue_bound}); retry later",
             )
+        if METRICS.enabled:
+            # Enqueue-side sample: the dequeue side re-samples after each
+            # drain, so the gauge tracks live backpressure both ways.
+            METRICS.record_serve_queue_depth(self._queue.qsize())
         op.done.wait()
         if op.error is not None:
             raise op.error
@@ -224,6 +249,41 @@ class ServeSession:
                 op.done.set()
 
     def _apply(self, op: _WriteOp) -> dict:
+        ctx = op.ctx
+        if ctx is not None:
+            # End of the queued stage: the op waited for the writer (and
+            # any gate pause) from its parse mark until now.
+            ctx.mark("queued")
+        tracer = self.session.tracer
+        if ctx is not None and tracer.enabled:
+            # Span link: every root span/event the engine emits while this
+            # op applies carries the originating request id.
+            with tracer.linked(request_id=ctx.request_id):
+                applied = self._apply_op(op, ctx)
+        else:
+            applied = self._apply_op(op, ctx)
+        self._applied_seq += 1
+        self._publish()
+        snapshot = self._snapshot
+        applied.update(seq=snapshot.seq, stamp=snapshot.stamp)
+        with self._log_lock:
+            self._log.append(
+                {"kind": op.kind, "payload": op.payload, "seq": snapshot.seq}
+            )
+            if self.log_bound is not None:
+                while len(self._log) > self.log_bound:
+                    self._log.popleft()
+                    self._log_dropped += 1
+        if ctx is not None:
+            ctx.mark("publish")
+        if METRICS.enabled:
+            METRICS.record_serve_ingest(
+                op.kind, perf_counter() - op.enqueued_at, self._queue.qsize()
+            )
+            METRICS.record_serve_queue_depth(self._queue.qsize())
+        return applied
+
+    def _apply_op(self, op: _WriteOp, ctx: Optional[RequestContext]) -> dict:
         session = self.session
         if op.kind == "batch":
             insertions = [
@@ -235,6 +295,11 @@ class ServeSession:
             ]
             session.push_updates(insertions=insertions, deletions=deletions)
             result = session.run()
+            if ctx is not None:
+                ctx.mark("apply")
+                ctx.attrs["events_processed"] = int(
+                    result.metrics.events_processed
+                )
             applied: dict = {
                 "kind": "batch",
                 "insertions": len(insertions),
@@ -242,12 +307,21 @@ class ServeSession:
                 "events_processed": int(result.metrics.events_processed),
             }
         elif op.kind == "update":
+            t_apply = perf_counter()
             express = session.apply_update(
                 int(op.payload["u"]),
                 int(op.payload["v"]),
                 float(op.payload.get("w", 1.0)),
                 op=op.payload.get("op", "insert"),
             )
+            if ctx is not None:
+                # Carve the classify stage out of the apply window using
+                # the express lane's own split; the rest of the window is
+                # the safe apply or the engine fallthrough.
+                ctx.mark("classify", t=t_apply + express.classify_s)
+                ctx.mark("apply")
+                ctx.attrs["safe"] = express.safe
+                ctx.attrs["reason"] = express.reason
             applied = {
                 "kind": "update",
                 "op": express.op,
@@ -257,18 +331,6 @@ class ServeSession:
             }
         else:  # pragma: no cover - submit() only produces the two kinds
             raise ServeError(400, "BAD_KIND", f"unknown write kind {op.kind!r}")
-        self._applied_seq += 1
-        self._publish()
-        snapshot = self._snapshot
-        applied.update(seq=snapshot.seq, stamp=snapshot.stamp)
-        with self._log_lock:
-            self._log.append(
-                {"kind": op.kind, "payload": op.payload, "seq": snapshot.seq}
-            )
-        if METRICS.enabled:
-            METRICS.record_serve_ingest(
-                op.kind, perf_counter() - op.enqueued_at, self._queue.qsize()
-            )
         return applied
 
     # -- introspection -------------------------------------------------
@@ -276,10 +338,16 @@ class ServeSession:
         """Write ops currently queued (not counting the in-flight one)."""
         return self._queue.qsize()
 
-    def applied_log(self) -> List[dict]:
-        """Copy of the applied-write log, in apply order."""
+    def applied_log(self) -> dict:
+        """The applied-write log plus the count of dropped-prefix entries.
+
+        ``log`` holds the retained entries in apply order; ``dropped`` is
+        how many oldest entries the ring bound evicted (0 when unbounded),
+        so an auditor knows the first retained entry's position in the
+        full write history.
+        """
         with self._log_lock:
-            return list(self._log)
+            return {"log": list(self._log), "dropped": self._log_dropped}
 
     def stats(self) -> dict:
         snapshot = self._snapshot
@@ -291,6 +359,8 @@ class ServeSession:
             else None,
             "queue_depth": self.queue_depth(),
             "queue_bound": self.queue_bound,
+            "log_bound": self.log_bound,
+            "log_dropped": self._log_dropped,
             "applied_seq": snapshot.seq,
             "snapshot_stamp": snapshot.stamp,
             "graph_version": snapshot.graph_version,
@@ -354,9 +424,11 @@ class ServeApp:
         self,
         accelerator: Optional[Accelerator] = None,
         queue_bound: int = DEFAULT_QUEUE_BOUND,
+        log_bound: Optional[int] = None,
     ):
         self.accelerator = accelerator or Accelerator()
         self.queue_bound = queue_bound
+        self.log_bound = log_bound
         self.sessions: Dict[str, ServeSession] = {}
         self._lock = threading.Lock()  # registry mutation only
         self._names = itertools.count()
@@ -376,6 +448,7 @@ class ServeApp:
         symmetric: bool = False,
         num_vertices: int = 0,
         queue_bound: Optional[int] = None,
+        log_bound: Optional[int] = None,
     ) -> ServeSession:
         """Load a graph, run the initial evaluation, register the session."""
         if self._closed:
@@ -407,6 +480,7 @@ class ServeApp:
                 name,
                 session,
                 queue_bound if queue_bound is not None else self.queue_bound,
+                log_bound=log_bound if log_bound is not None else self.log_bound,
             )
             self.sessions[name] = served
         if METRICS.enabled:
@@ -468,16 +542,20 @@ class ServeApp:
             reply["values"] = values
         return reply
 
-    def handle_ingest(self, name: str, payload: dict) -> dict:
-        return self.get_session(name).submit("batch", payload)
+    def handle_ingest(
+        self, name: str, payload: dict, ctx: Optional[RequestContext] = None
+    ) -> dict:
+        return self.get_session(name).submit("batch", payload, ctx=ctx)
 
-    def handle_update(self, name: str, payload: dict) -> dict:
+    def handle_update(
+        self, name: str, payload: dict, ctx: Optional[RequestContext] = None
+    ) -> dict:
         for key in ("u", "v"):
             if key not in payload:
                 raise ServeError(400, "BAD_UPDATE", f"missing field {key!r}")
         if payload.get("op", "insert") not in ("insert", "delete"):
             raise ServeError(400, "BAD_UPDATE", "op must be insert|delete")
-        return self.get_session(name).submit("update", payload)
+        return self.get_session(name).submit("update", payload, ctx=ctx)
 
     def healthz(self) -> dict:
         return {
@@ -494,6 +572,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
     ======  ==============================  =====================================
     GET     /healthz                        liveness + open session names
     GET     /metrics, /metrics.json         shared scrape routes (registry)
+    GET     /debug/requests                 slow-request ring + stage histograms
     POST    /sessions                       create session (graph + algorithm)
     GET     /sessions/<s>/read[?vertices=]  snapshot read (never blocks on writes)
     GET     /sessions/<s>/stats             queue depth, transfers, express stats
@@ -532,55 +611,93 @@ class _ServeHandler(BaseHTTPRequestHandler):
 
     def _route(self, method: str, head_only: bool = False) -> None:
         t0 = perf_counter()
+        ctx = (
+            REQUEST_LOG.open_request(method, self.path)
+            if REQUEST_LOG.enabled
+            else None
+        )
         path, _, query = self.path.partition("?")
         if method == "GET" and path in ("/metrics", "/metrics.json"):
             # Shared scrape routes, mounted on the serving port.
             ctype, body = metrics_payload(METRICS, path)
             send_payload(self, 200, ctype, body, head_only)
+            if ctx is not None:
+                ctx.mark("respond")
+                REQUEST_LOG.finish(ctx, "metrics", 200, registry=METRICS)
             if METRICS.enabled:
                 METRICS.record_serve_request(
-                    "metrics", 200, perf_counter() - t0
+                    "metrics",
+                    200,
+                    perf_counter() - t0,
+                    request_id=ctx.request_id if ctx is not None else None,
                 )
             return
         parts = [p for p in path.split("/") if p]
         route = "unknown"
         status = 200
         try:
-            route, status, payload = self._dispatch(method, path, parts, query)
+            route, status, payload = self._dispatch(
+                method, path, parts, query, ctx
+            )
             self._reply(status, payload, head_only)
+            if ctx is not None:
+                ctx.mark("respond")
         except ServeError as exc:
             status = exc.status
             self._reply(exc.status, {"error": exc.code, "message": exc.message})
+            if ctx is not None:
+                ctx.mark("respond")
         except (BrokenPipeError, ConnectionResetError):
             status = 499  # client went away mid-request
             self.close_connection = True
         finally:
+            if ctx is not None:
+                REQUEST_LOG.finish(ctx, route, status, registry=METRICS)
             if METRICS.enabled:
-                METRICS.record_serve_request(route, status, perf_counter() - t0)
+                METRICS.record_serve_request(
+                    route,
+                    status,
+                    perf_counter() - t0,
+                    request_id=ctx.request_id if ctx is not None else None,
+                )
 
     def _dispatch(
-        self, method: str, path: str, parts: List[str], query: str
+        self,
+        method: str,
+        path: str,
+        parts: List[str],
+        query: str,
+        ctx: Optional[RequestContext] = None,
     ) -> Tuple[str, int, dict]:
         app = self.app
         if method == "GET":
             if path in ("/healthz", "/"):
                 return "healthz", 200, app.healthz()
+            if path == "/debug/requests":
+                return "debug", 200, REQUEST_LOG.debug_payload(METRICS)
             if len(parts) == 3 and parts[0] == "sessions":
                 name, action = parts[1], parts[2]
                 if action == "read":
-                    return "read", 200, app.handle_read(
-                        name, _parse_vertices(query)
-                    )
+                    vertices = _parse_vertices(query)
+                    if ctx is not None:
+                        ctx.attrs["session"] = name
+                        ctx.mark("parse")
+                    reply = app.handle_read(name, vertices)
+                    if ctx is not None:
+                        ctx.mark("snapshot")
+                    return "read", 200, reply
                 if action == "stats":
                     return "stats", 200, app.get_session(name).stats()
                 if action == "log":
                     return "log", 200, {
                         "session": name,
-                        "log": app.get_session(name).applied_log(),
+                        **app.get_session(name).applied_log(),
                     }
         elif method == "POST":
             if path == "/sessions":
                 body = self._read_json()
+                if ctx is not None:
+                    ctx.mark("parse")
                 if "edges" not in body or "algorithm" not in body:
                     raise ServeError(
                         400, "BAD_SESSION", "need 'edges' and 'algorithm'"
@@ -597,7 +714,11 @@ class _ServeHandler(BaseHTTPRequestHandler):
                     symmetric=bool(body.get("symmetric", False)),
                     num_vertices=int(body.get("num_vertices", 0)),
                     queue_bound=body.get("queue_bound"),
+                    log_bound=body.get("log_bound"),
                 )
+                if ctx is not None:
+                    ctx.attrs["session"] = served.name
+                    ctx.mark("apply")
                 stats = served.stats()
                 return "session", 201, {
                     "session": served.name,
@@ -611,13 +732,17 @@ class _ServeHandler(BaseHTTPRequestHandler):
             if len(parts) == 3 and parts[0] == "sessions":
                 name, action = parts[1], parts[2]
                 if action == "ingest":
-                    return "ingest", 200, app.handle_ingest(
-                        name, self._read_json()
-                    )
+                    body = self._read_json()
+                    if ctx is not None:
+                        ctx.attrs["session"] = name
+                        ctx.mark("parse")
+                    return "ingest", 200, app.handle_ingest(name, body, ctx)
                 if action == "update":
-                    return "update", 200, app.handle_update(
-                        name, self._read_json()
-                    )
+                    body = self._read_json()
+                    if ctx is not None:
+                        ctx.attrs["session"] = name
+                        ctx.mark("parse")
+                    return "update", 200, app.handle_update(name, body, ctx)
                 if action == "close":
                     app.close_session(name)
                     return "session", 200, {"session": name, "closed": True}

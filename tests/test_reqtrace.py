@@ -1,0 +1,461 @@
+"""Tests for request-scoped tracing (:mod:`repro.obs.reqtrace`).
+
+Covers the tail-latency attribution pipeline end to end:
+
+* stage marks partition a request's wall time (monotonic, clamped,
+  explicit-timestamp carve-outs like the express lane's classify split);
+* the queue-wait stage grows deterministically under a writer-gate pause;
+* the slow-request ring evicts oldest-first at its bound;
+* the JSONL access log round-trips through :func:`read_access_log` /
+  :func:`analyze_requests`, including the schema/monotonicity gate;
+* span links (``Tracer.linked``) land on root spans/events only, and the
+  wall-clock anchor reaches every sink and the trace file;
+* the serve HTTP surface: ``GET /debug/requests`` and the full
+  access-log + engine-trace join with 100% write coverage.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from time import perf_counter
+
+import pytest
+
+from repro.host import Accelerator
+from repro.obs import (
+    REGISTRY,
+    JsonlSink,
+    MemorySink,
+    Tracer,
+    analyze_requests,
+    read_access_log,
+    read_trace,
+    render_request_table,
+    validate_trace,
+)
+from repro.obs.metrics import Histogram
+from repro.obs.reqtrace import (
+    ACCESS_LOG_FORMAT,
+    ACCESS_LOG_VERSION,
+    REQUEST_LOG,
+    RequestContext,
+    RequestLog,
+)
+from repro.serve import ServeApp, ServeServer
+
+from tests.test_serve import EDGES, HttpClient, wait_until
+
+A = pytest.approx
+
+
+@pytest.fixture
+def app():
+    app = ServeApp()
+    yield app
+    app.close()
+
+
+def make_session(app, name="s", **kwargs):
+    return app.create_session(EDGES, "sssp", name=name, source=0, **kwargs)
+
+
+class TestRequestContext:
+    def test_explicit_marks_partition_deterministically(self):
+        ctx = RequestContext("r000001", "POST", "/sessions/s/update")
+        t0 = ctx.t_recv
+        ctx.mark("parse", t=t0 + 0.010)
+        ctx.mark("queued", t=t0 + 0.030)
+        ctx.mark("classify", t=t0 + 0.031)
+        ctx.mark("apply", t=t0 + 0.050)
+        stages, unaccounted = ctx.stages(t_end=t0 + 0.060)
+        assert stages == {
+            "parse": A(0.010),
+            "queued": A(0.020),
+            "classify": A(0.001),
+            "apply": A(0.019),
+        }
+        assert unaccounted == A(0.010)
+        # The partition is exact by construction.
+        assert sum(stages.values()) + unaccounted == A(0.060)
+
+    def test_out_of_order_mark_clamps_to_zero_not_negative(self):
+        ctx = RequestContext("r000001", "GET", "/x")
+        t0 = ctx.t_recv
+        ctx.mark("parse", t=t0 + 0.020)
+        ctx.mark("rewind", t=t0 + 0.005)  # clock ran "backwards"
+        ctx.mark("respond", t=t0 + 0.030)
+        stages, unaccounted = ctx.stages(t_end=t0 + 0.030)
+        assert stages["rewind"] == 0.0
+        # The respond stage is measured from the furthest mark seen, so
+        # the partition still sums to the wall time.
+        assert stages["respond"] == A(0.010)
+        assert sum(stages.values()) + unaccounted == A(0.030)
+
+    def test_live_marks_are_monotonic_and_sum_to_wall_time(self):
+        ctx = RequestContext("r000001", "POST", "/x")
+        ctx.mark("parse")
+        time.sleep(0.002)
+        ctx.mark("apply")
+        t_end = perf_counter()
+        stages, unaccounted = ctx.stages(t_end)
+        assert all(v >= 0.0 for v in stages.values())
+        assert unaccounted >= 0.0
+        assert sum(stages.values()) + unaccounted == A(t_end - ctx.t_recv)
+
+    def test_repeated_stage_accumulates(self):
+        ctx = RequestContext("r000001", "GET", "/x")
+        t0 = ctx.t_recv
+        ctx.mark("chunk", t=t0 + 0.010)
+        ctx.mark("other", t=t0 + 0.015)
+        ctx.mark("chunk", t=t0 + 0.025)
+        stages, _ = ctx.stages(t_end=t0 + 0.025)
+        assert stages["chunk"] == A(0.020)
+
+
+class TestRequestLog:
+    def test_ring_evicts_oldest_first(self):
+        log = RequestLog()
+        log.configure(ring_size=2, slow_threshold_s=0.0)
+        try:
+            for _ in range(3):
+                ctx = log.open_request("POST", "/x")
+                ctx.mark("respond")
+                log.finish(ctx, "update", 200)
+            payload = log.debug_payload()
+            assert payload["requests_total"] == 3
+            assert payload["slow_total"] == 3
+            assert [r["id"] for r in payload["ring"]] == ["r000002", "r000003"]
+        finally:
+            log.reset()
+
+    def test_threshold_keeps_fast_requests_out_of_the_ring(self):
+        log = RequestLog()
+        log.configure(slow_threshold_s=10.0)
+        try:
+            ctx = log.open_request("GET", "/x")
+            ctx.mark("respond")
+            log.finish(ctx, "read", 200)
+            payload = log.debug_payload()
+            assert payload["requests_total"] == 1
+            assert payload["slow_total"] == 0
+            assert payload["ring"] == []
+        finally:
+            log.reset()
+
+    def test_ring_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RequestLog().configure(ring_size=0)
+
+    def test_finish_folds_stage_histograms_with_exemplars(self):
+        log = RequestLog()
+        log.configure(slow_threshold_s=0.0)
+        REGISTRY.enable().reset()
+        try:
+            ctx = log.open_request("POST", "/sessions/s/update")
+            ctx.mark("parse")
+            ctx.mark("apply")
+            log.finish(ctx, "update", 200, registry=REGISTRY)
+            families = {
+                f["name"]: f for f in REGISTRY.snapshot()["families"]
+            }
+            family = families["repro_serve_stage_latency_seconds"]
+            labels = {tuple(sorted(s["labels"].items())) for s in family["series"]}
+            assert (("route", "update"), ("stage", "parse")) in labels
+            assert (("route", "update"), ("stage", "apply")) in labels
+            exemplar_ids = {
+                ex["id"]
+                for s in family["series"]
+                for ex in s.get("exemplars", {}).values()
+            }
+            assert ctx.request_id in exemplar_ids
+        finally:
+            REGISTRY.disable().reset()
+            log.reset()
+
+    def test_access_log_roundtrips_through_the_analyzer(self, tmp_path):
+        path = str(tmp_path / "access.jsonl")
+        log = RequestLog()
+        log.configure(path=path, slow_threshold_s=0.0)
+        try:
+            for route, marks in (
+                ("ingest", ("parse", "queued", "apply", "publish", "respond")),
+                ("read", ("parse", "snapshot", "respond")),
+            ):
+                ctx = log.open_request("POST", f"/sessions/s/{route}")
+                for stage in marks:
+                    time.sleep(0.001)
+                    ctx.mark(stage)
+                log.finish(ctx, route, 200)
+        finally:
+            log.reset()  # closes (and flushes) the file
+
+        header, records, errors = read_access_log(path)
+        assert errors == []
+        assert header["format"] == ACCESS_LOG_FORMAT
+        assert header["version"] == ACCESS_LOG_VERSION
+        assert [r["route"] for r in records] == ["ingest", "read"]
+
+        analysis = analyze_requests(path)
+        assert analysis["requests"] == 2
+        assert analysis["errors"] == []
+        assert {row["route"] for row in analysis["routes"]} == {"ingest", "read"}
+        stage_names = {
+            row["stage"] for row in analysis["stages"] if row["route"] == "ingest"
+        }
+        assert {"parse", "queued", "apply", "publish", "respond"} <= stage_names
+        attribution = analysis["attribution"]
+        assert attribution["slow_requests"] >= 1
+        # Stages were marked right up to finish(): residual is tiny.
+        assert attribution["min_share"] > 0.90
+        # The rendered table carries the acceptance-facing numbers.
+        table = render_request_table(analysis)
+        assert "slowest decile" in table
+        assert "ingest" in table
+
+    def test_analyzer_flags_schema_and_monotonicity_violations(self, tmp_path):
+        path = str(tmp_path / "bad.jsonl")
+        good = {
+            "type": "request",
+            "id": "r000001",
+            "route": "read",
+            "method": "GET",
+            "path": "/x",
+            "status": 200,
+            "wall_recv": 0.0,
+            "t_recv": 0.0,
+            "dur_s": 0.010,
+            "stages": {"parse": 0.004, "snapshot": 0.005},
+            "unaccounted": 0.001,
+        }
+        negative = dict(good, id="r000002", stages={"parse": -0.002})
+        unbalanced = dict(
+            good, id="r000003", stages={"parse": 0.001}, unaccounted=0.0
+        )
+        with open(path, "w", encoding="utf-8") as handle:
+            header = {
+                "type": "header",
+                "format": ACCESS_LOG_FORMAT,
+                "version": ACCESS_LOG_VERSION,
+                "epoch_s": 0.0,
+                "perf_counter": 0.0,
+            }
+            for record in (header, good, negative, unbalanced):
+                handle.write(json.dumps(record) + "\n")
+        header_out, records, errors = read_access_log(path)
+        assert len(records) == 1 and records[0]["id"] == "r000001"
+        assert len(errors) == 2
+        assert any("monotonic" in e for e in errors)
+
+    def test_analyzer_requires_the_header_line(self, tmp_path):
+        path = str(tmp_path / "headerless.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"type": "request"}) + "\n")
+        _, _, errors = read_access_log(path)
+        assert errors
+
+
+class TestServeSessionTracing:
+    def test_queue_wait_is_attributed_under_writer_pause(self, app):
+        served = make_session(app)
+        log = RequestLog()
+        log.configure(slow_threshold_s=0.0)
+        try:
+            served.pause_writer()
+            ctx = log.open_request("POST", "/sessions/s/update")
+            ctx.mark("parse")
+            done = threading.Event()
+            reply = {}
+
+            def submit():
+                reply["result"] = served.submit(
+                    "update", {"u": 1, "v": 3, "w": 0.5}, ctx=ctx
+                )
+                done.set()
+
+            threading.Thread(target=submit, daemon=True).start()
+            # The writer has dequeued the op and parked at the gate.
+            wait_until(
+                lambda: served._queue.unfinished_tasks == 1
+                and served._queue.qsize() == 0
+            )
+            time.sleep(0.05)
+            served.resume_writer()
+            assert done.wait(5.0)
+            record = log.finish(ctx, "update", 200)
+        finally:
+            log.reset()
+        assert reply["result"]["safe"] is True
+        stages = record["stages"]
+        # The pause is the queue wait; the gate held the op >= 50 ms.
+        assert stages["queued"] >= 0.045
+        assert {"parse", "queued", "classify", "apply", "publish"} <= set(stages)
+        assert record["attrs"]["safe"] is True
+        assert sum(stages.values()) + record["unaccounted"] == A(record["dur_s"])
+
+    def test_update_carves_classify_out_of_apply(self, app):
+        served = make_session(app)
+        log = RequestLog()
+        log.configure(slow_threshold_s=0.0)
+        try:
+            ctx = log.open_request("POST", "/sessions/s/update")
+            ctx.mark("parse")
+            served.submit("update", {"u": 1, "v": 3, "w": 0.5}, ctx=ctx)
+            record = log.finish(ctx, "update", 200)
+        finally:
+            log.reset()
+        stages = record["stages"]
+        assert stages["classify"] >= 0.0
+        assert stages["apply"] >= 0.0
+
+    def test_applied_log_bound_drops_oldest_and_counts(self, app):
+        served = make_session(app, log_bound=2)
+        new_edges = [(1, 3, 0.5), (0, 3, 2.5), (3, 1, 1.0)]
+        for u, v, w in new_edges:
+            served.submit("batch", {"insertions": [[u, v, w]]})
+        log = served.applied_log()
+        assert log["dropped"] == 1
+        assert [e["seq"] for e in log["log"]] == [2, 3]
+        stats = served.stats()
+        assert stats["log_bound"] == 2
+        assert stats["log_dropped"] == 1
+
+    def test_log_bound_must_be_positive(self, app):
+        with pytest.raises(ValueError):
+            make_session(app, log_bound=0)
+
+
+class TestSpanLinksAndAnchor:
+    def test_linked_attrs_land_on_root_spans_and_events_only(self):
+        sink = MemorySink()
+        tracer = Tracer([sink])
+        with tracer.linked(request_id="r000042"):
+            root = tracer.start("run", "incremental")
+            child = tracer.start("phase", "inner")
+            tracer.event("tick")  # under an open span: no link
+            tracer.end(child)
+            tracer.end(root)
+            tracer.event("express", safe=True)  # root level: linked
+        tracer.event("late")  # outside linked(): no link
+        by_name = {s.name: s for s in sink.spans}
+        assert by_name["incremental"].attrs["request_id"] == "r000042"
+        assert "request_id" not in by_name["inner"].attrs
+        events = {e.name: e for e in sink.events}
+        assert "request_id" not in events["tick"].attrs
+        assert events["express"].attrs["request_id"] == "r000042"
+        assert events["express"].attrs["safe"] is True
+        assert "request_id" not in events["late"].attrs
+
+    def test_anchor_reaches_memory_sink(self):
+        sink = MemorySink()
+        tracer = Tracer([sink])
+        assert sink.anchor is not None
+        assert sink.anchor["epoch_s"] == tracer.epoch_s
+        assert sink.anchor["perf_counter"] == tracer.clock_origin
+
+    def test_anchor_is_second_line_of_jsonl_trace(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer([JsonlSink(path)])
+        with tracer.span("run", "r"):
+            pass
+        tracer.close()
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle]
+        assert lines[0]["type"] == "header"
+        assert lines[1]["type"] == "anchor"
+        assert lines[1]["epoch_s"] == A(tracer.epoch_s)
+        problems = validate_trace(path)
+        assert problems == []
+        trace = read_trace(path)
+        assert trace.anchor is not None
+        assert trace.anchor["perf_counter"] == A(tracer.clock_origin)
+
+
+class TestHttpRequestTracing:
+    @pytest.fixture
+    def traced_server(self, tmp_path):
+        access = str(tmp_path / "access.jsonl")
+        trace = str(tmp_path / "trace.jsonl")
+        REQUEST_LOG.configure(path=access, slow_threshold_s=0.0)
+        REGISTRY.enable().reset()
+        tracer = Tracer([JsonlSink(trace)])
+        app = ServeApp(accelerator=Accelerator(tracer=tracer))
+        server = ServeServer(app, port=0).start()
+        try:
+            yield HttpClient(server.url), access, trace, tracer
+        finally:
+            server.stop()
+            tracer.close()
+            REQUEST_LOG.reset()
+            REGISTRY.disable().reset()
+
+    def drive(self, client):
+        status, _ = client.post(
+            "/sessions",
+            {"edges": [list(e) for e in EDGES], "algorithm": "sssp", "name": "s"},
+        )
+        assert status == 201
+        status, _ = client.post("/sessions/s/ingest", {"insertions": [[1, 3, 0.5]]})
+        assert status == 200
+        status, _ = client.post("/sessions/s/update", {"u": 0, "v": 3, "w": 0.1})
+        assert status == 200
+        status, _ = client.get("/sessions/s/read?vertices=3")
+        assert status == 200
+        # finish() runs after the response bytes go out: wait for the
+        # last record to land before scraping or analyzing.
+        wait_until(
+            lambda: REQUEST_LOG.debug_payload()["requests_total"] >= 4
+        )
+
+    def test_debug_requests_payload(self, traced_server):
+        client, _, _, _ = traced_server
+        self.drive(client)
+        status, payload = client.get("/debug/requests")
+        assert status == 200
+        assert payload["enabled"] is True
+        # The four driven requests (the /debug scrape itself is counted
+        # only after its payload is built).
+        assert payload["requests_total"] >= 4
+        assert payload["slow_total"] >= 4  # threshold 0: everything slow
+        ring_routes = {r["route"] for r in payload["ring"]}
+        assert {"session", "ingest", "update", "read"} <= ring_routes
+        for record in payload["ring"]:
+            assert record["stages"]
+            assert record["unaccounted"] >= 0.0
+        histograms = {f["name"] for f in payload["histograms"]}
+        assert "repro_serve_stage_latency_seconds" in histograms
+        assert "repro_serve_request_latency_seconds" in histograms
+
+    def test_access_log_joins_engine_trace_end_to_end(self, traced_server):
+        client, access, trace, tracer = traced_server
+        self.drive(client)
+        REQUEST_LOG.flush()
+        tracer.flush()
+        analysis = analyze_requests(access, trace_path=trace)
+        assert analysis["errors"] == []
+        assert analysis["requests"] >= 4
+        engine = analysis["engine"]
+        # Both writes matched: the ingest batch via its run span's
+        # request_id link, the safe update via its express event.
+        assert engine["writes"] == 2
+        assert engine["matched"] == 2
+        assert engine["coverage"] == 1.0
+        assert engine["run_spans_linked"] >= 1
+        assert engine["express_events_linked"] >= 1
+        # Both files carry wall-clock anchors taken moments apart.
+        assert abs(engine["clock_offset_s"]) < 5.0
+        table = render_request_table(analysis)
+        assert "engine join" in table
+
+
+class TestHistogramExemplars:
+    def test_observe_records_last_exemplar_per_bucket(self):
+        h = Histogram("h", [0.1, 1.0])
+        h.observe(0.05, exemplar="a")
+        h.observe(0.07, exemplar="b")  # same bucket: last write wins
+        h.observe(5.0, exemplar="c")  # overflow bucket
+        h.observe(0.5)  # no exemplar: bucket untouched
+        assert h.exemplars[0] == {"id": "b", "value": 0.07}
+        assert h.exemplars[2] == {"id": "c", "value": 5.0}
+        assert 1 not in h.exemplars

@@ -100,8 +100,9 @@ class TestServeSessionCore:
         served.submit("batch", {"insertions": [[1, 3, 0.5]]})
         served.submit("update", {"u": 0, "v": 3, "w": 9.0, "op": "insert"})
         log = served.applied_log()
-        assert [entry["kind"] for entry in log] == ["batch", "update"]
-        assert [entry["seq"] for entry in log] == [1, 2]
+        assert log["dropped"] == 0
+        assert [entry["kind"] for entry in log["log"]] == ["batch", "update"]
+        assert [entry["seq"] for entry in log["log"]] == [1, 2]
 
     def test_writer_error_is_rethrown_in_the_submitter(self, app):
         served = make_session(app)
