@@ -81,6 +81,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_args(query)
     _add_trace_args(query)
     query.add_argument("--top", type=int, default=10, help="results to print")
+    query.add_argument(
+        "--at-versions",
+        type=int,
+        metavar="N",
+        help="multi-version mode: apply N seeded update batches with "
+        "versioning enabled, then evaluate the query at every recorded "
+        "version through one shared common-graph convergence "
+        "(Session.run_at_versions)",
+    )
+    query.add_argument(
+        "--batch-size",
+        type=int,
+        default=50,
+        help="update batch size between versions (--at-versions mode)",
+    )
+    query.add_argument(
+        "--insertion-ratio",
+        type=float,
+        default=0.5,
+        help="insert share of each version's batch (--at-versions mode)",
+    )
+    query.add_argument(
+        "--seed", type=int, default=0, help="stream seed (--at-versions mode)"
+    )
 
     stream = sub.add_parser("stream", help="streaming evaluation")
     _add_graph_args(stream)
@@ -90,8 +114,13 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--insertion-ratio", type=float, default=0.7)
     stream.add_argument(
         "--policy",
+        "--delete-policy",
+        dest="policy",
         choices=[p.value for p in DeletePolicy],
         default=DeletePolicy.DAP.value,
+        help="deletion policy: base/vap/dap recovery, or commongraph "
+        "(deletion-to-addition conversion; selective algorithms only, "
+        "accumulative ones fall through to DAP)",
     )
     stream.add_argument("--updates", help="update-stream file (see repro.graph.io)")
     stream.add_argument("--seed", type=int, default=0)
@@ -172,6 +201,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--source", type=int, default=0)
     serve.add_argument(
         "--policy",
+        "--delete-policy",
+        dest="policy",
         choices=[p.value for p in DeletePolicy],
         default=DeletePolicy.DAP.value,
     )
@@ -256,7 +287,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_check.add_argument(
         "--suite",
-        choices=["engine", "trace", "stream", "sharded", "latency", "serve", "all"],
+        choices=[
+            "engine",
+            "trace",
+            "stream",
+            "sharded",
+            "latency",
+            "serve",
+            "commongraph",
+            "all",
+        ],
         default="all",
         help="which benchmark suite(s) to run",
     )
@@ -284,6 +324,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_check.add_argument(
         "--baseline-serve", help="override the serve-suite baseline path"
+    )
+    bench_check.add_argument(
+        "--baseline-commongraph",
+        help="override the commongraph-suite baseline path",
     )
     bench_check.add_argument(
         "--update-baselines",
@@ -428,9 +472,80 @@ def _load_graph(args) -> DynamicGraph:
     return DynamicGraph.from_edges(edges)
 
 
+def _run_query_at_versions(args, graph, algorithm) -> int:
+    """``repro query --at-versions N``: shared-prefix multi-version mode.
+
+    Applies N seeded update batches through a versioned session, then
+    evaluates the query at every recorded version with one common-graph
+    convergence fanned out into per-version addition passes.
+    """
+    from repro.host import Accelerator
+
+    accel = Accelerator()
+    session = None
+    try:
+        edges = [
+            (int(u), int(v), float(w)) for u, v, w in zip(*graph.edge_arrays())
+        ]
+        if algorithm.needs_symmetric:
+            # load_graph re-mirrors; hand it each undirected edge once.
+            edges = [(u, v, w) for u, v, w in edges if u <= v]
+        session = accel.load_graph(
+            edges, graph.num_vertices, symmetric=algorithm.needs_symmetric
+        )
+        session.configure(
+            args.algorithm,
+            source=args.source,
+            engine=args.engine,
+            num_engines=args.num_engines,
+            backend=args.backend,
+        )
+        session.enable_versioning()
+        session.run()
+        generator = StreamGenerator(
+            session.graph, seed=args.seed, insertion_ratio=args.insertion_ratio
+        )
+        for _ in range(args.at_versions):
+            batch = generator.next_batch(args.batch_size)
+            session.push_updates(
+                [(e.u, e.v, e.w) for e in batch.insertions],
+                [(e.u, e.v) for e in batch.deletions],
+            )
+            session.run()
+        result = session.run_at_versions(0)
+        mode = (
+            "shared common-graph prefix"
+            if result.shared
+            else "independent per-version evaluations (accumulative fallback)"
+        )
+        print(
+            f"{args.algorithm} at versions "
+            f"{result.versions[0]}..{result.versions[-1]} ({mode})"
+        )
+        if result.shared:
+            print(
+                f"common graph: {result.common_edges:,} edges, "
+                f"{result.common_events:,} events (converged once)"
+            )
+        print(f"{'version':>8} {'vertices':>9} {'events':>9}")
+        for ver in result.versions:
+            print(
+                f"{ver:>8} {result.states[ver].shape[0]:>9} "
+                f"{result.per_version_events[ver]:>9}"
+            )
+        print(f"total events: {result.total_events:,}")
+    finally:
+        if session is not None:
+            session.close()
+        accel.close()
+    return 0
+
+
 def cmd_query(args) -> int:
     graph = _load_graph(args)
     algorithm = make_algorithm(args.algorithm, source=args.source)
+    if args.at_versions:
+        return _run_query_at_versions(args, graph, algorithm)
     tracer, memory = _make_tracer(args)
     metrics_on, server = _start_metrics(args)
     engine = JetStreamEngine(
@@ -776,6 +891,8 @@ def cmd_bench(args) -> int:
         baseline_paths["latency"] = args.baseline_latency
     if args.baseline_serve:
         baseline_paths["serve"] = args.baseline_serve
+    if args.baseline_commongraph:
+        baseline_paths["commongraph"] = args.baseline_commongraph
     tolerance = (
         args.tolerance if args.tolerance is not None else bench_gate.DEFAULT_TOLERANCE
     )

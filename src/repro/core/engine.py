@@ -218,6 +218,47 @@ class EngineCore:
         if self._shard_plan is not None:
             self._shard_plan = extend_partition(self._shard_plan, num_vertices)
 
+    def reset_states(self, num_vertices: Optional[int] = None) -> None:
+        """Return every vertex to Identity without discarding the topology.
+
+        Unlike :meth:`allocate`, this keeps the installed slice assignment
+        and shard plan intact — a common-graph pass binds a *smaller* edge
+        set over the same vertex range, and repartitioning there would give
+        the base and addition phases different vertex→engine maps (and
+        nondeterministic shard ids between them). The fill happens in place,
+        so shared-memory views stay valid for the process backend.
+        """
+        target = self.states.shape[0] if num_vertices is None else num_vertices
+        if self.states.shape[0] == 0:
+            self.allocate(target)
+            return
+        self.states.fill(self.algorithm.identity)
+        self.dependency.fill(NO_SOURCE)
+        if target > self.states.shape[0]:
+            self.grow(target)
+
+    def load_states(
+        self, states: np.ndarray, dependency: Optional[np.ndarray] = None
+    ) -> None:
+        """Install a previously converged state vector as the base state.
+
+        The addition-only passes (COMMONGRAPH batches, multi-version
+        evaluation) start from a converged prefix instead of Identity:
+        ``states[:n]`` is copied in, any vertices beyond ``n`` (created by
+        later insertions) start at Identity. Slice assignment and shard
+        plan survive, same as :meth:`reset_states`.
+        """
+        n = states.shape[0]
+        if self.states.shape[0] == 0:
+            self.allocate(n)
+        elif self.states.shape[0] < n:
+            self.grow(n)
+        self.states.fill(self.algorithm.identity)
+        self.dependency.fill(NO_SOURCE)
+        self.states[:n] = states
+        if dependency is not None:
+            self.dependency[:n] = dependency
+
     def _assign_slices(self, num_vertices: int) -> None:
         capacity = self.config.queue_capacity_vertices(self.event_bytes)
         self.num_slices = max(1, -(-num_vertices // capacity)) if num_vertices else 1

@@ -199,6 +199,17 @@ class JetStreamEngine:
                 f"{algorithm.name} requires a symmetric graph "
                 "(DynamicGraph(symmetric=True))"
             )
+        #: Policy the caller asked for, before normalization. COMMONGRAPH
+        #: requires a monotonic selective fixed point (a subgraph result
+        #: must be a safe under-approximation that additions only improve);
+        #: accumulative algorithms fall through to DAP, which their own
+        #: normalization below narrows further to BASE.
+        self.requested_policy = policy
+        if (
+            policy is DeletePolicy.COMMONGRAPH
+            and algorithm.kind is AlgorithmKind.ACCUMULATIVE
+        ):
+            policy = DeletePolicy.DAP
         if algorithm.kind is AlgorithmKind.ACCUMULATIVE and policy is not DeletePolicy.BASE:
             # VAP/DAP only affect the selective recovery phase; accumulative
             # deletion uses negative events (§3.3). Normalize to BASE so the
@@ -356,7 +367,13 @@ class JetStreamEngine:
             stream_records=batch.size,
         ):
             if self.algorithm.kind is AlgorithmKind.SELECTIVE:
-                result = self._apply_selective(batch)
+                if self.policy.converts_deletions and batch.deletions:
+                    # Deletion-to-addition conversion: no recovery phase at
+                    # all. Insertion-only batches take the ordinary selective
+                    # flow (its delete phase is a no-op on an empty set).
+                    result = self._apply_commongraph(batch)
+                else:
+                    result = self._apply_selective(batch)
             else:
                 result = self._apply_accumulative(batch)
         if METRICS.enabled:
@@ -459,6 +476,108 @@ class JetStreamEngine:
             metrics=metrics,
             graph_version=self.graph.version,
             impacted=impacted,
+            queue_stats=queue.lifetime_stats(),
+        )
+
+    # -- commongraph flow (deletion-to-addition conversion) ------------
+    def _apply_commongraph(self, batch: UpdateBatch) -> StreamingResult:
+        """CommonGraph policy: converge the common graph, add the rest.
+
+        Deletions never propagate. The engine returns to Identity and
+        converges once on the *common graph* — the current edge set minus
+        the directed delete set — then the batch's insertions run as a pure
+        addition pass on the mutated graph. A monotonic selective fixed
+        point is independent of the order edges arrive in, so the final
+        states are bit-identical to the VAP/DAP recovery path; what
+        disappears is the reset cascade, which on deletion-heavy batches
+        dominates the recovery cost (Fig. 10). The converged common state
+        is also the shareable prefix behind :func:`evaluate_at_versions`.
+
+        Slice assignment and shard plan survive the pass (see
+        :meth:`EngineCore.reset_states`), so sharded runs keep the same
+        vertex→engine map across the common and addition phases.
+        """
+        core = self.core
+        algorithm = self.algorithm
+        metrics = RunMetrics()
+        old_csr = self.graph.snapshot()
+        old_n = old_csr.num_vertices
+
+        if self._array_seeds:
+            du, dv, _dw = self._directed_deletions_arrays(batch)
+            insertions = self._directed_insertions_arrays(batch)
+        else:
+            dels = self._directed_deletions(batch)
+            m = len(dels)
+            du = np.fromiter((e[0] for e in dels), dtype=np.int64, count=m)
+            dv = np.fromiter((e[1] for e in dels), dtype=np.int64, count=m)
+            insertions = self._directed_insertions(batch)
+
+        eu, ev, ew = self.graph.edge_arrays()
+        keep = ~self._edge_key_member(eu, ev, du, dv, old_n)
+        from repro.graph.csr import CSRGraph
+
+        common_csr = CSRGraph.from_arrays(old_n, eu[keep], ev[keep], ew[keep])
+
+        # Phase 1: full convergence on the common graph from Identity.
+        tracer = core.tracer
+        common_phase = metrics.phase("common-convergence")
+        core.reset_states(old_n)
+        core.bind_graph(common_csr)
+        queue = core.new_queue()
+        with tracer.phase(common_phase):
+            work = common_phase.new_round()
+            with tracer.round(work, queue), METRICS.round_scope(work, queue):
+                core.seed_initial(queue, work)
+            core.run_regular(queue, common_phase)
+        if METRICS.enabled:
+            METRICS.record_phase(common_phase)
+
+        # Mutate; the batch's insertions are priced on the new structure.
+        self._mutate_graph(batch)
+        new_csr = self.graph.snapshot()
+        core.grow(new_csr.num_vertices)
+        core.bind_graph(new_csr)
+
+        # Phase 2: pure addition pass — the converged common state only
+        # ever improves from here (monotonicity), nothing resets.
+        addition_phase = metrics.phase("addition-pass")
+        with tracer.phase(addition_phase):
+            work = addition_phase.new_round()
+            with tracer.round(work, queue), METRICS.round_scope(work, queue):
+                if self._array_seeds:
+                    iu, iv, iw = insertions
+                    mi = len(iu)
+                    work.vertex_reads += mi
+                    work.events_generated += mi
+                    if mi:
+                        degrees, wsums = self._source_ctx(new_csr, iu)
+                        payloads = algorithm.propagate_ctx_arrays(
+                            core.states[iu], iw, degrees, wsums
+                        )
+                        queue.insert_batch(
+                            EventBatch.from_arrays(iv, payloads, 0, iu), work
+                        )
+                else:
+                    buf = _SeedBuffer()
+                    for u, v, w in insertions:
+                        payload = algorithm.propagate(
+                            float(core.states[u]), w, SourceContext.of(new_csr, u)
+                        )
+                        work.vertex_reads += 1
+                        work.events_generated += 1
+                        buf.add(v, payload, 0, u)
+                    buf.flush(queue, work)
+                self._seed_new_vertices(queue, work, old_n, new_csr.num_vertices)
+            core.run_regular(queue, addition_phase)
+        if METRICS.enabled:
+            METRICS.record_phase(addition_phase)
+
+        return StreamingResult(
+            states=core.states.copy(),
+            metrics=metrics,
+            graph_version=self.graph.version,
+            impacted=[],
             queue_stats=queue.lifetime_stats(),
         )
 
@@ -1069,3 +1188,202 @@ class JetStreamEngine:
             if payload is not None:
                 work.events_generated += 1
                 queue.insert(Event(v, payload, 0, NO_SOURCE), work)
+
+
+# ----------------------------------------------------------------------
+# Shared-prefix multi-version evaluation (CommonGraph work sharing)
+# ----------------------------------------------------------------------
+@dataclass
+class MultiVersionResult:
+    """Outcome of :func:`evaluate_at_versions` over a version range."""
+
+    #: Evaluated versions, ascending.
+    versions: List[int]
+    #: Converged states per version (length = that version's vertex count).
+    states: Dict[int, np.ndarray]
+    #: Events processed by each per-version addition pass.
+    per_version_events: Dict[int, int]
+    #: Events spent converging the shared common graph (once).
+    common_events: int
+    #: Directed edge count of the shared common graph.
+    common_edges: int
+    #: True when the versions shared one converged common prefix
+    #: (selective algorithms); False for the independent fallback.
+    shared: bool
+
+    @property
+    def total_events(self) -> int:
+        """All events processed across the common + per-version passes."""
+        return self.common_events + sum(self.per_version_events.values())
+
+
+def _seed_fresh_vertices(algorithm, queue, work, old_n: int, new_n: int) -> None:
+    """Initial events owed to vertices outside the common prefix."""
+    if new_n <= old_n:
+        return
+    if algorithm.supports_vectorized:
+        targets, payloads = algorithm.seed_events_for_new_vertices(old_n, new_n)
+        work.events_generated += len(targets)
+        if len(targets):
+            queue.insert_batch(
+                EventBatch.from_arrays(targets, payloads, 0, NO_SOURCE), work
+            )
+        return
+    for v in range(old_n, new_n):
+        payload = algorithm.seed_event_for_new_vertex(v)
+        if payload is not None:
+            work.events_generated += 1
+            queue.insert(Event(v, payload, 0, NO_SOURCE), work)
+
+
+def evaluate_at_versions(
+    store,
+    algorithm,
+    versions,
+    config: Optional[AcceleratorConfig] = None,
+    engine: str = "auto",
+    num_engines: int = 8,
+    backend: str = "thread",
+    tracer=None,
+) -> MultiVersionResult:
+    """Evaluate ``algorithm`` at several recorded graph versions at once.
+
+    For monotonic selective algorithms the versions share one converged
+    prefix: the store's :meth:`~repro.graph.dynamic.DeltaVersionStore.
+    common_slice` extracts the edge set common to every requested version,
+    the engine converges on it exactly once, and each version is then an
+    addition-only pass from that base state (CommonGraph work sharing —
+    the same conversion :class:`DeletePolicy.COMMONGRAPH` applies to one
+    batch, amortized across snapshots). Accumulative algorithms fall back
+    to independent cold evaluations per version (``shared=False``).
+
+    ``store`` is a :class:`~repro.graph.dynamic.DeltaVersionStore`;
+    ``versions`` any iterable of recorded version numbers (deduplicated,
+    evaluated ascending). Raises ``KeyError`` for unrecorded or evicted
+    versions.
+    """
+    versions = sorted({int(v) for v in versions})
+    if not versions:
+        raise ValueError("versions must be non-empty")
+    from repro.graph.csr import CSRGraph
+
+    if algorithm.kind is not AlgorithmKind.SELECTIVE:
+        return _evaluate_versions_independent(
+            store, algorithm, versions, config, engine, num_engines, backend, tracer
+        )
+
+    slice_ = store.common_slice(versions)
+    common_csr = CSRGraph(slice_.common_vertices, slice_.common_edges)
+    core = EngineCore(
+        algorithm,
+        config or AcceleratorConfig(),
+        DeletePolicy.COMMONGRAPH,
+        engine=engine,
+        num_engines=num_engines,
+        backend=backend,
+        tracer=tracer,
+    )
+    metrics = RunMetrics()
+    states: Dict[int, np.ndarray] = {}
+    per_version_events: Dict[int, int] = {}
+    try:
+        tracer_ = core.tracer
+        # Converge the shared common graph once, from Identity.
+        common_phase = metrics.phase("common-convergence")
+        core.allocate(slice_.common_vertices)
+        core.bind_graph(common_csr)
+        queue = core.new_queue()
+        with tracer_.phase(common_phase):
+            work = common_phase.new_round()
+            with tracer_.round(work, queue), METRICS.round_scope(work, queue):
+                core.seed_initial(queue, work)
+            core.run_regular(queue, common_phase)
+        base_states = core.states[: slice_.common_vertices].copy()
+        common_events = common_phase.events_processed
+
+        # Fan out: every version is a pure addition pass from the base.
+        # The shard plan installed by the first bind survives (load_states
+        # never repartitions), so all passes share one vertex→engine map.
+        for ver in versions:
+            n_v = slice_.vertices[ver]
+            additions = slice_.additions[ver]
+            phase = metrics.phase(f"addition-pass@v{ver}")
+            core.load_states(base_states)
+            csr_v = CSRGraph(n_v, list(slice_.common_edges) + list(additions))
+            core.grow(n_v)
+            core.bind_graph(csr_v)
+            queue = core.new_queue()
+            with tracer_.phase(phase):
+                work = phase.new_round()
+                with tracer_.round(work, queue), METRICS.round_scope(work, queue):
+                    buf = _SeedBuffer()
+                    for u, v, w in additions:
+                        payload = algorithm.propagate(
+                            float(core.states[u]), w, SourceContext.of(csr_v, u)
+                        )
+                        work.vertex_reads += 1
+                        work.events_generated += 1
+                        buf.add(v, payload, 0, u)
+                    buf.flush(queue, work)
+                    _seed_fresh_vertices(
+                        algorithm, queue, work, slice_.common_vertices, n_v
+                    )
+                core.run_regular(queue, phase)
+            states[ver] = core.states[:n_v].copy()
+            per_version_events[ver] = phase.events_processed
+    finally:
+        core.close()
+    return MultiVersionResult(
+        versions=versions,
+        states=states,
+        per_version_events=per_version_events,
+        common_events=common_events,
+        common_edges=len(slice_.common_edges),
+        shared=True,
+    )
+
+
+def _evaluate_versions_independent(
+    store, algorithm, versions, config, engine, num_engines, backend, tracer
+) -> MultiVersionResult:
+    """Per-version cold evaluation — no shareable prefix (accumulative)."""
+    from repro.graph.csr import CSRGraph  # noqa: F401  (parity of imports)
+
+    core = EngineCore(
+        algorithm,
+        config or AcceleratorConfig(),
+        DeletePolicy.BASE,
+        engine=engine,
+        num_engines=num_engines,
+        backend=backend,
+        tracer=tracer,
+    )
+    metrics = RunMetrics()
+    states: Dict[int, np.ndarray] = {}
+    per_version_events: Dict[int, int] = {}
+    try:
+        for ver in versions:
+            csr = store.reconstruct(ver)
+            phase = metrics.phase(f"cold@v{ver}")
+            core.allocate(csr.num_vertices)
+            core.bind_graph(csr)
+            queue = core.new_queue()
+            with core.tracer.phase(phase):
+                work = phase.new_round()
+                with core.tracer.round(work, queue), METRICS.round_scope(
+                    work, queue
+                ):
+                    core.seed_initial(queue, work)
+                core.run_regular(queue, phase)
+            states[ver] = core.states.copy()
+            per_version_events[ver] = phase.events_processed
+    finally:
+        core.close()
+    return MultiVersionResult(
+        versions=list(versions),
+        states=states,
+        per_version_events=per_version_events,
+        common_events=0,
+        common_edges=0,
+        shared=False,
+    )

@@ -8,7 +8,12 @@ paper.
 """
 
 from repro.graph.csr import CSRGraph
-from repro.graph.dynamic import DeltaVersionStore, DynamicGraph, GraphVersionStore
+from repro.graph.dynamic import (
+    CommonSlice,
+    DeltaVersionStore,
+    DynamicGraph,
+    GraphVersionStore,
+)
 from repro.graph import analysis
 from repro.graph import generators
 from repro.graph import datasets
@@ -16,6 +21,7 @@ from repro.graph.partition import partition_graph, PartitionResult
 
 __all__ = [
     "CSRGraph",
+    "CommonSlice",
     "DeltaVersionStore",
     "DynamicGraph",
     "GraphVersionStore",

@@ -39,6 +39,7 @@ masks instead of a full Python-filtered rebuild.
 from __future__ import annotations
 
 import warnings
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
@@ -617,6 +618,30 @@ class DynamicGraph:
         )
 
 
+@dataclass
+class CommonSlice:
+    """A version set decomposed into a shared prefix plus per-version adds.
+
+    ``common_edges`` is the directed edge set present *with the same
+    weight* in every requested version; ``additions[v]`` are the edges of
+    version ``v`` outside that set. By construction
+    ``common_edges + additions[v]`` is exactly version ``v``'s edge set,
+    so any monotonic selective query can converge on the common graph once
+    and extend per version by pure insertions (CommonGraph work sharing).
+    """
+
+    #: Requested versions, ascending.
+    versions: List[int]
+    #: Directed edges shared by every version (sorted ``(u, v)`` order).
+    common_edges: List[Edge]
+    #: Vertex count of the common graph (minimum over the versions).
+    common_vertices: int
+    #: version -> edges of that version not in ``common_edges``.
+    additions: Dict[int, List[Edge]]
+    #: version -> that version's vertex count.
+    vertices: Dict[int, int]
+
+
 class DeltaVersionStore:
     """Delta-encoded graph version history (Version Traveler substitute).
 
@@ -629,12 +654,26 @@ class DeltaVersionStore:
     Reconstruction rolls forward from the last reconstructed version when
     the requested one is newer, instead of replaying the full delta log
     from base every time.
+
+    ``keep_versions`` bounds retention for long-running services: when
+    more than that many versions are reconstructible, the oldest deltas
+    fold into the base edge list and their versions become unreachable
+    (``KeyError`` — surfaced as ``VERSION_EVICTED`` over HTTP). ``None``
+    (default) retains everything.
     """
 
-    def __init__(self, graph: DynamicGraph):
+    def __init__(self, graph: DynamicGraph, keep_versions: Optional[int] = None):
+        if keep_versions is not None and keep_versions < 1:
+            raise ValueError("keep_versions must be >= 1 (or None)")
         self.graph = graph
+        self.keep_versions = keep_versions
         self._base_version = graph.version
-        self._base_edges: List[Edge] = sorted(graph.edges())
+        #: Base edge set as a dict so retention folds are O(delta), not
+        #: O(E log E) — a long-running serve session evicts one delta per
+        #: write once the bound is reached, so the fold is on the hot path.
+        self._base_edges: Dict[Tuple[int, int], float] = {
+            (u, v): w for u, v, w in graph.edges()
+        }
         self._base_vertices = graph.num_vertices
         #: version -> (insertions, deletion keys), ordered.
         self._deltas: List[Tuple[int, List[Edge], List[Tuple[int, int]]]] = []
@@ -642,32 +681,44 @@ class DeltaVersionStore:
         self._cursor: Optional[
             Tuple[int, Dict[Tuple[int, int], float], int]
         ] = None
+        self._evicted_versions = 0
 
     def record_batch(
         self, insertions: Iterable[Edge], deletions: Iterable[Tuple[int, int]]
     ) -> None:
         """Record the delta that produced the graph's *current* version.
 
-        Call right after ``graph.apply_batch(insertions, deletions)``.
+        Call right after ``graph.apply_batch(insertions, deletions)`` with
+        the same *logical* edges; on symmetric graphs the mirrors the
+        mutation added implicitly are expanded here, so reconstructions
+        stay symmetric.
         """
-        self._deltas.append(
-            (self.graph.version, list(insertions), list(deletions))
-        )
+        ins = list(insertions)
+        dels = list(deletions)
+        if self.graph.symmetric:
+            ins = [
+                d
+                for u, v, w in ins
+                for d in (((u, v, w), (v, u, w)) if u != v else ((u, v, w),))
+            ]
+            dels = [
+                d
+                for u, v in dels
+                for d in (((u, v), (v, u)) if u != v else ((u, v),))
+            ]
+        self._deltas.append((self.graph.version, ins, dels))
+        self._enforce_retention()
 
     def versions(self) -> List[int]:
         """All reconstructible versions, oldest first."""
         return [self._base_version] + [v for v, _, _ in self._deltas]
 
-    def reconstruct(self, version: int) -> CSRGraph:
-        """Rebuild the CSR snapshot of ``version`` from base + deltas.
-
-        Monotone access patterns (the common replay loop) are O(delta) per
-        call: the store keeps the edge dict of the last reconstructed
-        version and rolls forward from it when the requested version is
-        newer, falling back to a from-base replay otherwise.
-        """
+    def _edges_at(
+        self, version: int
+    ) -> Tuple[Dict[Tuple[int, int], float], int]:
+        """Edge dict + vertex count of ``version`` (cursor-accelerated)."""
         if version == self._base_version:
-            return CSRGraph(self._base_vertices, self._base_edges)
+            return dict(self._base_edges), self._base_vertices
         if version not in (v for v, _, _ in self._deltas):
             raise KeyError(f"version {version} not recorded")
         if self._cursor is not None and self._cursor[0] <= version:
@@ -675,7 +726,7 @@ class DeltaVersionStore:
             edges = dict(edges)
         else:
             start_version = self._base_version
-            edges = {(u, v): w for u, v, w in self._base_edges}
+            edges = dict(self._base_edges)
             num_vertices = self._base_vertices
         for delta_version, insertions, deletions in self._deltas:
             if delta_version <= start_version:
@@ -688,15 +739,107 @@ class DeltaVersionStore:
                 edges[(u, v)] = w
                 num_vertices = max(num_vertices, u + 1, v + 1)
         self._cursor = (version, edges, num_vertices)
+        return dict(edges), num_vertices
+
+    def reconstruct(self, version: int) -> CSRGraph:
+        """Rebuild the CSR snapshot of ``version`` from base + deltas.
+
+        Monotone access patterns (the common replay loop) are O(delta) per
+        call: the store keeps the edge dict of the last reconstructed
+        version and rolls forward from it when the requested version is
+        newer, falling back to a from-base replay otherwise. Raises
+        ``KeyError`` for versions never recorded or already evicted by the
+        retention bound.
+        """
+        edges, num_vertices = self._edges_at(version)
         return CSRGraph(
             num_vertices, [(u, v, w) for (u, v), w in sorted(edges.items())]
         )
+
+    def common_slice(self, versions: Iterable[int]) -> CommonSlice:
+        """Decompose ``versions`` into a common graph + per-version adds.
+
+        The common edge set keeps every directed edge that appears in all
+        requested versions *with the same weight* (a weight change makes
+        the edge version-specific on both sides). Raises ``KeyError`` if
+        any version is unrecorded or evicted.
+        """
+        vers = sorted({int(v) for v in versions})
+        if not vers:
+            raise ValueError("versions must be non-empty")
+        per_version: Dict[int, Tuple[Dict[Tuple[int, int], float], int]] = {}
+        for ver in vers:
+            per_version[ver] = self._edges_at(ver)
+        first_edges, _ = per_version[vers[0]]
+        common: Dict[Tuple[int, int], float] = dict(first_edges)
+        for ver in vers[1:]:
+            edges, _ = per_version[ver]
+            common = {
+                key: w
+                for key, w in common.items()
+                if edges.get(key) == w
+            }
+        additions = {
+            ver: [
+                (u, v, w)
+                for (u, v), w in sorted(per_version[ver][0].items())
+                if common.get((u, v)) != w
+            ]
+            for ver in vers
+        }
+        return CommonSlice(
+            versions=vers,
+            common_edges=[(u, v, w) for (u, v), w in sorted(common.items())],
+            common_vertices=min(n for _, n in per_version.values()),
+            additions=additions,
+            vertices={ver: per_version[ver][1] for ver in vers},
+        )
+
+    def _enforce_retention(self) -> None:
+        """Fold oldest deltas into the base until the bound is met."""
+        if self.keep_versions is None:
+            return
+        while len(self._deltas) + 1 > self.keep_versions:
+            version, insertions, deletions = self._deltas.pop(0)
+            for key in deletions:
+                self._base_edges.pop(key, None)
+            for u, v, w in insertions:
+                self._base_edges[(u, v)] = w
+                self._base_vertices = max(
+                    self._base_vertices, u + 1, v + 1
+                )
+            self._base_version = version
+            self._evicted_versions += 1
+            # A cursor parked on a folded version would alias the new base;
+            # drop it rather than reason about partial replays.
+            if self._cursor is not None and self._cursor[0] <= version:
+                self._cursor = None
 
     def delta_bytes(self) -> int:
         """Approximate storage of the delta log (16 B per record)."""
         return sum(
             16 * (len(ins) + len(dels)) for _, ins, dels in self._deltas
         )
+
+    def stats(self) -> Dict[str, Optional[int]]:
+        """Retention/footprint counters for ops surfaces.
+
+        ``versions_held`` counts reconstructible versions (base + deltas);
+        ``evicted_versions`` how many the retention bound has folded away.
+        """
+        held = self.versions()
+        return {
+            "versions_held": len(held),
+            "oldest_version": held[0],
+            "newest_version": held[-1],
+            "delta_records": sum(
+                len(ins) + len(dels) for _, ins, dels in self._deltas
+            ),
+            "delta_bytes": self.delta_bytes(),
+            "evicted_versions": self._evicted_versions,
+            "keep_versions": self.keep_versions,
+            "base_edges": len(self._base_edges),
+        }
 
 
 class GraphVersionStore:

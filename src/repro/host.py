@@ -31,9 +31,14 @@ from repro.algorithms import make_algorithm
 from repro.core.config import AcceleratorConfig
 from repro.core.policies import DeletePolicy
 from repro.core.fastpath import EXPRESS_STAT_KEYS, ExpressLane, ExpressResult
-from repro.core.streaming import JetStreamEngine, StreamingResult
+from repro.core.streaming import (
+    JetStreamEngine,
+    MultiVersionResult,
+    StreamingResult,
+    evaluate_at_versions,
+)
 from repro.graph.csr import EDGE_ENTRY_BYTES, VERTEX_STATE_BYTES
-from repro.graph.dynamic import DynamicGraph, build_symmetric_graph
+from repro.graph.dynamic import DeltaVersionStore, DynamicGraph, build_symmetric_graph
 from repro.obs.metrics import REGISTRY as METRICS
 from repro.obs.tracer import NULL_TRACER
 from repro.streams import Edge, UpdateBatch
@@ -68,6 +73,8 @@ class Session:
         self._pending: Optional[UpdateBatch] = None
         self._last_result: Optional[StreamingResult] = None
         self._express: Optional[ExpressLane] = None
+        self._version_store: Optional[DeltaVersionStore] = None
+        self._engine_opts = {"engine": "auto", "num_engines": 8, "backend": "thread"}
         self._closed = False
         self.transfers = TransferStats()
         # Initial CSR upload: out + in structures plus vertex states.
@@ -143,12 +150,43 @@ class Session:
             backend=backend,
             tracer=self._accelerator.tracer,
         )
+        self._engine_opts = {
+            "engine": engine,
+            "num_engines": num_engines,
+            "backend": backend,
+        }
         # A new engine has no results: drop the previous query's state so
         # run() performs the initial evaluation instead of demanding a
         # batch for an engine that never ran initial_compute().
         self._last_result = None
         self._express = None
         return self
+
+    def enable_versioning(
+        self, keep_versions: Optional[int] = None
+    ) -> "Session":
+        """Start recording graph versions for time-travel queries.
+
+        From this point every applied batch (:meth:`run`) and express
+        single (:meth:`apply_update`) is logged as a delta in a
+        :class:`~repro.graph.dynamic.DeltaVersionStore`, making historical
+        versions reconstructible and enabling
+        :meth:`run_at_versions`. ``keep_versions`` bounds retention (older
+        versions fold into the base and report ``KeyError`` — the serve
+        layer surfaces that as ``VERSION_EVICTED``); ``None`` keeps all.
+        Re-enabling rebases the store on the current version.
+        """
+        if self._closed:
+            raise HostApiError("session is closed")
+        self._version_store = DeltaVersionStore(
+            self._graph, keep_versions=keep_versions
+        )
+        return self
+
+    @property
+    def version_store(self) -> Optional[DeltaVersionStore]:
+        """The delta version store (None until :meth:`enable_versioning`)."""
+        return self._version_store
 
     def push_updates(
         self,
@@ -181,7 +219,65 @@ class Session:
             self._last_result = self._engine.apply_batch(batch)
             # The host swaps a fresh CSR pointer after each batch (§4.7).
             self._record_transfer("graph_uploads", 2 * batch.size * EDGE_ENTRY_BYTES)
+            if self._version_store is not None:
+                self._version_store.record_batch(
+                    [(e.u, e.v, e.w) for e in batch.insertions],
+                    [(e.u, e.v) for e in batch.deletions],
+                )
         return self._last_result
+
+    def run_at_versions(
+        self, v_lo: int, v_hi: Optional[int] = None
+    ) -> MultiVersionResult:
+        """Evaluate the configured query at every retained version in range.
+
+        Reconstructs the snapshots ``v_lo..v_hi`` (inclusive; ``v_hi``
+        defaults to the current version) via the delta version store,
+        extracts their common edge set, converges the query on it *once*,
+        and fans out one addition-only pass per version — the CommonGraph
+        work-sharing conversion amortized across snapshots. Selective
+        algorithms share the prefix; accumulative ones fall back to
+        independent cold evaluations (``result.shared`` says which
+        happened). Requires :meth:`enable_versioning` and a configured
+        session.
+        """
+        if self._closed:
+            raise HostApiError("session is closed")
+        if self._engine is None:
+            raise HostApiError("configure() the session before run_at_versions()")
+        if self._version_store is None:
+            raise HostApiError(
+                "enable_versioning() before run_at_versions() — no version "
+                "history is being recorded"
+            )
+        if self._pending is not None:
+            raise HostApiError(
+                "a batch is staged; run() it before run_at_versions()"
+            )
+        if v_hi is None:
+            v_hi = self._graph.version
+        versions = [
+            v for v in self._version_store.versions() if v_lo <= v <= v_hi
+        ]
+        if not versions:
+            raise HostApiError(
+                f"no retained versions in [{v_lo}, {v_hi}]; retained: "
+                f"{self._version_store.versions()}"
+            )
+        result = evaluate_at_versions(
+            self._version_store,
+            self._engine.algorithm,
+            versions,
+            config=self._accelerator.config,
+            tracer=self._accelerator.tracer,
+            **self._engine_opts,
+        )
+        for ver in result.versions:
+            self._record_transfer(
+                "results_read",
+                result.states[ver].shape[0] * VERTEX_STATE_BYTES,
+            )
+        return result
 
     def apply_update(
         self, u: int, v: int, w: float = 1.0, op: str = "insert"
@@ -213,6 +309,14 @@ class Session:
             "update_records", self._accelerator.config.stream_record_bytes
         )
         result = self._express.apply(u, v, w, op)
+        if self._version_store is not None:
+            # Both express paths (safe absorb and engine fallthrough) bump
+            # the graph version by one; log the single as a delta so
+            # time-travel reads see express traffic too.
+            if result.op == "insert":
+                self._version_store.record_batch([(u, v, w)], [])
+            else:
+                self._version_store.record_batch([], [(u, v)])
         tracer = self._accelerator.tracer
         if tracer.enabled:
             # Safe updates produce no run span; this event is their trace
@@ -259,9 +363,14 @@ class Session:
         Exposes :meth:`repro.graph.dynamic.DynamicGraph.store_stats` —
         batches applied, array splices, lazy flushes, snapshot builds and
         cache hits, full rebuilds — so a driver can verify the incremental
-        snapshot path is actually engaged for its update pattern.
+        snapshot path is actually engaged for its update pattern. With
+        :meth:`enable_versioning` active, a ``version_store`` sub-dict
+        reports retention counters (versions held, delta bytes, evictions).
         """
-        return self._graph.store_stats()
+        stats = self._graph.store_stats()
+        if self._version_store is not None:
+            stats["version_store"] = self._version_store.stats()
+        return stats
 
     @property
     def graph(self) -> DynamicGraph:

@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional
 
 __all__ = [
     "BenchGateError",
+    "collect_commongraph",
     "collect_engine",
     "collect_latency",
     "collect_serve",
@@ -38,6 +39,7 @@ __all__ = [
     "collect_trace",
     "compare_rows",
     "default_baseline_path",
+    "flatten_commongraph",
     "flatten_engine",
     "flatten_latency",
     "flatten_serve",
@@ -52,7 +54,15 @@ REPO_ROOT = Path(__file__).resolve().parents[3]
 BENCHMARKS_DIR = REPO_ROOT / "benchmarks"
 BASELINES_DIR = BENCHMARKS_DIR / "baselines"
 
-SUITES = ("engine", "trace", "stream", "sharded", "latency", "serve")
+SUITES = (
+    "engine",
+    "trace",
+    "stream",
+    "sharded",
+    "latency",
+    "serve",
+    "commongraph",
+)
 
 #: Default allowed relative drop in events_per_s before a row regresses.
 DEFAULT_TOLERANCE = 0.30
@@ -102,6 +112,11 @@ def collect_serve(quick: bool) -> dict:
     return _load_bench_module("bench_serve").collect(quick)
 
 
+def collect_commongraph(quick: bool) -> dict:
+    """Run the CommonGraph-vs-DAP deletion-batch grid."""
+    return _load_bench_module("bench_commongraph").collect(quick)
+
+
 def default_baseline_path(suite: str, quick: bool) -> Path:
     """Where the committed baseline for ``suite`` lives."""
     if suite == "engine":
@@ -139,6 +154,12 @@ def default_baseline_path(suite: str, quick: bool) -> Path:
             BASELINES_DIR / "BENCH_serve.quick.json"
             if quick
             else REPO_ROOT / "BENCH_serve.json"
+        )
+    if suite == "commongraph":
+        return (
+            BASELINES_DIR / "BENCH_commongraph.quick.json"
+            if quick
+            else REPO_ROOT / "BENCH_commongraph.json"
         )
     raise BenchGateError(f"unknown suite {suite!r} (choose from {SUITES})")
 
@@ -314,6 +335,36 @@ def flatten_serve(report: dict) -> List[dict]:
     return rows
 
 
+def flatten_commongraph(report: dict) -> List[dict]:
+    """``BENCH_commongraph.json`` → one row per (point, policy).
+
+    Throughput is events/s through the deletion batch. The event count
+    is the engine's deterministic work counter for that policy, so any
+    drift in the conversion (or in DAP's recovery it is gated against)
+    fails the comparison exactly. The DAP-vs-commongraph event *ratio*
+    itself is asserted by the benchmark's own gate, not here.
+    """
+    rows = []
+    for entry in report.get("results", []):
+        pct = int(round(entry["delete_fraction"] * 100))
+        for policy in ("dap", "commongraph"):
+            sample = entry.get(policy)
+            if not sample:
+                continue
+            rows.append(
+                {
+                    "suite": "commongraph",
+                    "key": (
+                        f"{entry['graph']}/{entry['algorithm']}/"
+                        f"del{pct}/{policy}"
+                    ),
+                    "events_per_s": float(sample["events_per_s"]),
+                    "events": int(sample["events_processed"]),
+                }
+            )
+    return rows
+
+
 _FLATTENERS: Dict[str, Callable[[dict], List[dict]]] = {
     "engine": flatten_engine,
     "trace": flatten_trace,
@@ -321,6 +372,7 @@ _FLATTENERS: Dict[str, Callable[[dict], List[dict]]] = {
     "sharded": flatten_sharded,
     "latency": flatten_latency,
     "serve": flatten_serve,
+    "commongraph": flatten_commongraph,
 }
 
 _COLLECTORS: Dict[str, Callable[[bool], dict]] = {
@@ -330,6 +382,7 @@ _COLLECTORS: Dict[str, Callable[[bool], dict]] = {
     "sharded": collect_sharded,
     "latency": collect_latency,
     "serve": collect_serve,
+    "commongraph": collect_commongraph,
 }
 
 

@@ -531,12 +531,16 @@ class MetricsRegistry:
                 "repro_serve_rejected_total", kind=kind
             ).inc()
 
-    def record_serve_read(self) -> None:
-        """Fold one read served from the published immutable snapshot."""
+    def record_serve_read(self, kind: str = "latest") -> None:
+        """Fold one read served from a published immutable snapshot.
+
+        ``kind`` is ``"latest"`` (the live snapshot) or ``"historical"``
+        (a ``?version=`` time-travel read from the retained ring).
+        """
         if not self.enabled:
             return
         with self._lock:
-            self._counter_nolock("repro_serve_reads_total").inc()
+            self._counter_nolock("repro_serve_reads_total", kind=kind).inc()
 
     def record_serve_snapshot(self, reads_served: int) -> None:
         """Fold one snapshot rotation (a write published a fresh one).
@@ -795,7 +799,7 @@ _HELP = {
     "repro_serve_ingest_latency_seconds": "Queue wait + apply latency of serve write ops, by kind.",
     "repro_serve_queue_depth": "Ingest queue occupancy, observed at enqueue and dequeue.",
     "repro_serve_rejected_total": "Write ops rejected by ingest backpressure, by kind.",
-    "repro_serve_reads_total": "Reads served from published immutable snapshots.",
+    "repro_serve_reads_total": "Reads served from published immutable snapshots, by kind (latest | historical).",
     "repro_serve_snapshots_total": "Converged snapshots published by serve write ops.",
     "repro_serve_reads_per_snapshot": "Reads served by each retired snapshot.",
     "repro_serve_sessions": "Serve sessions currently open.",

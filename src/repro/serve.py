@@ -28,6 +28,17 @@ mid-convergence state. A client that completed a write is guaranteed to
 see a snapshot at least as new as its own write on a subsequent read
 (writes respond only after publishing).
 
+Time travel
+-----------
+Each published snapshot carries the graph version that produced it, and
+the session retains the last ``keep_versions`` of them in a ring (the
+same retention bound the host session's :class:`DeltaVersionStore` uses
+for graph deltas). ``GET /sessions/<s>/read?version=<v>`` serves from
+the retained snapshot for graph version ``v`` — still lock-free, still
+immutable — and answers 404 ``VERSION_EVICTED`` once retention has
+dropped it. Historical reads are counted separately from latest reads
+(``repro_serve_reads_total{kind="historical"}``).
+
 Shutdown drains: the server stops accepting new work, each writer thread
 finishes every op already queued (their clients get real responses), and
 only then are engines/sessions closed.
@@ -45,7 +56,7 @@ import itertools
 import json
 import queue
 import threading
-from collections import deque
+from collections import OrderedDict, deque
 from functools import cached_property
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -61,6 +72,7 @@ from repro.obs.reqtrace import REQUEST_LOG, RequestContext
 from repro.obs.scrape import metrics_payload, send_payload
 
 __all__ = [
+    "DEFAULT_KEEP_VERSIONS",
     "DEFAULT_QUEUE_BOUND",
     "ReadSnapshot",
     "ServeApp",
@@ -71,6 +83,10 @@ __all__ = [
 
 #: Default bound of each session's ingest queue (write ops, not bytes).
 DEFAULT_QUEUE_BOUND = 64
+
+#: Default number of graph versions a serve session keeps readable via
+#: ``?version=`` (snapshot ring + the host session's delta store bound).
+DEFAULT_KEEP_VERSIONS = 64
 
 
 class ServeError(Exception):
@@ -138,6 +154,7 @@ class ServeSession:
         session: Session,
         queue_bound: int,
         log_bound: Optional[int] = None,
+        keep_versions: Optional[int] = DEFAULT_KEEP_VERSIONS,
     ):
         self.name = name
         self.session = session
@@ -145,6 +162,15 @@ class ServeSession:
         if log_bound is not None and log_bound < 1:
             raise ValueError("log_bound must be >= 1 (or None for keep-all)")
         self.log_bound = log_bound
+        if keep_versions is not None and keep_versions < 1:
+            raise ValueError("keep_versions must be >= 1 (or None for keep-all)")
+        self.keep_versions = keep_versions
+        #: Retained published snapshots keyed by graph version — the
+        #: ``?version=`` read path. Bounded in lockstep with the host
+        #: session's DeltaVersionStore retention.
+        self._history: "OrderedDict[int, ReadSnapshot]" = OrderedDict()
+        self._history_evicted = 0
+        self._history_lock = threading.Lock()
         self._queue: "queue.Queue[Optional[_WriteOp]]" = queue.Queue(
             maxsize=max(1, queue_bound)
         )
@@ -159,6 +185,7 @@ class ServeSession:
         self._log_lock = threading.Lock()
         self._closing = False
         self._snapshot = self._build_snapshot()
+        self._remember(self._snapshot)
         self._thread = threading.Thread(
             target=self._writer_loop,
             name=f"repro-serve-writer-{name}",
@@ -186,15 +213,61 @@ class ServeSession:
         retired_reads = self._reads_on_snapshot
         self._reads_on_snapshot = 0
         self._snapshot = self._build_snapshot()
+        self._remember(self._snapshot)
         if METRICS.enabled:
             METRICS.record_serve_snapshot(retired_reads)
+
+    def _remember(self, snapshot: ReadSnapshot) -> None:
+        """Retain ``snapshot`` in the version ring; evict past the bound.
+
+        A re-published graph version (a write that didn't mutate the
+        graph) replaces its predecessor — the ring holds one snapshot per
+        version, newest write wins.
+        """
+        with self._history_lock:
+            self._history[snapshot.graph_version] = snapshot
+            self._history.move_to_end(snapshot.graph_version)
+            if self.keep_versions is not None:
+                while len(self._history) > self.keep_versions:
+                    self._history.popitem(last=False)
+                    self._history_evicted += 1
 
     def read_snapshot(self) -> ReadSnapshot:
         """The latest published converged snapshot (lock-free)."""
         snapshot = self._snapshot  # single atomic attribute load
         self._reads_on_snapshot += 1  # stats-only; benign race
         if METRICS.enabled:
-            METRICS.record_serve_read()
+            METRICS.record_serve_read(kind="latest")
+        return snapshot
+
+    def read_version(self, version: int) -> ReadSnapshot:
+        """A retained historical snapshot for graph ``version``.
+
+        Raises 404 ``NO_VERSION`` for a version newer than anything
+        published, 404 ``VERSION_EVICTED`` for one the retention bound
+        has already dropped.
+        """
+        latest = self._snapshot
+        with self._history_lock:
+            snapshot = self._history.get(version)
+            oldest = next(iter(self._history), None)
+        if snapshot is None:
+            if version > latest.graph_version:
+                raise ServeError(
+                    404,
+                    "NO_VERSION",
+                    f"version {version} not published yet "
+                    f"(latest is {latest.graph_version})",
+                )
+            raise ServeError(
+                404,
+                "VERSION_EVICTED",
+                f"version {version} evicted by retention "
+                f"(keep_versions={self.keep_versions}, oldest retained "
+                f"{oldest})",
+            )
+        if METRICS.enabled:
+            METRICS.record_serve_read(kind="historical")
         return snapshot
 
     # -- write path ----------------------------------------------------
@@ -364,6 +437,11 @@ class ServeSession:
             "applied_seq": snapshot.seq,
             "snapshot_stamp": snapshot.stamp,
             "graph_version": snapshot.graph_version,
+            "history": {
+                "keep_versions": self.keep_versions,
+                "versions_held": len(self._history),
+                "evicted": self._history_evicted,
+            },
             "num_vertices": self.session.graph.num_vertices,
             "num_edges": self.session.graph.num_edges,
             "express": self.session.express_stats(),
@@ -449,6 +527,7 @@ class ServeApp:
         num_vertices: int = 0,
         queue_bound: Optional[int] = None,
         log_bound: Optional[int] = None,
+        keep_versions: Optional[int] = DEFAULT_KEEP_VERSIONS,
     ) -> ServeSession:
         """Load a graph, run the initial evaluation, register the session."""
         if self._closed:
@@ -468,6 +547,10 @@ class ServeApp:
                 backend=backend,
             )
             session.run()  # initial evaluation: serve needs a converged state
+            # Record graph deltas with the same retention as the snapshot
+            # ring, so ?version= reads and delta reconstruction expire
+            # together.
+            session.enable_versioning(keep_versions=keep_versions)
         except (HostApiError, ValueError, KeyError) as exc:
             raise ServeError(400, "BAD_SESSION", str(exc))
         with self._lock:
@@ -481,6 +564,7 @@ class ServeApp:
                 session,
                 queue_bound if queue_bound is not None else self.queue_bound,
                 log_bound=log_bound if log_bound is not None else self.log_bound,
+                keep_versions=keep_versions,
             )
             self.sessions[name] = served
         if METRICS.enabled:
@@ -516,16 +600,28 @@ class ServeApp:
 
     # -- request handlers ----------------------------------------------
     def handle_read(
-        self, name: str, vertices: Optional[List[int]] = None
+        self,
+        name: str,
+        vertices: Optional[List[int]] = None,
+        version: Optional[int] = None,
     ) -> dict:
-        """Serve a read from the latest published snapshot (lock-free)."""
+        """Serve a read from a published snapshot (lock-free).
+
+        ``version=None`` reads the latest snapshot; an explicit version
+        is a time-travel read from the retained ring (404
+        ``VERSION_EVICTED`` once retention dropped it).
+        """
         served = self.get_session(name)
-        snapshot = served.read_snapshot()
+        if version is None:
+            snapshot = served.read_snapshot()
+        else:
+            snapshot = served.read_version(int(version))
         reply: dict = {
             "session": name,
             "seq": snapshot.seq,
             "stamp": snapshot.stamp,
             "graph_version": snapshot.graph_version,
+            "historical": version is not None,
             "num_vertices": int(snapshot.states.shape[0]),
             "digest": snapshot.digest,
         }
@@ -574,7 +670,8 @@ class _ServeHandler(BaseHTTPRequestHandler):
     GET     /metrics, /metrics.json         shared scrape routes (registry)
     GET     /debug/requests                 slow-request ring + stage histograms
     POST    /sessions                       create session (graph + algorithm)
-    GET     /sessions/<s>/read[?vertices=]  snapshot read (never blocks on writes)
+    GET     /sessions/<s>/read              snapshot read (never blocks on writes)
+                [?vertices=][&version=]     version= = time-travel read (ring)
     GET     /sessions/<s>/stats             queue depth, transfers, express stats
     GET     /sessions/<s>/log               applied-write log (apply order)
     POST    /sessions/<s>/ingest            update batch (429 when queue full)
@@ -679,10 +776,11 @@ class _ServeHandler(BaseHTTPRequestHandler):
                 name, action = parts[1], parts[2]
                 if action == "read":
                     vertices = _parse_vertices(query)
+                    version = _parse_version(query)
                     if ctx is not None:
                         ctx.attrs["session"] = name
                         ctx.mark("parse")
-                    reply = app.handle_read(name, vertices)
+                    reply = app.handle_read(name, vertices, version=version)
                     if ctx is not None:
                         ctx.mark("snapshot")
                     return "read", 200, reply
@@ -702,6 +800,9 @@ class _ServeHandler(BaseHTTPRequestHandler):
                     raise ServeError(
                         400, "BAD_SESSION", "need 'edges' and 'algorithm'"
                     )
+                # keep_versions: absent -> default ring, 0/null -> unbounded.
+                keep_versions = body.get("keep_versions", DEFAULT_KEEP_VERSIONS)
+                keep_versions = int(keep_versions) if keep_versions else None
                 served = app.create_session(
                     body["edges"],
                     body["algorithm"],
@@ -715,6 +816,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
                     num_vertices=int(body.get("num_vertices", 0)),
                     queue_bound=body.get("queue_bound"),
                     log_bound=body.get("log_bound"),
+                    keep_versions=keep_versions,
                 )
                 if ctx is not None:
                     ctx.attrs["session"] = served.name
@@ -769,6 +871,19 @@ def _parse_vertices(query: str) -> Optional[List[int]]:
             except ValueError:
                 raise ServeError(
                     400, "BAD_VERTEX", "vertices must be comma-separated ints"
+                )
+    return None
+
+
+def _parse_version(query: str) -> Optional[int]:
+    for part in query.split("&"):
+        if part.startswith("version="):
+            raw = part[len("version="):]
+            try:
+                return int(raw)
+            except ValueError:
+                raise ServeError(
+                    400, "BAD_VERSION", "version must be an integer"
                 )
     return None
 

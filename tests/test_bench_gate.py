@@ -96,6 +96,23 @@ SERVE_REPORT = {
 }
 
 
+COMMONGRAPH_REPORT = {
+    "results": [
+        {
+            "graph": "WK",
+            "algorithm": "sssp",
+            "delete_fraction": 0.3,
+            "gated": True,
+            "dap": {"events_per_s": 50000.0, "events_processed": 66000},
+            "commongraph": {"events_per_s": 90000.0, "events_processed": 16000},
+            "ratio_events": 4.1,
+            "states_identical": True,
+        }
+    ],
+    "min_gated_ratio": 4.1,
+}
+
+
 def perturbed(report: dict, scale: float = 1.0, events_delta: int = 0) -> dict:
     """Copy a canned report with scaled throughput / shifted event counts."""
     out = json.loads(json.dumps(report))
@@ -112,6 +129,10 @@ def perturbed(report: dict, scale: float = 1.0, events_delta: int = 0) -> dict:
         if "backend" in entry:
             entry["events_per_s"] *= scale
             entry["events_processed"] += events_delta
+        for mode in ("dap", "commongraph"):
+            if mode in entry:
+                entry[mode]["events_per_s"] *= scale
+                entry[mode]["events_processed"] += events_delta
     for row in out.get("rows", []):
         row["events_per_s"] *= scale
         row["events"] += events_delta
@@ -188,6 +209,17 @@ class TestFlatten:
         assert rows[0]["events_per_s"] == 90.0
         assert rows[1]["events_per_s"] == 1000.0
 
+    def test_commongraph_rows(self):
+        rows = bench_gate.flatten_commongraph(COMMONGRAPH_REPORT)
+        assert [r["key"] for r in rows] == [
+            "WK/sssp/del30/dap",
+            "WK/sssp/del30/commongraph",
+        ]
+        assert all(r["suite"] == "commongraph" for r in rows)
+        # Event counts are the determinism column for both policies.
+        assert [r["events"] for r in rows] == [66000, 16000]
+        assert rows[1]["events_per_s"] == 90000.0
+
 
 class TestCompareRows:
     def rows(self, events_per_s: float, events: int = 100):
@@ -255,6 +287,7 @@ class TestRunGate:
         sharded=None,
         latency=None,
         serve=None,
+        commongraph=None,
     ):
         return {
             "engine": lambda quick: engine or ENGINE_REPORT,
@@ -263,6 +296,7 @@ class TestRunGate:
             "sharded": lambda quick: sharded or SHARDED_REPORT,
             "latency": lambda quick: latency or LATENCY_REPORT,
             "serve": lambda quick: serve or SERVE_REPORT,
+            "commongraph": lambda quick: commongraph or COMMONGRAPH_REPORT,
         }
 
     def baselines(
@@ -274,6 +308,7 @@ class TestRunGate:
         sharded=None,
         latency=None,
         serve=None,
+        commongraph=None,
     ):
         paths = {}
         for suite, report in (
@@ -283,6 +318,7 @@ class TestRunGate:
             ("sharded", sharded or SHARDED_REPORT),
             ("latency", latency or LATENCY_REPORT),
             ("serve", serve or SERVE_REPORT),
+            ("commongraph", commongraph or COMMONGRAPH_REPORT),
         ):
             path = tmp_path / f"baseline_{suite}.json"
             path.write_text(json.dumps(report))
@@ -303,6 +339,7 @@ class TestRunGate:
             "sharded",
             "latency",
             "serve",
+            "commongraph",
         }
 
     def test_injected_throughput_regression_is_caught(self, tmp_path):
@@ -357,6 +394,9 @@ class TestRunGate:
         assert json.loads(paths["stream"].read_text()) == STREAM_REPORT
         assert json.loads(paths["sharded"].read_text()) == SHARDED_REPORT
         assert json.loads(paths["serve"].read_text()) == SERVE_REPORT
+        assert (
+            json.loads(paths["commongraph"].read_text()) == COMMONGRAPH_REPORT
+        )
 
     def test_default_baseline_paths(self):
         assert default_baseline_path("engine", quick=False).name == (
@@ -383,6 +423,12 @@ class TestRunGate:
         assert default_baseline_path("serve", quick=True).name == (
             "BENCH_serve.quick.json"
         )
+        assert default_baseline_path("commongraph", quick=False).name == (
+            "BENCH_commongraph.json"
+        )
+        assert default_baseline_path("commongraph", quick=True).name == (
+            "BENCH_commongraph.quick.json"
+        )
         with pytest.raises(BenchGateError):
             default_baseline_path("nope", quick=False)
 
@@ -401,6 +447,7 @@ class TestBenchCheckCli:
             "sharded": json.loads(json.dumps(SHARDED_REPORT)),
             "latency": json.loads(json.dumps(LATENCY_REPORT)),
             "serve": json.loads(json.dumps(SERVE_REPORT)),
+            "commongraph": json.loads(json.dumps(COMMONGRAPH_REPORT)),
         }
         for suite in reports:
             monkeypatch.setitem(
@@ -416,6 +463,7 @@ class TestBenchCheckCli:
             ("sharded", SHARDED_REPORT),
             ("latency", LATENCY_REPORT),
             ("serve", SERVE_REPORT),
+            ("commongraph", COMMONGRAPH_REPORT),
         ):
             bases[suite] = tmp_path / f"{suite}.json"
             bases[suite].write_text(json.dumps(report))
@@ -463,6 +511,7 @@ class TestBenchCheckCli:
         reports["stream"] = perturbed(STREAM_REPORT, events_delta=5)
         reports["sharded"] = perturbed(SHARDED_REPORT, scale=0.1)
         reports["serve"] = perturbed(SERVE_REPORT, scale=0.1)
+        reports["commongraph"] = perturbed(COMMONGRAPH_REPORT, events_delta=7)
         args = self.base_args(bases)
         args += ["--suite", "engine"]
         assert main(args) == 0
@@ -473,7 +522,7 @@ class TestBenchCheckCli:
         _, _ = canned
         new_bases = {
             suite: tmp_path / "new" / f"{suite}.json"
-            for suite in ("engine", "trace", "stream", "sharded", "latency", "serve")
+            for suite in bench_gate.SUITES
         }
         args = self.base_args(new_bases) + ["--update-baselines"]
         assert main(args) == 0

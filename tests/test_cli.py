@@ -70,6 +70,41 @@ class TestQueryCommand:
         assert main(["query", "--edges", edge_file, "--algorithm", "cc"]) == 0
         assert "cc on" in capsys.readouterr().out
 
+    def test_at_versions_shared_prefix(self, edge_file, capsys):
+        code = main(
+            [
+                "query",
+                "--edges",
+                edge_file,
+                "--at-versions",
+                "3",
+                "--batch-size",
+                "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "common graph" in out
+        assert "shared common-graph prefix" in out
+        assert "total events:" in out
+
+    def test_at_versions_accumulative_fallback(self, edge_file, capsys):
+        code = main(
+            [
+                "query",
+                "--edges",
+                edge_file,
+                "--algorithm",
+                "pagerank",
+                "--at-versions",
+                "2",
+                "--batch-size",
+                "6",
+            ]
+        )
+        assert code == 0
+        assert "independent per-version" in capsys.readouterr().out
+
 
 class TestStreamCommand:
     def test_generated_stream(self, edge_file, capsys):
@@ -135,6 +170,26 @@ class TestStreamCommand:
             ]
         )
         assert code == 0
+
+    def test_delete_policy_commongraph_alias(self, edge_file, capsys):
+        code = main(
+            [
+                "stream",
+                "--edges",
+                edge_file,
+                "--batches",
+                "2",
+                "--batch-size",
+                "8",
+                "--insertion-ratio",
+                "0.3",
+                "--delete-policy",
+                "commongraph",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resets 0" in out or "resets=0" in out or "batch" in out
 
 
 class TestTraceFlags:

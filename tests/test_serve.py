@@ -314,6 +314,83 @@ class TestAppRouting:
             app.handle_update("s", {"u": 0, "v": 1, "op": "upsert"})
 
 
+class TestTimeTravelReads:
+    def _session_with_writes(self, app, keep_versions=None, writes=3):
+        served = app.create_session(
+            EDGES, "sssp", name="tt", source=0, keep_versions=keep_versions
+        )
+        for i in range(writes):
+            served.submit("batch", {"insertions": [[0, 4 + i, 0.5 + i]]})
+        return served
+
+    def test_version_read_returns_that_versions_states(self, app):
+        self._session_with_writes(app)
+        latest = app.handle_read("tt")
+        assert latest["graph_version"] == 3
+        assert latest["historical"] is False
+        for version in range(4):
+            reply = app.handle_read("tt", version=version)
+            assert reply["graph_version"] == version
+            assert reply["historical"] is True
+        # Version 0 predates every write: the initial converged snapshot.
+        v0 = app.handle_read("tt", vertices=[3], version=0)
+        assert v0["values"] == {"3": 6.0}
+        assert v0["num_vertices"] == 4
+
+    def test_express_singles_are_versioned_too(self, app):
+        served = app.create_session(EDGES, "sssp", name="tt", source=0)
+        served.submit("update", {"u": 1, "v": 3, "w": 0.5})
+        reply = app.handle_read("tt", vertices=[3], version=1)
+        assert reply["values"] == {"3": 2.5}
+        assert app.handle_read("tt", vertices=[3], version=0)["values"] == {
+            "3": 6.0
+        }
+
+    def test_eviction_past_retention_is_404(self, app):
+        self._session_with_writes(app, keep_versions=2, writes=4)
+        with pytest.raises(ServeError) as exc:
+            app.handle_read("tt", version=0)
+        assert exc.value.status == 404
+        assert exc.value.code == "VERSION_EVICTED"
+        # Retained versions still read fine.
+        assert app.handle_read("tt", version=4)["graph_version"] == 4
+
+    def test_future_version_is_404_no_version(self, app):
+        self._session_with_writes(app, writes=1)
+        with pytest.raises(ServeError) as exc:
+            app.handle_read("tt", version=99)
+        assert exc.value.status == 404
+        assert exc.value.code == "NO_VERSION"
+
+    def test_stats_surface_history_and_store(self, app):
+        served = self._session_with_writes(app, keep_versions=2, writes=4)
+        stats = served.stats()
+        assert stats["history"] == {
+            "keep_versions": 2,
+            "versions_held": 2,
+            "evicted": 3,
+        }
+        store = stats["store"]["version_store"]
+        assert store["keep_versions"] == 2
+        assert store["versions_held"] == 2
+
+    def test_historical_reads_counted_separately(self, app):
+        REGISTRY.enable()
+        try:
+            self._session_with_writes(app, writes=1)
+            app.handle_read("tt")
+            app.handle_read("tt", version=0)
+            app.handle_read("tt", version=1)
+            historical = REGISTRY.value(
+                "repro_serve_reads_total", kind="historical"
+            )
+            latest = REGISTRY.value("repro_serve_reads_total", kind="latest")
+            assert historical == 2
+            assert latest == 1
+        finally:
+            REGISTRY.disable()
+
+
 # ---------------------------------------------------------------------------
 # HTTP layer
 # ---------------------------------------------------------------------------
@@ -401,6 +478,16 @@ class TestHttpProtocol:
         # Read-your-writes: the published snapshot includes both writes.
         status, read = client.get("/sessions/s/read?vertices=3")
         assert read["seq"] == 2 and read["values"]["3"] == 0.1
+
+        # Time travel: graph version 1 predates the express update.
+        status, old = client.get("/sessions/s/read?vertices=3&version=1")
+        assert status == 200
+        assert old["historical"] is True
+        assert old["graph_version"] == 1 and old["values"]["3"] == 2.5
+        status, gone = client.get("/sessions/s/read?version=99")
+        assert status == 404 and gone["error"] == "NO_VERSION"
+        status, bad = client.get("/sessions/s/read?version=abc")
+        assert status == 400 and bad["error"] == "BAD_VERSION"
 
         status, log = client.get("/sessions/s/log")
         assert [e["kind"] for e in log["log"]] == ["batch", "update"]
@@ -529,7 +616,9 @@ class TestHttpProtocol:
                 REGISTRY.value("repro_serve_writes_applied_total", kind="update")
                 == 1
             )
-            assert REGISTRY.value("repro_serve_reads_total") == 1
+            assert (
+                REGISTRY.value("repro_serve_reads_total", kind="latest") == 1
+            )
 
             served = server.app.get_session("m")
             served.pause_writer()

@@ -17,6 +17,7 @@ from typing import List, Optional
 import pytest
 
 from repro.algorithms import make_algorithm
+from repro.core.policies import DeletePolicy
 from repro.core.streaming import JetStreamEngine
 from repro.graph import generators
 from repro.graph.dynamic import DynamicGraph
@@ -175,3 +176,104 @@ def test_incremental_process_backend_matches_cold_start(name, seed):
 def test_scenario_count_meets_floor():
     """The issue's acceptance bar: at least 25 seeded stream scenarios."""
     assert len(FUZZ_ALGORITHMS) * len(SCENARIO_SEEDS) >= 25
+
+
+# ----------------------------------------------------------------------
+# Deletion-heavy policy matrix
+# ----------------------------------------------------------------------
+# The deletion-policy invariant: every policy — VAP's coalesced resets,
+# DAP's dependency-aware trimming, and the CommonGraph
+# deletion-to-addition conversion — must land on the same cold-start
+# reference states, on every engine substrate. Streams here are
+# deletion-heavy (20% insertions) so the recovery machinery, not the
+# monotone addition path, carries each batch.
+
+DELETION_POLICIES = [DeletePolicy.VAP, DeletePolicy.DAP, DeletePolicy.COMMONGRAPH]
+DELETION_ENGINES = ["scalar", "vectorized", "sharded"]
+DELETION_ALGORITHMS = ["sssp", "cc"]
+DELETION_SEEDS = list(range(3))
+DELETION_INSERTION_RATIO = 0.2
+
+
+def _make_deletion_batches(name: str, seed: int) -> List[UpdateBatch]:
+    algorithm = make_algorithm(name, source=0)
+    graph = _build_graph(algorithm, seed)
+    generator = StreamGenerator(
+        graph, seed=seed + 2000, insertion_ratio=DELETION_INSERTION_RATIO
+    )
+    return list(generator.stream(BATCH_SIZE, NUM_BATCHES))
+
+
+def _replay_policy(
+    name: str,
+    seed: int,
+    batches: List[UpdateBatch],
+    policy: DeletePolicy,
+    engine: str,
+) -> Optional[int]:
+    algorithm = make_algorithm(name, source=0)
+    graph = _build_graph(algorithm, seed)
+    kwargs = {"engine": engine}
+    if engine == "sharded":
+        kwargs["num_engines"] = NUM_ENGINES
+    stream_engine = JetStreamEngine(graph, algorithm, policy=policy, **kwargs)
+    try:
+        stream_engine.initial_compute()
+        if _mismatches(algorithm, stream_engine.query_result(), graph.snapshot()):
+            return 0
+        for index, batch in enumerate(batches):
+            result = stream_engine.apply_batch(batch)
+            if policy is DeletePolicy.COMMONGRAPH and batch.deletions:
+                assert result.vertices_reset == 0, (
+                    f"commongraph reset {result.vertices_reset} vertices "
+                    f"on batch {index} — the conversion must never reset"
+                )
+            if _mismatches(
+                algorithm, stream_engine.query_result(), graph.snapshot()
+            ):
+                return index + 1
+    finally:
+        stream_engine.close()
+    return None
+
+
+@pytest.mark.parametrize("seed", DELETION_SEEDS)
+@pytest.mark.parametrize("engine", DELETION_ENGINES)
+@pytest.mark.parametrize("policy", DELETION_POLICIES, ids=lambda p: p.value)
+@pytest.mark.parametrize("name", DELETION_ALGORITHMS)
+def test_deletion_policies_match_cold_start(name, policy, engine, seed):
+    batches = _make_deletion_batches(name, seed)
+    failing = _replay_policy(name, seed, batches, policy, engine)
+    if failing is None:
+        return
+    pytest.fail(
+        f"scenario {name}/{policy.value}/{engine}/seed={seed}: incremental "
+        f"states diverged from cold_start(reference) after {failing} "
+        f"batch(es) of a deletion-heavy stream "
+        f"(insertion_ratio={DELETION_INSERTION_RATIO}):\n"
+        + _format_prefix(batches[:failing])
+    )
+
+
+@pytest.mark.parametrize("seed", DELETION_SEEDS)
+def test_commongraph_falls_through_for_accumulative(seed):
+    """PageRank can't ride the conversion (non-monotonic): requesting
+    commongraph must fall through to a recovery policy and still match
+    the cold-start reference."""
+    batches = _make_deletion_batches("pagerank", seed)
+    algorithm = make_algorithm("pagerank", source=0)
+    graph = _build_graph(algorithm, seed)
+    engine = JetStreamEngine(
+        graph, algorithm, policy=DeletePolicy.COMMONGRAPH
+    )
+    try:
+        assert engine.requested_policy is DeletePolicy.COMMONGRAPH
+        assert engine.policy is not DeletePolicy.COMMONGRAPH
+        engine.initial_compute()
+        for batch in batches:
+            engine.apply_batch(batch)
+        assert not _mismatches(
+            algorithm, engine.query_result(), graph.snapshot()
+        )
+    finally:
+        engine.close()

@@ -82,6 +82,122 @@ class TestDeltaVersionStore:
         assert store.reconstruct(graph.version).num_vertices == 8
 
 
+class TestBoundedRetention:
+    def _stream(self, store, graph, batches=5, seed=5):
+        generator = StreamGenerator(graph, seed=seed, insertion_ratio=0.5)
+        for _ in range(batches):
+            batch = generator.next_batch(8)
+            graph.apply_batch(
+                [(e.u, e.v, e.w) for e in batch.insertions],
+                [e.key() for e in batch.deletions],
+            )
+            store.record_batch(
+                [(e.u, e.v, e.w) for e in batch.insertions],
+                [e.key() for e in batch.deletions],
+            )
+
+    def test_keep_versions_bounds_history(self):
+        graph = random_digraph(seed=20)
+        store = DeltaVersionStore(graph, keep_versions=3)
+        self._stream(store, graph)
+        assert len(store.versions()) == 3
+        assert store.versions() == [3, 4, 5]
+
+    def test_evicted_version_raises(self):
+        graph = random_digraph(seed=21)
+        store = DeltaVersionStore(graph, keep_versions=2)
+        self._stream(store, graph)
+        with pytest.raises(KeyError):
+            store.reconstruct(0)
+
+    def test_retained_versions_reconstruct_exactly(self):
+        graph = random_digraph(seed=22)
+        store = DeltaVersionStore(graph, keep_versions=3)
+        snapshots = {}
+        generator = StreamGenerator(graph, seed=7, insertion_ratio=0.5)
+        for _ in range(5):
+            batch = generator.next_batch(6)
+            graph.apply_batch(
+                [(e.u, e.v, e.w) for e in batch.insertions],
+                [e.key() for e in batch.deletions],
+            )
+            store.record_batch(
+                [(e.u, e.v, e.w) for e in batch.insertions],
+                [e.key() for e in batch.deletions],
+            )
+            snapshots[graph.version] = sorted(graph.edges())
+        for version in store.versions():
+            assert sorted(store.reconstruct(version).edges()) == snapshots[version]
+
+    def test_stats_shape(self):
+        graph = random_digraph(seed=23)
+        store = DeltaVersionStore(graph, keep_versions=3)
+        self._stream(store, graph)
+        stats = store.stats()
+        assert stats["keep_versions"] == 3
+        assert stats["versions_held"] == 3
+        assert stats["oldest_version"] == 3
+        assert stats["newest_version"] == 5
+        assert stats["evicted_versions"] == 3
+        assert stats["delta_records"] > 0
+        assert stats["delta_bytes"] > 0
+
+    def test_keep_versions_validated(self):
+        graph = random_digraph(seed=24)
+        with pytest.raises(ValueError):
+            DeltaVersionStore(graph, keep_versions=0)
+
+
+class TestCommonSlice:
+    def test_common_plus_additions_reconstructs_each_version(self):
+        graph = random_digraph(seed=30)
+        store = DeltaVersionStore(graph)
+        generator = StreamGenerator(graph, seed=31, insertion_ratio=0.5)
+        for _ in range(4):
+            batch = generator.next_batch(8)
+            graph.apply_batch(
+                [(e.u, e.v, e.w) for e in batch.insertions],
+                [e.key() for e in batch.deletions],
+            )
+            store.record_batch(
+                [(e.u, e.v, e.w) for e in batch.insertions],
+                [e.key() for e in batch.deletions],
+            )
+        versions = store.versions()
+        slice_ = store.common_slice(versions)
+        common = set(slice_.common_edges)
+        for version in versions:
+            expected = sorted(store.reconstruct(version).edges())
+            rebuilt = sorted(
+                list(slice_.common_edges) + list(slice_.additions[version])
+            )
+            assert rebuilt == expected, f"version {version}"
+            # Additions are genuinely outside the shared prefix.
+            assert not common.intersection(slice_.additions[version])
+
+    def test_common_vertices_is_min(self):
+        graph = DynamicGraph.from_edges([(0, 1, 1.0)], 2)
+        store = DeltaVersionStore(graph)
+        graph.apply_batch([(1, 9, 2.0)], [])
+        store.record_batch([(1, 9, 2.0)], [])
+        slice_ = store.common_slice(store.versions())
+        assert slice_.common_vertices == 2
+        assert slice_.vertices[store.versions()[-1]] == 10
+
+    def test_reweighted_edge_not_common(self):
+        graph = DynamicGraph.from_edges([(0, 1, 1.0), (1, 2, 3.0)], 3)
+        store = DeltaVersionStore(graph)
+        # Reweight = delete + insert in one batch (per paper §2.1).
+        graph.apply_batch([(0, 1, 7.0)], [(0, 1)])
+        store.record_batch([(0, 1, 7.0)], [(0, 1)])
+        slice_ = store.common_slice(store.versions())
+        assert (1, 2, 3.0) in slice_.common_edges
+        assert all((u, v) != (0, 1) for u, v, _ in slice_.common_edges)
+        v0, v1 = store.versions()
+        assert (0, 1, 1.0) in slice_.additions[v0]
+        assert (0, 1, 7.0) in slice_.additions[v1]
+
+
 class TestPartialDrainScheduler:
     @pytest.mark.parametrize("rows", [None, 8, 2])
     def test_results_independent_of_drain_width(self, rows):
